@@ -1,0 +1,49 @@
+# Komodo-Go build/test/evaluation entry points. Everything is plain `go`
+# commands; this file just names the common workflows.
+
+GO ?= go
+
+.PHONY: all build test race verify bench bench-quick examples loc fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/nwos/ ./internal/monitor/ ./komodo/
+
+# The "proof run": PageDB invariants, refinement, noninterference.
+verify:
+	$(GO) run ./cmd/komodo-verify
+
+# Regenerate the paper's full evaluation (Tables 2 & 3, SGX comparison,
+# ablation, Figure 5).
+bench:
+	$(GO) run ./cmd/komodo-bench
+
+# The same through the go benchmark harness.
+bench-quick:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+examples:
+	@for ex in quickstart notary attestation dynamicmem maliciousos vault selfpaging remoteattest swap; do \
+		echo "=== $$ex ==="; \
+		$(GO) run ./examples/$$ex || exit 1; \
+	done
+
+loc:
+	$(GO) run ./cmd/komodo-loc
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

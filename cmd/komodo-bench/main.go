@@ -1,0 +1,98 @@
+// komodo-bench regenerates the paper's evaluation: Table 3, the §8.1 SGX
+// comparison, Figure 5, and the Table 2 line-count breakdown. With no
+// flags it prints everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	t3 := flag.Bool("table3", false, "print only the Table 3 microbenchmarks")
+	sgxOnly := flag.Bool("sgx", false, "print only the SGX crossing comparison (§8.1)")
+	f5 := flag.Bool("figure5", false, "print only the Figure 5 notary series")
+	t2 := flag.Bool("table2", false, "print only the Table 2 line-count breakdown")
+	abl := flag.Bool("ablation", false, "print only the crossing-optimisation ablation")
+	root := flag.String("root", ".", "module root for the line-count breakdown")
+	flag.Parse()
+	all := !*t3 && !*sgxOnly && !*f5 && !*t2 && !*abl
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "komodo-bench:", err)
+		os.Exit(1)
+	}
+
+	if all || *t3 {
+		rows, err := eval.Table3()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Table 3: Microbenchmark results (simulated cycles vs. paper's Raspberry Pi 2)")
+		fmt.Printf("  %-14s %-42s %10s %10s\n", "Operation", "Notes", "cycles", "paper")
+		for _, r := range rows {
+			fmt.Printf("  %-14s %-42s %10d %10d\n", r.Operation, r.Notes, r.Cycles, r.PaperCycles)
+		}
+		fmt.Println()
+	}
+	if all || *abl {
+		rows, err := eval.Ablation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Ablation: §8.1 crossing optimisations (cycles per full crossing)")
+		fmt.Printf("  %-46s %10s %10s\n", "Configuration", "cold", "hot")
+		for _, r := range rows {
+			fmt.Printf("  %-46s %10d %10d\n", r.Config, r.FirstCrossing, r.RepeatCrossing)
+		}
+		fmt.Println()
+	}
+	if all || *sgxOnly {
+		rows, err := eval.SGXComparison()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("SGX comparison (§8.1): enclave crossing latency")
+		fmt.Printf("  %-18s %12s %12s %8s\n", "Operation", "Komodo", "SGX model", "ratio")
+		for _, r := range rows {
+			fmt.Printf("  %-18s %12d %12d %7.1fx\n", r.Operation, r.Komodo, r.SGX, float64(r.SGX)/float64(r.Komodo))
+		}
+		fmt.Println()
+	}
+	if all || *f5 {
+		pts, err := eval.Figure5(eval.Figure5Sizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Figure 5: Notary performance (time to notarise vs. input size, 900 MHz clock)")
+		fmt.Printf("  %8s %14s %14s %8s\n", "size", "enclave (ms)", "native (ms)", "ratio")
+		for _, p := range pts {
+			fmt.Printf("  %6dkB %14.3f %14.3f %8.3f\n", p.KB, p.EnclaveMS, p.NativeMS, p.EnclaveMS/p.NativeMS)
+		}
+		fmt.Println()
+	}
+	if all || *t2 {
+		rows, err := eval.CountLines(*root)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Table 2 analogue: line counts of this reproduction")
+		fmt.Printf("  %-52s %8s %8s %8s\n", "Component", "spec", "impl", "proof")
+		var ts, ti, tp int
+		for _, r := range rows {
+			fmt.Printf("  %-52s %8d %8d %8d\n", r.Component, r.Spec, r.Impl, r.Proof)
+			ts += r.Spec
+			ti += r.Impl
+			tp += r.Proof
+		}
+		fmt.Printf("  %-52s %8d %8d %8d\n", "Total", ts, ti, tp)
+		fmt.Println("\nPaper's Table 2 (for comparison):")
+		fmt.Printf("  %-52s %8s %8s %8s\n", "Component", "spec", "impl", "proof")
+		for _, r := range eval.PaperTable2Rows() {
+			fmt.Printf("  %-52s %8d %8d %8d\n", r.Component, r.Spec, r.Impl, r.Proof)
+		}
+	}
+}

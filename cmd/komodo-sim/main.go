@@ -1,0 +1,154 @@
+// komodo-sim is a scenario runner for the simulated platform: it boots,
+// builds one of the bundled enclave guests, executes it, and reports what
+// the OS observes — optionally with refinement checking and interrupt
+// injection. Useful for poking at the system interactively:
+//
+//	komodo-sim -guest notary -arg 64
+//	komodo-sim -guest count -arg 100000 -irq-after 5000
+//	komodo-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/arm"
+	"repro/internal/board"
+	"repro/internal/cycles"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/monitor"
+	"repro/internal/nwos"
+	"repro/internal/refine"
+)
+
+var guests = map[string]func() kasm.Guest{
+	"exit42":    func() kasm.Guest { return kasm.ExitConst(42) },
+	"add":       kasm.AddArgs,
+	"count":     kasm.CountTo,
+	"storeload": kasm.StoreLoad,
+	"random":    kasm.GetRandom,
+	"attest":    kasm.AttestOnce,
+	"verify":    kasm.VerifyOnce,
+	"dynalloc":  kasm.DynAlloc,
+	"dynunmap":  kasm.DynUnmap,
+	"echo":      kasm.SharedEcho,
+	"hash":      func() kasm.Guest { return kasm.HashShared(4) },
+	"notary":    func() kasm.Guest { return kasm.NotaryGuest(16) },
+	"fault-ro":  func() kasm.Guest { return kasm.Faulter(kasm.FaultWriteRO) },
+	"fault-nx":  func() kasm.Guest { return kasm.Faulter(kasm.FaultExecNX) },
+	"fault-smc": func() kasm.Guest { return kasm.Faulter(kasm.FaultSMC) },
+	"selfpager": kasm.SelfPager,
+	"vault":     kasm.Vault,
+	"quote":     kasm.QuotingEnclave,
+	"mem":       kasm.MemGuest,
+}
+
+func main() {
+	guest := flag.String("guest", "exit42", "bundled guest to run (see -list)")
+	list := flag.Bool("list", false, "list bundled guests")
+	seed := flag.Uint64("seed", 1, "hardware RNG seed")
+	arg1 := flag.Uint("arg", 0, "first Enter argument")
+	arg2 := flag.Uint("arg2", 0, "second Enter argument")
+	arg3 := flag.Uint("arg3", 0, "third Enter argument")
+	irqAfter := flag.Int64("irq-after", 0, "inject an IRQ after N enclave instructions (0 = never)")
+	check := flag.Bool("check", true, "run with per-SMC refinement checking")
+	static := flag.Bool("static", false, "boot the SGXv1-style static profile")
+	trace := flag.Int("trace", 0, "print the first N executed enclave instructions")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(guests))
+		for n := range guests {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	mk, ok := guests[*guest]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "komodo-sim: unknown guest %q (try -list)\n", *guest)
+		os.Exit(2)
+	}
+
+	plat, err := board.Boot(board.Config{Seed: *seed, Monitor: monitor.Config{StaticProfile: *static}})
+	die(err)
+	var drv nwos.Driver = plat.Monitor
+	if *check {
+		drv = refine.New(plat.Monitor)
+	}
+	osm := nwos.New(plat.Machine, drv, plat.Monitor.NPages())
+
+	g := mk()
+	img, err := g.Image()
+	die(err)
+	fmt.Printf("booted: %d secure pages, protection=%v, refinement-checking=%v\n",
+		plat.Monitor.NPages(), plat.Machine.Phys.Layout().Protection, *check)
+
+	buildStart := plat.Machine.Cyc.Total()
+	enc, err := osm.BuildEnclave(img)
+	die(err)
+	db, err := plat.Monitor.DecodePageDB()
+	die(err)
+	meas := db.Addrspace(enc.AS).Measured
+	fmt.Printf("built enclave %q: addrspace page %d, thread page %d, %d data pages (%d cycles)\n",
+		*guest, enc.AS, enc.Thread, len(enc.Data), plat.Machine.Cyc.Total()-buildStart)
+	fmt.Printf("measurement: %08x%08x…%08x\n", meas[0], meas[1], meas[7])
+
+	if *irqAfter > 0 {
+		plat.Machine.ScheduleIRQ(*irqAfter)
+	}
+	if *trace > 0 {
+		n := 0
+		plat.Machine.TraceFn = func(pc uint32, i arm.Instr) {
+			if n < *trace {
+				fmt.Printf("    %08x: %s\n", pc, i.Disasm())
+			} else if n == *trace {
+				fmt.Println("    ... (trace limit)")
+			}
+			n++
+		}
+	}
+	args := []uint32{uint32(*arg1), uint32(*arg2), uint32(*arg3)}
+	// Special case: the dynamic guests take their spare page as arg1.
+	if len(enc.Spares) > 0 && *arg1 == 0 {
+		args[0] = uint32(enc.Spares[0])
+	}
+
+	start := plat.Machine.Cyc.Total()
+	e, v, err := osm.Enter(enc, args...)
+	die(err)
+	for e == kapi.ErrInterrupted {
+		fmt.Printf("  suspended by interrupt (exit type %d); resuming\n", v)
+		if *irqAfter > 0 {
+			plat.Machine.ScheduleIRQ(*irqAfter)
+		}
+		e, v, err = osm.Resume(enc)
+		die(err)
+	}
+	cyc := plat.Machine.Cyc.Total() - start
+	switch e {
+	case kapi.ErrSuccess:
+		fmt.Printf("enclave exited: value=%d (%#x)\n", v, v)
+	case kapi.ErrFault:
+		fmt.Printf("enclave faulted: exception type %d (no other information released)\n", v)
+	default:
+		fmt.Printf("monitor returned %v (value %d)\n", e, v)
+	}
+	fmt.Printf("execution: %d simulated cycles (%.3f ms at 900 MHz), %d instructions retired\n",
+		cyc, cycles.Millis(cyc), plat.Machine.Retired())
+	die(osm.Destroy(enc))
+	fmt.Println("enclave destroyed; all pages scrubbed and reclaimed")
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "komodo-sim:", err)
+		os.Exit(1)
+	}
+}

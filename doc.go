@@ -1,0 +1,8 @@
+// Package repro is the root of the Komodo reproduction (SOSP 2017,
+// "Komodo: Using verification to disentangle secure-enclave hardware from
+// software"). The public library lives in ./komodo; the simulated platform,
+// monitor, specification, and verification harnesses live under
+// ./internal; bench_test.go in this directory regenerates the paper's
+// evaluation tables and figures. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

@@ -1,0 +1,193 @@
+// Malicious OS: the threat model (§3.1) made concrete. The OS controls all
+// privileged software — it allocates every page, maps every address, and
+// schedules every enclave — yet every attack below is stopped by the
+// monitor or the hardware partition:
+//
+//  1. direct reads/writes of secure RAM from the normal world;
+//
+//  2. DMA into secure RAM (the TZASC treats device traffic as normal-world);
+//
+//  3. API abuse: double allocation, aliased arguments, cross-enclave page
+//     theft, secure-RAM as a MapSecure source, re-entering a running
+//     thread, mapping pages into a finalised enclave (the
+//     controlled-channel defence: the OS cannot manipulate a running
+//     enclave's address space, so it cannot induce or observe page faults);
+//
+//  4. physical attacks: bus snooping and cold-boot reads under the three
+//     §3.2 protection variants.
+//
+//     go run ./examples/maliciousos
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/mem"
+	"repro/komodo"
+)
+
+func main() {
+	fmt.Println("=== attacks by software (OS with full privileged control) ===")
+	softwareAttacks()
+	fmt.Println()
+	fmt.Println("=== attacks by physics (bus snooping / cold boot, §3.2 variants) ===")
+	physicalAttacks()
+}
+
+func loadVictim(sys *komodo.System) *komodo.Enclave {
+	g := kasm.ComputeOnSecret()
+	nimg, err := g.Image()
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := komodo.Image{Entry: nimg.Entry}
+	for _, s := range nimg.Segments {
+		img.Segments = append(img.Segments, komodo.Segment{VA: s.VA, Write: s.Write, Exec: s.Exec, Words: s.Words})
+	}
+	enc, err := sys.LoadEnclave(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return enc
+}
+
+func expect(what string, got kapi.Err, want kapi.Err) {
+	status := "BLOCKED"
+	if got != want {
+		status = fmt.Sprintf("UNEXPECTED (%v, wanted %v)", got, want)
+	}
+	fmt.Printf("  %-58s %s (%v)\n", what, status, got)
+}
+
+func softwareAttacks() {
+	sys, err := komodo.New(komodo.WithRefinementChecking())
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim := loadVictim(sys)
+	m := sys.Machine()
+	drv := sys.OS().Driver()
+	victimPages := victim.Pages()
+
+	// 1. Direct access to secure RAM.
+	secBase := m.Phys.Layout().SecureBase
+	if _, err := m.Phys.Read(secBase, mem.Normal); errors.Is(err, mem.ErrSecureViolation) {
+		fmt.Printf("  %-58s BLOCKED (%v)\n", "normal-world read of secure RAM", "TZASC violation")
+	} else {
+		fmt.Println("  normal-world read of secure RAM SUCCEEDED — broken!")
+	}
+	if err := m.Phys.Write(secBase, 0xdead, mem.Normal); !errors.Is(err, mem.ErrSecureViolation) {
+		fmt.Println("  normal-world write of secure RAM SUCCEEDED — broken!")
+	} else {
+		fmt.Printf("  %-58s BLOCKED (TZASC violation)\n", "normal-world write of secure RAM")
+	}
+	// 2. DMA (devices are normal-world initiators through the IOMMU).
+	if err := m.Phys.Write(secBase+0x1000, 0xdead, mem.Normal); errors.Is(err, mem.ErrSecureViolation) {
+		fmt.Printf("  %-58s BLOCKED (IOMMU filter)\n", "DMA write into secure RAM")
+	}
+
+	// 3. API abuse.
+	e, _, _ := drv.SMC(kapi.SMCInitAddrspace, 40, 40)
+	expect("InitAddrspace with aliased pages (the §9.1 bug)", e, kapi.ErrInvalidArg)
+
+	e, _, _ = drv.SMC(kapi.SMCInitAddrspace, uint32(victimPages.AS), 41)
+	expect("re-allocating the victim's addrspace page", e, kapi.ErrPageInUse)
+
+	e, _, _ = drv.SMC(kapi.SMCMapSecure, uint32(victimPages.AS), uint32(victimPages.Data[0]),
+		uint32(kapi.NewMapping(0x5000, true, false)), m.Phys.Layout().InsecureBase)
+	expect("stealing a victim data page via MapSecure", e, kapi.ErrAlreadyFinal)
+
+	e, _, _ = drv.SMC(kapi.SMCMapSecure, 40, 41,
+		uint32(kapi.NewMapping(0x5000, true, false)), m.Phys.Layout().SecureBase)
+	expect("MapSecure sourcing from secure RAM (monitor-alias check)", e, kapi.ErrInvalidAddrspace)
+
+	e, _, _ = drv.SMC(kapi.SMCInitThread, uint32(victimPages.AS), 41, 0x4444)
+	expect("adding a rogue thread to the finalised victim", e, kapi.ErrAlreadyFinal)
+
+	e, _, _ = drv.SMC(kapi.SMCMapInsecure, uint32(victimPages.AS),
+		uint32(kapi.NewMapping(0x6000, true, false)), m.Phys.Layout().InsecureBase)
+	expect("mapping OS memory into the finalised victim", e, kapi.ErrAlreadyFinal)
+
+	e, _, _ = drv.SMC(kapi.SMCRemove, uint32(victimPages.Data[0]))
+	expect("freeing a live victim page (controlled-channel denial)", e, kapi.ErrNotStopped)
+
+	// Suspend a long-running enclave mid-execution, then try to
+	// double-enter it.
+	sg := kasm.CountTo()
+	snimg, err := sg.Image()
+	if err != nil {
+		log.Fatal(err)
+	}
+	simg := komodo.Image{Entry: snimg.Entry}
+	for _, s := range snimg.Segments {
+		simg.Segments = append(simg.Segments, komodo.Segment{VA: s.VA, Write: s.Write, Exec: s.Exec, Words: s.Words})
+	}
+	spinner, err := sys.LoadEnclave(simg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.ScheduleInterrupt(1000)
+	res, err := spinner.Enter(1_000_000)
+	if err != nil || !res.Interrupted {
+		log.Fatalf("suspension failed: %v %+v", err, res)
+	}
+	e, _, _ = drv.SMC(kapi.SMCEnter, uint32(spinner.Pages().Thread), 0, 0, 0)
+	expect("re-entering a suspended thread", e, kapi.ErrAlreadyEntered)
+	if _, err := spinner.Resume(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("  (and because the OS cannot touch a finalised enclave's tables, it cannot")
+	fmt.Println("   induce page faults: Komodo is immune to controlled-channel attacks, §3.1)")
+}
+
+func physicalAttacks() {
+	secret := uint32(0x5ec2e7e7)
+	for _, variant := range []struct {
+		prot komodo.Protection
+		name string
+	}{
+		{komodo.ProtFilter, "IOMMU filter only"},
+		{komodo.ProtEncrypt, "encryption + integrity engine"},
+		{komodo.ProtScratchpad, "on-chip scratchpad"},
+	} {
+		sys, err := komodo.New(komodo.WithProtection(variant.prot))
+		if err != nil {
+			log.Fatal(err)
+		}
+		victim := loadVictim(sys)
+		// Plant a known value in the victim's data page so the snoop has
+		// something to find.
+		phys := sys.Machine().Phys
+		dataPA := phys.SecurePageBase(int(victim.Pages().Data[len(victim.Pages().Data)-1]) + 2)
+		phys.Write(dataPA, secret, mem.Secure)
+
+		snooped, err := phys.SnoopDRAM(dataPA)
+		switch {
+		case errors.Is(err, mem.ErrShielded):
+			fmt.Printf("  %-34s cold-boot read: BLOCKED (not externally addressable)\n", variant.name)
+		case err != nil:
+			fmt.Printf("  %-34s cold-boot read: error %v\n", variant.name, err)
+		case snooped == secret:
+			fmt.Printf("  %-34s cold-boot read: PLAINTEXT %#x (physical attacks out of scope here)\n", variant.name, snooped)
+		default:
+			fmt.Printf("  %-34s cold-boot read: ciphertext %#x\n", variant.name, snooped)
+		}
+
+		if variant.prot == komodo.ProtEncrypt {
+			// Tampering is detected on the next access.
+			if err := phys.TamperDRAM(dataPA, 0xffffffff); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := phys.Read(dataPA, mem.Secure); errors.Is(err, mem.ErrIntegrity) {
+				fmt.Printf("  %-34s DRAM tampering: DETECTED on next access\n", variant.name)
+			} else {
+				fmt.Printf("  %-34s DRAM tampering: NOT detected — broken!\n", variant.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Notary: the paper's §8.2 application. The enclave "assigns logical
+// timestamps to documents so they can be conclusively ordered": it hashes
+// each submitted document together with a monotonic counter and returns an
+// attestation (MAC) binding the digest to the notary's measured identity.
+// The OS — which is untrusted — can neither forge a notarisation nor roll
+// the counter back.
+//
+//	go run ./examples/notary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kasm"
+	"repro/internal/sha2"
+	"repro/komodo"
+)
+
+func main() {
+	sys, err := komodo.New(komodo.WithSeed(2026))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The notary guest: KARM assembly running SHA-256 in-enclave, with
+	// the document passed through a shared insecure region.
+	g := kasm.NotaryGuest(4) // up to 16 kB documents
+	nimg, err := g.Image()
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := komodo.Image{Entry: nimg.Entry}
+	for _, s := range nimg.Segments {
+		img.Segments = append(img.Segments, komodo.Segment{VA: s.VA, Write: s.Write, Exec: s.Exec, Words: s.Words})
+	}
+	for _, sh := range nimg.Shared {
+		img.Shared = append(img.Shared, komodo.SharedRegion{VA: sh.VA, Write: sh.Write, Pages: sh.Pages})
+	}
+	notary, err := sys.LoadEnclave(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas, err := notary.Measurement()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("notary loaded; identity %08x%08x…\n", meas[0], meas[1])
+
+	notarise := func(label string, doc []uint32) (counter uint32, mac []uint32) {
+		if err := notary.WriteShared(0, 0, doc); err != nil {
+			log.Fatal(err)
+		}
+		res, err := notary.Run(uint32(len(doc)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mac, err = notary.ReadShared(0, 0, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s -> timestamp %d, MAC %08x%08x…\n", label, res.Value, mac[0], mac[1])
+		return res.Value, mac
+	}
+
+	docA := make([]uint32, 64)
+	for i := range docA {
+		docA[i] = uint32(i) // "contract A"
+	}
+	docB := make([]uint32, 64)
+	for i := range docB {
+		docB[i] = uint32(i) * 3 // "contract B"
+	}
+
+	c1, _ := notarise("contract A", docA)
+	c2, _ := notarise("contract B", docB)
+	c3, mac3 := notarise("contract A", docA) // re-notarise A later
+	if !(c1 < c2 && c2 < c3) {
+		log.Fatal("counter not monotonic!")
+	}
+	fmt.Println("timestamps are strictly ordered: the notary's counter cannot be rolled back")
+
+	// Anyone holding the notary's measurement can check a notarisation
+	// offline given the platform attestation key holder's cooperation —
+	// here we recompute what the monitor MAC'd to show the binding.
+	h := sha2.New()
+	h.WriteWords(docA)
+	h.WriteWords([]uint32{c3})
+	digest := h.SumWords()
+	fmt.Printf("document A at time %d binds digest %08x… into MAC %08x…\n", c3, digest[0], mac3[0])
+
+	// Tampering with the document after notarisation is evident: the
+	// digest (and hence any verifying party's check) changes.
+	docA[0] ^= 1
+	h2 := sha2.New()
+	h2.WriteWords(docA)
+	h2.WriteWords([]uint32{c3})
+	if h2.SumWords() == digest {
+		log.Fatal("tampered document produced the same digest")
+	}
+	fmt.Println("tampered document no longer matches the notarised digest")
+}

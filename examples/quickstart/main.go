@@ -1,0 +1,77 @@
+// Quickstart: boot a Komodo platform, load a tiny enclave, run it, and
+// read its measurement — the minimal end-to-end flow of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+	"repro/komodo"
+)
+
+func main() {
+	// 1. Boot the platform: simulated TrustZone CPU, secure/insecure RAM,
+	// the monitor installed by the bootloader. Refinement checking makes
+	// every monitor call verify itself against the functional spec.
+	sys, err := komodo.New(komodo.WithRefinementChecking())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := sys.PhysPages()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booted: %d secure pages available\n", n)
+
+	// 2. Write an enclave program. The guest receives Enter's arguments
+	// in R0–R2 and exits through the monitor's Exit supervisor call with
+	// its result in R1.
+	p := asm.New()
+	p.Add(arm.R1, arm.R0, arm.R1) // result = arg1 + arg2
+	p.Movw(arm.R0, kapi.SVCExit)
+	p.Svc()
+	code, err := p.Assemble(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Load it: one execute-only code page at VA 0, entry at VA 0. The
+	// OS stages the image in insecure memory; the monitor copies and
+	// measures it page by page (MapSecure), then the enclave is finalised.
+	enc, err := sys.LoadEnclave(komodo.Image{
+		Entry: 0,
+		Segments: []komodo.Segment{
+			{VA: 0, Exec: true, Words: code},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The measurement is the enclave's attestable identity: a SHA-256
+	// over the construction trace (pages, permissions, contents, entry
+	// points).
+	m, err := enc.Measurement()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measurement: %08x%08x…\n", m[0], m[1])
+
+	// 5. Run it.
+	res, err := enc.Run(40, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enclave says: 40 + 2 = %d\n", res.Value)
+
+	// 6. Tear it down; the monitor scrubs and releases every page.
+	if err := enc.Destroy(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("enclave destroyed")
+}

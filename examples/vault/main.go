@@ -1,0 +1,77 @@
+// Vault: a credential-protection enclave — the class of application the
+// paper's introduction motivates (e.g. "Using Intel SGX to protect on-line
+// credentials"). The enclave guards a hardware-random secret behind a
+// password with a constant-time comparison and a three-strikes lockout.
+// The OS relays passwords and receives verdicts, but it cannot read the
+// secret, reset the lockout counter, or brute-force offline: the counter
+// lives in enclave-private memory the monitor isolates.
+//
+//	go run ./examples/vault
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kasm"
+	"repro/komodo"
+)
+
+func main() {
+	sys, err := komodo.New(komodo.WithSeed(0x7a017), komodo.WithRefinementChecking())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nimg, err := kasm.Vault().Image()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vault, err := sys.LoadEnclave(komodo.FromNWOSImage(nimg))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	password := []uint32{0xcafe, 0xf00d, 0x1234, 0x5678}
+
+	// Provision: the enclave stores the password and draws a secret from
+	// the hardware RNG.
+	if err := vault.WriteShared(0, 0, password); err != nil {
+		log.Fatal(err)
+	}
+	if res, err := vault.Run(0); err != nil || res.Value != 1 {
+		log.Fatalf("provision failed: %v %+v", err, res)
+	}
+	fmt.Println("vault provisioned: secret sealed inside the enclave")
+
+	attempt := func(pw []uint32) uint32 {
+		if err := vault.WriteShared(0, 0, pw); err != nil {
+			log.Fatal(err)
+		}
+		res, err := vault.Run(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Value
+	}
+
+	// Correct password: the secret is released into shared memory.
+	if attempt(password) != 1 {
+		log.Fatal("correct password rejected")
+	}
+	secret, _ := vault.ReadShared(0, 4, 4)
+	fmt.Printf("correct password -> secret released: %08x %08x…\n", secret[0], secret[1])
+
+	// The OS tries to brute-force.
+	fmt.Println("OS brute-forcing:")
+	for i := 0; i < 3; i++ {
+		guess := []uint32{uint32(i), 0, 0, 0}
+		v := attempt(guess)
+		fmt.Printf("  guess %d -> verdict %d\n", i+1, v)
+	}
+	// Even the CORRECT password is now refused: lockout is enclave state.
+	if v := attempt(password); v != kasm.VaultLockedOut {
+		log.Fatalf("vault not locked out (verdict %#x)", v)
+	}
+	fmt.Println("after 3 failures the vault is sealed — even the real password is refused,")
+	fmt.Println("and the OS has no way to reset the counter (it lives in secure memory)")
+}

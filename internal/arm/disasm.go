@@ -1,0 +1,78 @@
+package arm
+
+import "fmt"
+
+// Disasm renders a decoded instruction in assembly-like syntax, for
+// execution traces and debugging (komodo-sim -trace).
+func (i Instr) Disasm() string {
+	switch i.Op {
+	case OpNOP, OpDSB, OpISB, OpHLT, OpSVC, OpSMC, OpCPSID, OpCPSIE, OpMOVSPCLR:
+		return i.Op.String()
+	case OpMOVW, OpMOVT:
+		return fmt.Sprintf("%s %s, #%#x", i.Op, i.Rd, i.Imm)
+	case OpMOV, OpMVN:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rm)
+	case OpADD, OpSUB, OpRSB, OpMUL, OpAND, OpORR, OpEOR, OpBIC,
+		OpLSL, OpLSR, OpASR, OpROR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rn, i.Rm)
+	case OpADDI, OpSUBI, OpRSBI, OpANDI, OpORRI, OpEORI, OpBICI,
+		OpLSLI, OpLSRI, OpASRI, OpRORI:
+		return fmt.Sprintf("%s %s, %s, #%#x", i.Op, i.Rd, i.Rn, i.Imm)
+	case OpCMP, OpTST:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rn, i.Rm)
+	case OpCMPI, OpTSTI:
+		return fmt.Sprintf("%s %s, #%#x", i.Op, i.Rn, i.Imm)
+	case OpLDR:
+		return fmt.Sprintf("ldr %s, [%s, #%#x]", i.Rd, i.Rn, i.Imm)
+	case OpSTR:
+		return fmt.Sprintf("str %s, [%s, #%#x]", i.Rd, i.Rn, i.Imm)
+	case OpLDRR:
+		return fmt.Sprintf("ldr %s, [%s, %s]", i.Rd, i.Rn, i.Rm)
+	case OpSTRR:
+		return fmt.Sprintf("str %s, [%s, %s]", i.Rd, i.Rn, i.Rm)
+	case OpB:
+		if i.Cond == CondAL {
+			return fmt.Sprintf("b %+d", i.Off)
+		}
+		return fmt.Sprintf("b%s %+d", i.Cond, i.Off)
+	case OpBL:
+		return fmt.Sprintf("bl %+d", i.Off)
+	case OpBX:
+		return fmt.Sprintf("bx %s", i.Rm)
+	case OpMRS:
+		if i.Imm == 0 {
+			return fmt.Sprintf("mrs %s, cpsr", i.Rd)
+		}
+		return fmt.Sprintf("mrs %s, spsr", i.Rd)
+	case OpMSR:
+		if i.Imm == 0 {
+			return fmt.Sprintf("msr cpsr, %s", i.Rn)
+		}
+		return fmt.Sprintf("msr spsr, %s", i.Rn)
+	case OpRDSYS:
+		return fmt.Sprintf("rdsys %s, %s", i.Rd, sysRegName(i.Imm))
+	case OpWRSYS:
+		return fmt.Sprintf("wrsys %s, %s", sysRegName(i.Imm), i.Rn)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+func sysRegName(n uint32) string {
+	switch n {
+	case SysTTBR0:
+		return "ttbr0"
+	case SysTTBR1:
+		return "ttbr1"
+	case SysVBAR:
+		return "vbar"
+	case SysMVBAR:
+		return "mvbar"
+	case SysSCR:
+		return "scr"
+	case SysTLBIALL:
+		return "tlbiall"
+	case SysRNG:
+		return "rng"
+	}
+	return fmt.Sprintf("sys%d", n)
+}

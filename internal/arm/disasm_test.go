@@ -1,0 +1,97 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// traceTestMachine loads movw;movw;hlt into insecure RAM, ready to run in
+// normal-world supervisor mode.
+func traceTestMachine(t *testing.T) *Machine {
+	t.Helper()
+	phys, err := mem.NewPhysical(mem.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(phys, rng.New(1))
+	base := phys.Layout().InsecureBase
+	prog := []Instr{
+		{Op: OpMOVW, Rd: R0, Imm: 1},
+		{Op: OpMOVW, Rd: R1, Imm: 2},
+		{Op: OpHLT},
+	}
+	for i, ins := range prog {
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phys.Write(base+uint32(i*4), w, mem.Normal)
+	}
+	m.SetSCRNS(true)
+	m.SetCPSR(PSR{Mode: ModeSvc, I: true})
+	m.SetPC(base)
+	return m
+}
+
+func TestDisasmSamples(t *testing.T) {
+	cases := []struct {
+		i    Instr
+		want string
+	}{
+		{Instr{Op: OpMOVW, Rd: R1, Imm: 0x2a}, "movw r1, #0x2a"},
+		{Instr{Op: OpADD, Rd: R2, Rn: R0, Rm: R1}, "add r2, r0, r1"},
+		{Instr{Op: OpADDI, Rd: R2, Rn: R0, Imm: 4}, "addi r2, r0, #0x4"},
+		{Instr{Op: OpLDR, Rd: R3, Rn: SP, Imm: 8}, "ldr r3, [sp, #0x8]"},
+		{Instr{Op: OpSTRR, Rd: R3, Rn: R4, Rm: R5}, "str r3, [r4, r5]"},
+		{Instr{Op: OpB, Cond: CondAL, Off: -3}, "b -3"},
+		{Instr{Op: OpB, Cond: CondEQ, Off: 7}, "beq +7"},
+		{Instr{Op: OpBL, Off: 12}, "bl +12"},
+		{Instr{Op: OpBX, Rm: LR}, "bx lr"},
+		{Instr{Op: OpSVC}, "svc"},
+		{Instr{Op: OpCMPI, Rn: R5, Imm: 10}, "cmpi r5, #0xa"},
+		{Instr{Op: OpMRS, Rd: R0, Imm: 1}, "mrs r0, spsr"},
+		{Instr{Op: OpRDSYS, Rd: R7, Imm: SysRNG}, "rdsys r7, rng"},
+		{Instr{Op: OpWRSYS, Rn: R2, Imm: SysTLBIALL}, "wrsys tlbiall, r2"},
+		{Instr{Op: OpMOVSPCLR}, "movs_pc_lr"},
+	}
+	for _, c := range cases {
+		if got := c.i.Disasm(); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.i, got, c.want)
+		}
+	}
+}
+
+func TestDisasmTotal(t *testing.T) {
+	// Every defined opcode disassembles to something non-empty and
+	// without the fallback marker.
+	for op := Op(0); op < numOps; op++ {
+		i := Instr{Op: op, Rd: R1, Rn: R2, Rm: R3}
+		s := i.Disasm()
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("opcode %v disassembles to %q", op, s)
+		}
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	// The trace hook fires once per retired instruction with the right PC.
+	m := traceTestMachine(t)
+	var pcs []uint32
+	m.TraceFn = func(pc uint32, i Instr) { pcs = append(pcs, pc) }
+	tr := m.Run(10)
+	if tr.Kind != TrapHalt {
+		t.Fatalf("trap %v", tr.Kind)
+	}
+	if len(pcs) != 3 {
+		t.Fatalf("trace entries = %d, want 3", len(pcs))
+	}
+	base := m.Phys.Layout().InsecureBase
+	for i, pc := range pcs {
+		if pc != base+uint32(i*4) {
+			t.Fatalf("trace pc[%d] = %#x", i, pc)
+		}
+	}
+}

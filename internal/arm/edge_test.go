@@ -1,0 +1,143 @@
+package arm_test
+
+import (
+	"testing"
+
+	. "repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/mmu"
+)
+
+func TestBXToUnalignedAddressAborts(t *testing.T) {
+	p := asm.New()
+	p.MovImm32(R0, 0x8000_0002). // unaligned
+					Bx(R0)
+	m := newTestMachine(t, p)
+	tr := m.Run(10)
+	if tr.Kind != TrapPrefetchAbort {
+		t.Fatalf("trap = %v", tr.Kind)
+	}
+}
+
+func TestMSRMRSFlagsRoundTrip(t *testing.T) {
+	// Set NZCV via MSR, read back via MRS: the flag bits survive, and a
+	// subsequent conditional branch honours them.
+	p := asm.New()
+	p.MovImm32(R0, 0xf000_0000). // N,Z,C,V all set
+					MsrCPSR(R0).
+					MrsCPSR(R1).
+					Beq("taken"). // Z is set
+					Movw(R2, 0).
+					Hlt().
+					Label("taken").
+					Movw(R2, 1).
+					Hlt()
+	m := newTestMachine(t, p)
+	runToHalt(t, m)
+	if m.Reg(R2) != 1 {
+		t.Fatal("flags written by MSR not honoured by branch")
+	}
+	if m.Reg(R1)&0xf000_0000 != 0xf000_0000 {
+		t.Fatalf("MRS read back %#x", m.Reg(R1))
+	}
+}
+
+func TestMSRCannotChangeMode(t *testing.T) {
+	// MSR CPSR must not allow a mode change (mode transitions happen only
+	// through exceptions and exception returns).
+	p := asm.New()
+	p.Movw(R0, uint32(ModeMon)). // try to jump to monitor mode
+					MsrCPSR(R0).
+					MrsCPSR(R1).
+					Hlt()
+	m := newTestMachine(t, p) // svc mode
+	runToHalt(t, m)
+	if Mode(m.Reg(R1)&0xf) != ModeSvc {
+		t.Fatalf("MSR changed mode to %v", Mode(m.Reg(R1)&0xf))
+	}
+}
+
+func TestSPSRReadWrite(t *testing.T) {
+	p := asm.New()
+	p.MovImm32(R0, 0x5000_0000).
+		MsrSPSR(R0).
+		MrsSPSR(R1).
+		Hlt()
+	m := newTestMachine(t, p)
+	runToHalt(t, m)
+	if m.Reg(R1)&0xf000_0000 != 0x5000_0000 {
+		t.Fatalf("SPSR round trip = %#x", m.Reg(R1))
+	}
+}
+
+func TestShiftAmountsMod32(t *testing.T) {
+	p := asm.New()
+	p.Movw(R0, 1).
+		Movw(R1, 33). // 33 mod 32 = 1
+		Lsl(R2, R0, R1).
+		Movw(R3, 32). // 32 mod 32 = 0
+		Lsl(R4, R0, R3).
+		Hlt()
+	m := newTestMachine(t, p)
+	runToHalt(t, m)
+	if m.Reg(R2) != 2 {
+		t.Fatalf("lsl by 33 = %d, want 2 (mod-32 semantics)", m.Reg(R2))
+	}
+	if m.Reg(R4) != 1 {
+		t.Fatalf("lsl by 32 = %d, want 1", m.Reg(R4))
+	}
+}
+
+func TestRsbImmediate(t *testing.T) {
+	p := asm.New()
+	p.Movw(R0, 3).
+		RsbI(R1, R0, 10). // 10 - 3
+		Hlt()
+	m := newTestMachine(t, p)
+	runToHalt(t, m)
+	if m.Reg(R1) != 7 {
+		t.Fatalf("rsbi = %d", m.Reg(R1))
+	}
+}
+
+func TestSPSRBanksIndependent(t *testing.T) {
+	m := newTestMachine(t, asm.New().Hlt())
+	m.SetSPSR(ModeSvc, PSR{N: true, Mode: ModeUsr})
+	m.SetSPSR(ModeIrq, PSR{Z: true, Mode: ModeSvc})
+	if got := m.SPSR(ModeSvc); !got.N || got.Z {
+		t.Fatalf("SPSR_svc = %v", got)
+	}
+	if got := m.SPSR(ModeIrq); got.N || !got.Z {
+		t.Fatalf("SPSR_irq = %v", got)
+	}
+}
+
+func TestSecureWorldSMC(t *testing.T) {
+	// A secure-world privileged caller (e.g. secure firmware) may SMC
+	// into monitor mode too; the SPSR records where it came from.
+	p := asm.New()
+	p.Smc()
+	m := newTestMachine(t, p)
+	m.SetSCRNS(false) // secure svc
+	tr := m.Run(10)
+	if tr.Kind != TrapSMC {
+		t.Fatalf("trap = %v", tr.Kind)
+	}
+	if m.CPSR().Mode != ModeMon || m.SPSR(ModeMon).Mode != ModeSvc {
+		t.Fatalf("monitor entry state wrong: %v / %v", m.CPSR(), m.SPSR(ModeMon))
+	}
+}
+
+func TestTLBIALLInstructionFlushes(t *testing.T) {
+	p := asm.New()
+	p.Movw(R0, 0).
+		WrSys(SysTLBIALL, R0).
+		Hlt()
+	m := newTestMachine(t, p)
+	m.TLB.Fill(0x1000, 0x40000000, mmu.Perms{Write: true})
+	m.TLB.MarkInconsistent()
+	runToHalt(t, m)
+	if !m.TLB.Consistent() || m.TLB.Size() != 0 {
+		t.Fatal("TLBIALL did not flush")
+	}
+}

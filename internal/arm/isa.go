@@ -1,0 +1,257 @@
+package arm
+
+import "fmt"
+
+// Reg names a general-purpose register. R13/R14 are SP/LR (banked by
+// mode); the PC is not directly encodable, matching the paper's model,
+// which manipulates the PC only through branches and exception returns.
+type Reg uint8
+
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13, banked
+	LR // R14, banked
+	numRegs
+)
+
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Op is a KARM opcode. The set covers the same architectural surface as the
+// paper's 25 modelled ARMv7 instructions: integer/bitwise arithmetic,
+// memory and control-register access, SVC/SMC, the MOVS PC, LR exception
+// return, and barriers — plus explicit branches (the interpreter models a
+// real PC; the paper's structured-control encoding was a verification
+// convenience, §5.1).
+type Op uint8
+
+const (
+	OpNOP Op = iota
+
+	// rd, imm16 format.
+	OpMOVW // rd = imm16
+	OpMOVT // rd = (imm16 << 16) | (rd & 0xffff)
+
+	// rd, rm format.
+	OpMOV // rd = rm
+	OpMVN // rd = ^rm
+
+	// rd, rn, rm format.
+	OpADD
+	OpSUB
+	OpRSB // rd = rm - rn
+	OpMUL
+	OpAND
+	OpORR
+	OpEOR
+	OpBIC // rd = rn &^ rm
+	OpLSL // shifts take the amount mod 32 from rm
+	OpLSR
+	OpASR
+	OpROR
+
+	// rd, rn, imm12 format.
+	OpADDI
+	OpSUBI
+	OpRSBI // rd = imm - rn
+	OpANDI
+	OpORRI
+	OpEORI
+	OpBICI
+	OpLSLI // shift amount = imm & 31
+	OpLSRI
+	OpASRI
+	OpRORI
+
+	// flag-setting comparisons: rn, rm / rn, imm12.
+	OpCMP
+	OpTST
+	OpCMPI
+	OpTSTI
+
+	// memory: rd, [rn + imm12] / rd, [rn + rm]. Word-sized, aligned.
+	OpLDR
+	OpSTR
+	OpLDRR
+	OpSTRR
+
+	// control flow.
+	OpB   // conditional branch, cond + signed 20-bit word offset
+	OpBL  // branch and link, signed 24-bit word offset
+	OpBX  // branch to register (subroutine return via BX LR)
+	OpHLT // simulation stop in normal world; undefined in secure user
+
+	// system.
+	OpSVC      // supervisor call; call number in R0 (as in Komodo's ABI)
+	OpSMC      // secure monitor call; call number in R0
+	OpMRS      // rd = CPSR (imm=0) or SPSR_cur (imm=1, privileged)
+	OpMSR      // CPSR flags (imm=0, privileged) or SPSR_cur (imm=1) = rn
+	OpRDSYS    // rd = system register imm12 (privileged)
+	OpWRSYS    // system register imm12 = rn (privileged)
+	OpCPSID    // mask IRQs (privileged)
+	OpCPSIE    // unmask IRQs (privileged)
+	OpMOVSPCLR // exception return: PC = LR_cur, CPSR = SPSR_cur (privileged)
+	OpDSB      // data synchronisation barrier (architectural no-op here)
+	OpISB      // instruction synchronisation barrier
+
+	numOps
+)
+
+var opNames = map[Op]string{
+	OpNOP: "nop", OpMOVW: "movw", OpMOVT: "movt", OpMOV: "mov", OpMVN: "mvn",
+	OpADD: "add", OpSUB: "sub", OpRSB: "rsb", OpMUL: "mul", OpAND: "and",
+	OpORR: "orr", OpEOR: "eor", OpBIC: "bic", OpLSL: "lsl", OpLSR: "lsr",
+	OpASR: "asr", OpROR: "ror", OpADDI: "addi", OpSUBI: "subi", OpRSBI: "rsbi",
+	OpANDI: "andi", OpORRI: "orri", OpEORI: "eori", OpBICI: "bici",
+	OpLSLI: "lsli", OpLSRI: "lsri", OpASRI: "asri", OpRORI: "rori",
+	OpCMP: "cmp", OpTST: "tst", OpCMPI: "cmpi", OpTSTI: "tsti",
+	OpLDR: "ldr", OpSTR: "str", OpLDRR: "ldrr", OpSTRR: "strr",
+	OpB: "b", OpBL: "bl", OpBX: "bx", OpHLT: "hlt", OpSVC: "svc",
+	OpSMC: "smc", OpMRS: "mrs", OpMSR: "msr", OpRDSYS: "rdsys",
+	OpWRSYS: "wrsys", OpCPSID: "cpsid", OpCPSIE: "cpsie",
+	OpMOVSPCLR: "movs_pc_lr", OpDSB: "dsb", OpISB: "isb",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// System register numbers for RDSYS/WRSYS, standing in for the CP15
+// accesses (MCR/MRC) of the paper's model.
+const (
+	SysTTBR0   uint32 = 0 // enclave page-table base (banked per world)
+	SysTTBR1   uint32 = 1 // monitor's static table base (secure only)
+	SysVBAR    uint32 = 2 // exception vector base
+	SysMVBAR   uint32 = 3 // monitor (SMC) vector base
+	SysSCR     uint32 = 4 // secure configuration: bit0 = NS
+	SysTLBIALL uint32 = 5 // write-only: invalidate entire TLB
+	SysRNG     uint32 = 6 // read-only: hardware RNG word (secure privileged)
+)
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op   Op
+	Rd   Reg
+	Rn   Reg
+	Rm   Reg
+	Imm  uint32 // imm12 or imm16 depending on format
+	Cond Cond   // for OpB
+	Off  int32  // signed word offset for OpB/OpBL, relative to PC+4
+}
+
+// Instruction word layout (32 bits):
+//
+//	[31:24] opcode
+//	remaining 24 bits by format:
+//	  R3/R/RI : rd[23:20] rn[19:16] rm[15:12] imm12[11:0]
+//	  IMM16   : rd[23:20] (zero)[19:16] imm16[15:0]
+//	  BR      : cond[23:20] off20[19:0] (signed, words)
+//	  BL      : off24[23:0] (signed, words)
+const (
+	off20Min = -(1 << 19)
+	off20Max = 1<<19 - 1
+	off24Min = -(1 << 23)
+	off24Max = 1<<23 - 1
+	imm12Max = 1<<12 - 1
+	imm16Max = 1<<16 - 1
+)
+
+// Encode packs an instruction into its 32-bit word form. It validates field
+// ranges so the assembler fails loudly rather than emitting garbage.
+func Encode(i Instr) (uint32, error) {
+	if i.Op >= numOps {
+		return 0, fmt.Errorf("arm: encode: bad opcode %d", i.Op)
+	}
+	w := uint32(i.Op) << 24
+	checkReg := func(r Reg) error {
+		if r >= numRegs {
+			return fmt.Errorf("arm: encode %s: bad register %d", i.Op, r)
+		}
+		return nil
+	}
+	switch i.Op {
+	case OpMOVW, OpMOVT:
+		if err := checkReg(i.Rd); err != nil {
+			return 0, err
+		}
+		if i.Imm > imm16Max {
+			return 0, fmt.Errorf("arm: encode %s: imm16 out of range: %#x", i.Op, i.Imm)
+		}
+		return w | uint32(i.Rd)<<20 | i.Imm, nil
+	case OpB:
+		if i.Cond >= numConds {
+			return 0, fmt.Errorf("arm: encode b: bad condition %d", i.Cond)
+		}
+		if i.Off < off20Min || i.Off > off20Max {
+			return 0, fmt.Errorf("arm: encode b: offset %d out of range", i.Off)
+		}
+		return w | uint32(i.Cond)<<20 | (uint32(i.Off) & 0xfffff), nil
+	case OpBL:
+		if i.Off < off24Min || i.Off > off24Max {
+			return 0, fmt.Errorf("arm: encode bl: offset %d out of range", i.Off)
+		}
+		return w | (uint32(i.Off) & 0xffffff), nil
+	default:
+		for _, r := range []Reg{i.Rd, i.Rn, i.Rm} {
+			if err := checkReg(r); err != nil {
+				return 0, err
+			}
+		}
+		if i.Imm > imm12Max {
+			return 0, fmt.Errorf("arm: encode %s: imm12 out of range: %#x", i.Op, i.Imm)
+		}
+		return w | uint32(i.Rd)<<20 | uint32(i.Rn)<<16 | uint32(i.Rm)<<12 | i.Imm, nil
+	}
+}
+
+// Decode unpacks an instruction word. Unknown opcodes return an error; the
+// interpreter raises an undefined-instruction exception for them, enforcing
+// the paper's idiomatic-specification rule that a verified implementation
+// cannot execute unspecified instructions.
+func Decode(w uint32) (Instr, error) {
+	op := Op(w >> 24)
+	if op >= numOps {
+		return Instr{}, fmt.Errorf("arm: decode: undefined opcode %#x in word %#x", uint32(op), w)
+	}
+	switch op {
+	case OpMOVW, OpMOVT:
+		return Instr{Op: op, Rd: Reg(w >> 20 & 0xf), Imm: w & 0xffff}, nil
+	case OpB:
+		off := int32(w&0xfffff) << 12 >> 12 // sign-extend 20 bits
+		return Instr{Op: op, Cond: Cond(w >> 20 & 0xf), Off: off}, nil
+	case OpBL:
+		off := int32(w&0xffffff) << 8 >> 8 // sign-extend 24 bits
+		return Instr{Op: op, Off: off}, nil
+	default:
+		return Instr{
+			Op:  op,
+			Rd:  Reg(w >> 20 & 0xf),
+			Rn:  Reg(w >> 16 & 0xf),
+			Rm:  Reg(w >> 12 & 0xf),
+			Imm: w & 0xfff,
+		}, nil
+	}
+}

@@ -1,0 +1,115 @@
+package arm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(op uint8, rd, rn, rm uint8, imm uint16) bool {
+		i := Instr{
+			Op:  Op(op % uint8(numOps)),
+			Rd:  Reg(rd % uint8(numRegs)),
+			Rn:  Reg(rn % uint8(numRegs)),
+			Rm:  Reg(rm % uint8(numRegs)),
+			Imm: uint32(imm),
+		}
+		switch i.Op {
+		case OpB:
+			i = Instr{Op: OpB, Cond: Cond(rd % uint8(numConds)), Off: int32(imm) - 1000}
+		case OpBL:
+			i = Instr{Op: OpBL, Off: int32(imm) - 1000}
+		case OpMOVW, OpMOVT:
+			i = Instr{Op: i.Op, Rd: i.Rd, Imm: uint32(imm)}
+		default:
+			i.Imm &= 0xfff
+		}
+		w, err := Encode(i)
+		if err != nil {
+			return false
+		}
+		d, err := Decode(w)
+		if err != nil {
+			return false
+		}
+		return d == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsBadFields(t *testing.T) {
+	cases := []Instr{
+		{Op: numOps},                          // bad opcode
+		{Op: OpADD, Rd: numRegs},              // bad register
+		{Op: OpADDI, Rd: R0, Imm: 0x1000},     // imm12 overflow
+		{Op: OpMOVW, Rd: R0, Imm: 0x1_0000},   // imm16 overflow
+		{Op: OpB, Cond: numConds},             // bad condition
+		{Op: OpB, Cond: CondAL, Off: 1 << 20}, // offset overflow
+		{Op: OpBL, Off: -(1 << 24)},           // offset underflow
+	}
+	for i, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("case %d: Encode accepted %+v", i, c)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 24); err == nil {
+		t.Fatal("Decode accepted unknown opcode")
+	}
+	if _, err := Decode(0xffff_ffff); err == nil {
+		t.Fatal("Decode accepted 0xffffffff")
+	}
+}
+
+func TestCondHoldsTable(t *testing.T) {
+	p := PSR{Z: true, C: true}
+	if !CondEQ.Holds(p) || CondNE.Holds(p) || !CondCS.Holds(p) || CondHI.Holds(p) || !CondLS.Holds(p) {
+		t.Fatal("flag table wrong for Z=1 C=1")
+	}
+	p = PSR{N: true, V: false}
+	if CondGE.Holds(p) || !CondLT.Holds(p) || CondGT.Holds(p) || !CondLE.Holds(p) {
+		t.Fatal("signed comparisons wrong for N=1 V=0")
+	}
+	if !CondAL.Holds(PSR{}) {
+		t.Fatal("AL must always hold")
+	}
+}
+
+func TestBadRegGuards(t *testing.T) {
+	// A crafted word with register field 15 in an ALU op must be rejected
+	// at execution (badReg) even though Decode is format-agnostic.
+	w := uint32(OpADD)<<24 | 15<<20
+	i, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !badReg(i) {
+		t.Fatal("register 15 not flagged as invalid for ADD")
+	}
+	// Branches carry no register fields and must not be flagged.
+	b, _ := Decode(uint32(OpB) << 24)
+	if badReg(b) {
+		t.Fatal("branch flagged as bad register")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	// Smoke-test the diagnostic strings used in traces and errors.
+	if OpADD.String() != "add" || CondEQ.String() != "eq" || SP.String() != "sp" || R3.String() != "r3" {
+		t.Fatal("stringers broken")
+	}
+	if ModeMon.String() != "mon" || ModeUsr.String() != "usr" {
+		t.Fatal("mode stringer broken")
+	}
+	p := PSR{N: true, I: true, Mode: ModeSvc}
+	if p.String() == "" {
+		t.Fatal("PSR stringer empty")
+	}
+	if TrapSVC.String() != "svc" || TrapDataAbort.String() != "data-abort" {
+		t.Fatal("trap stringer broken")
+	}
+}

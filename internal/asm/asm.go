@@ -1,0 +1,310 @@
+// Package asm is a small two-pass assembler for the KARM instruction set.
+// It plays the role of the paper's trusted assembly printer (§7.1): Komodo's
+// verified Vale procedures are emitted as GNU assembly with labels and jumps
+// added by a pretty-printer; here, enclave programs and test guests are
+// built with this package and emitted as word images that the interpreter
+// executes directly.
+//
+// Programs are built by appending instructions and labels; Assemble resolves
+// label references into PC-relative branch offsets against a load base.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+)
+
+// Program accumulates instructions, data words, and labels.
+type Program struct {
+	items  []item
+	labels map[string]int // label -> word index
+	err    error          // first recorded build error
+}
+
+type itemKind int
+
+const (
+	kindInstr itemKind = iota
+	kindWord
+	kindBranch    // needs label fixup
+	kindMovwLabel // MOVW rd, lo16(label address)
+	kindMovtLabel // MOVT rd, hi16(label address)
+)
+
+type item struct {
+	kind   itemKind
+	instr  arm.Instr
+	word   uint32
+	target string // branch label
+}
+
+// New returns an empty program.
+func New() *Program {
+	return &Program{labels: make(map[string]int)}
+}
+
+// Err returns the first error recorded while building, if any.
+func (p *Program) Err() error { return p.err }
+
+func (p *Program) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Pos returns the current word offset (instruction count so far).
+func (p *Program) Pos() int { return len(p.items) }
+
+// Label defines a label at the current position.
+func (p *Program) Label(name string) *Program {
+	if _, dup := p.labels[name]; dup {
+		p.fail("asm: duplicate label %q", name)
+		return p
+	}
+	p.labels[name] = len(p.items)
+	return p
+}
+
+// Word emits a raw data word (e.g. constants pools, data sections).
+func (p *Program) Word(v uint32) *Program {
+	p.items = append(p.items, item{kind: kindWord, word: v})
+	return p
+}
+
+// Words emits a run of raw data words.
+func (p *Program) Words(vs ...uint32) *Program {
+	for _, v := range vs {
+		p.Word(v)
+	}
+	return p
+}
+
+// emit appends a fixed (label-free) instruction.
+func (p *Program) emit(i arm.Instr) *Program {
+	p.items = append(p.items, item{kind: kindInstr, instr: i})
+	return p
+}
+
+// --- data processing ---
+
+func (p *Program) Nop() *Program { return p.emit(arm.Instr{Op: arm.OpNOP}) }
+
+// Movw / Movt load immediate halves; MovImm32 composes them.
+func (p *Program) Movw(rd arm.Reg, imm16 uint32) *Program {
+	return p.emit(arm.Instr{Op: arm.OpMOVW, Rd: rd, Imm: imm16})
+}
+func (p *Program) Movt(rd arm.Reg, imm16 uint32) *Program {
+	return p.emit(arm.Instr{Op: arm.OpMOVT, Rd: rd, Imm: imm16})
+}
+
+// MovLabel loads the absolute address of a label (two instructions:
+// MOVW + MOVT), resolved against the load base at assembly time. Used for
+// passing code addresses at runtime (e.g. registering a fault handler).
+func (p *Program) MovLabel(rd arm.Reg, label string) *Program {
+	p.items = append(p.items,
+		item{kind: kindMovwLabel, instr: arm.Instr{Op: arm.OpMOVW, Rd: rd}, target: label},
+		item{kind: kindMovtLabel, instr: arm.Instr{Op: arm.OpMOVT, Rd: rd}, target: label})
+	return p
+}
+
+// MovImm32 loads an arbitrary 32-bit constant (MOVW, then MOVT if needed).
+func (p *Program) MovImm32(rd arm.Reg, v uint32) *Program {
+	p.Movw(rd, v&0xffff)
+	if v>>16 != 0 {
+		p.Movt(rd, v>>16)
+	}
+	return p
+}
+
+func (p *Program) Mov(rd, rm arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpMOV, Rd: rd, Rm: rm})
+}
+func (p *Program) Mvn(rd, rm arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpMVN, Rd: rd, Rm: rm})
+}
+
+func (p *Program) r3(op arm.Op, rd, rn, rm arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: op, Rd: rd, Rn: rn, Rm: rm})
+}
+func (p *Program) ri(op arm.Op, rd, rn arm.Reg, imm uint32) *Program {
+	if imm > 0xfff {
+		p.fail("asm: %v immediate %#x exceeds 12 bits", op, imm)
+		return p
+	}
+	return p.emit(arm.Instr{Op: op, Rd: rd, Rn: rn, Imm: imm})
+}
+
+func (p *Program) Add(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpADD, rd, rn, rm) }
+func (p *Program) Sub(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpSUB, rd, rn, rm) }
+func (p *Program) Rsb(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpRSB, rd, rn, rm) }
+func (p *Program) Mul(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpMUL, rd, rn, rm) }
+func (p *Program) And(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpAND, rd, rn, rm) }
+func (p *Program) Orr(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpORR, rd, rn, rm) }
+func (p *Program) Eor(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpEOR, rd, rn, rm) }
+func (p *Program) Bic(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpBIC, rd, rn, rm) }
+func (p *Program) Lsl(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpLSL, rd, rn, rm) }
+func (p *Program) Lsr(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpLSR, rd, rn, rm) }
+func (p *Program) Asr(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpASR, rd, rn, rm) }
+func (p *Program) Ror(rd, rn, rm arm.Reg) *Program { return p.r3(arm.OpROR, rd, rn, rm) }
+
+func (p *Program) AddI(rd, rn arm.Reg, imm uint32) *Program { return p.ri(arm.OpADDI, rd, rn, imm) }
+func (p *Program) SubI(rd, rn arm.Reg, imm uint32) *Program { return p.ri(arm.OpSUBI, rd, rn, imm) }
+func (p *Program) RsbI(rd, rn arm.Reg, imm uint32) *Program { return p.ri(arm.OpRSBI, rd, rn, imm) }
+func (p *Program) AndI(rd, rn arm.Reg, imm uint32) *Program { return p.ri(arm.OpANDI, rd, rn, imm) }
+func (p *Program) OrrI(rd, rn arm.Reg, imm uint32) *Program { return p.ri(arm.OpORRI, rd, rn, imm) }
+func (p *Program) EorI(rd, rn arm.Reg, imm uint32) *Program { return p.ri(arm.OpEORI, rd, rn, imm) }
+func (p *Program) BicI(rd, rn arm.Reg, imm uint32) *Program { return p.ri(arm.OpBICI, rd, rn, imm) }
+func (p *Program) LslI(rd, rn arm.Reg, sh uint32) *Program  { return p.ri(arm.OpLSLI, rd, rn, sh) }
+func (p *Program) LsrI(rd, rn arm.Reg, sh uint32) *Program  { return p.ri(arm.OpLSRI, rd, rn, sh) }
+func (p *Program) AsrI(rd, rn arm.Reg, sh uint32) *Program  { return p.ri(arm.OpASRI, rd, rn, sh) }
+func (p *Program) RorI(rd, rn arm.Reg, sh uint32) *Program  { return p.ri(arm.OpRORI, rd, rn, sh) }
+
+func (p *Program) Cmp(rn, rm arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpCMP, Rn: rn, Rm: rm})
+}
+func (p *Program) Tst(rn, rm arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpTST, Rn: rn, Rm: rm})
+}
+func (p *Program) CmpI(rn arm.Reg, imm uint32) *Program {
+	return p.ri(arm.OpCMPI, 0, rn, imm)
+}
+func (p *Program) TstI(rn arm.Reg, imm uint32) *Program {
+	return p.ri(arm.OpTSTI, 0, rn, imm)
+}
+
+// --- memory ---
+
+func (p *Program) Ldr(rd, rn arm.Reg, off uint32) *Program { return p.ri(arm.OpLDR, rd, rn, off) }
+func (p *Program) Str(rd, rn arm.Reg, off uint32) *Program { return p.ri(arm.OpSTR, rd, rn, off) }
+func (p *Program) LdrR(rd, rn, rm arm.Reg) *Program        { return p.r3(arm.OpLDRR, rd, rn, rm) }
+func (p *Program) StrR(rd, rn, rm arm.Reg) *Program        { return p.r3(arm.OpSTRR, rd, rn, rm) }
+
+// --- control flow ---
+
+// B emits an unconditional branch to a label.
+func (p *Program) B(label string) *Program { return p.BCond(arm.CondAL, label) }
+
+// BCond emits a conditional branch to a label.
+func (p *Program) BCond(c arm.Cond, label string) *Program {
+	p.items = append(p.items, item{kind: kindBranch, instr: arm.Instr{Op: arm.OpB, Cond: c}, target: label})
+	return p
+}
+
+// Beq, Bne etc. are common-case helpers.
+func (p *Program) Beq(label string) *Program { return p.BCond(arm.CondEQ, label) }
+func (p *Program) Bne(label string) *Program { return p.BCond(arm.CondNE, label) }
+func (p *Program) Blt(label string) *Program { return p.BCond(arm.CondLT, label) }
+func (p *Program) Bge(label string) *Program { return p.BCond(arm.CondGE, label) }
+func (p *Program) Bgt(label string) *Program { return p.BCond(arm.CondGT, label) }
+func (p *Program) Ble(label string) *Program { return p.BCond(arm.CondLE, label) }
+func (p *Program) Bcc(label string) *Program { return p.BCond(arm.CondCC, label) }
+func (p *Program) Bcs(label string) *Program { return p.BCond(arm.CondCS, label) }
+func (p *Program) Bhi(label string) *Program { return p.BCond(arm.CondHI, label) }
+func (p *Program) Bls(label string) *Program { return p.BCond(arm.CondLS, label) }
+
+// Bl emits a branch-and-link (subroutine call) to a label.
+func (p *Program) Bl(label string) *Program {
+	p.items = append(p.items, item{kind: kindBranch, instr: arm.Instr{Op: arm.OpBL}, target: label})
+	return p
+}
+
+// Bx emits a register branch (BX LR for returns).
+func (p *Program) Bx(rm arm.Reg) *Program { return p.emit(arm.Instr{Op: arm.OpBX, Rm: rm}) }
+
+// Ret is BX LR.
+func (p *Program) Ret() *Program { return p.Bx(arm.LR) }
+
+// --- system ---
+
+func (p *Program) Svc() *Program { return p.emit(arm.Instr{Op: arm.OpSVC}) }
+func (p *Program) Smc() *Program { return p.emit(arm.Instr{Op: arm.OpSMC}) }
+func (p *Program) Hlt() *Program { return p.emit(arm.Instr{Op: arm.OpHLT}) }
+
+func (p *Program) MrsCPSR(rd arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpMRS, Rd: rd, Imm: 0})
+}
+func (p *Program) MrsSPSR(rd arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpMRS, Rd: rd, Imm: 1})
+}
+func (p *Program) MsrCPSR(rn arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpMSR, Rn: rn, Imm: 0})
+}
+func (p *Program) MsrSPSR(rn arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpMSR, Rn: rn, Imm: 1})
+}
+func (p *Program) RdSys(rd arm.Reg, sys uint32) *Program {
+	return p.emit(arm.Instr{Op: arm.OpRDSYS, Rd: rd, Imm: sys})
+}
+func (p *Program) WrSys(sys uint32, rn arm.Reg) *Program {
+	return p.emit(arm.Instr{Op: arm.OpWRSYS, Rn: rn, Imm: sys})
+}
+func (p *Program) Cpsid() *Program    { return p.emit(arm.Instr{Op: arm.OpCPSID}) }
+func (p *Program) Cpsie() *Program    { return p.emit(arm.Instr{Op: arm.OpCPSIE}) }
+func (p *Program) MovsPcLr() *Program { return p.emit(arm.Instr{Op: arm.OpMOVSPCLR}) }
+func (p *Program) Dsb() *Program      { return p.emit(arm.Instr{Op: arm.OpDSB}) }
+func (p *Program) Isb() *Program      { return p.emit(arm.Instr{Op: arm.OpISB}) }
+
+// Assemble resolves labels and encodes the program as a word image to be
+// loaded at the given base address. Branch offsets are PC-relative in
+// words, relative to the instruction after the branch.
+func (p *Program) Assemble(base uint32) ([]uint32, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if base%4 != 0 {
+		return nil, fmt.Errorf("asm: load base %#x not word-aligned", base)
+	}
+	out := make([]uint32, len(p.items))
+	for idx, it := range p.items {
+		switch it.kind {
+		case kindWord:
+			out[idx] = it.word
+		case kindInstr:
+			w, err := arm.Encode(it.instr)
+			if err != nil {
+				return nil, fmt.Errorf("asm: word %d: %w", idx, err)
+			}
+			out[idx] = w
+		case kindBranch:
+			tgt, ok := p.labels[it.target]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined label %q at word %d", it.target, idx)
+			}
+			ins := it.instr
+			ins.Off = int32(tgt - idx - 1) // relative to PC+4
+			w, err := arm.Encode(ins)
+			if err != nil {
+				return nil, fmt.Errorf("asm: branch to %q at word %d: %w", it.target, idx, err)
+			}
+			out[idx] = w
+		case kindMovwLabel, kindMovtLabel:
+			tgt, ok := p.labels[it.target]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined label %q at word %d", it.target, idx)
+			}
+			addr := base + uint32(tgt)*4
+			ins := it.instr
+			if it.kind == kindMovwLabel {
+				ins.Imm = addr & 0xffff
+			} else {
+				ins.Imm = addr >> 16
+			}
+			w, err := arm.Encode(ins)
+			if err != nil {
+				return nil, fmt.Errorf("asm: address of %q at word %d: %w", it.target, idx, err)
+			}
+			out[idx] = w
+		}
+	}
+	return out, nil
+}
+
+// LabelAddr returns the address a label will have when loaded at base.
+func (p *Program) LabelAddr(base uint32, name string) (uint32, error) {
+	idx, ok := p.labels[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined label %q", name)
+	}
+	return base + uint32(idx)*4, nil
+}

@@ -1,0 +1,201 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+)
+
+func TestEncodeSimpleProgram(t *testing.T) {
+	p := New()
+	p.Movw(arm.R0, 42).
+		AddI(arm.R0, arm.R0, 1).
+		Hlt()
+	img, err := p.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 3 {
+		t.Fatalf("image length = %d", len(img))
+	}
+	i0, err := arm.Decode(img[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i0.Op != arm.OpMOVW || i0.Rd != arm.R0 || i0.Imm != 42 {
+		t.Fatalf("decoded %+v", i0)
+	}
+}
+
+func TestForwardAndBackwardBranches(t *testing.T) {
+	p := New()
+	p.Label("top"). // word 0
+			Movw(arm.R0, 1). // word 0
+			B("end").        // word 1
+			Movw(arm.R0, 2). // word 2 (skipped)
+			Label("end").
+			B("top") // word 3
+	img, err := p.Assemble(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := arm.Decode(img[1])
+	if b1.Op != arm.OpB || b1.Off != 1 { // target 3, from word 1: 3-1-1 = 1
+		t.Fatalf("forward branch offset = %d", b1.Off)
+	}
+	b3, _ := arm.Decode(img[3])
+	if b3.Off != -4 { // target 0, from word 3: 0-3-1 = -4
+		t.Fatalf("backward branch offset = %d", b3.Off)
+	}
+}
+
+func TestBlOffsets(t *testing.T) {
+	p := New()
+	p.Bl("f").Hlt().Label("f").Ret()
+	img, err := p.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, _ := arm.Decode(img[0])
+	if bl.Op != arm.OpBL || bl.Off != 1 { // target 2, from 0: 2-0-1 = 1
+		t.Fatalf("bl = %+v", bl)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	p := New()
+	p.B("nowhere")
+	if _, err := p.Assemble(0); err == nil {
+		t.Fatal("Assemble accepted undefined label")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	p := New()
+	p.Label("x").Nop().Label("x")
+	if _, err := p.Assemble(0); err == nil {
+		t.Fatal("Assemble accepted duplicate label")
+	}
+}
+
+func TestImmediateRangeChecked(t *testing.T) {
+	p := New()
+	p.AddI(arm.R0, arm.R0, 0x1000) // exceeds imm12
+	if _, err := p.Assemble(0); err == nil {
+		t.Fatal("Assemble accepted out-of-range immediate")
+	}
+}
+
+func TestUnalignedBaseRejected(t *testing.T) {
+	p := New()
+	p.Nop()
+	if _, err := p.Assemble(2); err == nil {
+		t.Fatal("Assemble accepted unaligned base")
+	}
+}
+
+func TestMovImm32(t *testing.T) {
+	small := New()
+	small.MovImm32(arm.R3, 0x1234)
+	img, err := small.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 1 {
+		t.Fatalf("small constant used %d words, want 1 (MOVW only)", len(img))
+	}
+	big := New()
+	big.MovImm32(arm.R3, 0xdeadbeef)
+	img, err = big.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 2 {
+		t.Fatalf("large constant used %d words, want 2 (MOVW+MOVT)", len(img))
+	}
+}
+
+func TestLabelAddr(t *testing.T) {
+	p := New()
+	p.Nop().Nop().Label("here").Nop()
+	addr, err := p.LabelAddr(0x8000_0000, "here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != 0x8000_0008 {
+		t.Fatalf("LabelAddr = %#x", addr)
+	}
+	if _, err := p.LabelAddr(0, "missing"); err == nil {
+		t.Fatal("LabelAddr accepted missing label")
+	}
+}
+
+func TestDataWords(t *testing.T) {
+	p := New()
+	p.Hlt().Label("data").Words(0xa, 0xb, 0xc)
+	img, err := p.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img[1] != 0xa || img[3] != 0xc {
+		t.Fatalf("data words wrong: %#v", img[1:])
+	}
+}
+
+func TestMovLabel(t *testing.T) {
+	p := New()
+	p.MovLabel(arm.R3, "target"). // words 0,1 (MOVW+MOVT)
+					Hlt().           // word 2
+					Label("target"). // word 3
+					Nop()
+	const base = 0x8004_0000
+	img, err := p.Assemble(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movw, _ := arm.Decode(img[0])
+	movt, _ := arm.Decode(img[1])
+	wantAddr := uint32(base + 3*4)
+	if movw.Op != arm.OpMOVW || movw.Imm != wantAddr&0xffff {
+		t.Fatalf("movw = %+v", movw)
+	}
+	if movt.Op != arm.OpMOVT || movt.Imm != wantAddr>>16 {
+		t.Fatalf("movt = %+v", movt)
+	}
+	// Undefined label fails.
+	p2 := New()
+	p2.MovLabel(arm.R0, "ghost")
+	if _, err := p2.Assemble(0); err == nil {
+		t.Fatal("MovLabel of undefined label accepted")
+	}
+}
+
+func TestEncodeDecodeAllOpsRoundTrip(t *testing.T) {
+	// Every emitter must produce a word that decodes back to the same
+	// operation with the same fields.
+	p := New()
+	p.Label("l")
+	p.Nop().Movw(arm.R1, 7).Movt(arm.R1, 8).Mov(arm.R2, arm.R1).Mvn(arm.R3, arm.R1)
+	p.Add(arm.R4, arm.R1, arm.R2).Sub(arm.R4, arm.R1, arm.R2).Rsb(arm.R4, arm.R1, arm.R2)
+	p.Mul(arm.R4, arm.R1, arm.R2).And(arm.R4, arm.R1, arm.R2).Orr(arm.R4, arm.R1, arm.R2)
+	p.Eor(arm.R4, arm.R1, arm.R2).Bic(arm.R4, arm.R1, arm.R2)
+	p.Lsl(arm.R4, arm.R1, arm.R2).Lsr(arm.R4, arm.R1, arm.R2).Asr(arm.R4, arm.R1, arm.R2).Ror(arm.R4, arm.R1, arm.R2)
+	p.AddI(arm.R4, arm.R1, 1).SubI(arm.R4, arm.R1, 2).RsbI(arm.R4, arm.R1, 3)
+	p.AndI(arm.R4, arm.R1, 4).OrrI(arm.R4, arm.R1, 5).EorI(arm.R4, arm.R1, 6).BicI(arm.R4, arm.R1, 7)
+	p.LslI(arm.R4, arm.R1, 8).LsrI(arm.R4, arm.R1, 9).AsrI(arm.R4, arm.R1, 10).RorI(arm.R4, arm.R1, 11)
+	p.Cmp(arm.R1, arm.R2).Tst(arm.R1, arm.R2).CmpI(arm.R1, 12).TstI(arm.R1, 13)
+	p.Ldr(arm.R5, arm.SP, 0).Str(arm.R5, arm.SP, 4).LdrR(arm.R5, arm.SP, arm.R1).StrR(arm.R5, arm.SP, arm.R1)
+	p.B("l").Bl("l").Bx(arm.LR).Svc().Smc().Hlt()
+	p.MrsCPSR(arm.R6).MrsSPSR(arm.R6).MsrCPSR(arm.R6).MsrSPSR(arm.R6)
+	p.RdSys(arm.R7, arm.SysTTBR0).WrSys(arm.SysVBAR, arm.R7)
+	p.Cpsid().Cpsie().MovsPcLr().Dsb().Isb()
+	img, err := p.Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range img {
+		if _, err := arm.Decode(w); err != nil {
+			t.Errorf("word %d (%#x) does not decode: %v", i, w, err)
+		}
+	}
+}

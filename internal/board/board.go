@@ -1,0 +1,67 @@
+// Package board assembles the simulated platform and plays the role of the
+// paper's trusted bootloader (§7.2, §8.1): it constructs physical memory
+// with the configured secure region and protection variant, powers on the
+// CPU in the secure world, installs the monitor (which derives the
+// attestation key from the hardware RNG), and finally "switch[es] to
+// normal world to boot Linux" — leaving the machine in normal-world
+// supervisor mode ready for the OS model.
+package board
+
+import (
+	"repro/internal/arm"
+	"repro/internal/mem"
+	"repro/internal/monitor"
+	"repro/internal/rng"
+)
+
+// Config selects the platform variant.
+type Config struct {
+	// Seed initialises the simulated hardware RNG. Paired noninterference
+	// runs use equal seeds (§6.3: "we require that the seeds in the
+	// initial states are the same").
+	Seed uint64
+	// Protection selects the §3.2 isolated-memory variant (default:
+	// IOMMU filter, like the prototype's Raspberry Pi which "lacks
+	// support for isolating secure-world memory" and relies on the
+	// bootloader's static configuration).
+	Protection mem.Protection
+	// Layout overrides the physical address map (nil = DefaultLayout
+	// with Protection applied).
+	Layout *mem.Layout
+	// Monitor is passed through to monitor.Install.
+	Monitor monitor.Config
+}
+
+// Platform is a booted machine.
+type Platform struct {
+	Machine *arm.Machine
+	Monitor *monitor.Monitor
+}
+
+// Boot builds and boots the platform.
+func Boot(cfg Config) (*Platform, error) {
+	layout := mem.DefaultLayout()
+	layout.Protection = cfg.Protection
+	if cfg.Layout != nil {
+		layout = *cfg.Layout
+	}
+	phys, err := mem.NewPhysical(layout)
+	if err != nil {
+		return nil, err
+	}
+	m := arm.NewMachine(phys, rng.New(cfg.Seed))
+
+	// The CPU resets into secure supervisor mode; the bootloader runs
+	// there and installs the monitor.
+	mon, err := monitor.Install(m, cfg.Monitor)
+	if err != nil {
+		return nil, err
+	}
+
+	// World switch: normal-world supervisor mode with interrupts enabled,
+	// PC parked at the base of insecure RAM (where an OS image would be).
+	m.SetSCRNS(true)
+	m.SetCPSR(arm.PSR{Mode: arm.ModeSvc, I: false, F: false})
+	m.SetPC(layout.InsecureBase)
+	return &Platform{Machine: m, Monitor: mon}, nil
+}

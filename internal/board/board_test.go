@@ -1,0 +1,165 @@
+package board_test
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/mem"
+	"repro/internal/monitor"
+)
+
+func TestBootState(t *testing.T) {
+	plat, err := board.Boot(board.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plat.Machine
+	// The bootloader hands off to the normal world in supervisor mode
+	// with interrupts enabled — ready to "boot Linux".
+	if m.World() != mem.Normal {
+		t.Fatal("did not switch to normal world")
+	}
+	if m.CPSR().Mode != arm.ModeSvc || m.CPSR().I {
+		t.Fatalf("handoff CPSR: %v", m.CPSR())
+	}
+	if m.PC() != m.Phys.Layout().InsecureBase {
+		t.Fatalf("PC = %#x", m.PC())
+	}
+	// Monitor installed: page count recorded, vectors set.
+	if plat.Monitor.NPages() != 254 {
+		t.Fatalf("NPages = %d", plat.Monitor.NPages())
+	}
+	if m.MVBAR() == 0 || m.VBAR() == 0 {
+		t.Fatal("exception vectors not installed")
+	}
+}
+
+func TestAttestationKeyDerivedFromSeed(t *testing.T) {
+	a, _ := board.Boot(board.Config{Seed: 1})
+	b, _ := board.Boot(board.Config{Seed: 1})
+	c, _ := board.Boot(board.Config{Seed: 2})
+	if a.Monitor.AttestKey() != b.Monitor.AttestKey() {
+		t.Fatal("same seed produced different attestation keys")
+	}
+	if a.Monitor.AttestKey() == c.Monitor.AttestKey() {
+		t.Fatal("different seeds produced the same attestation key")
+	}
+}
+
+func TestProtectionVariantsBoot(t *testing.T) {
+	for _, p := range []mem.Protection{mem.ProtFilter, mem.ProtScratchpad, mem.ProtEncrypt} {
+		plat, err := board.Boot(board.Config{Seed: 1, Protection: p})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if plat.Machine.Phys.Layout().Protection != p {
+			t.Fatalf("%v: layout protection mismatch", p)
+		}
+		// The monitor must work identically under every variant.
+		e, v, err := plat.Monitor.SMC(kapi.SMCGetPhysPages)
+		if err != nil || e != kapi.ErrSuccess || v != 254 {
+			t.Fatalf("%v: GetPhysPages = %v %d %v", p, e, v, err)
+		}
+	}
+}
+
+func TestCustomLayout(t *testing.T) {
+	l := mem.Layout{
+		InsecureBase: 0x8000_0000,
+		InsecureSize: 4 << 20,
+		SecureBase:   0x2000_0000,
+		SecureSize:   256 << 10, // 64 pages
+	}
+	plat, err := board.Boot(board.Config{Seed: 1, Layout: &l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plat.Monitor.NPages() != 62 { // 64 - 2 reserved
+		t.Fatalf("NPages = %d", plat.Monitor.NPages())
+	}
+}
+
+func TestTinySecureRegionRejected(t *testing.T) {
+	l := mem.Layout{
+		InsecureBase: 0x8000_0000,
+		InsecureSize: 1 << 20,
+		SecureBase:   0x2000_0000,
+		SecureSize:   2 * mem.PageSize, // only the reserved pages
+	}
+	if _, err := board.Boot(board.Config{Layout: &l}); err == nil {
+		t.Fatal("boot accepted a secure region with no enclave pages")
+	}
+}
+
+// TestOSCodeIssuesSMCOnCPU drives the monitor through the real
+// architectural path: normal-world KARM code executes the SMC instruction,
+// the CPU takes the exception into monitor mode, the handler runs, and the
+// exception return resumes the OS code after the SMC — no Go-level
+// shortcut.
+func TestOSCodeIssuesSMCOnCPU(t *testing.T) {
+	plat, err := board.Boot(board.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plat.Machine
+	base := m.Phys.Layout().InsecureBase
+
+	p := asm.New()
+	p.Movw(arm.R0, kapi.SMCGetPhysPages).
+		Smc().
+		// After return: R0 = error, R1 = page count. Stash it in R5 (a
+		// preserved register; R2–R4 and R12 come back zeroed).
+		Mov(arm.R5, arm.R1).
+		Movw(arm.R0, kapi.SMCStop). // a failing call: bad page argument
+		Movw(arm.R1, 9999).
+		Smc().
+		Mov(arm.R6, arm.R0). // stash the error code
+		Hlt()
+	img, err := p.Assemble(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range img {
+		if err := m.Phys.Write(base+uint32(i*4), w, mem.Normal); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The OS-core execution loop: run until HLT, servicing SMC traps via
+	// the monitor handler, exactly as the exception vector would.
+	for steps := 0; ; steps++ {
+		if steps > 100 {
+			t.Fatal("OS program did not halt")
+		}
+		tr := m.Run(1000)
+		switch tr.Kind {
+		case arm.TrapSMC:
+			if err := plat.Monitor.HandleSMC(); err != nil {
+				t.Fatal(err)
+			}
+		case arm.TrapHalt:
+			if got := m.Reg(arm.R5); got != 254 {
+				t.Fatalf("GetPhysPages via SMC instruction = %d", got)
+			}
+			if got := m.Reg(arm.R6); got != uint32(kapi.ErrInvalidPageNo) {
+				t.Fatalf("Stop(9999) error = %d", got)
+			}
+			return
+		default:
+			t.Fatalf("unexpected trap %v (%v)", tr.Kind, tr.FaultErr)
+		}
+	}
+}
+
+func TestStaticProfileBoots(t *testing.T) {
+	plat, err := board.Boot(board.Config{Seed: 1, Monitor: monitor.Config{StaticProfile: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plat.Monitor.StaticProfile() {
+		t.Fatal("static profile not active")
+	}
+}

@@ -1,0 +1,80 @@
+package cycles
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterAccumulates(t *testing.T) {
+	var c Counter
+	c.Charge(10)
+	c.Charge(5)
+	if c.Total() != 15 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	c.ChargeN(3, 4)
+	if c.Total() != 27 {
+		t.Fatalf("after ChargeN: %d", c.Total())
+	}
+	c.ChargeN(100, 0) // zero units charge nothing
+	c.ChargeN(100, -1)
+	if c.Total() != 27 {
+		t.Fatalf("negative/zero ChargeN changed total: %d", c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestLap(t *testing.T) {
+	var c Counter
+	c.Charge(100)
+	mark := c.Total()
+	c.Charge(42)
+	if c.Lap(mark) != 42 {
+		t.Fatalf("Lap = %d", c.Lap(mark))
+	}
+}
+
+func TestMillis(t *testing.T) {
+	// 900 MHz: 900,000 cycles = 1 ms.
+	if got := Millis(900_000); got != 1.0 {
+		t.Fatalf("Millis(900k) = %v", got)
+	}
+	if got := Millis(450_000); got != 0.5 {
+		t.Fatalf("Millis(450k) = %v", got)
+	}
+}
+
+func TestChargeProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		var c Counter
+		var want uint64
+		for _, x := range xs {
+			c.Charge(uint64(x))
+			want += uint64(x)
+		}
+		return c.Total() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrationRelations(t *testing.T) {
+	// Sanity on the calibrated cost table: the structural relations the
+	// Table 3 shape depends on.
+	if PageZero <= TLBFlush {
+		t.Error("a page zero-fill must dwarf a TLB flush")
+	}
+	if HMACFixed+5*SHABlock <= PageZero {
+		t.Error("an attestation MAC must exceed a page zero (Attest > MapData)")
+	}
+	if CtxRestore <= UserRegLoad {
+		t.Error("Resume's context reload must cost more than Enter's zeroing")
+	}
+	if SMCEntry+SMCExit+RegSaveMinimal >= UserRegLoad+TLBFlush {
+		t.Error("a null SMC must be far cheaper than the enclave-entry path")
+	}
+}

@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Table 2 of the paper breaks Komodo's source down into specification,
+// implementation, and proof lines. This repo has the same three roles:
+//
+//	spec:  the trusted models — machine model, PageDB, functional spec,
+//	       API definitions (what the paper writes in Dafny);
+//	impl:  the monitor, the enclave-side assembly, and their supports
+//	       (what the paper writes in Vale);
+//	proof: the runtime verification harnesses — refinement,
+//	       noninterference — and the entire test suite (standing in for
+//	       the paper's proof annotations).
+//
+// LocRow reports one component's line counts.
+type LocRow struct {
+	Component string
+	Spec      int
+	Impl      int
+	Proof     int
+}
+
+// componentOf classifies a repo-relative path into (component, role).
+// role: 0 = spec, 1 = impl, 2 = proof, -1 = excluded.
+func componentOf(rel string) (string, int) {
+	isTest := strings.HasSuffix(rel, "_test.go")
+	dir := filepath.ToSlash(filepath.Dir(rel))
+	role := func(def int) int {
+		if isTest {
+			return 2 // all tests are proof-analog lines
+		}
+		return def
+	}
+	switch {
+	case strings.HasPrefix(dir, "internal/arm"),
+		strings.HasPrefix(dir, "internal/mmu"),
+		strings.HasPrefix(dir, "internal/mem"):
+		return "ARM/TrustZone machine model", role(0)
+	case strings.HasPrefix(dir, "internal/sha2"),
+		strings.HasPrefix(dir, "internal/rng"),
+		strings.HasPrefix(dir, "internal/cycles"):
+		return "Support libraries (SHA-256, RNG, cycles)", role(1)
+	case strings.HasPrefix(dir, "internal/pagedb"),
+		strings.HasPrefix(dir, "internal/kapi"),
+		strings.HasPrefix(dir, "internal/spec"):
+		return "Komodo specification (PageDB, SMC/SVC spec)", role(0)
+	case strings.HasPrefix(dir, "internal/monitor"),
+		strings.HasPrefix(dir, "internal/board"):
+		return "Monitor implementation", role(1)
+	case strings.HasPrefix(dir, "internal/asm"),
+		strings.HasPrefix(dir, "internal/kasm"):
+		return "Assembler & enclave programs", role(1)
+	case strings.HasPrefix(dir, "internal/refine"),
+		strings.HasPrefix(dir, "internal/ni"):
+		return "Verification harnesses (refinement, NI)", role(2)
+	case strings.HasPrefix(dir, "internal/nwos"),
+		strings.HasPrefix(dir, "internal/sgx"),
+		strings.HasPrefix(dir, "internal/eval"):
+		return "Evaluation substrate (OS model, SGX baseline, harness)", role(1)
+	case dir == "komodo":
+		return "Public API", role(1)
+	case strings.HasPrefix(dir, "cmd/"), strings.HasPrefix(dir, "examples/"):
+		return "Tools & examples", role(1)
+	case dir == ".":
+		return "Benchmarks", role(2)
+	default:
+		return "", -1
+	}
+}
+
+// CountLines walks the module rooted at root and produces the Table 2
+// analogue. Lines are physical source lines excluding blanks and
+// comment-only lines (the paper counts "physical lines of code, excluding
+// comments and whitespace").
+func CountLines(root string) ([]LocRow, error) {
+	byComp := make(map[string]*LocRow)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		comp, roleIdx := componentOf(rel)
+		if roleIdx < 0 {
+			return nil
+		}
+		n, err := countFile(path)
+		if err != nil {
+			return err
+		}
+		row, ok := byComp[comp]
+		if !ok {
+			row = &LocRow{Component: comp}
+			byComp[comp] = row
+		}
+		switch roleIdx {
+		case 0:
+			row.Spec += n
+		case 1:
+			row.Impl += n
+		case 2:
+			row.Proof += n
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LocRow, 0, len(byComp))
+	for _, r := range byComp {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Component < rows[j].Component })
+	return rows, nil
+}
+
+// countFile counts non-blank, non-comment-only lines. Block comments are
+// tracked across lines; the heuristic ignores /* */ inside string
+// literals, which is fine for a line-count summary.
+func countFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := 0
+	inBlock := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if inBlock {
+			if idx := strings.Index(line, "*/"); idx >= 0 {
+				inBlock = false
+				line = strings.TrimSpace(line[idx+2:])
+			} else {
+				continue
+			}
+		}
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if strings.HasPrefix(line, "/*") {
+			if !strings.Contains(line, "*/") {
+				inBlock = true
+			}
+			continue
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// PaperTable2 is the paper's own Table 2, for side-by-side reporting.
+type PaperRow struct {
+	Component string
+	Spec      int
+	Impl      int
+	Proof     int
+}
+
+// PaperTable2Rows returns the published line counts.
+func PaperTable2Rows() []PaperRow {
+	return []PaperRow{
+		{"ARM model", 1174, 112, 985},
+		{"Dafny libraries", 588, 0, 806},
+		{"SHA-256, SHA-HMAC", 250, 415, 3200},
+		{"Komodo common", 775, 358, 3078},
+		{"SMC handler", 591, 1082, 4493},
+		{"SVC handler", 204, 612, 2509},
+		{"Other exceptions", 39, 131, 940},
+		{"Noninterference", 175, 0, 2644},
+		{"Assembly printer", 0, 650, 0},
+	}
+}

@@ -1,0 +1,113 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+)
+
+// Guests exercising the dispatcher extension (the §9.2 future work:
+// enclave-handled faults and self-paging).
+
+// SelfPager demonstrates enclave self-paging: it registers a fault
+// handler, touches an unmapped address, and the handler services the
+// "page fault" by mapping a spare page at the faulting address with
+// MapData, then resumes the faulting store with FaultReturn. The store
+// retries and succeeds; the guest exits with the value read back — all
+// without the OS ever observing a fault (§9.2: "enclave self-paging...
+// without exposing page faults to the untrusted OS").
+//
+// Enter arg1 = the spare page number to use.
+func SelfPager() Guest {
+	p := asm.New()
+	// Stash the spare page number for the handler.
+	p.MovImm32(arm.R12, DataVA+0x10)
+	p.Str(arm.R0, arm.R12, 0)
+	// Register the fault handler.
+	p.Movw(arm.R0, kapi.SVCSetFaultHandler)
+	p.MovLabel(arm.R1, "handler")
+	p.Svc()
+	// Touch the unmapped page: this store faults, is serviced by the
+	// handler, and then retries successfully.
+	p.MovImm32(arm.R6, DynVA)
+	p.MovImm32(arm.R7, 0xabcd)
+	p.Str(arm.R7, arm.R6, 0)
+	// Read back through the now-live mapping and exit with the value.
+	p.MovImm32(arm.R6, DynVA)
+	p.Ldr(arm.R1, arm.R6, 0)
+	emitExit(p)
+
+	// The fault handler. Upcall state: R0 = exception type, R1 = faulting
+	// address, everything else cleared (SP preserved).
+	p.Label("handler")
+	// mapping = page-aligned fault address | writable.
+	p.LsrI(arm.R2, arm.R1, 12)
+	p.LslI(arm.R2, arm.R2, 12)
+	p.OrrI(arm.R2, arm.R2, uint32(kapi.MapWrite))
+	// spare page number from the stash.
+	p.MovImm32(arm.R12, DataVA+0x10)
+	p.Ldr(arm.R1, arm.R12, 0)
+	p.Movw(arm.R0, kapi.SVCMapData)
+	p.Svc()
+	// Resume the interrupted store.
+	p.Movw(arm.R0, kapi.SVCFaultReturn)
+	p.Svc()
+	// Unreachable.
+	p.Movw(arm.R1, 0xbad)
+	emitExit(p)
+	return Guest{Prog: p, Spares: 1}
+}
+
+// HandlerCounts registers a handler that counts faults in the data page
+// and exits from inside the handler with the observed exception type —
+// showing upcalls receive the correct type and that an enclave can choose
+// to terminate from its handler.
+func HandlerCounts() Guest {
+	p := asm.New()
+	p.Movw(arm.R0, kapi.SVCSetFaultHandler)
+	p.MovLabel(arm.R1, "handler")
+	p.Svc()
+	// Raise an undefined-instruction exception (HLT in secure user mode).
+	p.Hlt()
+	p.Movw(arm.R1, 0)
+	emitExit(p)
+	p.Label("handler")
+	// Count the fault.
+	p.MovImm32(arm.R12, DataVA)
+	p.Ldr(arm.R2, arm.R12, 0)
+	p.AddI(arm.R2, arm.R2, 1)
+	p.Str(arm.R2, arm.R12, 0)
+	// Exit with the exception type delivered in R0.
+	p.Mov(arm.R1, arm.R0)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// DoubleFaulter registers a handler that itself faults: the second fault
+// must be terminal (delivered to the OS as a plain fault), not a handler
+// livelock.
+func DoubleFaulter() Guest {
+	p := asm.New()
+	p.Movw(arm.R0, kapi.SVCSetFaultHandler)
+	p.MovLabel(arm.R1, "handler")
+	p.Svc()
+	p.Hlt() // first fault
+	p.Movw(arm.R1, 0)
+	emitExit(p)
+	p.Label("handler")
+	p.Hlt() // second fault, inside the handler: terminal
+	p.Movw(arm.R1, 0)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// StrayFaultReturn invokes FaultReturn outside any handler; the monitor
+// must reject it (ErrInvalidArg in R0) and execution continues.
+func StrayFaultReturn() Guest {
+	p := asm.New()
+	p.Movw(arm.R0, kapi.SVCFaultReturn)
+	p.Svc()
+	p.Mov(arm.R1, arm.R0) // exit with the error code the SVC returned
+	emitExit(p)
+	return Guest{Prog: p}
+}

@@ -1,0 +1,283 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+)
+
+// Small guest programs exercising the enclave ABI and every SVC/exception
+// path. Each returns a Guest ready for Image().
+
+// emitExit appends the Exit SVC sequence: retval must already be in R1.
+func emitExit(p *asm.Program) {
+	p.Movw(arm.R0, kapi.SVCExit)
+	p.Svc()
+}
+
+// ExitConst immediately exits with a constant value.
+func ExitConst(val uint32) Guest {
+	p := asm.New()
+	p.MovImm32(arm.R1, val)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// AddArgs exits with arg1 + arg2 (entry arguments arrive in R0–R2).
+func AddArgs() Guest {
+	p := asm.New()
+	p.Add(arm.R1, arm.R0, arm.R1)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// CountTo loops incrementing a counter until it reaches arg1, then exits
+// with the count. Long-running: the interrupt tests schedule IRQs into it.
+func CountTo() Guest {
+	p := asm.New()
+	p.Mov(arm.R4, arm.R0). // target
+				Movw(arm.R5, 0).
+				Label("loop").
+				AddI(arm.R5, arm.R5, 1).
+				Cmp(arm.R5, arm.R4).
+				Blt("loop").
+				Mov(arm.R1, arm.R5)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// StoreLoad writes a constant to the data page, reads it back, and exits
+// with the loaded value (exercises user-mode translation both ways).
+func StoreLoad() Guest {
+	p := asm.New()
+	p.MovImm32(arm.R6, DataVA).
+		MovImm32(arm.R7, 0xbeef).
+		Str(arm.R7, arm.R6, 0).
+		Ldr(arm.R1, arm.R6, 0)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// GetRandom invokes the GetRandom SVC and exits with the random word.
+func GetRandom() Guest {
+	p := asm.New()
+	p.Movw(arm.R0, kapi.SVCGetRandom)
+	p.Svc()
+	// R0 = error (0), R1 = random word: exit with it.
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// FaultKind selects which exception a Faulter guest raises.
+type FaultKind int
+
+const (
+	FaultWriteRO    FaultKind = iota // store to the execute-only code page
+	FaultUnmapped                    // load from an unmapped address
+	FaultExecNX                      // jump into the non-executable data page
+	FaultUndefInsn                   // HLT (undefined in secure user mode)
+	FaultPrivileged                  // privileged instruction from user mode
+	FaultBeyondVA                    // access beyond the 1 GB enclave space
+	FaultSMC                         // SMC from enclave (undefined)
+)
+
+// Faulter deliberately raises the requested exception. The secret value in
+// R7 must never reach the OS: the monitor returns only the exception type.
+func Faulter(kind FaultKind) Guest {
+	p := asm.New()
+	p.MovImm32(arm.R7, 0x5ec2e7) // "secret" the OS must not see
+	switch kind {
+	case FaultWriteRO:
+		p.MovImm32(arm.R6, CodeVA).Str(arm.R7, arm.R6, 0)
+	case FaultUnmapped:
+		p.MovImm32(arm.R6, 0x0300_0000).Ldr(arm.R1, arm.R6, 0)
+	case FaultExecNX:
+		p.MovImm32(arm.R6, DataVA).Bx(arm.R6)
+	case FaultUndefInsn:
+		p.Hlt()
+	case FaultPrivileged:
+		p.RdSys(arm.R1, arm.SysTTBR0)
+	case FaultBeyondVA:
+		p.MovImm32(arm.R6, 0x4000_0000).Ldr(arm.R1, arm.R6, 0)
+	case FaultSMC:
+		p.Smc()
+	}
+	// Unreachable on the fault paths.
+	p.Movw(arm.R1, 0)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// AttestToShared attests over fixed data words (1..8) and writes the MAC
+// to the shared page, then exits with 1. The OS relays the MAC (plus the
+// enclave's expected measurement, which the OS can compute from the image)
+// to a verifier enclave.
+func AttestToShared() Guest {
+	p := asm.New()
+	p.Movw(arm.R0, kapi.SVCAttest)
+	for i := 1; i <= 8; i++ {
+		p.Movw(arm.Reg(i), uint32(i))
+	}
+	p.Svc()
+	// MAC now in R1–R8: store to shared page words 0..7.
+	p.MovImm32(arm.R0, SharedVA)
+	for i := 0; i < 8; i++ {
+		p.Str(arm.Reg(1+i), arm.R0, uint32(i*4))
+	}
+	p.Movw(arm.R1, 1)
+	emitExit(p)
+	return Guest{Prog: p, WithShared: true}
+}
+
+// VerifyFromShared reads (data[8], measure[8], mac[8]) from the shared
+// page and runs the three-step verify, exiting with the verdict (1 ok).
+func VerifyFromShared() Guest {
+	p := asm.New()
+	load8 := func(call uint32, byteOff uint32) {
+		p.MovImm32(arm.R12, SharedVA+byteOff)
+		for i := 0; i < 8; i++ {
+			p.Ldr(arm.Reg(1+i), arm.R12, uint32(i*4))
+		}
+		p.Movw(arm.R0, call)
+		p.Svc()
+	}
+	load8(kapi.SVCVerifyStep0, 0)  // data
+	load8(kapi.SVCVerifyStep1, 32) // measurement
+	load8(kapi.SVCVerifyStep2, 64) // mac; verdict in R1
+	emitExit(p)
+	return Guest{Prog: p, WithShared: true}
+}
+
+// DynAlloc exercises SGXv2-style dynamic memory: the enclave maps its
+// spare page (number in arg1) as data at DynVA, writes a sentinel, reads
+// it back, and exits with the value.
+const DynVA = 0x0030_0000
+
+func DynAlloc() Guest {
+	p := asm.New()
+	p.Mov(arm.R9, arm.R0) // spare page number from arg1
+	p.Movw(arm.R0, kapi.SVCMapData)
+	p.Mov(arm.R1, arm.R9)
+	p.MovImm32(arm.R2, uint32(kapi.NewMapping(DynVA, true, false)))
+	p.Svc()
+	// On failure exit with 0xdead.
+	p.CmpI(arm.R0, 0)
+	p.Beq("mapped")
+	p.MovImm32(arm.R1, 0xdead)
+	emitExit(p)
+	p.Label("mapped")
+	p.MovImm32(arm.R6, DynVA)
+	p.MovImm32(arm.R7, 0xfeed)
+	p.Str(arm.R7, arm.R6, 0)
+	p.Ldr(arm.R1, arm.R6, 0)
+	emitExit(p)
+	return Guest{Prog: p, Spares: 1}
+}
+
+// DynUnmap maps spare arg1 at DynVA, writes, unmaps it, then exits with
+// the result of re-reading it (which must fault — so this guest actually
+// exits via the data-abort path, proving the unmap took effect in the
+// hardware tables).
+func DynUnmap() Guest {
+	p := asm.New()
+	p.Mov(arm.R9, arm.R0)
+	p.Movw(arm.R0, kapi.SVCMapData)
+	p.Mov(arm.R1, arm.R9)
+	p.MovImm32(arm.R2, uint32(kapi.NewMapping(DynVA, true, false)))
+	p.Svc()
+	p.MovImm32(arm.R6, DynVA)
+	p.MovImm32(arm.R7, 0x77)
+	p.Str(arm.R7, arm.R6, 0)
+	p.Movw(arm.R0, kapi.SVCUnmapData)
+	p.Mov(arm.R1, arm.R9)
+	p.MovImm32(arm.R2, uint32(kapi.NewMapping(DynVA, true, false)))
+	p.Svc()
+	// This load must data-abort: the mapping is gone and the TLB was
+	// flushed by the monitor. (R6 was clobbered by the SVC return ABI,
+	// so reload the address.)
+	p.MovImm32(arm.R6, DynVA)
+	p.Ldr(arm.R1, arm.R6, 0)
+	p.Movw(arm.R1, 0) // unreachable
+	emitExit(p)
+	return Guest{Prog: p, Spares: 1}
+}
+
+// SharedEcho reads word 0 of the shared insecure page, adds arg1, writes
+// the result to word 1, and exits with it (OS↔enclave communication).
+func SharedEcho() Guest {
+	p := asm.New()
+	p.MovImm32(arm.R6, SharedVA).
+		Ldr(arm.R7, arm.R6, 0).
+		Add(arm.R1, arm.R7, arm.R0).
+		Str(arm.R1, arm.R6, 4)
+	emitExit(p)
+	return Guest{Prog: p, WithShared: true}
+}
+
+// AttestOnce performs a single Attest SVC over immediate data and exits
+// with MAC word 0. Used by the Table 3 microbenchmark.
+func AttestOnce() Guest {
+	p := asm.New()
+	p.Movw(arm.R0, kapi.SVCAttest)
+	for i := 1; i <= 8; i++ {
+		p.Movw(arm.Reg(i), uint32(0x10+i))
+	}
+	p.Svc()
+	emitExit(p) // exit value = MAC word 0, already in R1
+	return Guest{Prog: p}
+}
+
+// VerifyOnce performs the three-step verify over immediate (garbage)
+// operands and exits with the verdict. Used by the Table 3 microbenchmark:
+// the MAC comparison cost is data-independent.
+func VerifyOnce() Guest {
+	p := asm.New()
+	for _, call := range []uint32{kapi.SVCVerifyStep0, kapi.SVCVerifyStep1, kapi.SVCVerifyStep2} {
+		p.Movw(arm.R0, call)
+		for i := 1; i <= 8; i++ {
+			p.Movw(arm.Reg(i), uint32(i))
+		}
+		p.Svc()
+	}
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// MapDataOnce maps spare arg1 at DynVA and exits with the SVC's error
+// code; isolates the MapData SVC for the Table 3 microbenchmark.
+func MapDataOnce() Guest {
+	p := asm.New()
+	p.Mov(arm.R9, arm.R0) // spare page number from arg1
+	p.Movw(arm.R0, kapi.SVCMapData)
+	p.Mov(arm.R1, arm.R9)
+	p.MovImm32(arm.R2, uint32(kapi.NewMapping(DynVA, true, false)))
+	p.Svc()
+	p.Mov(arm.R1, arm.R0)
+	emitExit(p)
+	return Guest{Prog: p, Spares: 1}
+}
+
+// L2User converts its spare page (arg1) into a second-level page table at
+// L1 slot 3 via the dynamic SVC and exits with the SVC's error code. The
+// OS cannot distinguish this from MapDataOnce's use of the same spare (§4).
+func L2User() Guest {
+	p := asm.New()
+	p.Mov(arm.R9, arm.R0)
+	p.Movw(arm.R0, kapi.SVCInitL2PTable)
+	p.Mov(arm.R1, arm.R9)
+	p.Movw(arm.R2, 3)
+	p.Svc()
+	p.Mov(arm.R1, arm.R0)
+	emitExit(p)
+	return Guest{Prog: p, Spares: 1}
+}
+
+// SpinForever loops unconditionally; used to test interrupt suspension.
+func SpinForever() Guest {
+	p := asm.New()
+	p.Movw(arm.R4, 0).
+		Label("loop").
+		AddI(arm.R4, arm.R4, 1).
+		B("loop")
+	return Guest{Prog: p}
+}

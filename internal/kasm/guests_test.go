@@ -1,0 +1,119 @@
+package kasm_test
+
+import (
+	"testing"
+
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/nwos"
+)
+
+func buildAndRun(t *testing.T, g kasm.Guest, args ...uint32) (kapi.Err, uint32, *nwos.OS, *nwos.Enclave) {
+	t.Helper()
+	w := newWorld(t)
+	img, err := g.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, v, err := w.os.Enter(enc, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, v, w.os, enc
+}
+
+func TestMemRuntimeRoutines(t *testing.T) {
+	e, v, _, _ := buildAndRun(t, kasm.MemGuest())
+	if e != kapi.ErrSuccess {
+		t.Fatalf("mem guest: %v", e)
+	}
+	// equal-compare 0, corrupted-compare 1 (<<4), last nibble of the
+	// 0x5a5 fill = 5.
+	if v != 0x15 {
+		t.Fatalf("mem guest result = %#x, want 0x15", v)
+	}
+}
+
+func TestVaultProtocol(t *testing.T) {
+	w := newWorld(t)
+	img, err := kasm.Vault().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	password := []uint32{0xfeed, 0xf00d, 0xdead, 0xbeef}
+
+	// Provision.
+	if err := w.os.WriteInsecure(enc.SharedPA[0], password); err != nil {
+		t.Fatal(err)
+	}
+	e, v, err := w.os.Enter(enc, 0)
+	if err != nil || e != kapi.ErrSuccess || v != 1 {
+		t.Fatalf("provision: %v %v %d", err, e, v)
+	}
+
+	// Correct password releases the secret.
+	if err := w.os.WriteInsecure(enc.SharedPA[0], password); err != nil {
+		t.Fatal(err)
+	}
+	e, v, err = w.os.Enter(enc, 1)
+	if err != nil || e != kapi.ErrSuccess || v != 1 {
+		t.Fatalf("unlock: %v %v %d", err, e, v)
+	}
+	secret, err := w.os.ReadInsecure(enc.SharedPA[0]+0x10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secret[0] == 0 && secret[1] == 0 && secret[2] == 0 && secret[3] == 0 {
+		t.Fatal("released secret is zero — RNG not used")
+	}
+
+	// Wrong passwords are rejected without releasing anything new.
+	wrong := []uint32{1, 2, 3, 4}
+	for i := 0; i < 3; i++ {
+		w.os.WriteInsecure(enc.SharedPA[0], wrong)
+		e, v, err = w.os.Enter(enc, 1)
+		if err != nil || e != kapi.ErrSuccess || v != 0 {
+			t.Fatalf("wrong attempt %d: %v %v %d", i, err, e, v)
+		}
+	}
+
+	// Three strikes: even the CORRECT password is now refused. The OS
+	// cannot reset the counter — it lives in enclave-private memory.
+	w.os.WriteInsecure(enc.SharedPA[0], password)
+	e, v, err = w.os.Enter(enc, 1)
+	if err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	if v != kasm.VaultLockedOut {
+		t.Fatalf("vault not locked after 3 failures: %d", v)
+	}
+}
+
+func TestVaultSecretNotInSharedBeforeUnlock(t *testing.T) {
+	w := newWorld(t)
+	img, _ := kasm.Vault().Image()
+	enc, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := []uint32{9, 9, 9, 9}
+	w.os.WriteInsecure(enc.SharedPA[0], pw)
+	if _, _, err := w.os.Enter(enc, 0); err != nil {
+		t.Fatal(err)
+	}
+	// After provisioning, the shared page's secret slot is untouched.
+	out, _ := w.os.ReadInsecure(enc.SharedPA[0]+0x10, 4)
+	for _, wd := range out {
+		if wd != 0 {
+			t.Fatalf("secret slot written before unlock: %#x", wd)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package kasm is the enclave-side program library: KARM assembly programs
+// that run in user mode on the simulated CPU inside Komodo enclaves. It
+// plays the role of the paper's enclave code (the C notary of §8.2 and the
+// test enclaves), plus small guests used by the test suite to exercise
+// every SVC and exception path.
+//
+// Conventions (the Komodo enclave ABI):
+//
+//   - On entry, R0–R2 hold the Enter arguments; all other registers are
+//     zero; the PC is at the thread's entry point.
+//   - SVCs take the call number in R0 and arguments in R1–R8; they return
+//     the error in R0 and values in R1–R8 (clobbering them).
+//   - The standard image layout maps code at CodeVA (execute-only), a
+//     read-write data/stack page at DataVA, and optionally an insecure
+//     shared page at SharedVA.
+package kasm
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/mem"
+	"repro/internal/nwos"
+)
+
+// Standard enclave virtual-address layout. All regions fall in L1 slot 0
+// (the first 4 MB), so a single L2 page table suffices.
+const (
+	// CodeVA is the code segment base and default entry point.
+	CodeVA = 0x0000_0000
+	// DataVA is the private read-write data page.
+	DataVA = 0x0010_0000
+	// StackVA is a private read-write page used as the stack; SP starts
+	// at StackTop (full-descending).
+	StackVA  = 0x0011_0000
+	StackTop = StackVA + mem.PageSize
+	// SharedVA is the insecure page shared with the OS.
+	SharedVA = 0x0020_0000
+)
+
+// Guest describes a guest program plus the memory it needs.
+type Guest struct {
+	Prog        *asm.Program
+	CodePages   int  // code segment size (default: fit the program)
+	DataPages   int  // rw pages at DataVA (default 1)
+	WithStack   bool // map a stack page at StackVA
+	WithShared  bool // map an insecure shared region at SharedVA
+	SharedPages int  // shared region size in pages (default 1)
+	SharedPA    uint32
+	Spares      int
+	Entry       uint32 // default CodeVA
+}
+
+// Image assembles the guest into an nwos.Image ready for BuildEnclave.
+func (g Guest) Image() (nwos.Image, error) {
+	words, err := g.Prog.Assemble(CodeVA)
+	if err != nil {
+		return nwos.Image{}, fmt.Errorf("kasm: %w", err)
+	}
+	codePages := (len(words) + mem.PageWords - 1) / mem.PageWords
+	if g.CodePages > codePages {
+		codePages = g.CodePages
+	}
+	if codePages == 0 {
+		codePages = 1
+	}
+	dataPages := g.DataPages
+	if dataPages == 0 {
+		dataPages = 1
+	}
+	img := nwos.Image{
+		Entry: g.Entry,
+		Segments: []nwos.Segment{
+			{VA: CodeVA, Exec: true, Words: padTo(words, codePages*mem.PageWords)},
+			{VA: DataVA, Write: true, Words: make([]uint32, dataPages*mem.PageWords)},
+		},
+		Spares: g.Spares,
+	}
+	if g.WithStack {
+		img.Segments = append(img.Segments, nwos.Segment{
+			VA: StackVA, Write: true, Words: make([]uint32, mem.PageWords),
+		})
+	}
+	if g.WithShared {
+		pages := g.SharedPages
+		if pages == 0 {
+			pages = 1
+		}
+		img.Shared = append(img.Shared, nwos.Shared{VA: SharedVA, Write: true, PA: g.SharedPA, Pages: pages})
+	}
+	return img, nil
+}
+
+func padTo(ws []uint32, n int) []uint32 {
+	if len(ws) >= n {
+		return ws
+	}
+	out := make([]uint32, n)
+	copy(out, ws)
+	return out
+}

@@ -1,0 +1,107 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+)
+
+// Guests used by the noninterference bisimulation (internal/ni). The
+// victim guests model enclave code that computes on secret state; the
+// colluder guest models the malicious enclave of the ≈adv observer.
+
+// ComputeOnSecret reads the secret at DataVA[0], computes on it
+// branch-free, stores the result at DataVA[4], and exits with a constant.
+// A correct monitor lets none of this reach the OS: the paired runs with
+// different secrets must remain ≈adv-equivalent.
+func ComputeOnSecret() Guest {
+	p := asm.New()
+	p.MovImm32(arm.R6, DataVA).
+		Ldr(arm.R7, arm.R6, 0). // secret
+		Mul(arm.R8, arm.R7, arm.R7).
+		EorI(arm.R8, arm.R8, 0x5a5).
+		Str(arm.R8, arm.R6, 4).
+		Movw(arm.R1, 1) // constant, secret-independent exit value
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// LeakSecretValue exits with the secret itself — exercising the Exit-value
+// declassification channel (§6.2). The bisimulation uses it to confirm
+// the harness detects divergence through the only channel that permits it.
+func LeakSecretValue() Guest {
+	p := asm.New()
+	p.MovImm32(arm.R6, DataVA).
+		Ldr(arm.R1, arm.R6, 0)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// LeakViaSharedMemory writes the secret into the insecure shared page —
+// the direct-write declassification the paper notes an enclave may choose
+// ("unless the enclave itself chooses to leak them... by writing to
+// insecure memory", §6).
+func LeakViaSharedMemory() Guest {
+	p := asm.New()
+	p.MovImm32(arm.R6, DataVA).
+		Ldr(arm.R7, arm.R6, 0).
+		MovImm32(arm.R8, SharedVA).
+		Str(arm.R7, arm.R8, 0).
+		Movw(arm.R1, 0)
+	emitExit(p)
+	return Guest{Prog: p, WithShared: true}
+}
+
+// Colluder is the malicious enclave cooperating with the OS: it draws
+// randomness, scribbles over its own data page, reads its shared page, and
+// exits with a digest of everything it could observe. If any victim secret
+// were visible to it, the paired exit values would diverge.
+func Colluder() Guest {
+	p := asm.New()
+	// Observe: shared page word 0.
+	p.MovImm32(arm.R9, SharedVA).
+		Ldr(arm.R10, arm.R9, 0)
+	// GetRandom (same seed on both sides of the pair → same value, §6.3).
+	p.Movw(arm.R0, kapi.SVCGetRandom)
+	p.Svc()
+	p.Mov(arm.R11, arm.R1)
+	// Scribble on own data page.
+	p.MovImm32(arm.R6, DataVA).
+		Str(arm.R10, arm.R6, 0).
+		Str(arm.R11, arm.R6, 4)
+	// Probe an unmapped address in a way that does NOT fault: stay inside
+	// own mappings; faulting probes are exercised by Faulter guests.
+	// Exit with a mix of observations.
+	p.Eor(arm.R1, arm.R10, arm.R11)
+	emitExit(p)
+	return Guest{Prog: p, WithShared: true}
+}
+
+// IntegrityVictim computes over its own data page only (no shared
+// mappings) and records a checksum into the page; used as the trusted
+// observer in the integrity bisimulation. Its state must be identical
+// across runs that differ only in untrusted inputs.
+func IntegrityVictim() Guest {
+	p := asm.New()
+	p.MovImm32(arm.R6, DataVA).
+		Ldr(arm.R7, arm.R6, 0).
+		AddI(arm.R7, arm.R7, 1).
+		Str(arm.R7, arm.R6, 0). // bump a counter in private state
+		Movw(arm.R1, 7)
+	emitExit(p)
+	return Guest{Prog: p}
+}
+
+// UntrustedReader reads attacker-controlled insecure memory and writes
+// what it saw into its own pages, performing an identical SVC sequence
+// regardless of the values read (no allocation decisions depend on them).
+func UntrustedReader() Guest {
+	p := asm.New()
+	p.MovImm32(arm.R9, SharedVA).
+		Ldr(arm.R10, arm.R9, 0).
+		MovImm32(arm.R6, DataVA).
+		Str(arm.R10, arm.R6, 0).
+		Mov(arm.R1, arm.R10) // exit value is untrusted output; may differ
+	emitExit(p)
+	return Guest{Prog: p, WithShared: true}
+}

@@ -1,0 +1,180 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+	"repro/internal/pagedb"
+	"repro/internal/sha2"
+)
+
+// The quoting enclave: remote attestation, which the paper's monitor
+// deliberately defers to "a trusted enclave (that we have yet to
+// implement)" (§4). This implements it:
+//
+//	provision (cmd 0): generate an 8-word quote key from the hardware
+//	    RNG into private memory. (The "manufacturer" extracts it over a
+//	    provisioning channel the OS cannot see — in the simulation, by
+//	    reading secure memory directly before deployment; see
+//	    QuoteKeyFromDataPage.)
+//	quote (cmd 1): read a local attestation (data[8], measurement[8],
+//	    mac[8]) from the shared page; verify it through the monitor's
+//	    Verify SVC (so only genuine local attestations are requoted);
+//	    then emit quote = MAC_qk(measurement ‖ data) — a keyed double
+//	    hash computed entirely in-enclave — to shared[24..31]. Exits 1
+//	    on success, 0 if the local attestation was forged.
+//
+// A remote verifier holding the provisioned quote key checks the quote
+// offline (VerifyQuote), trusting only the quoting enclave's measurement
+// and the platform — never the OS in the middle.
+//
+// Substitution note (DESIGN.md): SGX's quoting enclave signs with an
+// asymmetric EPID key; with a symmetric-only toolbox the verifier shares
+// the quote key instead. The trust structure is preserved: the OS relays
+// but cannot forge.
+
+const (
+	quoteKeyOff = 0x400 // 8 words: the quote key, enclave-private
+	quoteMsgOff = 0x440 // staging for the MAC input (32 words max)
+)
+
+// QuoteSharedLayout documents the shared-page word offsets.
+const (
+	QuoteInData    = 0  // words 0..7: attested data
+	QuoteInMeasure = 8  // words 8..15: claimed measurement
+	QuoteInMAC     = 16 // words 16..23: local-attestation MAC
+	QuoteOut       = 24 // words 24..31: the quote
+)
+
+// QuotingEnclave builds the quoting-enclave guest.
+func QuotingEnclave() Guest {
+	p := asm.New()
+	p.CmpI(arm.R0, 0)
+	p.Beq("provision")
+
+	// --- quote ---
+	// Verify the local attestation via the three-step SVC.
+	load8 := func(call uint32, wordOff uint32) {
+		p.MovImm32(arm.R12, SharedVA+wordOff*4)
+		for i := 0; i < 8; i++ {
+			p.Ldr(arm.Reg(1+i), arm.R12, uint32(i*4))
+		}
+		p.Movw(arm.R0, call)
+		p.Svc()
+	}
+	load8(kapi.SVCVerifyStep0, QuoteInData)
+	load8(kapi.SVCVerifyStep1, QuoteInMeasure)
+	load8(kapi.SVCVerifyStep2, QuoteInMAC) // verdict in R1
+	p.CmpI(arm.R1, 1)
+	p.Bne("reject")
+
+	// Inner hash: H(key[8] ‖ measurement[8] ‖ data[8]) — 24 words + pad.
+	p.MovImm32(arm.R0, DataVA+quoteMsgOff)
+	p.MovImm32(arm.R1, DataVA+quoteKeyOff)
+	p.Movw(arm.R2, 8)
+	p.Bl("memcpy")
+	p.MovImm32(arm.R0, DataVA+quoteMsgOff+32)
+	p.MovImm32(arm.R1, SharedVA+QuoteInMeasure*4)
+	p.Movw(arm.R2, 8)
+	p.Bl("memcpy")
+	p.MovImm32(arm.R0, DataVA+quoteMsgOff+64)
+	p.MovImm32(arm.R1, SharedVA+QuoteInData*4)
+	p.Movw(arm.R2, 8)
+	p.Bl("memcpy")
+	emitPadAndHash(p, 24)
+
+	// Outer hash: H(key[8] ‖ inner[8]) — 16 words + pad.
+	p.MovImm32(arm.R0, DataVA+quoteMsgOff)
+	p.MovImm32(arm.R1, DataVA+quoteKeyOff)
+	p.Movw(arm.R2, 8)
+	p.Bl("memcpy")
+	p.MovImm32(arm.R0, DataVA+quoteMsgOff+32)
+	p.MovImm32(arm.R1, DataVA+shaStateOff)
+	p.Movw(arm.R2, 8)
+	p.Bl("memcpy")
+	emitPadAndHash(p, 16)
+
+	// Publish the quote.
+	p.MovImm32(arm.R0, SharedVA+QuoteOut*4)
+	p.MovImm32(arm.R1, DataVA+shaStateOff)
+	p.Movw(arm.R2, 8)
+	p.Bl("memcpy")
+	p.Movw(arm.R1, 1)
+	emitExit(p)
+
+	p.Label("reject")
+	p.Movw(arm.R1, 0)
+	emitExit(p)
+
+	// --- provision ---
+	p.Label("provision")
+	for i := 0; i < 8; i++ {
+		p.Movw(arm.R0, kapi.SVCGetRandom)
+		p.Svc()
+		p.MovImm32(arm.R12, DataVA+quoteKeyOff+uint32(i*4))
+		p.Str(arm.R1, arm.R12, 0)
+	}
+	p.Movw(arm.R1, 1)
+	emitExit(p)
+
+	EmitMemcpyW(p, "memcpy")
+	EmitSHA256Blocks(p, "sha_blocks", DataVA)
+	return Guest{Prog: p, WithShared: true, DataPages: 2}
+}
+
+// emitPadAndHash pads a message of `words` words staged at quoteMsgOff
+// (standard SHA-256 padding) and hashes it from a fresh state. Message
+// lengths up to 30 words (two blocks) are supported.
+func emitPadAndHash(p *asm.Program, words int) {
+	blocks := (words + 3 + 15) / 16 // +0x80 word +2 length words, rounded up
+	p.MovImm32(arm.R10, DataVA+quoteMsgOff)
+	p.MovImm32(arm.R8, 0x8000_0000)
+	p.Str(arm.R8, arm.R10, uint32(words*4))
+	p.Movw(arm.R8, 0)
+	for j := words + 1; j < blocks*16-1; j++ {
+		p.Str(arm.R8, arm.R10, uint32(j*4))
+	}
+	p.MovImm32(arm.R8, uint32(words*32)) // bit length
+	p.Str(arm.R8, arm.R10, uint32((blocks*16-1)*4))
+	EmitSHA256Init(p, DataVA)
+	p.MovImm32(arm.R1, DataVA+quoteMsgOff)
+	p.Movw(arm.R2, uint32(blocks))
+	p.Bl("sha_blocks")
+}
+
+// QuoteKeyFromDataPage models manufacturer provisioning: the quote key is
+// extracted from the quoting enclave's private memory over a channel the
+// deployed OS does not have (physically, at manufacture). It reads the
+// key from the abstract PageDB decode of the platform's secure memory.
+func QuoteKeyFromDataPage(db *pagedb.DB, as pagedb.PageNr) ([8]uint32, bool) {
+	var key [8]uint32
+	pte, _, _ := db.LookupMapping(as, DataVA)
+	if pte == nil || !pte.Secure {
+		return key, false
+	}
+	contents := &db.Get(pte.Page).Data.Contents
+	for i := range key {
+		key[i] = contents[quoteKeyOff/4+i]
+	}
+	return key, true
+}
+
+// ComputeQuote is the remote verifier's reference computation:
+// MAC_qk(measurement ‖ data) with the same keyed double hash the enclave
+// uses. The verifier holds the provisioned quote key.
+func ComputeQuote(quoteKey, measurement, data [8]uint32) [8]uint32 {
+	inner := sha2.New()
+	inner.WriteWords(quoteKey[:])
+	inner.WriteWords(measurement[:])
+	inner.WriteWords(data[:])
+	id := inner.SumWords()
+	outer := sha2.New()
+	outer.WriteWords(quoteKey[:])
+	outer.WriteWords(id[:])
+	return outer.SumWords()
+}
+
+// VerifyQuote checks a quote against the provisioned key.
+func VerifyQuote(quoteKey, measurement, data, quote [8]uint32) bool {
+	return ComputeQuote(quoteKey, measurement, data) == quote
+}

@@ -1,0 +1,161 @@
+package kasm_test
+
+import (
+	"testing"
+
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/nwos"
+)
+
+// setupQuoting provisions a quoting enclave and extracts the quote key
+// (manufacturer provisioning).
+func setupQuoting(t *testing.T, w *world) (*nwos.Enclave, [8]uint32) {
+	t.Helper()
+	img, err := kasm.QuotingEnclave().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, v, err := w.os.Enter(qe, 0); err != nil || e != kapi.ErrSuccess || v != 1 {
+		t.Fatalf("provision: %v %v %d", err, e, v)
+	}
+	db, err := w.plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, ok := kasm.QuoteKeyFromDataPage(db, qe.AS)
+	if !ok {
+		t.Fatal("quote key not extractable")
+	}
+	var zero [8]uint32
+	if key == zero {
+		t.Fatal("quote key is zero")
+	}
+	return qe, key
+}
+
+// localAttestation runs an app enclave that attests over data 1..8 and
+// returns (data, measurement, mac).
+func localAttestation(t *testing.T, w *world) (data, meas [8]uint32, mac []uint32) {
+	t.Helper()
+	img, err := kasm.AttestToShared().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, v, err := w.os.Enter(app); err != nil || e != kapi.ErrSuccess || v != 1 {
+		t.Fatalf("attestor: %v %v %d", err, e, v)
+	}
+	mac, err = w.os.ReadInsecure(app.SharedPA[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := w.plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas = db.Addrspace(app.AS).Measured
+	for i := 0; i < 8; i++ {
+		data[i] = uint32(i + 1)
+	}
+	return data, meas, mac
+}
+
+func requestQuote(t *testing.T, w *world, qe *nwos.Enclave, data, meas [8]uint32, mac []uint32) (uint32, [8]uint32) {
+	t.Helper()
+	payload := make([]uint32, 24)
+	copy(payload[kasm.QuoteInData:], data[:])
+	copy(payload[kasm.QuoteInMeasure:], meas[:])
+	copy(payload[kasm.QuoteInMAC:], mac)
+	if err := w.os.WriteInsecure(qe.SharedPA[0], payload); err != nil {
+		t.Fatal(err)
+	}
+	e, v, err := w.os.Enter(qe, 1)
+	if err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	out, err := w.os.ReadInsecure(qe.SharedPA[0]+kasm.QuoteOut*4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quote [8]uint32
+	copy(quote[:], out)
+	return v, quote
+}
+
+func TestRemoteAttestationEndToEnd(t *testing.T) {
+	w := newWorld(t)
+	qe, key := setupQuoting(t, w)
+	data, meas, mac := localAttestation(t, w)
+
+	verdict, quote := requestQuote(t, w, qe, data, meas, mac)
+	if verdict != 1 {
+		t.Fatal("quoting enclave rejected a genuine local attestation")
+	}
+	// The remote verifier accepts the quote offline.
+	if !kasm.VerifyQuote(key, meas, data, quote) {
+		t.Fatal("remote verifier rejected a genuine quote")
+	}
+	// ...and the quote matches the reference computation exactly: the
+	// in-enclave KARM double hash agrees with the Go one.
+	if kasm.ComputeQuote(key, meas, data) != quote {
+		t.Fatal("in-enclave quote diverges from reference computation")
+	}
+}
+
+func TestRemoteAttestationForgedLocalMAC(t *testing.T) {
+	// The OS fabricates an attestation for a measurement that never ran:
+	// the quoting enclave's local Verify catches it, so no quote exists.
+	w := newWorld(t)
+	qe, _ := setupQuoting(t, w)
+	data, meas, mac := localAttestation(t, w)
+	meas[0] ^= 0xff // claim a different enclave identity
+	verdict, _ := requestQuote(t, w, qe, data, meas, mac)
+	if verdict != 0 {
+		t.Fatal("quoting enclave requoted a forged local attestation")
+	}
+}
+
+func TestRemoteAttestationTamperedQuote(t *testing.T) {
+	// The OS tampers with the quote in transit: the remote verifier
+	// rejects it.
+	w := newWorld(t)
+	qe, key := setupQuoting(t, w)
+	data, meas, mac := localAttestation(t, w)
+	verdict, quote := requestQuote(t, w, qe, data, meas, mac)
+	if verdict != 1 {
+		t.Fatal("setup failed")
+	}
+	quote[3] ^= 1
+	if kasm.VerifyQuote(key, meas, data, quote) {
+		t.Fatal("remote verifier accepted a tampered quote")
+	}
+}
+
+func TestQuoteKeyInvisibleToOS(t *testing.T) {
+	// The quote key lives in a secure data page: every OS-reachable
+	// channel (shared memory, SMC results) never carries it. Spot-check:
+	// it does not appear in the shared page after provisioning/quoting.
+	w := newWorld(t)
+	qe, key := setupQuoting(t, w)
+	data, meas, mac := localAttestation(t, w)
+	requestQuote(t, w, qe, data, meas, mac)
+	shared, err := w.os.ReadInsecure(qe.SharedPA[0], 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wd := range shared {
+		for _, kw := range key {
+			if wd == kw && kw != 0 {
+				t.Fatalf("quote key word leaked into shared[%d]", i)
+			}
+		}
+	}
+}

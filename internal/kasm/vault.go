@@ -1,0 +1,92 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+)
+
+// Vault is a credential-protection enclave of the kind the paper's
+// introduction motivates (SGX applications protecting "on-line
+// credentials"): it holds a secret that is released only on presentation
+// of the correct password, with a constant-time comparison and a
+// three-strikes lockout that the untrusted OS cannot reset (the lockout
+// counter lives in enclave-private memory).
+//
+// Protocol (Enter arg1 = command):
+//
+//	cmd 0 (provision): read a 4-word password from shared[0..3]; draw a
+//	       4-word secret from the hardware RNG; store both privately.
+//	       Exits 1.
+//	cmd 1 (unlock): compare shared[0..3] against the stored password in
+//	       constant time. Correct: write the secret to shared[4..7],
+//	       reset the failure count, exit 1. Wrong: bump the failure
+//	       count, exit 0. After 3 failures: exit 0xdead without
+//	       comparing (locked out forever).
+const (
+	vaultFailsOff  = 0x40
+	vaultPassOff   = 0x80
+	vaultSecretOff = 0xc0
+)
+
+// VaultLockedOut is the exit value once the vault is sealed.
+const VaultLockedOut = 0xdead
+
+func Vault() Guest {
+	p := asm.New()
+	p.CmpI(arm.R0, 0)
+	p.Beq("provision")
+
+	// --- unlock ---
+	p.MovImm32(arm.R12, DataVA+vaultFailsOff)
+	p.Ldr(arm.R4, arm.R12, 0)
+	p.CmpI(arm.R4, 3)
+	p.Bge("locked")
+	p.MovImm32(arm.R0, SharedVA)
+	p.MovImm32(arm.R1, DataVA+vaultPassOff)
+	p.Movw(arm.R2, 4)
+	p.Bl("memcmp")
+	p.CmpI(arm.R0, 0)
+	p.Bne("wrong")
+	// Correct password: release the secret and reset failures.
+	p.MovImm32(arm.R0, SharedVA+0x10)
+	p.MovImm32(arm.R1, DataVA+vaultSecretOff)
+	p.Movw(arm.R2, 4)
+	p.Bl("memcpy")
+	p.Movw(arm.R3, 0)
+	p.MovImm32(arm.R12, DataVA+vaultFailsOff)
+	p.Str(arm.R3, arm.R12, 0)
+	p.Movw(arm.R1, 1)
+	emitExit(p)
+
+	p.Label("wrong")
+	p.MovImm32(arm.R12, DataVA+vaultFailsOff)
+	p.Ldr(arm.R4, arm.R12, 0)
+	p.AddI(arm.R4, arm.R4, 1)
+	p.Str(arm.R4, arm.R12, 0)
+	p.Movw(arm.R1, 0)
+	emitExit(p)
+
+	p.Label("locked")
+	p.Movw(arm.R1, VaultLockedOut)
+	emitExit(p)
+
+	// --- provision ---
+	p.Label("provision")
+	p.MovImm32(arm.R0, DataVA+vaultPassOff)
+	p.MovImm32(arm.R1, SharedVA)
+	p.Movw(arm.R2, 4)
+	p.Bl("memcpy")
+	for i := 0; i < 4; i++ {
+		p.Movw(arm.R0, kapi.SVCGetRandom)
+		p.Svc()
+		p.MovImm32(arm.R12, DataVA+vaultSecretOff+uint32(i*4))
+		p.Str(arm.R1, arm.R12, 0)
+	}
+	p.Movw(arm.R1, 1)
+	emitExit(p)
+
+	EmitMemcpyW(p, "memcpy")
+	EmitMemcmpW(p, "memcmp")
+	return Guest{Prog: p, WithShared: true}
+}

@@ -1,0 +1,368 @@
+// Package mem models the simulated platform's physical memory, including
+// the TrustZone partition between secure and insecure RAM and the memory
+// protection variants Komodo's hardware requirements allow (§3.2 "Isolated
+// memory"):
+//
+//   - an IOMMU-like filter that merely prevents normal-world (and device)
+//     access to secure RAM — sufficient when physical attacks are out of
+//     scope;
+//   - on-chip scratchpad RAM, which a physical attacker can neither read
+//     nor tamper with;
+//   - an SGX-style memory encryption engine with integrity protection,
+//     under which a physical attacker snooping the bus sees ciphertext and
+//     any tampering is detected on the next CPU access.
+//
+// The machine is word-addressed: all accesses are 32-bit and word-aligned,
+// matching the paper's machine model (§5.1: "our machine state models
+// memory as a mapping from word-aligned addresses to 32-bit values").
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// World identifies the TrustZone security state of an access.
+type World int
+
+const (
+	// Normal is the normal world: the untrusted OS, applications, and
+	// DMA-capable devices (the TZASC/IOMMU treats device traffic as
+	// normal-world).
+	Normal World = iota
+	// Secure is the secure world: the monitor and enclaves.
+	Secure
+)
+
+func (w World) String() string {
+	if w == Secure {
+		return "secure"
+	}
+	return "normal"
+}
+
+// Protection selects the §3.2 isolated-memory variant protecting secure RAM.
+type Protection int
+
+const (
+	// ProtFilter is an IOMMU-like filter: normal-world accesses to secure
+	// RAM are blocked, but a physical attacker (bus snoop, cold boot) sees
+	// and can modify secure RAM contents. Physical attacks out of scope.
+	ProtFilter Protection = iota
+	// ProtScratchpad is on-chip RAM: secure contents never leave the SoC,
+	// so physical attacks on it fail entirely.
+	ProtScratchpad
+	// ProtEncrypt is an SGX-style encryption engine with integrity
+	// protection: DRAM holds ciphertext; physical tampering is detected
+	// on the next CPU access to the affected word.
+	ProtEncrypt
+)
+
+func (p Protection) String() string {
+	switch p {
+	case ProtFilter:
+		return "iommu-filter"
+	case ProtScratchpad:
+		return "scratchpad"
+	case ProtEncrypt:
+		return "encrypt+integrity"
+	}
+	return fmt.Sprintf("Protection(%d)", int(p))
+}
+
+// Architectural constants.
+const (
+	// PageSize is 4 kB, the only page size Komodo's model supports
+	// (§5.1: 4 kB "small" pages in the short descriptor format).
+	PageSize = 4096
+	// PageWords is the number of 32-bit words per page.
+	PageWords = PageSize / 4
+	// WordSize in bytes.
+	WordSize = 4
+)
+
+// Access and integrity errors. The CPU model converts these into the
+// corresponding architectural exceptions (data aborts).
+var (
+	ErrUnaligned       = errors.New("mem: unaligned word access")
+	ErrUnmapped        = errors.New("mem: access to unmapped physical address")
+	ErrSecureViolation = errors.New("mem: normal-world access to secure memory blocked")
+	ErrIntegrity       = errors.New("mem: integrity check failed (physical tampering detected)")
+	ErrShielded        = errors.New("mem: on-chip memory is not physically accessible")
+)
+
+// Layout describes the physical address map. Regions must be page-aligned
+// and disjoint; NewPhysical validates this.
+type Layout struct {
+	InsecureBase uint32
+	InsecureSize uint32
+	SecureBase   uint32
+	SecureSize   uint32
+	Protection   Protection
+}
+
+// DefaultLayout mirrors the prototype platform: the bootloader reserves a
+// configurable region of RAM as secure memory (§7.2, Figure 4). 16 MB of
+// insecure RAM at 0x8000_0000 and 1 MB (256 pages) of secure RAM at
+// 0x4000_0000.
+func DefaultLayout() Layout {
+	return Layout{
+		InsecureBase: 0x8000_0000,
+		InsecureSize: 16 << 20,
+		SecureBase:   0x4000_0000,
+		SecureSize:   1 << 20,
+		Protection:   ProtFilter,
+	}
+}
+
+// Physical is the platform's physical memory plus the TrustZone address
+// space controller. It is single-core state: not safe for concurrent use.
+type Physical struct {
+	layout   Layout
+	insecure []uint32
+	secure   []uint32
+	// tampered marks secure words whose DRAM image was physically
+	// modified under ProtEncrypt; the next CPU access faults.
+	tampered map[uint32]bool
+	// encKey is the (simulated) memory-encryption keystream seed.
+	encKey uint32
+}
+
+// NewPhysical builds memory for the given layout.
+func NewPhysical(l Layout) (*Physical, error) {
+	if l.InsecureBase%PageSize != 0 || l.SecureBase%PageSize != 0 ||
+		l.InsecureSize%PageSize != 0 || l.SecureSize%PageSize != 0 {
+		return nil, fmt.Errorf("mem: layout regions must be page-aligned: %+v", l)
+	}
+	if l.InsecureSize == 0 || l.SecureSize == 0 {
+		return nil, errors.New("mem: layout regions must be non-empty")
+	}
+	if overlap(l.InsecureBase, l.InsecureSize, l.SecureBase, l.SecureSize) {
+		return nil, errors.New("mem: secure and insecure regions overlap")
+	}
+	return &Physical{
+		layout:   l,
+		insecure: make([]uint32, l.InsecureSize/4),
+		secure:   make([]uint32, l.SecureSize/4),
+		tampered: make(map[uint32]bool),
+		encKey:   0x5ec0_de15,
+	}, nil
+}
+
+func overlap(b1, s1, b2, s2 uint32) bool {
+	e1, e2 := uint64(b1)+uint64(s1), uint64(b2)+uint64(s2)
+	return uint64(b1) < e2 && uint64(b2) < e1
+}
+
+// Layout returns the address map.
+func (p *Physical) Layout() Layout { return p.layout }
+
+// InSecure reports whether addr falls in the secure region.
+func (p *Physical) InSecure(addr uint32) bool {
+	return addr >= p.layout.SecureBase && uint64(addr) < uint64(p.layout.SecureBase)+uint64(p.layout.SecureSize)
+}
+
+// InInsecure reports whether addr falls in the insecure region.
+func (p *Physical) InInsecure(addr uint32) bool {
+	return addr >= p.layout.InsecureBase && uint64(addr) < uint64(p.layout.InsecureBase)+uint64(p.layout.InsecureSize)
+}
+
+// Read performs a CPU (or DMA, with w==Normal) word read.
+func (p *Physical) Read(addr uint32, w World) (uint32, error) {
+	if addr%WordSize != 0 {
+		return 0, fmt.Errorf("%w: %#x", ErrUnaligned, addr)
+	}
+	switch {
+	case p.InSecure(addr):
+		if w != Secure {
+			return 0, fmt.Errorf("%w: read %#x", ErrSecureViolation, addr)
+		}
+		if p.layout.Protection == ProtEncrypt && p.tampered[addr] {
+			return 0, fmt.Errorf("%w: read %#x", ErrIntegrity, addr)
+		}
+		return p.secure[(addr-p.layout.SecureBase)/4], nil
+	case p.InInsecure(addr):
+		return p.insecure[(addr-p.layout.InsecureBase)/4], nil
+	default:
+		return 0, fmt.Errorf("%w: read %#x", ErrUnmapped, addr)
+	}
+}
+
+// Write performs a CPU (or DMA, with w==Normal) word write.
+func (p *Physical) Write(addr, val uint32, w World) error {
+	if addr%WordSize != 0 {
+		return fmt.Errorf("%w: %#x", ErrUnaligned, addr)
+	}
+	switch {
+	case p.InSecure(addr):
+		if w != Secure {
+			return fmt.Errorf("%w: write %#x", ErrSecureViolation, addr)
+		}
+		if p.layout.Protection == ProtEncrypt {
+			// A legitimate write re-encrypts the line, clearing any
+			// pending integrity poison for that word.
+			delete(p.tampered, addr)
+		}
+		p.secure[(addr-p.layout.SecureBase)/4] = val
+		return nil
+	case p.InInsecure(addr):
+		p.insecure[(addr-p.layout.InsecureBase)/4] = val
+		return nil
+	default:
+		return fmt.Errorf("%w: write %#x", ErrUnmapped, addr)
+	}
+}
+
+// keystream is the simulated encryption engine's per-word pad. It only
+// models *observational* ciphertext for the physical attacker; CPU-side
+// accesses are transparent, as on real hardware.
+func (p *Physical) keystream(addr uint32) uint32 {
+	x := addr ^ p.encKey
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// SnoopDRAM models a physical attacker reading raw DRAM (bus snooping or a
+// cold-boot attack, §3.1). What it observes depends on the protection
+// variant.
+func (p *Physical) SnoopDRAM(addr uint32) (uint32, error) {
+	if addr%WordSize != 0 {
+		return 0, fmt.Errorf("%w: %#x", ErrUnaligned, addr)
+	}
+	switch {
+	case p.InSecure(addr):
+		switch p.layout.Protection {
+		case ProtScratchpad:
+			return 0, fmt.Errorf("%w: snoop %#x", ErrShielded, addr)
+		case ProtEncrypt:
+			plain := p.secure[(addr-p.layout.SecureBase)/4]
+			return plain ^ p.keystream(addr), nil
+		default: // ProtFilter: physical attacks out of scope, DRAM is plaintext
+			return p.secure[(addr-p.layout.SecureBase)/4], nil
+		}
+	case p.InInsecure(addr):
+		return p.insecure[(addr-p.layout.InsecureBase)/4], nil
+	default:
+		return 0, fmt.Errorf("%w: snoop %#x", ErrUnmapped, addr)
+	}
+}
+
+// TamperDRAM models a physical attacker overwriting raw DRAM.
+func (p *Physical) TamperDRAM(addr, raw uint32) error {
+	if addr%WordSize != 0 {
+		return fmt.Errorf("%w: %#x", ErrUnaligned, addr)
+	}
+	switch {
+	case p.InSecure(addr):
+		switch p.layout.Protection {
+		case ProtScratchpad:
+			return fmt.Errorf("%w: tamper %#x", ErrShielded, addr)
+		case ProtEncrypt:
+			// The engine will detect the modification: poison the word.
+			p.tampered[addr] = true
+			p.secure[(addr-p.layout.SecureBase)/4] = raw ^ p.keystream(addr)
+			return nil
+		default:
+			p.secure[(addr-p.layout.SecureBase)/4] = raw
+			return nil
+		}
+	case p.InInsecure(addr):
+		p.insecure[(addr-p.layout.InsecureBase)/4] = raw
+		return nil
+	default:
+		return fmt.Errorf("%w: tamper %#x", ErrUnmapped, addr)
+	}
+}
+
+// --- Page-granularity helpers used by the monitor and the OS model ---
+
+// SecurePageCount returns the number of 4 kB secure pages.
+func (p *Physical) SecurePageCount() int { return int(p.layout.SecureSize / PageSize) }
+
+// SecurePageBase returns the physical base address of secure page n.
+func (p *Physical) SecurePageBase(n int) uint32 {
+	return p.layout.SecureBase + uint32(n)*PageSize
+}
+
+// SecurePageIndex returns the secure page number containing addr, or -1.
+func (p *Physical) SecurePageIndex(addr uint32) int {
+	if !p.InSecure(addr) {
+		return -1
+	}
+	return int((addr - p.layout.SecureBase) / PageSize)
+}
+
+// ReadPage copies the 1024 words of the page at base (which must be
+// page-aligned) using world w for permission checks.
+func (p *Physical) ReadPage(base uint32, w World) ([PageWords]uint32, error) {
+	var out [PageWords]uint32
+	if base%PageSize != 0 {
+		return out, fmt.Errorf("%w: page base %#x", ErrUnaligned, base)
+	}
+	for i := 0; i < PageWords; i++ {
+		v, err := p.Read(base+uint32(i*4), w)
+		if err != nil {
+			return out, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// WritePage writes 1024 words to the page at base.
+func (p *Physical) WritePage(base uint32, words *[PageWords]uint32, w World) error {
+	if base%PageSize != 0 {
+		return fmt.Errorf("%w: page base %#x", ErrUnaligned, base)
+	}
+	for i := 0; i < PageWords; i++ {
+		if err := p.Write(base+uint32(i*4), words[i], w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ZeroPage zero-fills the page at base.
+func (p *Physical) ZeroPage(base uint32, w World) error {
+	var z [PageWords]uint32
+	return p.WritePage(base, &z, w)
+}
+
+// MemSnapshot captures the full contents of physical memory (for machine
+// snapshot/restore, e.g. forking bisimulation states mid-run).
+type MemSnapshot struct {
+	insecure []uint32
+	secure   []uint32
+	tampered map[uint32]bool
+}
+
+// Snapshot copies all memory contents.
+func (p *Physical) Snapshot() *MemSnapshot {
+	s := &MemSnapshot{
+		insecure: append([]uint32(nil), p.insecure...),
+		secure:   append([]uint32(nil), p.secure...),
+		tampered: make(map[uint32]bool, len(p.tampered)),
+	}
+	for k, v := range p.tampered {
+		s.tampered[k] = v
+	}
+	return s
+}
+
+// Restore rewinds memory to a snapshot taken from the same layout.
+func (p *Physical) Restore(s *MemSnapshot) error {
+	if len(s.insecure) != len(p.insecure) || len(s.secure) != len(p.secure) {
+		return errors.New("mem: snapshot layout mismatch")
+	}
+	copy(p.insecure, s.insecure)
+	copy(p.secure, s.secure)
+	p.tampered = make(map[uint32]bool, len(s.tampered))
+	for k, v := range s.tampered {
+		p.tampered[k] = v
+	}
+	return nil
+}

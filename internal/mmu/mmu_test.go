@@ -1,0 +1,169 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newPhys(t *testing.T) *mem.Physical {
+	t.Helper()
+	p, err := mem.NewPhysical(mem.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// buildTables installs an L1 page at secure page 0 and an L2 page at secure
+// page 1, mapping va -> secure page 2 with the given perms. Returns ttbr0
+// and the mapped physical base.
+func buildTables(t *testing.T, p *mem.Physical, va uint32, perms Perms) (ttbr0, target uint32) {
+	t.Helper()
+	l1 := p.SecurePageBase(0)
+	l2 := p.SecurePageBase(1)
+	target = p.SecurePageBase(2)
+	if err := p.Write(l1+uint32(L1Index(va))*4, l2|PteValid, mem.Secure); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(l2+uint32(L2Index(va))*4, PTE(target, perms), mem.Secure); err != nil {
+		t.Fatal(err)
+	}
+	return l1, target
+}
+
+func TestIndexExtraction(t *testing.T) {
+	// va = l1<<22 | l2<<12 | off
+	va := uint32(37<<22 | 513<<12 | 0x123)
+	if L1Index(va) != 37 {
+		t.Fatalf("L1Index = %d", L1Index(va))
+	}
+	if L2Index(va) != 513 {
+		t.Fatalf("L2Index = %d", L2Index(va))
+	}
+}
+
+func TestPTERoundTrip(t *testing.T) {
+	f := func(pageNr uint16, w, x, ns bool) bool {
+		base := uint32(pageNr) * mem.PageSize
+		p := Perms{Write: w, Exec: x, NS: ns}
+		e := PTE(base, p)
+		b2, p2, ok := DecodePTE(e)
+		return ok && b2 == base && p2 == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeInvalidPTE(t *testing.T) {
+	if _, _, ok := DecodePTE(0); ok {
+		t.Fatal("zero PTE decoded as valid")
+	}
+	if _, _, ok := DecodePTE(0x12345000); ok { // valid bit clear
+		t.Fatal("PTE without valid bit decoded as valid")
+	}
+}
+
+func TestWalkTranslates(t *testing.T) {
+	p := newPhys(t)
+	va := uint32(5<<22 | 7<<12)
+	ttbr0, target := buildTables(t, p, va, Perms{Write: true, Exec: true})
+	pa, perms, err := Walk(p, ttbr0, va+0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != target+0x40 {
+		t.Fatalf("pa = %#x, want %#x", pa, target+0x40)
+	}
+	if !perms.Write || !perms.Exec || perms.NS {
+		t.Fatalf("perms = %+v", perms)
+	}
+}
+
+func TestWalkFaults(t *testing.T) {
+	p := newPhys(t)
+	va := uint32(5<<22 | 7<<12)
+	ttbr0, _ := buildTables(t, p, va, Perms{})
+
+	if _, _, err := Walk(p, ttbr0, uint32(VASpaceSize)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("beyond 1GB: err = %v", err)
+	}
+	// Unmapped L1 entry.
+	if _, _, err := Walk(p, ttbr0, uint32(9<<22)); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("missing L2 table: err = %v", err)
+	}
+	// Mapped L1 but invalid L2 entry.
+	if _, _, err := Walk(p, ttbr0, va+mem.PageSize); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("invalid L2 entry: err = %v", err)
+	}
+	// TTBR pointing outside RAM.
+	if _, _, err := Walk(p, 0x1000, va); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("bad ttbr: err = %v", err)
+	}
+}
+
+func TestWalkInsecureMapping(t *testing.T) {
+	p := newPhys(t)
+	va := uint32(1 << 22)
+	l1 := p.SecurePageBase(0)
+	l2 := p.SecurePageBase(1)
+	insec := p.Layout().InsecureBase + 3*mem.PageSize
+	p.Write(l1+uint32(L1Index(va))*4, l2|PteValid, mem.Secure)
+	p.Write(l2+uint32(L2Index(va))*4, PTE(insec, Perms{Write: true, NS: true}), mem.Secure)
+	pa, perms, err := Walk(p, l1, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != insec || !perms.NS {
+		t.Fatalf("pa=%#x perms=%+v", pa, perms)
+	}
+}
+
+func TestTLBFillLookupFlush(t *testing.T) {
+	tlb := NewTLB()
+	if !tlb.Consistent() {
+		t.Fatal("fresh TLB not consistent")
+	}
+	if _, _, ok := tlb.Lookup(0x1000); ok {
+		t.Fatal("empty TLB hit")
+	}
+	tlb.Fill(0x1234, 0x40002000, Perms{Write: true})
+	pa, perms, ok := tlb.Lookup(0x1ffc)
+	if !ok || pa != 0x40002000 || !perms.Write {
+		t.Fatalf("lookup after fill: ok=%v pa=%#x perms=%+v", ok, pa, perms)
+	}
+	tlb.MarkInconsistent()
+	if tlb.Consistent() {
+		t.Fatal("MarkInconsistent ignored")
+	}
+	// Stale entry persists until flush — the real hazard.
+	if _, _, ok := tlb.Lookup(0x1000); !ok {
+		t.Fatal("entry dropped without flush")
+	}
+	tlb.Flush()
+	if !tlb.Consistent() || tlb.Size() != 0 {
+		t.Fatal("flush did not reset TLB")
+	}
+	fills, hits, flushes := tlb.Stats()
+	if fills != 1 || hits != 2 || flushes != 1 {
+		t.Fatalf("stats = %d/%d/%d", fills, hits, flushes)
+	}
+}
+
+func TestWalkMatchesTLBGranularity(t *testing.T) {
+	// Any two addresses in the same page walk to the same page base.
+	p := newPhys(t)
+	va := uint32(2 << 22)
+	ttbr0, _ := buildTables(t, p, va, Perms{Write: true})
+	pa1, _, err1 := Walk(p, ttbr0, va)
+	pa2, _, err2 := Walk(p, ttbr0, va+mem.PageSize-4)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if pa1&^uint32(mem.PageSize-1) != pa2&^uint32(mem.PageSize-1) {
+		t.Fatalf("page bases differ: %#x vs %#x", pa1, pa2)
+	}
+}

@@ -1,0 +1,46 @@
+package monitor_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/monitor"
+)
+
+// TestExecBudgetExhaustion: an enclave that never yields hits the
+// simulation's instruction budget — a simulator-level error, distinct from
+// any architectural result (real hardware would run until an interrupt).
+func TestExecBudgetExhaustion(t *testing.T) {
+	w := newWorld(t, board.Config{Monitor: monitor.Config{ExecBudget: 10_000}})
+	enc := w.build(t, kasm.SpinForever())
+	_, _, err := w.os.Enter(enc)
+	if err == nil {
+		t.Fatal("runaway enclave did not trip the budget")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRunawayEnclaveIsInterruptible: the architectural answer to a spinning
+// enclave is an interrupt — the OS regains control and may simply never
+// resume.
+func TestRunawayEnclaveIsInterruptible(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	enc := w.build(t, kasm.SpinForever())
+	w.plat.Machine.ScheduleIRQ(50_000)
+	e, v, err := w.os.Enter(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != kapi.ErrInterrupted {
+		t.Fatalf("spinning enclave: (%v, %d)", e, v)
+	}
+	// The OS declines to resume; it can even tear the enclave down.
+	if _, _, err := w.chk.SMC(kapi.SMCStop, uint32(enc.AS)); err != nil {
+		t.Fatal(err)
+	}
+}

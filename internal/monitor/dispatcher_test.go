@@ -1,0 +1,122 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+)
+
+// Tests for the dispatcher extension (§9.2): enclave fault handlers and
+// self-paging, all refinement-checked through the world helper.
+
+func TestSelfPaging(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	enc := w.build(t, kasm.SelfPager())
+	e, v, err := w.os.Enter(enc, uint32(enc.Spares[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fault was serviced inside the enclave: the OS sees a normal
+	// exit, never a fault.
+	if e != kapi.ErrSuccess {
+		t.Fatalf("self-pager: (%v, %#x), want success", e, v)
+	}
+	if v != 0xabcd {
+		t.Fatalf("value through self-paged mapping = %#x", v)
+	}
+}
+
+func TestHandlerReceivesExceptionType(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	enc := w.build(t, kasm.HandlerCounts())
+	e, v, err := w.os.Enter(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != kapi.ErrSuccess {
+		t.Fatalf("(%v, %d)", e, v)
+	}
+	if v != kapi.ExitUndef {
+		t.Fatalf("handler saw exception type %d, want %d", v, kapi.ExitUndef)
+	}
+}
+
+func TestDoubleFaultIsTerminal(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	enc := w.build(t, kasm.DoubleFaulter())
+	e, v, err := w.os.Enter(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != kapi.ErrFault || v != kapi.ExitUndef {
+		t.Fatalf("double fault: (%v, %d), want (fault, undef)", e, v)
+	}
+	// The thread is re-enterable after the terminal fault.
+	e, _, err = w.os.Enter(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != kapi.ErrFault {
+		t.Fatalf("re-enter: %v", e)
+	}
+}
+
+func TestStrayFaultReturnRejected(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	enc := w.build(t, kasm.StrayFaultReturn())
+	e, v, err := w.os.Enter(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != kapi.ErrSuccess {
+		t.Fatalf("(%v, %d)", e, v)
+	}
+	if v != uint32(kapi.ErrInvalidArg) {
+		t.Fatalf("stray FaultReturn returned %d, want ErrInvalidArg", v)
+	}
+}
+
+func TestHandlerAfterInterruptResume(t *testing.T) {
+	// Fault handling composes with suspend/resume: interrupt the
+	// self-pager mid-run, resume it, and the handled fault still works.
+	w := newWorld(t, board.Config{})
+	enc := w.build(t, kasm.SelfPager())
+	w.plat.Machine.ScheduleIRQ(5) // inside the prologue
+	e, v, err := w.os.Enter(enc, uint32(enc.Spares[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == kapi.ErrInterrupted {
+		e, v, err = w.os.Resume(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e != kapi.ErrSuccess || v != 0xabcd {
+		t.Fatalf("after interrupt+resume: (%v, %#x)", e, v)
+	}
+}
+
+func TestFaultHandledInvisibleToOS(t *testing.T) {
+	// The whole point of the dispatcher (§9.2): the OS cannot observe
+	// handled faults. A self-paging run and a plain run return the same
+	// kind of result — success with a value — and nothing in the SMC
+	// result distinguishes "faulted and self-repaired" from "ran clean".
+	w := newWorld(t, board.Config{})
+	pager := w.build(t, kasm.SelfPager())
+	clean := w.build(t, kasm.StoreLoad())
+
+	e1, _, err := w.os.Enter(pager, uint32(pager.Spares[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := w.os.Enter(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("fault handling visible in result codes: %v vs %v", e1, e2)
+	}
+}

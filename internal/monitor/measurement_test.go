@@ -1,0 +1,125 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/mem"
+	"repro/internal/sha2"
+)
+
+// TestMeasurementAlgorithmGolden pins the measurement algorithm by
+// recomputing it independently from the construction parameters: the
+// measurement is SHA-256 over the sequence (for each thread: the
+// InitThread tag and entry point; for each secure page: the MapSecure tag,
+// the mapping word, and the 1024 content words), finalised at Finalise
+// (§4: "(i) the enclave virtual address, permissions and initial contents
+// of each secure page; and (ii) the entry point of every thread").
+//
+// This is a cross-check beyond refinement (which compares monitor and
+// spec, both built here): it re-derives the transcript by hand, so an
+// accidental change to the algorithm breaks this test even if monitor and
+// spec change together.
+func TestMeasurementAlgorithmGolden(t *testing.T) {
+	w := newWorld(t, board.Config{})
+
+	// A hand-built enclave: one code page at VA 0 (x), one data page at
+	// VA 0x1000 (rw), entry 0.
+	code := make([]uint32, mem.PageWords)
+	code[0] = 0xAAA0_0001
+	code[1] = 0xBBB0_0002
+	data := make([]uint32, mem.PageWords)
+	data[7] = 0x7777
+
+	asPg, _ := w.os.AllocPage()
+	l1Pg, _ := w.os.AllocPage()
+	mustSMC(t, w, kapi.SMCInitAddrspace, uint32(asPg), uint32(l1Pg))
+	l2Pg, _ := w.os.AllocPage()
+	mustSMC(t, w, kapi.SMCInitL2PTable, uint32(asPg), uint32(l2Pg), 0)
+
+	stage1, _ := w.os.AllocInsecurePage()
+	w.os.WriteInsecure(stage1, code)
+	codePg, _ := w.os.AllocPage()
+	mCode := kapi.NewMapping(0, false, true)
+	mustSMC(t, w, kapi.SMCMapSecure, uint32(asPg), uint32(codePg), uint32(mCode), stage1)
+
+	stage2, _ := w.os.AllocInsecurePage()
+	w.os.WriteInsecure(stage2, data)
+	dataPg, _ := w.os.AllocPage()
+	mData := kapi.NewMapping(0x1000, true, false)
+	mustSMC(t, w, kapi.SMCMapSecure, uint32(asPg), uint32(dataPg), uint32(mData), stage2)
+
+	thrPg, _ := w.os.AllocPage()
+	const entry = 0x0
+	mustSMC(t, w, kapi.SMCInitThread, uint32(asPg), uint32(thrPg), entry)
+	mustSMC(t, w, kapi.SMCFinalise, uint32(asPg))
+
+	db, err := w.plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.Addrspace(asPg).Measured
+
+	// Independent recomputation of the transcript.
+	h := sha2.New()
+	h.WriteWords([]uint32{kapi.SMCMapSecure, uint32(mCode)})
+	h.WriteWords(code)
+	h.WriteWords([]uint32{kapi.SMCMapSecure, uint32(mData)})
+	h.WriteWords(data)
+	h.WriteWords([]uint32{kapi.SMCInitThread, entry})
+	want := h.SumWords()
+
+	if got != want {
+		t.Fatalf("measurement = %08x…, independent transcript = %08x…", got[0], want[0])
+	}
+}
+
+func mustSMC(t *testing.T, w *world, call uint32, args ...uint32) {
+	t.Helper()
+	e, _, err := w.chk.SMC(call, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != kapi.ErrSuccess {
+		t.Fatalf("SMC %d: %v", call, e)
+	}
+}
+
+// TestMeasurementOrderSensitivity: the transcript is a sequence — mapping
+// the same pages in a different order yields a different measurement
+// ("any change in an enclave's layout will be reflected in the hash", §4).
+func TestMeasurementOrderSensitivity(t *testing.T) {
+	build := func(firstDataThenCode bool) [8]uint32 {
+		w := newWorld(t, board.Config{})
+		asPg, _ := w.os.AllocPage()
+		l1Pg, _ := w.os.AllocPage()
+		mustSMC(t, w, kapi.SMCInitAddrspace, uint32(asPg), uint32(l1Pg))
+		l2Pg, _ := w.os.AllocPage()
+		mustSMC(t, w, kapi.SMCInitL2PTable, uint32(asPg), uint32(l2Pg), 0)
+		stage, _ := w.os.AllocInsecurePage()
+		w.os.WriteInsecure(stage, []uint32{0x42})
+		mapOne := func(va uint32) {
+			pg, _ := w.os.AllocPage()
+			mustSMC(t, w, kapi.SMCMapSecure, uint32(asPg), uint32(pg), uint32(kapi.NewMapping(va, true, false)), stage)
+		}
+		if firstDataThenCode {
+			mapOne(0x1000)
+			mapOne(0x2000)
+		} else {
+			mapOne(0x2000)
+			mapOne(0x1000)
+		}
+		thrPg, _ := w.os.AllocPage()
+		mustSMC(t, w, kapi.SMCInitThread, uint32(asPg), uint32(thrPg), 0x1000)
+		mustSMC(t, w, kapi.SMCFinalise, uint32(asPg))
+		db, err := w.plat.Monitor.DecodePageDB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db.Addrspace(asPg).Measured
+	}
+	if build(true) == build(false) {
+		t.Fatal("mapping order not reflected in the measurement")
+	}
+}

@@ -1,0 +1,162 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/nwos"
+)
+
+// Multi-threaded enclaves: "An enclave consists of an address space with
+// at least one thread" (§4) — and may have many, each with its own
+// context and suspend state, all sharing the address space.
+
+// counterGuest: thread 0 ("writer", entry 0) adds arg1 to the shared
+// counter at DataVA and exits with the new value; thread 1 ("reader",
+// entry at `reader`) exits with the current counter value.
+func counterGuest(t *testing.T) (nwos.Image, uint32) {
+	t.Helper()
+	p := asm.New()
+	// writer (entry 0): counter += arg1
+	p.MovImm32(arm.R6, kasm.DataVA).
+		Ldr(arm.R7, arm.R6, 0).
+		Add(arm.R7, arm.R7, arm.R0).
+		Str(arm.R7, arm.R6, 0).
+		Mov(arm.R1, arm.R7)
+	p.Movw(arm.R0, kapi.SVCExit)
+	p.Svc()
+	p.Label("reader")
+	p.MovImm32(arm.R6, kasm.DataVA).
+		Ldr(arm.R1, arm.R6, 0)
+	p.Movw(arm.R0, kapi.SVCExit)
+	p.Svc()
+	readerEntry, err := p.LabelAddr(kasm.CodeVA, "reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kasm.Guest{Prog: p}
+	img, err := g.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.ExtraThreads = []uint32{readerEntry}
+	return img, readerEntry
+}
+
+func TestMultiThreadSharedAddressSpace(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	img, _ := counterGuest(t)
+	enc, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.Threads) != 2 {
+		t.Fatalf("threads = %d", len(enc.Threads))
+	}
+	// Writer thread bumps the counter twice.
+	if e, v, err := w.os.EnterThread(enc, 0, 10); err != nil || e != kapi.ErrSuccess || v != 10 {
+		t.Fatalf("writer 1: %v %v %d", err, e, v)
+	}
+	if e, v, err := w.os.EnterThread(enc, 0, 5); err != nil || e != kapi.ErrSuccess || v != 15 {
+		t.Fatalf("writer 2: %v %v %d", err, e, v)
+	}
+	// Reader thread sees the shared state: one address space.
+	if e, v, err := w.os.EnterThread(enc, 1); err != nil || e != kapi.ErrSuccess || v != 15 {
+		t.Fatalf("reader: %v %v %d", err, e, v)
+	}
+}
+
+func TestMultiThreadIndependentSuspendState(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	g := kasm.CountTo()
+	img, err := g.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.ExtraThreads = []uint32{0} // second thread, same entry
+	enc, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suspend thread 0 mid-run.
+	w.plat.Machine.ScheduleIRQ(1000)
+	if e, _, err := w.os.EnterThread(enc, 0, 1_000_000); err != nil || e != kapi.ErrInterrupted {
+		t.Fatal(err, e)
+	}
+	// Thread 1 is unaffected: it can run to completion while thread 0
+	// stays suspended.
+	if e, v, err := w.os.EnterThread(enc, 1, 500); err != nil || e != kapi.ErrSuccess || v != 500 {
+		t.Fatalf("thread 1 while 0 suspended: %v %v %d", err, e, v)
+	}
+	// Thread 0 cannot be re-entered, only resumed; thread 1 the reverse.
+	if e, _, _ := w.os.EnterThread(enc, 0); e != kapi.ErrAlreadyEntered {
+		t.Fatalf("re-enter suspended: %v", e)
+	}
+	if e, _, _ := w.os.ResumeThread(enc, 1); e != kapi.ErrNotEntered {
+		t.Fatalf("resume completed: %v", e)
+	}
+	if e, v, err := w.os.ResumeThread(enc, 0); err != nil || e != kapi.ErrSuccess || v != 1_000_000 {
+		t.Fatalf("resume thread 0: %v %v %d", err, e, v)
+	}
+}
+
+func TestMultiThreadMeasurementIncludesAll(t *testing.T) {
+	// Every thread's entry point is measured (§4: "the entry point of
+	// every thread"): one vs. two threads → different measurements.
+	build := func(extra []uint32) [8]uint32 {
+		w := newWorld(t, board.Config{})
+		img, err := kasm.ExitConst(1).Image()
+		if err != nil {
+			t.Fatal(err)
+		}
+		img.ExtraThreads = extra
+		enc, err := w.os.BuildEnclave(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := w.plat.Monitor.DecodePageDB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db.Addrspace(enc.AS).Measured
+	}
+	if build(nil) == build([]uint32{0x40}) {
+		t.Fatal("extra thread not reflected in measurement")
+	}
+}
+
+// TestEnclaveToEnclaveSharedMemory: two enclaves share one insecure page
+// (§4: insecure mappings "facilitate untrusted communication channels with
+// the OS or between enclaves").
+func TestEnclaveToEnclaveSharedMemory(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	// Producer writes shared[1] = shared[0] + arg.
+	producer := w.build(t, kasm.SharedEcho())
+	// Consumer with the SAME physical page mapped.
+	g := kasm.SharedEcho()
+	g.SharedPA = producer.SharedPA[0]
+	consumer := w.build(t, g)
+
+	if err := w.os.WriteInsecure(producer.SharedPA[0], []uint32{100}); err != nil {
+		t.Fatal(err)
+	}
+	// Producer: shared[1] = 100 + 11 = 111.
+	if e, v, err := w.os.Enter(producer, 11); err != nil || e != kapi.ErrSuccess || v != 111 {
+		t.Fatalf("producer: %v %v %d", err, e, v)
+	}
+	// Move the produced value into shared[0] (the OS shuttles data in the
+	// untrusted channel), then the consumer reads it through ITS mapping
+	// of the same physical page.
+	out, _ := w.os.ReadInsecure(producer.SharedPA[0]+4, 1)
+	w.os.WriteInsecure(consumer.SharedPA[0], out)
+	if e, v, err := w.os.Enter(consumer, 1000); err != nil || e != kapi.ErrSuccess || v != 1111 {
+		t.Fatalf("consumer: %v %v %d", err, e, v)
+	}
+	if consumer.SharedPA[0] != producer.SharedPA[0] {
+		t.Fatal("enclaves not sharing one physical page")
+	}
+}

@@ -1,0 +1,200 @@
+package monitor
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/kapi"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pagedb"
+	"repro/internal/sha2"
+)
+
+// dispatchSVC handles a supervisor call from the executing enclave thread.
+// Results go back to the enclave in R0 (error) and R1–R8 (values); the
+// register write-back is done by the caller (smcEnter's loop).
+func (k *Monitor) dispatchSVC(th, as pagedb.PageNr, call uint32, args [8]uint32) (kapi.Err, [8]uint32) {
+	var vals [8]uint32
+	switch call {
+	case kapi.SVCGetRandom:
+		v := k.m.RNG.Word()
+		k.m.Cyc.Charge(cycles.RNGWord)
+		k.rngTrace = append(k.rngTrace, v)
+		vals[0] = v
+		return kapi.ErrSuccess, vals
+
+	case kapi.SVCAttest:
+		vals = k.computeMAC(k.asMeasured(as), args)
+		return kapi.ErrSuccess, vals
+
+	case kapi.SVCVerifyStep0:
+		base := k.physPage(th)
+		for i, w := range args {
+			k.wr(base+thOffVerData+uint32(i*4), w)
+		}
+		return kapi.ErrSuccess, vals
+
+	case kapi.SVCVerifyStep1:
+		base := k.physPage(th)
+		for i, w := range args {
+			k.wr(base+thOffVerMeas+uint32(i*4), w)
+		}
+		return kapi.ErrSuccess, vals
+
+	case kapi.SVCVerifyStep2:
+		base := k.physPage(th)
+		var data, meas [8]uint32
+		for i := 0; i < 8; i++ {
+			data[i] = k.rd(base + thOffVerData + uint32(i*4))
+			meas[i] = k.rd(base + thOffVerMeas + uint32(i*4))
+		}
+		want := k.computeMAC(meas, data)
+		if macEqual(want, args) {
+			vals[0] = 1
+		}
+		return kapi.ErrSuccess, vals
+
+	case kapi.SVCInitL2PTable:
+		return k.svcInitL2PTable(as, args[0], args[1]), vals
+
+	case kapi.SVCMapData:
+		return k.svcMapData(as, args[0], kapi.Mapping(args[1])), vals
+
+	case kapi.SVCUnmapData:
+		return k.svcUnmapData(as, args[0], kapi.Mapping(args[1])), vals
+
+	case kapi.SVCSetFaultHandler:
+		if args[0] >= 1<<30 {
+			return kapi.ErrInvalidArg, vals
+		}
+		k.thSetHandler(th, args[0])
+		return kapi.ErrSuccess, vals
+
+	// SVCFaultReturn outside a fault handler falls through to the default
+	// rejection (the in-handler case is special-cased by the execution
+	// loop, which restores the interrupted context wholesale).
+	default:
+		return kapi.ErrInvalidArg, vals
+	}
+}
+
+// computeMAC is the concrete attestation MAC: HMAC-SHA256 over measurement
+// then data, keyed by the boot secret, with Table 3's Attest/Verify cycle
+// cost.
+func (k *Monitor) computeMAC(measurement, data [8]uint32) [8]uint32 {
+	msg := make([]uint32, 0, 16)
+	msg = append(msg, measurement[:]...)
+	msg = append(msg, data[:]...)
+	mac := sha2.HMAC(k.attestKey[:], sha2.WordsToBytes(msg))
+	k.m.Cyc.Charge(cycles.HMACFixed + cycles.SHABlock*sha2.HMACBlocks(64))
+	var out [8]uint32
+	copy(out[:], sha2.BytesToWords(mac[:]))
+	return out
+}
+
+func macEqual(a, b [8]uint32) bool {
+	// Constant-time over the 8 words, as Verify must not leak the
+	// diverging position.
+	var diff uint32
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}
+
+// checkOwnedSpare validates a spare-page argument for the dynamic SVCs.
+func (k *Monitor) checkOwnedSpare(as pagedb.PageNr, pg uint32) kapi.Err {
+	if !k.validPage(pg) {
+		return kapi.ErrInvalidPageNo
+	}
+	n := pagedb.PageNr(pg)
+	if k.pdType(n) != ctSpare || k.pdOwner(n) != as {
+		return kapi.ErrNotSpare
+	}
+	return kapi.ErrSuccess
+}
+
+func (k *Monitor) svcInitL2PTable(as pagedb.PageNr, sparePg, l1index uint32) kapi.Err {
+	if k.staticProfile {
+		return kapi.ErrInvalidArg
+	}
+	if e := k.checkOwnedSpare(as, sparePg); e != kapi.ErrSuccess {
+		return e
+	}
+	if l1index >= mmu.L1Entries {
+		return kapi.ErrInvalidMapping
+	}
+	l1, _ := k.asL1PT(as)
+	slot := k.physPage(l1) + l1index*4
+	if k.rd(slot) != 0 {
+		return kapi.ErrAddrInUse
+	}
+	sp := pagedb.PageNr(sparePg)
+	k.zeroPage(sp)
+	k.wr(slot, k.physPage(sp)|mmu.PteValid)
+	k.m.NotePTStore()
+	k.pdSet(sp, ctL2PT, as)
+	// The live page-table set grew; re-register it and restore TLB
+	// consistency before returning to the enclave.
+	k.m.SetPageTablePages(k.pageTablePages(as))
+	k.m.TLB.Flush()
+	k.m.Cyc.Charge(cycles.TLBFlush)
+	return kapi.ErrSuccess
+}
+
+func (k *Monitor) svcMapData(as pagedb.PageNr, sparePg uint32, m kapi.Mapping) kapi.Err {
+	if k.staticProfile {
+		return kapi.ErrInvalidArg
+	}
+	if e := k.checkOwnedSpare(as, sparePg); e != kapi.ErrSuccess {
+		return e
+	}
+	slot, e := k.mappingSlot(as, m)
+	if e != kapi.ErrSuccess {
+		return e
+	}
+	sp := pagedb.PageNr(sparePg)
+	k.zeroPage(sp) // "Map spare page as zero-filled data page" (Table 1)
+	k.wr(slot, k.pteFor(k.physPage(sp), m, false))
+	k.m.NotePTStore()
+	k.pdSet(sp, ctData, as)
+	k.m.TLB.Flush()
+	k.m.Cyc.Charge(cycles.TLBFlush)
+	return kapi.ErrSuccess
+}
+
+func (k *Monitor) svcUnmapData(as pagedb.PageNr, dataPg uint32, m kapi.Mapping) kapi.Err {
+	if k.staticProfile {
+		return kapi.ErrInvalidArg
+	}
+	if !k.validPage(dataPg) {
+		return kapi.ErrInvalidPageNo
+	}
+	n := pagedb.PageNr(dataPg)
+	if k.pdType(n) != ctData || k.pdOwner(n) != as {
+		return kapi.ErrInvalidArg
+	}
+	if !m.Valid() {
+		return kapi.ErrInvalidMapping
+	}
+	// The VA must currently map exactly this page.
+	l1, set := k.asL1PT(as)
+	if !set {
+		return kapi.ErrInvalidMapping
+	}
+	l1e := k.rd(k.physPage(l1) + uint32(mmu.L1Index(m.VA()))*4)
+	if l1e&mmu.PteValid == 0 {
+		return kapi.ErrInvalidMapping
+	}
+	slot := (l1e &^ uint32(mem.PageSize-1)) + uint32(mmu.L2Index(m.VA()))*4
+	pte := k.rd(slot)
+	base, perms, valid := mmu.DecodePTE(pte)
+	if !valid || perms.NS || base != k.physPage(n) {
+		return kapi.ErrInvalidMapping
+	}
+	k.wr(slot, 0)
+	k.m.NotePTStore()
+	k.pdSet(n, ctSpare, as)
+	k.m.TLB.Flush()
+	k.m.Cyc.Charge(cycles.TLBFlush)
+	return kapi.ErrSuccess
+}

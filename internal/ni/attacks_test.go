@@ -1,0 +1,233 @@
+package ni
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/mem"
+	"repro/internal/monitor"
+	"repro/internal/nwos"
+)
+
+// The attack catalogue: every §3 threat-model attack, asserted. These
+// complement the bisimulation tests — bisimulation shows nothing leaks;
+// these show each concrete attack fails with the architecturally specified
+// behaviour, and that the PageDB invariants survive the attempt.
+
+func attackWorld(t *testing.T) *World {
+	t.Helper()
+	w, err := NewWorld(31, board.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func buildVictim(t *testing.T, w *World) *nwos.Enclave {
+	t.Helper()
+	img, err := kasm.ComputeOnSecret().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := w.OS.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestAttackCatalogueAPIAbuse(t *testing.T) {
+	w := attackWorld(t)
+	victim := buildVictim(t, w)
+	phys := w.Plat.Machine.Phys
+
+	attacks := []struct {
+		name string
+		call uint32
+		args []uint32
+		want kapi.Err
+	}{
+		{"aliased InitAddrspace (§9.1 bug)",
+			kapi.SMCInitAddrspace, []uint32{30, 30}, kapi.ErrInvalidArg},
+		{"double-allocate victim addrspace",
+			kapi.SMCInitAddrspace, []uint32{uint32(victim.AS), 30}, kapi.ErrPageInUse},
+		{"steal victim data page as new L1",
+			kapi.SMCInitAddrspace, []uint32{30, uint32(victim.Data[0])}, kapi.ErrPageInUse},
+		{"rogue thread into finalised victim",
+			kapi.SMCInitThread, []uint32{uint32(victim.AS), 30, 0x6666}, kapi.ErrAlreadyFinal},
+		{"rogue L2 table into finalised victim",
+			kapi.SMCInitL2PTable, []uint32{uint32(victim.AS), 30, 5}, kapi.ErrAlreadyFinal},
+		{"map OS page into finalised victim",
+			kapi.SMCMapInsecure, []uint32{uint32(victim.AS),
+				uint32(kapi.NewMapping(0x9000, true, false)), 0x8000_0000}, kapi.ErrAlreadyFinal},
+		{"MapSecure into finalised victim (sourcing secure RAM)",
+			kapi.SMCMapSecure, []uint32{uint32(victim.AS), 30,
+				uint32(kapi.NewMapping(0x9000, true, false)), 0x4000_0000}, kapi.ErrAlreadyFinal},
+		{"MapSecure sourcing secure RAM (fresh addrspace number)",
+			kapi.SMCMapSecure, []uint32{31, 30,
+				uint32(kapi.NewMapping(0x9000, true, false)), 0x4000_0000}, kapi.ErrInvalidAddrspace},
+		{"free a live victim page",
+			kapi.SMCRemove, []uint32{uint32(victim.Data[0])}, kapi.ErrNotStopped},
+		{"free the live victim addrspace",
+			kapi.SMCRemove, []uint32{uint32(victim.AS)}, kapi.ErrNotStopped},
+		{"resume a thread that is not suspended",
+			kapi.SMCResume, []uint32{uint32(victim.Thread)}, kapi.ErrNotEntered},
+		{"enter a data page as a thread",
+			kapi.SMCEnter, []uint32{uint32(victim.Data[0]), 0, 0, 0}, kapi.ErrNotThread},
+		{"spare for an addrspace that is a thread page",
+			kapi.SMCAllocSpare, []uint32{uint32(victim.Thread), 30}, kapi.ErrInvalidAddrspace},
+		{"unknown SMC number",
+			999, []uint32{1, 2, 3}, kapi.ErrInvalidArg},
+	}
+	for _, a := range attacks {
+		e, _, err := w.Chk.SMC(a.call, a.args...)
+		if err != nil {
+			t.Fatalf("%s: harness error: %v", a.name, err)
+		}
+		if e != a.want {
+			t.Errorf("%s: got %v, want %v", a.name, e, a.want)
+		}
+	}
+	// After the whole barrage, the victim still runs correctly and the
+	// PageDB is intact (the refinement checker validated it per call).
+	if e, v, err := w.OS.Enter(victim); err != nil || e != kapi.ErrSuccess || v != 1 {
+		t.Fatalf("victim damaged by attack barrage: %v %v %d", err, e, v)
+	}
+	// ...and direct physical probes of its memory still bounce.
+	if _, err := phys.Read(0x4000_0000, mem.Normal); !errors.Is(err, mem.ErrSecureViolation) {
+		t.Fatal("secure RAM readable from normal world")
+	}
+}
+
+func TestAttackControlledChannelDenied(t *testing.T) {
+	// Controlled-channel attacks (§2, [88]) need the OS to (a) revoke an
+	// enclave page mapping and (b) observe the resulting fault. Komodo
+	// denies (a) structurally: no SMC can alter a finalised enclave's
+	// address space, so there is nothing for the OS to induce.
+	w := attackWorld(t)
+	victim := buildVictim(t, w)
+
+	// Every call that could touch the victim's translation structures is
+	// refused (exercised above); additionally, suspending the enclave
+	// mid-run gives the OS no new powers over its memory.
+	w.Plat.Machine.ScheduleIRQ(10)
+	e, v, err := w.OS.Enter(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == kapi.ErrInterrupted {
+		// While suspended: still nothing removable or remappable.
+		if e, _, _ := w.Chk.SMC(kapi.SMCRemove, uint32(victim.Data[0])); e != kapi.ErrNotStopped {
+			t.Fatalf("page theft while suspended: %v", e)
+		}
+		if e, _, _ := w.Chk.SMC(kapi.SMCMapInsecure, uint32(victim.AS),
+			uint32(kapi.NewMapping(0x9000, true, false)), 0x8000_0000); e != kapi.ErrAlreadyFinal {
+			t.Fatalf("remap while suspended: %v", e)
+		}
+		e, v, err = w.OS.Resume(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e != kapi.ErrSuccess || v != 1 {
+		t.Fatalf("victim after suspension probes: (%v, %d)", e, v)
+	}
+}
+
+func TestAttackPhysicalVariants(t *testing.T) {
+	secret := uint32(0x0b5e55ed)
+	for _, variant := range []mem.Protection{mem.ProtFilter, mem.ProtEncrypt, mem.ProtScratchpad} {
+		w, err := NewWorld(33, board.Config{Protection: variant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := buildVictim(t, w)
+		phys := w.Plat.Machine.Phys
+		pa := phys.SecurePageBase(int(victim.Data[len(victim.Data)-1]) + monitor.ReservedPages)
+		if err := phys.Write(pa, secret, mem.Secure); err != nil {
+			t.Fatal(err)
+		}
+		snooped, err := phys.SnoopDRAM(pa)
+		switch variant {
+		case mem.ProtFilter:
+			// Physical attacks are out of scope under the filter — the
+			// snoop sees plaintext, as §3.2 concedes for such platforms.
+			if err != nil || snooped != secret {
+				t.Fatalf("filter: snoop = %#x, %v", snooped, err)
+			}
+		case mem.ProtEncrypt:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snooped == secret {
+				t.Fatal("encryption engine leaked plaintext to the bus")
+			}
+			// Tampering is detected on the enclave's next access.
+			if err := phys.TamperDRAM(pa, snooped^0xffffffff); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := phys.Read(pa, mem.Secure); !errors.Is(err, mem.ErrIntegrity) {
+				t.Fatalf("tampering undetected: %v", err)
+			}
+		case mem.ProtScratchpad:
+			if !errors.Is(err, mem.ErrShielded) {
+				t.Fatalf("scratchpad physically accessible: %v", err)
+			}
+		}
+	}
+}
+
+func TestAttackSpareChannelIsExactlyAsSpecified(t *testing.T) {
+	// §6.2: the OS "may infer that spare pages have been allocated (since
+	// attempts to remove them will fail), but it cannot tell whether the
+	// enclave has used them as data or page-table pages."
+	pair, err := NewPair(37, board.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgD, _ := kasm.DynAlloc().Image()
+	dataUser, err := pair.BuildBoth(imgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// World A's enclave consumes its spare as a DATA page; world B's
+	// consumes its spare as a PAGE TABLE (same spare page number). The
+	// two enclaves differ in code, so poke the same code into both and
+	// instead drive the difference through the guest argument? Guests are
+	// fixed code — use two different guests but compare only the spare
+	// page's OS-visible behaviour, which must be identical.
+	imgT, _ := l2UserImage(t)
+	tableUser, err := pair.BuildBoth(imgT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run both converters in both worlds (keeping the pair in lockstep).
+	for _, w := range []*World{pair.A, pair.B} {
+		if e, _, err := w.OS.Enter(dataUser, uint32(dataUser.Spares[0])); err != nil || e != kapi.ErrSuccess {
+			t.Fatal(err, e)
+		}
+		if e, _, err := w.OS.Enter(tableUser, uint32(tableUser.Spares[0])); err != nil || e != kapi.ErrSuccess {
+			t.Fatal(err, e)
+		}
+	}
+	// The OS-visible behaviour of the two consumed spares is identical:
+	// Remove fails with the same error for the data page and the page
+	// table — the §6.2 channel reveals consumption, not purpose.
+	for _, w := range []*World{pair.A} {
+		eData, _, _ := w.Chk.SMC(kapi.SMCRemove, uint32(dataUser.Spares[0]))
+		eTable, _, _ := w.Chk.SMC(kapi.SMCRemove, uint32(tableUser.Spares[0]))
+		if eData != eTable || eData != kapi.ErrNotStopped {
+			t.Fatalf("spare purpose distinguishable: data=%v table=%v", eData, eTable)
+		}
+	}
+}
+
+// l2UserImage builds a guest that converts its spare into an L2 page table
+// (SvcInitL2PTable) and exits.
+func l2UserImage(t *testing.T) (img nwos.Image, err error) {
+	t.Helper()
+	return kasm.L2User().Image()
+}

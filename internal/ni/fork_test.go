@@ -1,0 +1,79 @@
+package ni
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/pagedb"
+)
+
+// TestForkBisimulation strengthens the paired-boot bisimulation using
+// machine snapshots: ONE platform is built and run up to the point where
+// the secret is introduced, then forked. The two branches share a
+// bit-identical prefix by construction, so any post-fork divergence in
+// adversary-visible state is attributable purely to the secret.
+func TestForkBisimulation(t *testing.T) {
+	w, err := NewWorld(51, board.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vImg, _ := kasm.ComputeOnSecret().Image()
+	victim, err := w.OS.BuildEnclave(vImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cImg, _ := kasm.Colluder().Image()
+	colluder, err := w.OS.BuildEnclave(cImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := w.Plat.Machine.Snapshot()
+	secretPage := victim.Data[len(victim.Data)-1]
+
+	// Branch runner: restore the fork, poke a secret, run the adversary
+	// schedule, return the observations.
+	branch := func(secret uint32) ([]uint32, MachineObs, *pagedb.DB) {
+		if err := w.Plat.Machine.Restore(fork); err != nil {
+			t.Fatal(err)
+		}
+		if err := pokePage(w.Plat, secretPage, secret); err != nil {
+			t.Fatal(err)
+		}
+		var outs []uint32
+		obs := func(e kapi.Err, v uint32, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, uint32(e), v)
+		}
+		obs(w.OS.Enter(victim))
+		obs(w.OS.Enter(colluder))
+		w.Plat.Machine.ScheduleIRQ(15)
+		obs(w.OS.Enter(victim))
+		obs(w.OS.Resume(victim))
+		obs(w.Chk.SMC(kapi.SMCRemove, uint32(secretPage)))
+		obs(w.Chk.SMC(kapi.SMCGetPhysPages))
+		m := ObserveMachine(w.Plat.Machine)
+		db, err := w.Plat.Monitor.DecodePageDB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs, m, db
+	}
+
+	o1, m1, d1 := branch(0x5ec1)
+	o2, m2, d2 := branch(0x5ec2)
+	if len(o1) != len(o2) {
+		t.Fatal("observation lengths differ")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("observation %d differs: %#x vs %#x — secret leaked", i, o1[i], o2[i])
+		}
+	}
+	if err := AdvEquivalent(m1, d1, m2, d2, colluder.AS); err != nil {
+		t.Fatalf("fork branches not ≈adv: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+package ni
+
+import (
+	"fmt"
+
+	"repro/internal/board"
+	"repro/internal/mem"
+	"repro/internal/monitor"
+	"repro/internal/nwos"
+	"repro/internal/pagedb"
+	"repro/internal/refine"
+)
+
+// World is one side of a bisimulation pair: a booted platform with the OS
+// model wired through the refinement checker.
+type World struct {
+	Plat *board.Platform
+	Chk  *refine.Checker
+	OS   *nwos.OS
+}
+
+// NewWorld boots a platform for bisimulation. Both sides of a pair use the
+// same seed: §6.3 requires the nondeterminism seeds be equal so that
+// observer-enclave executions are deterministic across the pair.
+func NewWorld(seed uint64, cfg board.Config) (*World, error) {
+	cfg.Seed = seed
+	plat, err := board.Boot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	chk := refine.New(plat.Monitor)
+	return &World{
+		Plat: plat,
+		Chk:  chk,
+		OS:   nwos.New(plat.Machine, chk, plat.Monitor.NPages()),
+	}, nil
+}
+
+// Pair is two worlds that differ only in enclave secrets; the bisimulation
+// runs identical adversary actions on both.
+type Pair struct {
+	A, B *World
+}
+
+// NewPair boots two identically-seeded worlds.
+func NewPair(seed uint64, cfg board.Config) (*Pair, error) {
+	a, err := NewWorld(seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewWorld(seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{A: a, B: b}, nil
+}
+
+// Step runs the same adversary action on both worlds and requires the
+// adversary-visible outcome (whatever the action returns) to be equal —
+// the "public outputs are determined purely by public inputs" half of
+// noninterference, applied per transition point (§6.1).
+func (p *Pair) Step(name string, action func(w *World) ([]uint32, error)) error {
+	outA, errA := action(p.A)
+	outB, errB := action(p.B)
+	if (errA == nil) != (errB == nil) {
+		return fmt.Errorf("ni: step %q: one side errored: %v / %v", name, errA, errB)
+	}
+	if errA != nil {
+		// Both failed — failure text must not depend on secrets either,
+		// but Go error strings may embed addresses; compare presence only.
+		return nil
+	}
+	if len(outA) != len(outB) {
+		return fmt.Errorf("ni: step %q: output lengths differ", name)
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			return fmt.Errorf("ni: step %q: output %d differs: %#x vs %#x — secret leaked", name, i, outA[i], outB[i])
+		}
+	}
+	return nil
+}
+
+// PokeSecret writes different values into the victim enclave's data page
+// in the two worlds — instantiating the havoc that distinguishes the pair.
+// The resulting states are ≈adv-related for any observer other than the
+// victim: data-page contents are invisible outside the owner (Def. 1).
+func (p *Pair) PokeSecret(page pagedb.PageNr, secretA, secretB uint32) error {
+	if err := pokePage(p.A.Plat, page, secretA); err != nil {
+		return err
+	}
+	return pokePage(p.B.Plat, page, secretB)
+}
+
+func pokePage(plat *board.Platform, page pagedb.PageNr, val uint32) error {
+	base := plat.Machine.Phys.SecurePageBase(int(page) + monitor.ReservedPages)
+	for off := uint32(0); off < 64; off += 4 {
+		if err := plat.Machine.Phys.Write(base+off, val^off, mem.Secure); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckAdv asserts the two worlds are ≈adv-related from the perspective of
+// colluding enclave enc (Theorem 6.1, confidentiality direction).
+func (p *Pair) CheckAdv(enc pagedb.PageNr) error {
+	d1, err := p.A.Plat.Monitor.DecodePageDB()
+	if err != nil {
+		return err
+	}
+	d2, err := p.B.Plat.Monitor.DecodePageDB()
+	if err != nil {
+		return err
+	}
+	m1 := ObserveMachine(p.A.Plat.Machine)
+	m2 := ObserveMachine(p.B.Plat.Machine)
+	return AdvEquivalent(m1, d1, m2, d2, enc)
+}
+
+// CheckEnc asserts the two worlds are ≈enc-related from the perspective of
+// trusted enclave enc (Theorem 6.1, integrity direction: everything the
+// enclave can see — in particular its own pages — is equal).
+func (p *Pair) CheckEnc(enc pagedb.PageNr) error {
+	d1, err := p.A.Plat.Monitor.DecodePageDB()
+	if err != nil {
+		return err
+	}
+	d2, err := p.B.Plat.Monitor.DecodePageDB()
+	if err != nil {
+		return err
+	}
+	return ObsEquivalent(d1, d2, enc)
+}
+
+// BuildBoth builds the same enclave image in both worlds and requires the
+// handles to agree (same page numbering — guaranteed by the deterministic
+// OS allocator).
+func (p *Pair) BuildBoth(img nwos.Image) (*nwos.Enclave, error) {
+	ea, err := p.A.OS.BuildEnclave(img)
+	if err != nil {
+		return nil, err
+	}
+	eb, err := p.B.OS.BuildEnclave(img)
+	if err != nil {
+		return nil, err
+	}
+	if ea.AS != eb.AS || ea.Thread != eb.Thread {
+		return nil, fmt.Errorf("ni: paired builds diverged: %v vs %v", ea, eb)
+	}
+	return ea, nil
+}

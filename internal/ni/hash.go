@@ -1,0 +1,10 @@
+package ni
+
+import "repro/internal/sha2"
+
+// hasher wraps the repo's SHA-256 for digesting large observations.
+type hasher struct{ h *sha2.Hash }
+
+func newHasher() hasher               { return hasher{h: sha2.New()} }
+func (h hasher) Write(p []byte)       { h.h.Write(p) }
+func (h hasher) Sum() [sha2.Size]byte { return h.h.Sum() }

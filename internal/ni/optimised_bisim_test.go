@@ -1,0 +1,67 @@
+package ni
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kasm"
+	"repro/internal/monitor"
+	"repro/internal/nwos"
+)
+
+// TestConfidentialityUnderOptimisedCrossing re-runs the confidentiality
+// bisimulation with the §8.1 crossing optimisations enabled. The skip-
+// flush fast path's decision (flush or not) depends only on public state
+// (which enclave ran last, whether page tables changed), so secret-
+// differing twins must make identical decisions and remain ≈adv — the
+// "proof" the paper wanted before shipping the optimisation.
+func TestConfidentialityUnderOptimisedCrossing(t *testing.T) {
+	cfg := board.Config{Monitor: monitor.Config{Optimised: true}}
+	pair, err := NewPair(71, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vImg, _ := kasm.ComputeOnSecret().Image()
+	victim, err := pair.BuildBoth(vImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cImg, _ := kasm.Colluder().Image()
+	colluder, err := pair.BuildBoth(cImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secretPage := victim.Data[len(victim.Data)-1]
+	if err := pair.PokeSecret(secretPage, 0x0f1e2d3c, 0x4b5a6978); err != nil {
+		t.Fatal(err)
+	}
+
+	// A schedule that exercises the fast path (repeated same-enclave
+	// crossings) and its misses (alternation).
+	steps := []struct {
+		name string
+		act  func(w *World) ([]uint32, error)
+	}{
+		{"victim-1", enterOf(victim)},
+		{"victim-2-hot", enterOf(victim)}, // fast path taken
+		{"victim-3-hot", enterOf(victim)},
+		{"colluder-cold", enterOf(colluder)}, // fast path missed
+		{"victim-4-cold", enterOf(victim)},
+		{"colluder-again", enterOf(colluder)},
+	}
+	for _, s := range steps {
+		if err := pair.Step(s.name, s.act); err != nil {
+			t.Fatalf("step %s: %v", s.name, err)
+		}
+		if err := pair.CheckAdv(colluder.AS); err != nil {
+			t.Fatalf("after %s: %v", s.name, err)
+		}
+	}
+}
+
+func enterOf(enc *nwos.Enclave) func(w *World) ([]uint32, error) {
+	return func(w *World) ([]uint32, error) {
+		e, v, err := w.OS.Enter(enc)
+		return []uint32{uint32(e), v}, err
+	}
+}

@@ -1,0 +1,132 @@
+package ni
+
+import (
+	"testing"
+
+	"repro/internal/pagedb"
+)
+
+// fixture: two enclaves — observer (pages 0..4) and victim (pages 5..9).
+func fixture() *pagedb.DB {
+	d := pagedb.New(16)
+	mk := func(as, l1, l2, data, thr pagedb.PageNr) {
+		d.Pages[as] = pagedb.Entry{Type: pagedb.TypeAddrspace, Owner: as, AS: &pagedb.Addrspace{
+			State: pagedb.ASFinal, L1PT: l1, L1PTSet: true, RefCount: 4,
+		}}
+		l1p := &pagedb.L1PT{}
+		l1p.Present[0] = true
+		l1p.L2[0] = l2
+		d.Pages[l1] = pagedb.Entry{Type: pagedb.TypeL1PT, Owner: as, L1: l1p}
+		l2p := &pagedb.L2PT{}
+		l2p.Entries[0] = pagedb.L2Entry{Valid: true, Secure: true, Page: data, Write: true}
+		d.Pages[l2] = pagedb.Entry{Type: pagedb.TypeL2PT, Owner: as, L2: l2p}
+		d.Pages[data] = pagedb.Entry{Type: pagedb.TypeData, Owner: as, Data: &pagedb.Data{}}
+		d.Pages[thr] = pagedb.Entry{Type: pagedb.TypeThread, Owner: as, Thread: &pagedb.Thread{}}
+	}
+	mk(0, 1, 2, 3, 4)
+	mk(5, 6, 7, 8, 9)
+	return d
+}
+
+func TestObsEquivalentReflexive(t *testing.T) {
+	d := fixture()
+	if err := ObsEquivalent(d, d.Clone(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictimDataInvisibleToObserver(t *testing.T) {
+	// Changing the victim's data-page contents preserves ≈enc for the
+	// observer (Def. 1: data pages are weakly equal by type alone).
+	d1 := fixture()
+	d2 := d1.Clone()
+	d2.Get(8).Data.Contents[0] = 0x5ec2e7
+	if err := ObsEquivalent(d1, d2, 0); err != nil {
+		t.Fatalf("victim secret visible to observer: %v", err)
+	}
+}
+
+func TestVictimThreadCtxInvisible(t *testing.T) {
+	d1 := fixture()
+	d2 := d1.Clone()
+	d2.Get(9).Thread.Ctx.R[0] = 0xdead
+	d2.Get(9).Thread.Ctx.PC = 0x1234
+	if err := ObsEquivalent(d1, d2, 0); err != nil {
+		t.Fatalf("victim thread context visible: %v", err)
+	}
+}
+
+func TestEnteredFlagIsVisible(t *testing.T) {
+	// The entered flag IS observable (the OS must know it to Resume).
+	d1 := fixture()
+	d2 := d1.Clone()
+	d2.Get(9).Thread.Entered = true
+	if err := ObsEquivalent(d1, d2, 0); err == nil {
+		t.Fatal("entered-flag divergence not detected")
+	}
+}
+
+func TestObserverPagesMustBeExactlyEqual(t *testing.T) {
+	d1 := fixture()
+	d2 := d1.Clone()
+	d2.Get(3).Data.Contents[0] = 1 // observer's own page
+	if err := ObsEquivalent(d1, d2, 0); err == nil {
+		t.Fatal("observer page divergence not detected")
+	}
+}
+
+func TestFreeSetMustAgree(t *testing.T) {
+	d1 := fixture()
+	d2 := d1.Clone()
+	d2.Pages[12] = pagedb.Entry{Type: pagedb.TypeSpare, Owner: 5}
+	d2.Get(5).AS.RefCount++
+	if err := ObsEquivalent(d1, d2, 0); err == nil {
+		t.Fatal("free-set divergence not detected")
+	}
+}
+
+func TestSpareVsDataWeaklyDistinguishable(t *testing.T) {
+	// A spare that became a data page is observable as a type change —
+	// the declassified dynamic-memory side channel (§6.2).
+	d1 := fixture()
+	d1.Pages[12] = pagedb.Entry{Type: pagedb.TypeSpare, Owner: 5}
+	d1.Get(5).AS.RefCount++
+	d2 := d1.Clone()
+	d2.Pages[12] = pagedb.Entry{Type: pagedb.TypeData, Owner: 5, Data: &pagedb.Data{}}
+	if err := ObsEquivalent(d1, d2, 0); err == nil {
+		t.Fatal("spare->data type change not observable")
+	}
+}
+
+func TestPageTableStructureIsObservable(t *testing.T) {
+	// Page-table pages compare exactly under =enc (Def. 1): their
+	// structure is adversary-visible metadata.
+	d1 := fixture()
+	d2 := d1.Clone()
+	d2.Get(7).L2.Entries[1] = pagedb.L2Entry{Valid: true, Secure: true, Page: 8}
+	if err := ObsEquivalent(d1, d2, 0); err == nil {
+		t.Fatal("L2 table divergence not detected")
+	}
+}
+
+func TestMeasurementIsObservable(t *testing.T) {
+	d1 := fixture()
+	d2 := d1.Clone()
+	d2.Get(5).AS.Measured[0] ^= 1
+	if err := ObsEquivalent(d1, d2, 0); err == nil {
+		t.Fatal("measurement divergence not detected")
+	}
+}
+
+func TestWeakEqualTypeMismatch(t *testing.T) {
+	e1 := &pagedb.Entry{Type: pagedb.TypeData, Data: &pagedb.Data{}}
+	e2 := &pagedb.Entry{Type: pagedb.TypeSpare}
+	if WeakEqual(e1, e2) {
+		t.Fatal("data ~ spare")
+	}
+	e3 := &pagedb.Entry{Type: pagedb.TypeData, Data: &pagedb.Data{}}
+	e3.Data.Contents[0] = 99
+	if !WeakEqual(e1, e3) {
+		t.Fatal("data pages with different contents must be weakly equal")
+	}
+}

@@ -1,0 +1,176 @@
+package ni
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kapi"
+	"repro/internal/mem"
+	"repro/internal/pagedb"
+	"repro/internal/spec"
+)
+
+// Spec-level bisimulation: Theorem 6.1 proved — in the runtime sense —
+// directly over the functional specification, with no machine in the loop.
+// Hundreds of random adversarial traces run in milliseconds here,
+// complementing the slower concrete-machine bisimulations.
+
+func specParams() spec.Params {
+	return spec.Params{
+		NPages:       24,
+		InsecureBase: 0x8000_0000,
+		InsecureSize: 16 << 20,
+		AttestKey:    [32]byte{42},
+		Rand:         func() uint32 { return 7 },
+	}
+}
+
+// buildTwoEnclaves returns a PageDB with a victim enclave (pages 0..4) and
+// a colluder enclave (pages 5..9), both finalised.
+func buildTwoEnclaves(t *testing.T, p spec.Params) (*pagedb.DB, pagedb.PageNr, pagedb.PageNr) {
+	t.Helper()
+	d := pagedb.New(p.NPages)
+	mk := func(base pagedb.PageNr) {
+		var e kapi.Err
+		d, e = spec.InitAddrspace(p, d, base, base+1)
+		mustNI(t, e)
+		d, e = spec.InitL2PTable(p, d, base, base+2, 0)
+		mustNI(t, e)
+		var c [mem.PageWords]uint32
+		d, e = spec.MapSecure(p, d, base, base+3, kapi.NewMapping(0x1000, true, true), p.InsecureBase, &c)
+		mustNI(t, e)
+		d, e = spec.InitThread(p, d, base, base+4, 0x1000)
+		mustNI(t, e)
+		d, e = spec.Finalise(p, d, base)
+		mustNI(t, e)
+	}
+	mk(0)
+	mk(5)
+	return d, 0, 5
+}
+
+func mustNI(t *testing.T, e kapi.Err) {
+	t.Helper()
+	if e != kapi.ErrSuccess {
+		t.Fatal(e)
+	}
+}
+
+// havocVictim returns a copy of d with the victim's private state changed
+// (data contents and thread context): the secret-differing twin.
+func havocVictim(d *pagedb.DB, victim pagedb.PageNr, seed uint32) *pagedb.DB {
+	nd := d.Clone()
+	data := nd.Get(victim + 3).Data
+	for i := 0; i < 64; i++ {
+		data.Contents[i] = seed ^ uint32(i)*2654435761
+	}
+	th := nd.Get(victim + 4).Thread
+	th.Ctx.R[0] = seed
+	th.Ctx.PC = seed ^ 0x1000
+	return nd
+}
+
+func randomSpecSMC(rnd *rand.Rand, p spec.Params) spec.SMCRequest {
+	calls := []uint32{
+		kapi.SMCGetPhysPages, kapi.SMCInitAddrspace, kapi.SMCInitThread,
+		kapi.SMCInitL2PTable, kapi.SMCAllocSpare, kapi.SMCMapSecure,
+		kapi.SMCMapInsecure, kapi.SMCFinalise, kapi.SMCStop, kapi.SMCRemove,
+	}
+	req := spec.SMCRequest{Call: calls[rnd.Intn(len(calls))]}
+	pg := func() uint32 { return uint32(rnd.Intn(p.NPages + 2)) }
+	va := func() uint32 {
+		return uint32(kapi.NewMapping(uint32(rnd.Intn(8))*0x1000, rnd.Intn(2) == 0, rnd.Intn(2) == 0))
+	}
+	insec := p.InsecureBase + uint32(rnd.Intn(8))*0x1000
+	switch req.Call {
+	case kapi.SMCInitAddrspace, kapi.SMCAllocSpare:
+		req.Args = [4]uint32{pg(), pg()}
+	case kapi.SMCInitThread:
+		req.Args = [4]uint32{pg(), pg(), rnd.Uint32() % (1 << 30)}
+	case kapi.SMCInitL2PTable:
+		req.Args = [4]uint32{pg(), pg(), uint32(rnd.Intn(300))}
+	case kapi.SMCMapSecure:
+		var c [mem.PageWords]uint32
+		c[0] = rnd.Uint32() // public: the OS chose it, same on both sides
+		req.Contents = &c
+		req.Args = [4]uint32{pg(), pg(), va(), insec}
+	case kapi.SMCMapInsecure:
+		req.Args = [4]uint32{pg(), va(), insec}
+	default:
+		req.Args = [4]uint32{pg()}
+	}
+	return req
+}
+
+// TestSpecConfidentialityBisimulation: for hundreds of random adversarial
+// SMC traces, states differing only in victim secrets stay ≈enc-equivalent
+// for the colluder, with identical OS-visible outputs at every step.
+func TestSpecConfidentialityBisimulation(t *testing.T) {
+	p := specParams()
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		base, victim, colluder := buildTwoEnclaves(t, p)
+		d1 := havocVictim(base, victim, 0x1111_0000+uint32(trial))
+		d2 := havocVictim(base, victim, 0x2222_0000+uint32(trial))
+		if err := ObsEquivalent(d1, d2, colluder); err != nil {
+			t.Fatalf("trial %d setup: %v", trial, err)
+		}
+		for step := 0; step < 40; step++ {
+			req := randomSpecSMC(rnd, p)
+			nd1, v1, e1 := spec.ApplySMC(p, d1, req)
+			nd2, v2, e2 := spec.ApplySMC(p, d2, req)
+			// OS-visible outputs must be identical: any difference is a
+			// secret-dependent result.
+			if e1 != e2 || v1 != v2 {
+				t.Fatalf("trial %d step %d: call %d args %v leaked: (%v,%d) vs (%v,%d)",
+					trial, step, req.Call, req.Args, e1, v1, e2, v2)
+			}
+			if err := ObsEquivalent(nd1, nd2, colluder); err != nil {
+				t.Fatalf("trial %d step %d: call %d args %v broke ≈enc: %v",
+					trial, step, req.Call, req.Args, err)
+			}
+			d1, d2 = nd1, nd2
+		}
+	}
+}
+
+// TestSpecIntegrityBisimulation: runs differing only in the *colluder's*
+// private state leave the victim's pages exactly equal under any
+// adversarial SMC trace.
+func TestSpecIntegrityBisimulation(t *testing.T) {
+	p := specParams()
+	rnd := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		base, victim, colluder := buildTwoEnclaves(t, p)
+		// The twins differ in the colluder's (untrusted) state.
+		d1 := havocVictim(base, colluder, 0xaaaa_0000+uint32(trial))
+		d2 := havocVictim(base, colluder, 0xbbbb_0000+uint32(trial))
+		for step := 0; step < 40; step++ {
+			req := randomSpecSMC(rnd, p)
+			d1, _, _ = spec.ApplySMC(p, d1, req)
+			d2, _, _ = spec.ApplySMC(p, d2, req)
+			// The trusted enclave's view — its own pages in particular —
+			// is identical in both runs.
+			if err := ObsEquivalent(d1, d2, victim); err != nil {
+				t.Fatalf("trial %d step %d: call %d influenced the victim: %v",
+					trial, step, req.Call, err)
+			}
+		}
+	}
+}
+
+// TestSpecAttestationNoLeak: Attest and Verify results depend only on
+// public inputs (measurement, supplied data) — never on the enclave's
+// private page contents.
+func TestSpecAttestationNoLeak(t *testing.T) {
+	p := specParams()
+	base, victim, _ := buildTwoEnclaves(t, p)
+	d1 := havocVictim(base, victim, 0x1234)
+	d2 := havocVictim(base, victim, 0x9876)
+	data := [8]uint32{5, 6, 7, 8}
+	_, mac1, e1 := spec.SvcAttest(p, d1, victim+4, data)
+	_, mac2, e2 := spec.SvcAttest(p, d2, victim+4, data)
+	if e1 != e2 || mac1 != mac2 {
+		t.Fatal("attestation depends on private page contents")
+	}
+}

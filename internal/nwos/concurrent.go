@@ -1,0 +1,64 @@
+package nwos
+
+import (
+	"sync"
+
+	"repro/internal/kapi"
+	"repro/internal/mem"
+)
+
+// LockedDriver is the paper's §9.2 multi-core sketch: "the simplest
+// [avenue] is a single shared lock around all monitor activities, which
+// would preserve the sequential (Floyd-Hoare) reasoning used in our
+// current proofs. Experience with microkernels even suggests that this may
+// not unduly harm performance."
+//
+// Multiple OS threads (goroutines) may issue SMCs concurrently; the lock
+// serialises them at the monitor boundary, so the single-core monitor's
+// reasoning — and our refinement checking — carries over unchanged.
+type LockedDriver struct {
+	mu    sync.Mutex
+	inner Driver
+}
+
+// NewLockedDriver wraps a driver with the big monitor lock.
+func NewLockedDriver(inner Driver) *LockedDriver {
+	return &LockedDriver{inner: inner}
+}
+
+// SMC acquires the monitor lock for the duration of the call.
+func (l *LockedDriver) SMC(call uint32, args ...uint32) (e kapi.Err, val uint32, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.SMC(call, args...)
+}
+
+// InterferingDriver models the concurrent normal-world core of §6.1: "we
+// do permit concurrent execution of the OS on a different core. The OS...
+// may access insecure memory concurrently with Komodo execution." The
+// Interfere hook runs immediately before every SMC, standing in for the
+// other core's racing writes to insecure RAM — in particular to pages the
+// OS just handed to MapSecure, whose contents the specification therefore
+// snapshots at call time.
+type InterferingDriver struct {
+	Inner     Driver
+	Interfere func(call uint32, args []uint32)
+}
+
+// SMC runs the interference hook, then the call.
+func (d *InterferingDriver) SMC(call uint32, args ...uint32) (kapi.Err, uint32, error) {
+	if d.Interfere != nil {
+		d.Interfere(call, args)
+	}
+	return d.Inner.SMC(call, args...)
+}
+
+// ScribbleInsecure is a convenience interference action: overwrite words
+// of an insecure page (another core dirtying shared memory).
+func ScribbleInsecure(phys *mem.Physical, pa uint32, pattern uint32, words int) {
+	for i := 0; i < words; i++ {
+		// Failures are ignored: a racing core's stray writes may target
+		// anything, including addresses the TZASC rejects.
+		_ = phys.Write(pa+uint32(i*4), pattern+uint32(i), mem.Normal)
+	}
+}

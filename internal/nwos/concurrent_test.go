@@ -1,0 +1,157 @@
+package nwos_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/nwos"
+)
+
+// TestLockedDriverConcurrentSMCs exercises the §9.2 multi-core sketch: N
+// goroutines hammer the monitor through the big lock. Run with -race.
+func TestLockedDriverConcurrentSMCs(t *testing.T) {
+	plat, err := board.Boot(board.Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked := nwos.NewLockedDriver(plat.Monitor)
+	os := nwos.New(plat.Machine, locked, plat.Monitor.NPages())
+
+	// Pre-build one enclave per worker (construction itself uses the
+	// shared allocator, so do it serially).
+	const workers = 4
+	encs := make([]*nwos.Enclave, workers)
+	for i := range encs {
+		img, err := kasm.AddArgs().Image()
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs[i], err = os.BuildEnclave(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Query calls interleave freely.
+				if e, v, err := locked.SMC(kapi.SMCGetPhysPages); err != nil || e != kapi.ErrSuccess || v != 254 {
+					errs <- err
+					return
+				}
+				// Full enclave crossings under the lock.
+				a := make([]uint32, 4)
+				a[0] = uint32(encs[w].Thread)
+				a[1] = uint32(w)
+				a[2] = uint32(i)
+				e, v, err := locked.SMC(kapi.SMCEnter, a...)
+				if err != nil || e != kapi.ErrSuccess || v != uint32(w+i) {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The serialised monitor left a consistent PageDB behind.
+	db, err := plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterferingCoreMapSecureSnapshot: a concurrent core overwrites the
+// MapSecure staging page right before every monitor call. The measurement
+// must reflect the page contents at call time — the property that forces
+// the specification's snapshot parameterisation (§6.1) — and two enclaves
+// built from the same *logical* image under different interference get
+// different measurements, because the interference changed what was
+// actually measured.
+func TestInterferingCoreMapSecureSnapshot(t *testing.T) {
+	build := func(pattern uint32) [8]uint32 {
+		plat, err := board.Boot(board.Config{Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stagingPA uint32
+		drv := &nwos.InterferingDriver{
+			Inner: plat.Monitor,
+			Interfere: func(call uint32, args []uint32) {
+				if call == kapi.SMCMapSecure && len(args) >= 4 {
+					stagingPA = args[3]
+					nwos.ScribbleInsecure(plat.Machine.Phys, stagingPA, pattern, 16)
+				}
+			},
+		}
+		os := nwos.New(plat.Machine, drv, plat.Monitor.NPages())
+		img, err := kasm.ExitConst(1).Image()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := os.BuildEnclave(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := plat.Monitor.DecodePageDB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db.Addrspace(enc.AS).Measured
+	}
+	mA := build(0x1000_0000)
+	mB := build(0x2000_0000)
+	mA2 := build(0x1000_0000)
+	if mA == mB {
+		t.Fatal("different racing writes produced identical measurements — snapshot broken")
+	}
+	if mA != mA2 {
+		t.Fatal("identical interference produced different measurements — nondeterminism")
+	}
+}
+
+// TestInterferenceCannotTouchEnclave: the racing core scribbles over
+// insecure RAM around every call; a built enclave's private data is
+// unaffected (its pages are secure; the TZASC rejects the racing writes).
+func TestInterferenceCannotTouchEnclave(t *testing.T) {
+	plat, err := board.Boot(board.Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := &nwos.InterferingDriver{
+		Inner: plat.Monitor,
+		Interfere: func(call uint32, args []uint32) {
+			// Spray writes across both worlds; secure ones must bounce.
+			nwos.ScribbleInsecure(plat.Machine.Phys, plat.Machine.Phys.Layout().InsecureBase, 0xbad, 8)
+			nwos.ScribbleInsecure(plat.Machine.Phys, plat.Machine.Phys.Layout().SecureBase, 0xbad, 8)
+		},
+	}
+	os := nwos.New(plat.Machine, drv, plat.Monitor.NPages())
+	img, err := kasm.StoreLoad().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, v, err := os.Enter(enc)
+	if err != nil || e != kapi.ErrSuccess || v != 0xbeef {
+		t.Fatalf("enclave under interference: %v %v %#x", err, e, v)
+	}
+}

@@ -1,0 +1,191 @@
+package nwos_test
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/nwos"
+	"repro/internal/pagedb"
+)
+
+func newOS(t *testing.T) (*board.Platform, *nwos.OS) {
+	t.Helper()
+	plat, err := board.Boot(board.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plat, nwos.New(plat.Machine, plat.Monitor, plat.Monitor.NPages())
+}
+
+func TestPageAllocatorExhaustion(t *testing.T) {
+	plat, os := newOS(t)
+	n := plat.Monitor.NPages()
+	seen := make(map[pagedb.PageNr]bool)
+	for i := 0; i < n; i++ {
+		pg, err := os.AllocPage()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if seen[pg] {
+			t.Fatalf("page %d handed out twice", pg)
+		}
+		seen[pg] = true
+	}
+	if _, err := os.AllocPage(); err == nil {
+		t.Fatal("allocator did not exhaust")
+	}
+	// Releasing returns pages to the pool.
+	os.ReleasePage(5)
+	pg, err := os.AllocPage()
+	if err != nil || pg != 5 {
+		t.Fatalf("after release: %d, %v", pg, err)
+	}
+}
+
+func TestInsecureAllocatorContiguous(t *testing.T) {
+	_, os := newOS(t)
+	a, err := os.AllocInsecurePage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.AllocInsecurePage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a+mem.PageSize {
+		t.Fatalf("allocations not contiguous: %#x then %#x", a, b)
+	}
+}
+
+func TestInsecureIO(t *testing.T) {
+	_, os := newOS(t)
+	pa, _ := os.AllocInsecurePage()
+	want := []uint32{1, 2, 3, 4, 5}
+	if err := os.WriteInsecure(pa, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadInsecure(pa, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d: %d", i, got[i])
+		}
+	}
+	// Writes to secure RAM through the OS interface must fail.
+	if err := os.WriteInsecure(0x4000_0000, []uint32{1}); err == nil {
+		t.Fatal("OS wrote secure RAM")
+	}
+}
+
+func TestBuildEnclaveStructure(t *testing.T) {
+	plat, os := newOS(t)
+	img := nwos.Image{
+		Entry: 0,
+		Segments: []nwos.Segment{
+			{VA: 0, Exec: true, Words: []uint32{0}},                         // 1 page
+			{VA: 0x1000, Write: true, Words: make([]uint32, 1500)},          // 2 pages
+			{VA: uint32(mmu.L1Span), Write: true, Words: make([]uint32, 4)}, // new L1 slot
+		},
+		Shared: []nwos.Shared{{VA: 0x0080_0000, Write: true, Pages: 3}},
+		Spares: 2,
+	}
+	enc, err := os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.Data) != 4 {
+		t.Fatalf("data pages = %d, want 4 (1+2+1)", len(enc.Data))
+	}
+	if len(enc.L2PTs) != 3 {
+		// Slots 0 (code+data), 1 (the 4 MB segment) and 2 (the shared
+		// region at 8 MB).
+		t.Fatalf("L2 tables = %d, want 3", len(enc.L2PTs))
+	}
+	if len(enc.Spares) != 2 {
+		t.Fatalf("spares = %d", len(enc.Spares))
+	}
+	db, err := plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	as := db.Addrspace(enc.AS)
+	if as == nil || as.State != pagedb.ASFinal {
+		t.Fatalf("addrspace state: %+v", as)
+	}
+	// 1 L1 + 3 L2 + 4 data + 1 thread + 2 spares = 11 owned pages.
+	if as.RefCount != 11 {
+		t.Fatalf("refcount = %d, want 11", as.RefCount)
+	}
+	// The multi-page shared region is mapped at consecutive VAs.
+	for i := 0; i < 3; i++ {
+		pte, _, _ := db.LookupMapping(enc.AS, 0x0080_0000+uint32(i)*mem.PageSize)
+		if pte == nil || pte.Secure {
+			t.Fatalf("shared page %d not mapped insecure", i)
+		}
+		if pte.InsecureAddr != enc.SharedPA[0]+uint32(i)*mem.PageSize {
+			t.Fatalf("shared page %d at %#x", i, pte.InsecureAddr)
+		}
+	}
+}
+
+func TestBuildRejectsUnalignedSegment(t *testing.T) {
+	_, os := newOS(t)
+	_, err := os.BuildEnclave(nwos.Image{Segments: []nwos.Segment{{VA: 0x10, Words: []uint32{1}}}})
+	if err == nil {
+		t.Fatal("unaligned segment accepted")
+	}
+}
+
+func TestRunToCompletion(t *testing.T) {
+	plat, os := newOS(t)
+	img, err := kasm.CountTo().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat.Machine.ScheduleIRQ(1000)
+	e, v, err := os.RunToCompletion(enc, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != kapi.ErrSuccess || v != 50_000 {
+		t.Fatalf("RunToCompletion = (%v, %d)", e, v)
+	}
+}
+
+func TestDestroyReturnsAllPages(t *testing.T) {
+	plat, os := newOS(t)
+	img, _ := kasm.DynAlloc().Image()
+	enc, err := os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume the spare so Destroy has to handle a converted page.
+	if e, _, err := os.Enter(enc, uint32(enc.Spares[0])); err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	if err := os.Destroy(enc); err != nil {
+		t.Fatal(err)
+	}
+	db, err := plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.NPages; i++ {
+		if !db.IsFree(pagedb.PageNr(i)) {
+			t.Fatalf("page %d still allocated after Destroy", i)
+		}
+	}
+}

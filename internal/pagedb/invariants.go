@@ -1,0 +1,207 @@
+package pagedb
+
+import (
+	"fmt"
+
+	"repro/internal/mmu"
+)
+
+// Validate checks the internal-consistency invariants of §5.2: "reference
+// counts are correct, internal references (including page table pointers)
+// are to pages of the correct type belonging to the same address space,
+// and all leaf pages mapped in a page table are either insecure pages or
+// data pages allocated to the same address space." The paper proves every
+// SMC and SVC preserves these; our test suites call Validate after every
+// operation to discharge the same obligation at runtime.
+//
+// It returns nil if the PageDB is valid, or an error naming the first
+// violated invariant.
+func (d *DB) Validate() error {
+	if len(d.Pages) != d.NPages {
+		return fmt.Errorf("pagedb: %d entries for %d pages", len(d.Pages), d.NPages)
+	}
+	refs := make(map[PageNr]int)
+	for i := range d.Pages {
+		n := PageNr(i)
+		e := &d.Pages[i]
+		if err := d.validatePayloadShape(n, e); err != nil {
+			return err
+		}
+		switch e.Type {
+		case TypeFree:
+			continue
+		case TypeAddrspace:
+			if e.Owner != n {
+				return fmt.Errorf("pagedb: addrspace page %d owned by %d, want self", n, e.Owner)
+			}
+			if e.AS.L1PTSet && e.AS.State != ASStopped {
+				l1 := e.AS.L1PT
+				if !d.ValidPageNr(l1) || d.Pages[l1].Type != TypeL1PT {
+					return fmt.Errorf("pagedb: addrspace %d L1PT pointer %d is not an L1PT page", n, l1)
+				}
+				if d.Pages[l1].Owner != n {
+					return fmt.Errorf("pagedb: addrspace %d L1PT %d owned by %d", n, l1, d.Pages[l1].Owner)
+				}
+			}
+		default:
+			// All other allocated pages are owned by a valid addrspace.
+			if !d.IsAddrspace(e.Owner) {
+				return fmt.Errorf("pagedb: %v page %d owner %d is not an addrspace", e.Type, n, e.Owner)
+			}
+			refs[e.Owner]++
+		}
+		// Structural invariants over page-table references are enforced
+		// only while the owning address space is not stopped: once
+		// stopped, the enclave can never execute again and Remove is
+		// permitted to free referenced pages in any order (the address
+		// space itself, reference-counted, goes last). This mirrors the
+		// paper's weakening of PageDB invariants for deallocation.
+		if e.Type != TypeAddrspace && d.Pages[e.Owner].AS.State == ASStopped {
+			continue
+		}
+		switch e.Type {
+		case TypeThread:
+			// A thread suspended mid-execution implies the enclave was
+			// entered, which requires it to have been finalised.
+			if e.Thread.Entered && d.Pages[e.Owner].AS.State == ASInit {
+				return fmt.Errorf("pagedb: thread %d entered but addrspace %d not final", n, e.Owner)
+			}
+		case TypeL1PT:
+			as := e.Owner
+			if asEntry := d.Pages[as].AS; !asEntry.L1PTSet || asEntry.L1PT != n {
+				return fmt.Errorf("pagedb: L1PT %d not referenced by its addrspace %d", n, as)
+			}
+			for idx, present := range e.L1.Present {
+				if !present {
+					continue
+				}
+				l2 := e.L1.L2[idx]
+				if !d.ValidPageNr(l2) || d.Pages[l2].Type != TypeL2PT {
+					return fmt.Errorf("pagedb: L1PT %d slot %d points to non-L2PT page %d", n, idx, l2)
+				}
+				if d.Pages[l2].Owner != as {
+					return fmt.Errorf("pagedb: L1PT %d slot %d L2 %d owned by %d, want %d", n, idx, l2, d.Pages[l2].Owner, as)
+				}
+			}
+		case TypeL2PT:
+			as := e.Owner
+			for idx := range e.L2.Entries {
+				pte := &e.L2.Entries[idx]
+				if !pte.Valid {
+					continue
+				}
+				if pte.Secure {
+					if !d.ValidPageNr(pte.Page) || d.Pages[pte.Page].Type != TypeData {
+						return fmt.Errorf("pagedb: L2PT %d entry %d maps non-data page %d", n, idx, pte.Page)
+					}
+					if d.Pages[pte.Page].Owner != as {
+						return fmt.Errorf("pagedb: L2PT %d entry %d maps page %d of addrspace %d, want %d",
+							n, idx, pte.Page, d.Pages[pte.Page].Owner, as)
+					}
+				} else if pte.InsecureAddr%0x1000 != 0 {
+					return fmt.Errorf("pagedb: L2PT %d entry %d insecure addr %#x unaligned", n, idx, pte.InsecureAddr)
+				}
+			}
+		}
+	}
+	// Reference counts: each addrspace's RefCount equals the number of
+	// pages it owns.
+	for i := range d.Pages {
+		n := PageNr(i)
+		e := &d.Pages[i]
+		if e.Type == TypeAddrspace && e.AS.RefCount != refs[n] {
+			return fmt.Errorf("pagedb: addrspace %d refcount %d, actual owned pages %d", n, e.AS.RefCount, refs[n])
+		}
+	}
+	// Every L1 slot must be referenced by at most one L1, every L2 by at
+	// most one L1 slot, and every data page leaf-mapped at most... Komodo
+	// permits a data page to be mapped at multiple VAs within the same
+	// address space; what it must prevent is cross-enclave double mapping,
+	// which the ownership checks above already rule out.
+	if err := d.validateNoSharedPageTables(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validatePayloadShape ensures exactly the payload matching the entry's
+// type is present.
+func (d *DB) validatePayloadShape(n PageNr, e *Entry) error {
+	want := map[PageType]struct{ as, th, l1, l2, da bool }{
+		TypeFree:      {},
+		TypeAddrspace: {as: true},
+		TypeThread:    {th: true},
+		TypeL1PT:      {l1: true},
+		TypeL2PT:      {l2: true},
+		TypeData:      {da: true},
+		TypeSpare:     {},
+	}[e.Type]
+	got := struct{ as, th, l1, l2, da bool }{
+		e.AS != nil, e.Thread != nil, e.L1 != nil, e.L2 != nil, e.Data != nil,
+	}
+	if got != want {
+		return fmt.Errorf("pagedb: page %d type %v has malformed payload %+v", n, e.Type, got)
+	}
+	return nil
+}
+
+// validateNoSharedPageTables checks that no L2PT page is referenced from
+// two different L1 slots: page tables have a single parent.
+func (d *DB) validateNoSharedPageTables() error {
+	seen := make(map[PageNr]bool)
+	for i := range d.Pages {
+		e := &d.Pages[i]
+		if e.Type != TypeL1PT || d.Pages[e.Owner].AS.State == ASStopped {
+			continue
+		}
+		for idx, present := range e.L1.Present {
+			if !present {
+				continue
+			}
+			l2 := e.L1.L2[idx]
+			if seen[l2] {
+				return fmt.Errorf("pagedb: L2PT %d referenced from multiple L1 slots", l2)
+			}
+			seen[l2] = true
+		}
+	}
+	return nil
+}
+
+// LookupMapping walks the abstract page tables of address space as and
+// returns the L2 entry mapping va, along with the owning L2PT page and
+// index. Returns nil if no L2 table or no valid mapping exists.
+func (d *DB) LookupMapping(as PageNr, va uint32) (*L2Entry, PageNr, int) {
+	asp := d.Addrspace(as)
+	if asp == nil || !asp.L1PTSet {
+		return nil, 0, 0
+	}
+	l1 := d.Pages[asp.L1PT].L1
+	i1 := mmu.L1Index(va)
+	if !l1.Present[i1] {
+		return nil, 0, 0
+	}
+	l2pg := l1.L2[i1]
+	i2 := mmu.L2Index(va)
+	pte := &d.Pages[l2pg].L2.Entries[i2]
+	if !pte.Valid {
+		return nil, 0, 0
+	}
+	return pte, l2pg, i2
+}
+
+// L2ForVA returns the L2PT page covering va in address space as, if the
+// relevant L1 slot is populated ("for a mapping call to succeed at a given
+// virtual address the relevant page table must exist", §4).
+func (d *DB) L2ForVA(as PageNr, va uint32) (PageNr, bool) {
+	asp := d.Addrspace(as)
+	if asp == nil || !asp.L1PTSet {
+		return 0, false
+	}
+	l1 := d.Pages[asp.L1PT].L1
+	i1 := mmu.L1Index(va)
+	if !l1.Present[i1] {
+		return 0, false
+	}
+	return l1.L2[i1], true
+}

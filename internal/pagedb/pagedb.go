@@ -1,0 +1,303 @@
+// Package pagedb defines the abstract PageDB at the heart of Komodo's
+// specification (§5.2): "a map from page numbers to entries, each of which
+// has one of the six types described in §4" — address space, thread,
+// first-level page table, second-level page table, data page, and spare
+// page. The PageDB is "roughly equivalent to the EPCM of SGX; for every
+// secure page, it stores the page's allocation state, and, if allocated,
+// its type and a reference to the owning enclave" (§4).
+//
+// The functional specification (internal/spec) computes over this
+// representation; the concrete monitor (internal/monitor) maintains an
+// equivalent structure in secure RAM and is checked against it by the
+// refinement harness. The package also provides the validity invariants
+// the paper proves are preserved by every SMC and SVC.
+package pagedb
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/sha2"
+)
+
+// PageNr names a secure page. Valid page numbers are 0 <= n < db.NPages.
+type PageNr uint32
+
+// PageType is the allocation type of a secure page.
+type PageType int
+
+const (
+	TypeFree PageType = iota
+	TypeAddrspace
+	TypeThread
+	TypeL1PT
+	TypeL2PT
+	TypeData
+	TypeSpare
+)
+
+func (t PageType) String() string {
+	switch t {
+	case TypeFree:
+		return "free"
+	case TypeAddrspace:
+		return "addrspace"
+	case TypeThread:
+		return "thread"
+	case TypeL1PT:
+		return "l1pt"
+	case TypeL2PT:
+		return "l2pt"
+	case TypeData:
+		return "data"
+	case TypeSpare:
+		return "spare"
+	}
+	return fmt.Sprintf("PageType(%d)", int(t))
+}
+
+// ASState is the address-space lifecycle: created (accepting mappings),
+// finalised (executable, measurement fixed), stopped (deallocatable).
+type ASState int
+
+const (
+	ASInit ASState = iota
+	ASFinal
+	ASStopped
+)
+
+func (s ASState) String() string {
+	switch s {
+	case ASInit:
+		return "init"
+	case ASFinal:
+		return "final"
+	case ASStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("ASState(%d)", int(s))
+}
+
+// UserCtx is the user-visible register context saved in a thread page when
+// an enclave is suspended by an interrupt, and restored by Resume. It is
+// precisely the user-visible state: R0–R12, the user-banked SP and LR, the
+// PC, and the condition flags.
+type UserCtx struct {
+	R    [13]uint32
+	SP   uint32
+	LR   uint32
+	PC   uint32
+	CPSR uint32 // N/Z/C/V flag bits in the PSR word encoding
+}
+
+// Addrspace is the payload of an address-space page.
+type Addrspace struct {
+	State    ASState
+	L1PT     PageNr
+	L1PTSet  bool // an L1 page table has been allocated
+	RefCount int  // pages owned by this address space, excluding itself
+
+	// Measurement is the running SHA-256 over the enclave-construction
+	// trace (§4 "Attestation": the monitor hashes the sequence of page
+	// allocation calls and their parameters). Fixed at Finalise.
+	Measurement sha2.Hash
+	// Measured holds the final measurement words once State >= ASFinal.
+	Measured [8]uint32
+}
+
+// Thread is the payload of a thread page.
+type Thread struct {
+	EntryPoint uint32
+	Entered    bool // suspended mid-execution; Enter is blocked, Resume allowed
+	Ctx        UserCtx
+
+	// Verify staging for the multi-step SVC verify ABI: data then
+	// measurement staged by steps 0 and 1.
+	VerifyData    [8]uint32
+	VerifyMeasure [8]uint32
+
+	// Dispatcher-interface state (the §9.2 extension): the registered
+	// fault-upcall address (0 = none), and whether the thread is
+	// currently executing its fault handler (a second fault then
+	// terminates, avoiding handler livelock).
+	Handler   uint32
+	InHandler bool
+}
+
+// L1PT is the abstract first-level page table: l1index -> L2PT page.
+type L1PT struct {
+	// L2 maps each of the 256 L1 slots to an L2PT page; Present marks
+	// allocated slots.
+	L2      [mmu.L1Entries]PageNr
+	Present [mmu.L1Entries]bool
+}
+
+// L2Entry is the abstract second-level PTE.
+type L2Entry struct {
+	Valid bool
+	// Secure selects the target kind: a secure data page (Page) or an
+	// insecure physical page (InsecureAddr).
+	Secure       bool
+	Page         PageNr // when Secure
+	InsecureAddr uint32 // page-aligned physical address, when !Secure
+	Write        bool
+	Exec         bool
+}
+
+// L2PT is the abstract second-level page table.
+type L2PT struct {
+	Entries [mmu.L2Entries]L2Entry
+}
+
+// Data is the payload of a data page: its full contents. The specification
+// tracks contents because "the contents of secure data pages must equal
+// those in the PageDB" at enclave entry (§5.2).
+type Data struct {
+	Contents [mem.PageWords]uint32
+}
+
+// Entry is one PageDB slot. Exactly one payload pointer is non-nil for the
+// corresponding type; free and spare pages carry none (spare page contents
+// are not tracked: they are inaccessible until mapped, at which point they
+// are zero-filled).
+type Entry struct {
+	Type  PageType
+	Owner PageNr // owning address space (== self for TypeAddrspace)
+
+	AS     *Addrspace
+	Thread *Thread
+	L1     *L1PT
+	L2     *L2PT
+	Data   *Data
+}
+
+// DB is the abstract PageDB.
+type DB struct {
+	NPages int
+	Pages  []Entry // len == NPages; TypeFree means unallocated
+}
+
+// New returns a PageDB with n free pages.
+func New(n int) *DB {
+	return &DB{NPages: n, Pages: make([]Entry, n)}
+}
+
+// ValidPageNr reports whether n is in range.
+func (d *DB) ValidPageNr(n PageNr) bool { return int(n) < d.NPages }
+
+// Get returns the entry for page n; n must be valid.
+func (d *DB) Get(n PageNr) *Entry { return &d.Pages[n] }
+
+// IsFree reports whether page n is unallocated.
+func (d *DB) IsFree(n PageNr) bool {
+	return d.ValidPageNr(n) && d.Pages[n].Type == TypeFree
+}
+
+// IsAddrspace reports whether page n is an address-space page.
+func (d *DB) IsAddrspace(n PageNr) bool {
+	return d.ValidPageNr(n) && d.Pages[n].Type == TypeAddrspace
+}
+
+// Addrspace returns the address-space payload of page n, or nil.
+func (d *DB) Addrspace(n PageNr) *Addrspace {
+	if !d.IsAddrspace(n) {
+		return nil
+	}
+	return d.Pages[n].AS
+}
+
+// Free clears page n back to the free state.
+func (d *DB) Free(n PageNr) { d.Pages[n] = Entry{} }
+
+// OwnedBy returns the page numbers owned by address space as (excluding
+// the address-space page itself), in ascending order.
+func (d *DB) OwnedBy(as PageNr) []PageNr {
+	var out []PageNr
+	for i := range d.Pages {
+		n := PageNr(i)
+		e := &d.Pages[i]
+		if e.Type != TypeFree && e.Type != TypeAddrspace && e.Owner == as {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the PageDB. Used by the spec (which is pure: it returns
+// a new PageDB rather than mutating), the refinement harness, and the
+// noninterference bisimulation (which runs paired executions).
+func (d *DB) Clone() *DB {
+	nd := &DB{NPages: d.NPages, Pages: make([]Entry, len(d.Pages))}
+	for i := range d.Pages {
+		nd.Pages[i] = cloneEntry(d.Pages[i])
+	}
+	return nd
+}
+
+func cloneEntry(e Entry) Entry {
+	ne := Entry{Type: e.Type, Owner: e.Owner}
+	if e.AS != nil {
+		as := *e.AS
+		ne.AS = &as
+	}
+	if e.Thread != nil {
+		th := *e.Thread
+		ne.Thread = &th
+	}
+	if e.L1 != nil {
+		l1 := *e.L1
+		ne.L1 = &l1
+	}
+	if e.L2 != nil {
+		l2 := *e.L2
+		ne.L2 = &l2
+	}
+	if e.Data != nil {
+		da := *e.Data
+		ne.Data = &da
+	}
+	return ne
+}
+
+// Equal reports whether two PageDBs are identical (measurement chaining
+// state included via the final digest of the running hash).
+func (d *DB) Equal(o *DB) bool {
+	if d.NPages != o.NPages {
+		return false
+	}
+	for i := range d.Pages {
+		if !EntriesEqual(&d.Pages[i], &o.Pages[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EntriesEqual compares two entries structurally.
+func EntriesEqual(a, b *Entry) bool {
+	if a.Type != b.Type || a.Owner != b.Owner {
+		return false
+	}
+	switch a.Type {
+	case TypeAddrspace:
+		x, y := a.AS, b.AS
+		if x.State != y.State || x.L1PT != y.L1PT || x.L1PTSet != y.L1PTSet ||
+			x.RefCount != y.RefCount || x.Measured != y.Measured {
+			return false
+		}
+		// Compare running measurements by their digests.
+		xm, ym := x.Measurement, y.Measurement
+		return xm.Sum() == ym.Sum()
+	case TypeThread:
+		return *a.Thread == *b.Thread
+	case TypeL1PT:
+		return *a.L1 == *b.L1
+	case TypeL2PT:
+		return *a.L2 == *b.L2
+	case TypeData:
+		return *a.Data == *b.Data
+	default:
+		return true
+	}
+}

@@ -1,0 +1,109 @@
+package pagedb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDB builds a structurally valid PageDB with nAS enclaves in random
+// lifecycle states, for property testing Clone/Equal/Validate.
+func randomDB(rnd *rand.Rand, nAS int) *DB {
+	d := New(8 * nAS)
+	for i := 0; i < nAS; i++ {
+		base := PageNr(i * 8)
+		state := ASState(rnd.Intn(3))
+		as := &Addrspace{State: state, L1PT: base + 1, L1PTSet: true}
+		d.Pages[base] = Entry{Type: TypeAddrspace, Owner: base, AS: as}
+		l1 := &L1PT{}
+		l1.Present[0] = true
+		l1.L2[0] = base + 2
+		d.Pages[base+1] = Entry{Type: TypeL1PT, Owner: base, L1: l1}
+		l2 := &L2PT{}
+		l2.Entries[rnd.Intn(16)] = L2Entry{Valid: true, Secure: true, Page: base + 3, Write: rnd.Intn(2) == 0}
+		d.Pages[base+2] = Entry{Type: TypeL2PT, Owner: base, L2: l2}
+		data := &Data{}
+		for j := 0; j < 8; j++ {
+			data.Contents[rnd.Intn(1024)] = rnd.Uint32()
+		}
+		d.Pages[base+3] = Entry{Type: TypeData, Owner: base, Data: data}
+		th := &Thread{EntryPoint: rnd.Uint32() % (1 << 30), Entered: state == ASFinal && rnd.Intn(2) == 0}
+		d.Pages[base+4] = Entry{Type: TypeThread, Owner: base, Thread: th}
+		refs := 4
+		if rnd.Intn(2) == 0 {
+			d.Pages[base+5] = Entry{Type: TypeSpare, Owner: base}
+			refs++
+		}
+		as.RefCount = refs
+		as.Measurement.WriteWords([]uint32{rnd.Uint32()})
+		if state != ASInit {
+			as.Measured = as.Measurement.SumWords()
+		}
+	}
+	return d
+}
+
+func TestPropertyRandomDBsValidate(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		d := randomDB(rnd, 1+rnd.Intn(4))
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyCloneEqualRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		d := randomDB(rnd, 1+rnd.Intn(4))
+		c := d.Clone()
+		if !d.Equal(c) || !c.Equal(d) {
+			t.Fatalf("trial %d: clone not equal", trial)
+		}
+		// Any single-field mutation breaks equality.
+		pick := PageNr(rnd.Intn(d.NPages))
+		switch e := c.Get(pick); e.Type {
+		case TypeData:
+			e.Data.Contents[rnd.Intn(1024)] ^= 1
+		case TypeThread:
+			e.Thread.Entered = !e.Thread.Entered
+		case TypeAddrspace:
+			e.AS.RefCount++
+		case TypeL2PT:
+			e.L2.Entries[0].Valid = !e.L2.Entries[0].Valid
+		case TypeL1PT:
+			e.L1.Present[10] = !e.L1.Present[10]
+		default:
+			// Toggle free <-> spare so the mutation is always visible.
+			if e.Type == TypeFree {
+				c.Pages[pick] = Entry{Type: TypeSpare, Owner: 0}
+			} else {
+				c.Pages[pick] = Entry{}
+			}
+		}
+		if d.Equal(c) {
+			t.Fatalf("trial %d: mutation of page %d (type %v) not detected",
+				trial, pick, d.Get(pick).Type)
+		}
+		// The original is untouched (deep clone).
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: original corrupted: %v", trial, err)
+		}
+	}
+}
+
+func TestPropertyOwnedByConsistentWithRefCount(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		d := randomDB(rnd, 1+rnd.Intn(4))
+		for i := range d.Pages {
+			n := PageNr(i)
+			if d.Get(n).Type != TypeAddrspace {
+				continue
+			}
+			if got := len(d.OwnedBy(n)); got != d.Get(n).AS.RefCount {
+				t.Fatalf("trial %d: OwnedBy(%d)=%d, refcount=%d", trial, n, got, d.Get(n).AS.RefCount)
+			}
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package refine_test
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/nwos"
+	"repro/internal/refine"
+)
+
+// FuzzSMCArguments: arbitrary OS-supplied SMC arguments must never panic
+// the monitor (an OS-controlled panic would be a denial of service from
+// below the TCB) and must always refine against the specification. Runs
+// its seed corpus under plain `go test`; fuzz with
+// `go test -fuzz FuzzSMCArguments ./internal/refine`.
+func FuzzSMCArguments(f *testing.F) {
+	f.Add(uint32(2), uint32(0), uint32(1), uint32(0), uint32(0))
+	f.Add(uint32(6), uint32(0), uint32(3), uint32(0x1001), uint32(0x8000_0000))
+	f.Add(uint32(9), uint32(4), uint32(1), uint32(2), uint32(3))
+	f.Add(uint32(12), uint32(0xffff_ffff), uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(99), uint32(1), uint32(2), uint32(3), uint32(4))
+
+	f.Fuzz(func(t *testing.T, call, a1, a2, a3, a4 uint32) {
+		plat, err := board.Boot(board.Config{Seed: 3})
+		if err != nil {
+			t.Skip()
+		}
+		chk := refine.New(plat.Monitor)
+		osm := nwos.New(plat.Machine, chk, plat.Monitor.NPages())
+		// A live enclave gives the fuzzer something to collide with.
+		img, err := kasm.ExitConst(1).Image()
+		if err != nil {
+			t.Skip()
+		}
+		if _, err := osm.BuildEnclave(img); err != nil {
+			t.Skip()
+		}
+		// Bound Enter/Resume execution so fuzz inputs that legitimately
+		// start the enclave terminate quickly.
+		call = call % 14
+		if call == kapi.SMCEnter || call == kapi.SMCResume {
+			// Entering the trivial enclave is fine; it exits immediately.
+		}
+		if _, _, err := chk.SMC(call, a1, a2, a3, a4); err != nil {
+			t.Fatalf("call %d args %v: %v", call, []uint32{a1, a2, a3, a4}, err)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package refine_test
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/nwos"
+	"repro/internal/refine"
+)
+
+// TestErrorMatrixDifferential drives a systematic matrix of SMC calls with
+// every interesting page-argument class through the refinement checker.
+// The checker asserts, for each combination, that the concrete monitor and
+// the functional specification agree on the error code, the result value,
+// and the entire resulting PageDB — an exhaustive analogue of the random
+// trace testing, pinned to the corners where validation-order differences
+// would hide.
+func TestErrorMatrixDifferential(t *testing.T) {
+	plat, err := board.Boot(board.Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := refine.New(plat.Monitor)
+	osm := nwos.New(plat.Machine, chk, plat.Monitor.NPages())
+
+	// World setup: a finalised enclave, an unfinalised one, a stopped
+	// one, and assorted loose pages.
+	finalImg, _ := kasm.DynAlloc().Image()
+	final, err := osm.BuildEnclave(finalImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unfinalised enclave built by hand.
+	uAS, _ := osm.AllocPage()
+	uL1, _ := osm.AllocPage()
+	if _, _, err := chk.SMC(kapi.SMCInitAddrspace, uint32(uAS), uint32(uL1)); err != nil {
+		t.Fatal(err)
+	}
+	uL2, _ := osm.AllocPage()
+	if _, _, err := chk.SMC(kapi.SMCInitL2PTable, uint32(uAS), uint32(uL2), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Stopped enclave.
+	sAS, _ := osm.AllocPage()
+	sL1, _ := osm.AllocPage()
+	chk.SMC(kapi.SMCInitAddrspace, uint32(sAS), uint32(sL1))
+	chk.SMC(kapi.SMCStop, uint32(sAS))
+
+	freePg, _ := osm.AllocPage() // known-free page (never allocated)
+	osm.ReleasePage(freePg)
+
+	// The page-argument classes.
+	pages := map[string]uint32{
+		"free":       uint32(freePg),
+		"final-as":   uint32(final.AS),
+		"init-as":    uint32(uAS),
+		"stopped-as": uint32(sAS),
+		"l1pt":       uint32(uL1),
+		"l2pt":       uint32(uL2),
+		"data":       uint32(final.Data[0]),
+		"thread":     uint32(final.Thread),
+		"spare":      uint32(final.Spares[0]),
+		"oob":        9999,
+	}
+	insecure := plat.Machine.Phys.Layout().InsecureBase
+	mappings := []uint32{
+		uint32(kapi.NewMapping(0x5000, true, false)), // fresh va
+		uint32(kapi.NewMapping(0x1000, true, true)),  // likely-used va
+		uint32(1<<30 | 1), // beyond 1 GB
+		uint32(kapi.NewMapping(200<<22, true, false)), // no L2 table
+	}
+	sources := []uint32{insecure, insecure + 4, 0x4000_0000, 0}
+
+	run := func(name string, call uint32, args ...uint32) {
+		t.Helper()
+		if _, _, err := chk.SMC(call, args...); err != nil {
+			t.Errorf("%s args %v: %v", name, args, err)
+		}
+	}
+
+	// Two-page-argument calls: the full cross product of classes.
+	for n1, p1 := range pages {
+		for n2, p2 := range pages {
+			run("InitAddrspace/"+n1+"/"+n2, kapi.SMCInitAddrspace, p1, p2)
+			run("AllocSpare/"+n1+"/"+n2, kapi.SMCAllocSpare, p1, p2)
+			run("InitThread/"+n1+"/"+n2, kapi.SMCInitThread, p1, p2, 0x1000)
+		}
+	}
+	// Page × index.
+	for n1, p1 := range pages {
+		for n2, p2 := range pages {
+			for _, idx := range []uint32{0, 1, 255, 256, 4096} {
+				run("InitL2PTable/"+n1+"/"+n2, kapi.SMCInitL2PTable, p1, p2, idx)
+			}
+		}
+	}
+	// MapSecure: addrspace class × page class × mapping × source, on a
+	// reduced grid (the full product is checked over time by the random
+	// trace suite).
+	for _, as := range []string{"free", "final-as", "init-as", "stopped-as", "oob"} {
+		for _, pg := range []string{"free", "data", "oob"} {
+			for _, m := range mappings {
+				for _, src := range sources {
+					run("MapSecure/"+as+"/"+pg, kapi.SMCMapSecure, pages[as], pages[pg], m, src)
+				}
+			}
+		}
+	}
+	for _, as := range []string{"final-as", "init-as", "stopped-as", "thread"} {
+		for _, m := range mappings {
+			for _, src := range sources {
+				run("MapInsecure/"+as, kapi.SMCMapInsecure, pages[as], m, src)
+			}
+		}
+	}
+	// Single-page calls over every class.
+	for n, p := range pages {
+		run("Finalise/"+n, kapi.SMCFinalise, p)
+		run("Stop/"+n, kapi.SMCStop, p)
+		run("Enter/"+n, kapi.SMCEnter, p, 0, 0, 0)
+		run("Resume/"+n, kapi.SMCResume, p)
+	}
+	// Remove last (it mutates the world).
+	for n, p := range pages {
+		run("Remove/"+n, kapi.SMCRemove, p)
+	}
+	if chk.Failures != 0 {
+		t.Fatalf("%d refinement failures across the matrix", chk.Failures)
+	}
+	t.Logf("matrix drove %d checked SMCs", chk.Calls)
+}

@@ -1,0 +1,81 @@
+// Package rng simulates the hardware random-number generator Komodo
+// requires (§3.2 "Random number source"). The paper's prototype uses the
+// Raspberry Pi 2's RNG peripheral; the monitor reads it at boot to derive
+// the attestation key and exposes it to enclaves via the GetRandom SVC.
+//
+// The simulated device is a deterministic PRNG (xoshiro-style, seeded at
+// construction) so that simulations — in particular the paired executions
+// of the noninterference bisimulation harness, which must see identical
+// nondeterminism seeds (§6.3) — are reproducible.
+package rng
+
+// Device is a word-oriented entropy source mapped into the secure world.
+// It is deliberately not safe for concurrent use: only the single monitor
+// core may access it.
+type Device struct {
+	s [4]uint64
+}
+
+// New returns a device seeded from a 64-bit seed via splitmix64, the
+// recommended seeding procedure for xoshiro generators.
+func New(seed uint64) *Device {
+	d := &Device{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range d.s {
+		d.s[i] = next()
+	}
+	return d
+}
+
+// Word returns the next 32 bits of entropy, as the monitor's RNG MMIO read
+// does.
+func (d *Device) Word() uint32 { return uint32(d.next64() >> 32) }
+
+// Words fills out with n words of entropy.
+func (d *Device) Words(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.Word()
+	}
+	return out
+}
+
+// Bytes returns n bytes of entropy; used by the bootloader to derive the
+// attestation key.
+func (d *Device) Bytes(n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := d.next64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}
+
+// State captures the generator state for machine snapshots.
+func (d *Device) State() [4]uint64 { return d.s }
+
+// SetState restores a captured state.
+func (d *Device) SetState(s [4]uint64) { d.s = s }
+
+// next64 advances the xoshiro256** generator.
+func (d *Device) next64() uint64 {
+	rotl := func(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+	result := rotl(d.s[1]*5, 7) * 9
+	t := d.s[1] << 17
+	d.s[2] ^= d.s[0]
+	d.s[3] ^= d.s[1]
+	d.s[1] ^= d.s[2]
+	d.s[0] ^= d.s[3]
+	d.s[2] ^= t
+	d.s[3] = rotl(d.s[3], 45)
+	return result
+}

@@ -1,0 +1,59 @@
+package rng
+
+import "testing"
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Word() != b.Word() {
+			t.Fatalf("same-seed devices diverged at word %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Word() == b.Word() {
+			same++
+		}
+	}
+	if same > 4 {
+		t.Fatalf("different seeds produced %d/64 identical words", same)
+	}
+}
+
+func TestBytesLength(t *testing.T) {
+	d := New(7)
+	for _, n := range []int{0, 1, 7, 8, 9, 32, 100} {
+		if got := len(d.Bytes(n)); got != n {
+			t.Fatalf("Bytes(%d) returned %d bytes", n, got)
+		}
+	}
+}
+
+func TestWordsLength(t *testing.T) {
+	d := New(7)
+	if got := len(d.Words(16)); got != 16 {
+		t.Fatalf("Words(16) returned %d", got)
+	}
+}
+
+func TestDistributionSanity(t *testing.T) {
+	// Crude monobit check: over 4096 words, set-bit fraction near 1/2.
+	d := New(99)
+	ones := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		w := d.Word()
+		for ; w != 0; w &= w - 1 {
+			ones++
+		}
+	}
+	total := n * 32
+	frac := float64(ones) / float64(total)
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("set-bit fraction %.4f out of [0.48, 0.52]", frac)
+	}
+}

@@ -1,0 +1,273 @@
+// Package sgx is a cost model of Intel SGX's enclave-management
+// instructions, the baseline Komodo's evaluation compares against (§8.1):
+// "Orenbach et al. report EENTER and EEXIT latencies of about 3,800 and
+// 3,300 cycles respectively, or 7,100 cycles for a full enclave crossing."
+//
+// The model charges published or derived cycle costs to the same
+// cycles.Counter the simulated platform uses, so benchmarks can report
+// Komodo-vs-SGX crossing latencies side by side. It also models the
+// instruction-set surface (§2) closely enough to contrast the two
+// designs' state machines: EPC page states, the EPCM, and the paging
+// instructions of SGXv1/v2.
+package sgx
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cycles"
+)
+
+// Published / derived instruction latencies in cycles. EENTER/EEXIT are
+// the §8.1 figures; the others are representative magnitudes from the SGX
+// literature (EADD/EEXTEND dominated by microcode EPCM updates and
+// measurement hashing; EWB/ELDU by paging crypto).
+const (
+	CostEENTER  = 3800
+	CostEEXIT   = 3300
+	CostERESUME = 3800
+	CostAEX     = 3300 // asynchronous exit on interrupt
+	CostECREATE = 20000
+	CostEADD    = 11000 // per 4 kB page: EPCM update + copy
+	CostEEXTEND = 5600  // per 256-byte chunk ×16 for a page, folded here per page: 16×350
+	CostEINIT   = 60000 // measurement finalisation + launch checks
+	CostEREMOVE = 5000
+	CostEGETKEY = 13000
+	CostEREPORT = 16000
+	// SGXv2 dynamic memory.
+	CostEAUG    = 11000
+	CostEACCEPT = 6000
+	CostEMODT   = 6000
+	// EPC paging (crypto + version-array bookkeeping + TLB shootdown
+	// validation).
+	CostEWB  = 12000
+	CostELDU = 12000
+)
+
+// PageState is the EPC page lifecycle in the EPCM.
+type PageState int
+
+const (
+	PageFree       PageState = iota
+	PageSECS                 // enclave control structure
+	PageTCS                  // thread control structure
+	PageREG                  // regular data page
+	PagePendingAUG           // EAUG'd, awaiting EACCEPT
+)
+
+// Enclave models an SGX enclave's management state.
+type Enclave struct {
+	ID          int
+	Initialized bool
+	Pages       []int // EPC slots owned
+	MeasuredKB  int
+}
+
+// Model is the SGX cost/state model. Like the Komodo monitor it is
+// deliberately single-threaded.
+type Model struct {
+	Cyc    *cycles.Counter
+	epcm   []PageState
+	owner  []int
+	encls  map[int]*Enclave
+	nextID int
+}
+
+// ErrSGX is the base error for model violations (the model returns errors
+// where real SGX would fault with #GP/#PF).
+var ErrSGX = errors.New("sgx")
+
+// New builds a model with an EPC of n pages.
+func New(n int, cyc *cycles.Counter) *Model {
+	if cyc == nil {
+		cyc = &cycles.Counter{}
+	}
+	return &Model{
+		Cyc:   cyc,
+		epcm:  make([]PageState, n),
+		owner: make([]int, n),
+		encls: make(map[int]*Enclave),
+	}
+}
+
+func (m *Model) freePage() (int, error) {
+	for i, s := range m.epcm {
+		if s == PageFree {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: EPC exhausted", ErrSGX)
+}
+
+// ECreate allocates the SECS and creates an enclave.
+func (m *Model) ECreate() (*Enclave, error) {
+	m.Cyc.Charge(CostECREATE)
+	pg, err := m.freePage()
+	if err != nil {
+		return nil, err
+	}
+	m.nextID++
+	e := &Enclave{ID: m.nextID, Pages: []int{pg}}
+	m.epcm[pg] = PageSECS
+	m.owner[pg] = e.ID
+	m.encls[e.ID] = e
+	return e, nil
+}
+
+// EAdd adds and measures one page (EADD + the 16 EEXTENDs for its 4 kB).
+func (m *Model) EAdd(e *Enclave, tcs bool) error {
+	if e.Initialized {
+		return fmt.Errorf("%w: EADD after EINIT (SGXv1 static model)", ErrSGX)
+	}
+	m.Cyc.Charge(CostEADD + CostEEXTEND)
+	pg, err := m.freePage()
+	if err != nil {
+		return err
+	}
+	st := PageREG
+	if tcs {
+		st = PageTCS
+	}
+	m.epcm[pg] = st
+	m.owner[pg] = e.ID
+	e.Pages = append(e.Pages, pg)
+	e.MeasuredKB += 4
+	return nil
+}
+
+// EInit finalises the measurement and enables execution.
+func (m *Model) EInit(e *Enclave) error {
+	if e.Initialized {
+		return fmt.Errorf("%w: double EINIT", ErrSGX)
+	}
+	m.Cyc.Charge(CostEINIT)
+	e.Initialized = true
+	return nil
+}
+
+// EEnter + EExit model one full synchronous crossing.
+func (m *Model) EEnter(e *Enclave) error {
+	if !e.Initialized {
+		return fmt.Errorf("%w: EENTER before EINIT", ErrSGX)
+	}
+	m.Cyc.Charge(CostEENTER)
+	return nil
+}
+
+// EExit leaves the enclave.
+func (m *Model) EExit() { m.Cyc.Charge(CostEEXIT) }
+
+// AEX models an asynchronous exit (interrupt during enclave execution).
+func (m *Model) AEX() { m.Cyc.Charge(CostAEX) }
+
+// EResume re-enters after an AEX.
+func (m *Model) EResume() { m.Cyc.Charge(CostERESUME) }
+
+// FullCrossing is the §8.1 comparison quantity: EENTER + EEXIT.
+func (m *Model) FullCrossing(e *Enclave) error {
+	if err := m.EEnter(e); err != nil {
+		return err
+	}
+	m.EExit()
+	return nil
+}
+
+// EAug dynamically adds a pending page (SGXv2).
+func (m *Model) EAug(e *Enclave) (int, error) {
+	if !e.Initialized {
+		return 0, fmt.Errorf("%w: EAUG before EINIT", ErrSGX)
+	}
+	m.Cyc.Charge(CostEAUG)
+	pg, err := m.freePage()
+	if err != nil {
+		return 0, err
+	}
+	m.epcm[pg] = PagePendingAUG
+	m.owner[pg] = e.ID
+	e.Pages = append(e.Pages, pg)
+	return pg, nil
+}
+
+// EAccept is the enclave-side acceptance of an EAUG'd page. Note the
+// contrast with Komodo's design (§4): in SGXv2 "the OS remains in control
+// of the type, address and permissions of all dynamic allocations",
+// whereas Komodo's spare pages are typed by the enclave alone.
+func (m *Model) EAccept(e *Enclave, pg int) error {
+	if pg >= len(m.epcm) || m.epcm[pg] != PagePendingAUG || m.owner[pg] != e.ID {
+		return fmt.Errorf("%w: EACCEPT of non-pending page", ErrSGX)
+	}
+	m.Cyc.Charge(CostEACCEPT)
+	m.epcm[pg] = PageREG
+	return nil
+}
+
+// ERemove frees a page of a (conceptually) torn-down enclave.
+func (m *Model) ERemove(e *Enclave, pg int) error {
+	if pg >= len(m.epcm) || m.owner[pg] != e.ID {
+		return fmt.Errorf("%w: EREMOVE of foreign page", ErrSGX)
+	}
+	m.Cyc.Charge(CostEREMOVE)
+	m.epcm[pg] = PageFree
+	m.owner[pg] = 0
+	return nil
+}
+
+// EWB models evicting an EPC page to untrusted memory — the paging path
+// whose "series of epoch counters" and TLB-shootdown validation the paper
+// singles out as SGX's gnarliest microcode (§2). The model charges the
+// cost and marks the page free; a paired ELDU reloads it. Contrast with
+// Komodo's design, where paging is either OS-driven page granting (spares)
+// or enclave-managed swap built on the dispatcher extension.
+func (m *Model) EWB(e *Enclave, pg int) error {
+	if pg >= len(m.epcm) || m.owner[pg] != e.ID {
+		return fmt.Errorf("%w: EWB of foreign page", ErrSGX)
+	}
+	if m.epcm[pg] == PageSECS {
+		return fmt.Errorf("%w: EWB of SECS", ErrSGX)
+	}
+	if m.epcm[pg] == PageFree {
+		return fmt.Errorf("%w: EWB of free page", ErrSGX)
+	}
+	m.Cyc.Charge(CostEWB)
+	m.epcm[pg] = PageFree
+	m.owner[pg] = 0
+	return nil
+}
+
+// ELDU reloads an evicted page into a free EPC slot.
+func (m *Model) ELDU(e *Enclave) (int, error) {
+	if !e.Initialized {
+		return 0, fmt.Errorf("%w: ELDU before EINIT", ErrSGX)
+	}
+	m.Cyc.Charge(CostELDU)
+	pg, err := m.freePage()
+	if err != nil {
+		return 0, err
+	}
+	m.epcm[pg] = PageREG
+	m.owner[pg] = e.ID
+	return pg, nil
+}
+
+// EReport models local attestation (REPORT generation), the analogue of
+// Komodo's Attest.
+func (m *Model) EReport(e *Enclave) error {
+	if !e.Initialized {
+		return fmt.Errorf("%w: EREPORT before EINIT", ErrSGX)
+	}
+	m.Cyc.Charge(CostEREPORT)
+	return nil
+}
+
+// EGetKey models report-key retrieval (the verify side of local
+// attestation).
+func (m *Model) EGetKey(e *Enclave) error {
+	if !e.Initialized {
+		return fmt.Errorf("%w: EGETKEY before EINIT", ErrSGX)
+	}
+	m.Cyc.Charge(CostEGETKEY)
+	return nil
+}
+
+// PageStateOf reports a page's EPCM state (tests).
+func (m *Model) PageStateOf(pg int) PageState { return m.epcm[pg] }

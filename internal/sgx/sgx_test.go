@@ -1,0 +1,150 @@
+package sgx
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cycles"
+)
+
+func TestLifecycle(t *testing.T) {
+	m := New(16, nil)
+	e, err := m.ECreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EAdd(e, true); err != nil { // TCS
+		t.Fatal(err)
+	}
+	if err := m.EAdd(e, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EEnter(e); !errors.Is(err, ErrSGX) {
+		t.Fatalf("EENTER before EINIT: %v", err)
+	}
+	if err := m.EInit(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EInit(e); !errors.Is(err, ErrSGX) {
+		t.Fatalf("double EINIT: %v", err)
+	}
+	if err := m.EAdd(e, false); !errors.Is(err, ErrSGX) {
+		t.Fatalf("EADD after EINIT: %v", err)
+	}
+	if err := m.FullCrossing(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossingCostMatchesLiterature(t *testing.T) {
+	var cyc cycles.Counter
+	m := New(16, &cyc)
+	e, _ := m.ECreate()
+	m.EAdd(e, true)
+	m.EInit(e)
+	before := cyc.Total()
+	if err := m.FullCrossing(e); err != nil {
+		t.Fatal(err)
+	}
+	got := cyc.Total() - before
+	if got != 7100 {
+		t.Fatalf("full crossing = %d cycles, want 7100 (§8.1)", got)
+	}
+}
+
+func TestDynamicMemoryV2(t *testing.T) {
+	m := New(16, nil)
+	e, _ := m.ECreate()
+	m.EAdd(e, true)
+	if _, err := m.EAug(e); !errors.Is(err, ErrSGX) {
+		t.Fatalf("EAUG before EINIT: %v", err)
+	}
+	m.EInit(e)
+	pg, err := m.EAug(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PageStateOf(pg) != PagePendingAUG {
+		t.Fatal("EAUG'd page not pending")
+	}
+	if err := m.EAccept(e, pg); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageStateOf(pg) != PageREG {
+		t.Fatal("accepted page not regular")
+	}
+	if err := m.EAccept(e, pg); !errors.Is(err, ErrSGX) {
+		t.Fatalf("double EACCEPT: %v", err)
+	}
+}
+
+func TestEPCExhaustion(t *testing.T) {
+	m := New(2, nil)
+	e, err := m.ECreate() // SECS takes one page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EAdd(e, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EAdd(e, false); !errors.Is(err, ErrSGX) {
+		t.Fatalf("EPC exhaustion: %v", err)
+	}
+}
+
+func TestForeignPageRejected(t *testing.T) {
+	m := New(16, nil)
+	a, _ := m.ECreate()
+	b, _ := m.ECreate()
+	m.EAdd(a, true)
+	if err := m.ERemove(b, a.Pages[1]); !errors.Is(err, ErrSGX) {
+		t.Fatalf("EREMOVE of foreign page: %v", err)
+	}
+}
+
+func TestAttestationCosts(t *testing.T) {
+	var cyc cycles.Counter
+	m := New(16, &cyc)
+	e, _ := m.ECreate()
+	m.EAdd(e, true)
+	m.EInit(e)
+	before := cyc.Total()
+	if err := m.EReport(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EGetKey(e); err != nil {
+		t.Fatal(err)
+	}
+	if cyc.Total()-before != CostEREPORT+CostEGETKEY {
+		t.Fatal("attestation cost accounting wrong")
+	}
+}
+
+func TestPagingEWBELDU(t *testing.T) {
+	m := New(8, nil)
+	e, _ := m.ECreate()
+	m.EAdd(e, true)
+	m.EAdd(e, false)
+	m.EInit(e)
+	data := e.Pages[2]
+	if err := m.EWB(e, data); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageStateOf(data) != PageFree {
+		t.Fatal("EWB did not free the slot")
+	}
+	// SECS may not be evicted; double-evict fails.
+	if err := m.EWB(e, e.Pages[0]); !errors.Is(err, ErrSGX) {
+		t.Fatalf("EWB of SECS: %v", err)
+	}
+	if err := m.EWB(e, data); !errors.Is(err, ErrSGX) {
+		t.Fatalf("double EWB: %v", err)
+	}
+	pg, err := m.ELDU(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PageStateOf(pg) != PageREG {
+		t.Fatal("ELDU did not reload a regular page")
+	}
+}

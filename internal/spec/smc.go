@@ -1,0 +1,318 @@
+package spec
+
+import (
+	"repro/internal/kapi"
+	"repro/internal/mem"
+	"repro/internal/pagedb"
+	"repro/internal/sha2"
+)
+
+// This file specifies every non-executing SMC of Table 1 as a pure
+// function: given an input PageDB and arguments it returns the output
+// PageDB (a fresh copy; inputs are never mutated) and an error code. The
+// validation order within each function is part of the specification — the
+// concrete monitor must produce the same error for the same state.
+
+// GetPhysPages returns the number of secure pages (Table 1: "Return number
+// of secure pages"). It is the null SMC of the paper's Table 3.
+func GetPhysPages(p Params, d *pagedb.DB) (uint32, kapi.Err) {
+	return uint32(p.NPages), kapi.ErrSuccess
+}
+
+// InitAddrspace creates an address space from two free pages (Table 1:
+// "Create address space (enclave) given two empty pages"). The aliased-
+// argument check (asPg == l1Pg) is the bug the paper reports finding in its
+// unverified prototype when this specification was first written (§9.1).
+func InitAddrspace(p Params, d *pagedb.DB, asPg, l1Pg pagedb.PageNr) (*pagedb.DB, kapi.Err) {
+	if e := checkedFreePage(d, asPg); e != kapi.ErrSuccess {
+		return d, e
+	}
+	if e := checkedFreePage(d, l1Pg); e != kapi.ErrSuccess {
+		return d, e
+	}
+	if asPg == l1Pg {
+		return d, kapi.ErrInvalidArg
+	}
+	nd := d.Clone()
+	nd.Pages[asPg] = pagedb.Entry{
+		Type:  pagedb.TypeAddrspace,
+		Owner: asPg,
+		AS: &pagedb.Addrspace{
+			State:       pagedb.ASInit,
+			L1PT:        l1Pg,
+			L1PTSet:     true,
+			RefCount:    1,
+			Measurement: *sha2.New(), // fresh running measurement
+		},
+	}
+	nd.Pages[l1Pg] = pagedb.Entry{Type: pagedb.TypeL1PT, Owner: asPg, L1: &pagedb.L1PT{}}
+	return nd, kapi.ErrSuccess
+}
+
+// InitThread creates an enclave thread with the given entry point,
+// extending the measurement.
+func InitThread(p Params, d *pagedb.DB, asPg, thrPg pagedb.PageNr, entry uint32) (*pagedb.DB, kapi.Err) {
+	as, e := checkedAddrspace(d, asPg)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	if as.State != pagedb.ASInit {
+		return d, kapi.ErrAlreadyFinal
+	}
+	if e := checkedFreePage(d, thrPg); e != kapi.ErrSuccess {
+		return d, e
+	}
+	nd := d.Clone()
+	nd.Pages[thrPg] = pagedb.Entry{
+		Type:   pagedb.TypeThread,
+		Owner:  asPg,
+		Thread: &pagedb.Thread{EntryPoint: entry},
+	}
+	nas := nd.Addrspace(asPg)
+	nas.RefCount++
+	measureInitThread(nas, entry)
+	return nd, kapi.ErrSuccess
+}
+
+// InitL2PTable allocates a second-level page table in L1 slot l1index
+// (Table 1: "Allocate 2nd-level page table").
+func InitL2PTable(p Params, d *pagedb.DB, asPg, l2Pg pagedb.PageNr, l1index uint32) (*pagedb.DB, kapi.Err) {
+	as, e := checkedAddrspace(d, asPg)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	if as.State != pagedb.ASInit {
+		return d, kapi.ErrAlreadyFinal
+	}
+	if l1index >= 256 {
+		return d, kapi.ErrInvalidMapping
+	}
+	if e := checkedFreePage(d, l2Pg); e != kapi.ErrSuccess {
+		return d, e
+	}
+	l1 := d.Get(as.L1PT).L1
+	if l1.Present[l1index] {
+		return d, kapi.ErrAddrInUse
+	}
+	nd := d.Clone()
+	nd.Pages[l2Pg] = pagedb.Entry{Type: pagedb.TypeL2PT, Owner: asPg, L2: &pagedb.L2PT{}}
+	nl1 := nd.Get(nd.Addrspace(asPg).L1PT).L1
+	nl1.Present[l1index] = true
+	nl1.L2[l1index] = l2Pg
+	nd.Addrspace(asPg).RefCount++
+	return nd, kapi.ErrSuccess
+}
+
+// AllocSpare allocates a spare page to an enclave for later dynamic use
+// (§4 "Dynamic allocation": "At any time, the OS may allocate spare pages
+// to an enclave... These do not alter the enclave's measurement").
+func AllocSpare(p Params, d *pagedb.DB, asPg, sparePg pagedb.PageNr) (*pagedb.DB, kapi.Err) {
+	if p.StaticProfile {
+		return d, kapi.ErrInvalidArg // call absent from the SGXv1-style profile
+	}
+	as, e := checkedAddrspace(d, asPg)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	if as.State == pagedb.ASStopped {
+		return d, kapi.ErrInvalidAddrspace
+	}
+	if e := checkedFreePage(d, sparePg); e != kapi.ErrSuccess {
+		return d, e
+	}
+	nd := d.Clone()
+	nd.Pages[sparePg] = pagedb.Entry{Type: pagedb.TypeSpare, Owner: asPg}
+	nd.Addrspace(asPg).RefCount++
+	return nd, kapi.ErrSuccess
+}
+
+// MapSecure allocates a data page with the given initial contents, mapped
+// at the address and permissions in m. contentAddr is the insecure
+// physical page the OS supplied; contents is the snapshot of that page at
+// call time (the specification is parameterised on it because insecure
+// memory is outside the PageDB and may be mutated concurrently by other
+// cores, §6.1).
+func MapSecure(p Params, d *pagedb.DB, asPg, dataPg pagedb.PageNr, m kapi.Mapping,
+	contentAddr uint32, contents *[mem.PageWords]uint32) (*pagedb.DB, kapi.Err) {
+	as, e := checkedAddrspace(d, asPg)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	if as.State != pagedb.ASInit {
+		return d, kapi.ErrAlreadyFinal
+	}
+	if e := checkedFreePage(d, dataPg); e != kapi.ErrSuccess {
+		return d, e
+	}
+	l2pg, idx, e := mappingTarget(d, asPg, m)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	if !p.InsecureOK(contentAddr) {
+		return d, kapi.ErrInsecureInvalid
+	}
+	nd := d.Clone()
+	data := &pagedb.Data{Contents: *contents}
+	nd.Pages[dataPg] = pagedb.Entry{Type: pagedb.TypeData, Owner: asPg, Data: data}
+	nd.Get(l2pg).L2.Entries[idx] = pagedb.L2Entry{
+		Valid: true, Secure: true, Page: dataPg, Write: m.Write(), Exec: m.Exec(),
+	}
+	nas := nd.Addrspace(asPg)
+	nas.RefCount++
+	measureMapSecure(nas, m, contents)
+	return nd, kapi.ErrSuccess
+}
+
+// MapInsecure maps an insecure (OS-shared) physical page into the enclave
+// (Table 1: "Map an insecure (shared) page at address and perms in va").
+// Insecure mappings are not measured: their contents are untrusted by
+// definition.
+func MapInsecure(p Params, d *pagedb.DB, asPg pagedb.PageNr, m kapi.Mapping, target uint32) (*pagedb.DB, kapi.Err) {
+	as, e := checkedAddrspace(d, asPg)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	if as.State != pagedb.ASInit {
+		return d, kapi.ErrAlreadyFinal
+	}
+	l2pg, idx, e := mappingTarget(d, asPg, m)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	if !p.InsecureOK(target) {
+		return d, kapi.ErrInsecureInvalid
+	}
+	nd := d.Clone()
+	nd.Get(l2pg).L2.Entries[idx] = pagedb.L2Entry{
+		Valid: true, Secure: false, InsecureAddr: target, Write: m.Write(), Exec: m.Exec(),
+	}
+	return nd, kapi.ErrSuccess
+}
+
+// Finalise fixes the enclave's measurement and permits execution (Table 1:
+// "Mark enclave final, compute measurement and allow execution").
+func Finalise(p Params, d *pagedb.DB, asPg pagedb.PageNr) (*pagedb.DB, kapi.Err) {
+	as, e := checkedAddrspace(d, asPg)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	if as.State != pagedb.ASInit {
+		return d, kapi.ErrAlreadyFinal
+	}
+	nd := d.Clone()
+	nas := nd.Addrspace(asPg)
+	nas.State = pagedb.ASFinal
+	nas.Measured = nas.Measurement.SumWords()
+	return nd, kapi.ErrSuccess
+}
+
+// Stop marks the enclave stopped, preventing further execution and
+// permitting deallocation. Stopping an already-stopped enclave succeeds
+// (idempotent).
+func Stop(p Params, d *pagedb.DB, asPg pagedb.PageNr) (*pagedb.DB, kapi.Err) {
+	_, e := checkedAddrspace(d, asPg)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	nd := d.Clone()
+	nd.Addrspace(asPg).State = pagedb.ASStopped
+	return nd, kapi.ErrSuccess
+}
+
+// Remove deallocates a page: "any page in a stopped enclave or a spare
+// page in any enclave" (Table 1). The address space itself is reference
+// counted and must be removed last. Removing an already-free page succeeds.
+//
+// The asymmetry between spare pages and everything else is the §4/§6.2
+// spare-page side channel: a Remove that fails with ErrNotStopped tells
+// the OS the page is no longer spare — by design, the only dynamic-memory
+// information released.
+func Remove(p Params, d *pagedb.DB, pg pagedb.PageNr) (*pagedb.DB, kapi.Err) {
+	if !d.ValidPageNr(pg) {
+		return d, kapi.ErrInvalidPageNo
+	}
+	entry := d.Get(pg)
+	switch entry.Type {
+	case pagedb.TypeFree:
+		return d, kapi.ErrSuccess
+	case pagedb.TypeAddrspace:
+		if entry.AS.State != pagedb.ASStopped {
+			return d, kapi.ErrNotStopped
+		}
+		if entry.AS.RefCount != 0 {
+			return d, kapi.ErrPageInUse
+		}
+		nd := d.Clone()
+		nd.Free(pg)
+		return nd, kapi.ErrSuccess
+	case pagedb.TypeSpare:
+		nd := d.Clone()
+		nd.Addrspace(entry.Owner).RefCount--
+		nd.Free(pg)
+		return nd, kapi.ErrSuccess
+	default:
+		if d.Addrspace(entry.Owner).State != pagedb.ASStopped {
+			return d, kapi.ErrNotStopped
+		}
+		nd := d.Clone()
+		nd.Addrspace(entry.Owner).RefCount--
+		nd.Free(pg)
+		return nd, kapi.ErrSuccess
+	}
+}
+
+// SMCRequest is a non-executing SMC with its arguments, used by trace
+// generators and the dispatch helper. For MapSecure, Contents carries the
+// snapshot of the insecure source page.
+type SMCRequest struct {
+	Call     uint32
+	Args     [4]uint32
+	Contents *[mem.PageWords]uint32
+}
+
+// ApplySMC dispatches a non-executing SMC request against d, returning the
+// new PageDB, the R1 result value, and the error code. Enter/Resume are
+// not dispatchable here (they involve machine execution; see enter.go).
+// Unknown call numbers return ErrInvalidArg with the PageDB unchanged —
+// the specification's catch-all for undefined calls.
+func ApplySMC(p Params, d *pagedb.DB, req SMCRequest) (*pagedb.DB, uint32, kapi.Err) {
+	a := req.Args
+	switch req.Call {
+	case kapi.SMCGetPhysPages:
+		v, e := GetPhysPages(p, d)
+		return d, v, e
+	case kapi.SMCInitAddrspace:
+		nd, e := InitAddrspace(p, d, pagedb.PageNr(a[0]), pagedb.PageNr(a[1]))
+		return nd, 0, e
+	case kapi.SMCInitThread:
+		nd, e := InitThread(p, d, pagedb.PageNr(a[0]), pagedb.PageNr(a[1]), a[2])
+		return nd, 0, e
+	case kapi.SMCInitL2PTable:
+		nd, e := InitL2PTable(p, d, pagedb.PageNr(a[0]), pagedb.PageNr(a[1]), a[2])
+		return nd, 0, e
+	case kapi.SMCAllocSpare:
+		nd, e := AllocSpare(p, d, pagedb.PageNr(a[0]), pagedb.PageNr(a[1]))
+		return nd, 0, e
+	case kapi.SMCMapSecure:
+		var contents [mem.PageWords]uint32
+		if req.Contents != nil {
+			contents = *req.Contents
+		}
+		nd, e := MapSecure(p, d, pagedb.PageNr(a[0]), pagedb.PageNr(a[1]), kapi.Mapping(a[2]), a[3], &contents)
+		return nd, 0, e
+	case kapi.SMCMapInsecure:
+		nd, e := MapInsecure(p, d, pagedb.PageNr(a[0]), kapi.Mapping(a[1]), a[2])
+		return nd, 0, e
+	case kapi.SMCFinalise:
+		nd, e := Finalise(p, d, pagedb.PageNr(a[0]))
+		return nd, 0, e
+	case kapi.SMCStop:
+		nd, e := Stop(p, d, pagedb.PageNr(a[0]))
+		return nd, 0, e
+	case kapi.SMCRemove:
+		nd, e := Remove(p, d, pagedb.PageNr(a[0]))
+		return nd, 0, e
+	default:
+		return d, 0, kapi.ErrInvalidArg
+	}
+}

@@ -1,0 +1,380 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/kapi"
+	"repro/internal/mem"
+	"repro/internal/pagedb"
+)
+
+func testParams() Params {
+	return Params{
+		NPages:       32,
+		InsecureBase: 0x8000_0000,
+		InsecureSize: 16 << 20,
+		AttestKey:    [32]byte{1, 2, 3},
+		Rand:         func() uint32 { return 4 },
+	}
+}
+
+// buildEnclave constructs a minimal enclave:
+//
+//	page 0 addrspace, page 1 L1PT, page 2 L2PT (slot 0),
+//	page 3 data rw @ va 0x1000, page 4 thread (entry 0x1000)
+func buildEnclave(t *testing.T, p Params, finalise bool) *pagedb.DB {
+	t.Helper()
+	d := pagedb.New(p.NPages)
+	var e kapi.Err
+	d, e = InitAddrspace(p, d, 0, 1)
+	mustOK(t, "InitAddrspace", e)
+	d, e = InitL2PTable(p, d, 0, 2, 0)
+	mustOK(t, "InitL2PTable", e)
+	var contents [mem.PageWords]uint32
+	contents[0] = 0x1234
+	d, e = MapSecure(p, d, 0, 3, kapi.NewMapping(0x1000, true, true), p.InsecureBase, &contents)
+	mustOK(t, "MapSecure", e)
+	d, e = InitThread(p, d, 0, 4, 0x1000)
+	mustOK(t, "InitThread", e)
+	if finalise {
+		d, e = Finalise(p, d, 0)
+		mustOK(t, "Finalise", e)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("built enclave invalid: %v", err)
+	}
+	return d
+}
+
+func mustOK(t *testing.T, what string, e kapi.Err) {
+	t.Helper()
+	if e != kapi.ErrSuccess {
+		t.Fatalf("%s: %v", what, e)
+	}
+}
+
+func TestGetPhysPages(t *testing.T) {
+	p := testParams()
+	v, e := GetPhysPages(p, pagedb.New(p.NPages))
+	mustOK(t, "GetPhysPages", e)
+	if v != 32 {
+		t.Fatalf("GetPhysPages = %d", v)
+	}
+}
+
+func TestInitAddrspaceHappyPath(t *testing.T) {
+	p := testParams()
+	d := pagedb.New(p.NPages)
+	nd, e := InitAddrspace(p, d, 5, 6)
+	mustOK(t, "InitAddrspace", e)
+	if d.Get(5).Type != pagedb.TypeFree {
+		t.Fatal("spec mutated its input")
+	}
+	as := nd.Addrspace(5)
+	if as == nil || as.State != pagedb.ASInit || as.L1PT != 6 || as.RefCount != 1 {
+		t.Fatalf("addrspace = %+v", as)
+	}
+	if nd.Get(6).Type != pagedb.TypeL1PT || nd.Get(6).Owner != 5 {
+		t.Fatal("L1PT wrong")
+	}
+	if err := nd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitAddrspaceAliasedPagesRejected(t *testing.T) {
+	// The §9.1 regression: "we hadn't considered the case when the two
+	// arguments are the same page."
+	p := testParams()
+	d := pagedb.New(p.NPages)
+	nd, e := InitAddrspace(p, d, 5, 5)
+	if e != kapi.ErrInvalidArg {
+		t.Fatalf("aliased InitAddrspace: %v", e)
+	}
+	if !nd.Equal(d) {
+		t.Fatal("failed call changed state")
+	}
+}
+
+func TestInitAddrspaceErrors(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, false)
+	if _, e := InitAddrspace(p, d, 99, 5); e != kapi.ErrInvalidPageNo {
+		t.Fatalf("out of range: %v", e)
+	}
+	if _, e := InitAddrspace(p, d, 0, 5); e != kapi.ErrPageInUse {
+		t.Fatalf("in use: %v", e)
+	}
+	if _, e := InitAddrspace(p, d, 5, 3); e != kapi.ErrPageInUse {
+		t.Fatalf("l1 in use: %v", e)
+	}
+}
+
+func TestInitThreadErrors(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, false)
+	if _, e := InitThread(p, d, 3, 5, 0); e != kapi.ErrInvalidAddrspace {
+		t.Fatalf("non-addrspace: %v", e)
+	}
+	if _, e := InitThread(p, d, 0, 3, 0); e != kapi.ErrPageInUse {
+		t.Fatalf("thread page in use: %v", e)
+	}
+	df, _ := Finalise(p, d, 0)
+	if _, e := InitThread(p, df, 0, 5, 0); e != kapi.ErrAlreadyFinal {
+		t.Fatalf("final: %v", e)
+	}
+}
+
+func TestInitL2PTableErrors(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, false)
+	if _, e := InitL2PTable(p, d, 0, 5, 256); e != kapi.ErrInvalidMapping {
+		t.Fatalf("bad index: %v", e)
+	}
+	if _, e := InitL2PTable(p, d, 0, 5, 0); e != kapi.ErrAddrInUse {
+		t.Fatalf("occupied slot: %v", e)
+	}
+	nd, e := InitL2PTable(p, d, 0, 5, 1)
+	mustOK(t, "second L2", e)
+	if err := nd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapSecureValidation(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, false)
+	var c [mem.PageWords]uint32
+	// VA already mapped.
+	if _, e := MapSecure(p, d, 0, 5, kapi.NewMapping(0x1000, true, false), p.InsecureBase, &c); e != kapi.ErrAddrInUse {
+		t.Fatalf("va in use: %v", e)
+	}
+	// No L2 table for this VA.
+	if _, e := MapSecure(p, d, 0, 5, kapi.NewMapping(8<<22, true, false), p.InsecureBase, &c); e != kapi.ErrInvalidMapping {
+		t.Fatalf("missing l2: %v", e)
+	}
+	// VA beyond 1 GB.
+	if _, e := MapSecure(p, d, 0, 5, kapi.Mapping(uint32(1<<30)|1), p.InsecureBase, &c); e != kapi.ErrInvalidMapping {
+		t.Fatalf("va beyond 1GB: %v", e)
+	}
+	// Insecure address inside secure region.
+	if _, e := MapSecure(p, d, 0, 5, kapi.NewMapping(0x2000, true, false), 0x4000_0000, &c); e != kapi.ErrInsecureInvalid {
+		t.Fatalf("secure content addr: %v", e)
+	}
+	// Unaligned insecure address.
+	if _, e := MapSecure(p, d, 0, 5, kapi.NewMapping(0x2000, true, false), p.InsecureBase+4, &c); e != kapi.ErrInsecureInvalid {
+		t.Fatalf("unaligned content addr: %v", e)
+	}
+	// Reserved (monitor-aliased) insecure address — the §9.1 lesson.
+	pr := p
+	pr.Reserved = func(pa uint32) bool { return pa == p.InsecureBase+0x1000 }
+	if _, e := MapSecure(pr, d, 0, 5, kapi.NewMapping(0x2000, true, false), p.InsecureBase+0x1000, &c); e != kapi.ErrInsecureInvalid {
+		t.Fatalf("reserved content addr: %v", e)
+	}
+}
+
+func TestMapSecureContents(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, false)
+	if got := d.Get(3).Data.Contents[0]; got != 0x1234 {
+		t.Fatalf("data page contents = %#x", got)
+	}
+	pte, _, _ := d.LookupMapping(0, 0x1000)
+	if pte == nil || !pte.Secure || pte.Page != 3 || !pte.Write || !pte.Exec {
+		t.Fatalf("mapping = %+v", pte)
+	}
+}
+
+func TestMapInsecure(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, false)
+	nd, e := MapInsecure(p, d, 0, kapi.NewMapping(0x2000, true, false), p.InsecureBase+0x3000)
+	mustOK(t, "MapInsecure", e)
+	pte, _, _ := nd.LookupMapping(0, 0x2000)
+	if pte == nil || pte.Secure || pte.InsecureAddr != p.InsecureBase+0x3000 {
+		t.Fatalf("insecure mapping = %+v", pte)
+	}
+	// Insecure mapping must not change the measurement.
+	if nd.Addrspace(0).Measurement.Sum() != d.Addrspace(0).Measurement.Sum() {
+		t.Fatal("MapInsecure altered measurement")
+	}
+	if err := nd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasurementDeterministicAndLayoutSensitive(t *testing.T) {
+	p := testParams()
+	a := buildEnclave(t, p, true)
+	b := buildEnclave(t, p, true)
+	if a.Addrspace(0).Measured != b.Addrspace(0).Measured {
+		t.Fatal("identical construction produced different measurements")
+	}
+	// Different content → different measurement.
+	d := pagedb.New(p.NPages)
+	d, _ = InitAddrspace(p, d, 0, 1)
+	d, _ = InitL2PTable(p, d, 0, 2, 0)
+	var c [mem.PageWords]uint32
+	c[0] = 0x9999 // differs from buildEnclave's 0x1234
+	d, _ = MapSecure(p, d, 0, 3, kapi.NewMapping(0x1000, true, true), p.InsecureBase, &c)
+	d, _ = InitThread(p, d, 0, 4, 0x1000)
+	d, _ = Finalise(p, d, 0)
+	if d.Addrspace(0).Measured == a.Addrspace(0).Measured {
+		t.Fatal("different contents produced identical measurement")
+	}
+	// Different permissions → different measurement.
+	d2 := pagedb.New(p.NPages)
+	d2, _ = InitAddrspace(p, d2, 0, 1)
+	d2, _ = InitL2PTable(p, d2, 0, 2, 0)
+	c[0] = 0x1234
+	d2, _ = MapSecure(p, d2, 0, 3, kapi.NewMapping(0x1000, false, true), p.InsecureBase, &c)
+	d2, _ = InitThread(p, d2, 0, 4, 0x1000)
+	d2, _ = Finalise(p, d2, 0)
+	if d2.Addrspace(0).Measured == a.Addrspace(0).Measured {
+		t.Fatal("different permissions produced identical measurement")
+	}
+	// Different entry point → different measurement.
+	d3 := pagedb.New(p.NPages)
+	d3, _ = InitAddrspace(p, d3, 0, 1)
+	d3, _ = InitL2PTable(p, d3, 0, 2, 0)
+	d3, _ = MapSecure(p, d3, 0, 3, kapi.NewMapping(0x1000, true, true), p.InsecureBase, &c)
+	d3, _ = InitThread(p, d3, 0, 4, 0x2000)
+	d3, _ = Finalise(p, d3, 0)
+	if d3.Addrspace(0).Measured == a.Addrspace(0).Measured {
+		t.Fatal("different entry point produced identical measurement")
+	}
+}
+
+func TestFinaliseAndStop(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true)
+	if d.Addrspace(0).State != pagedb.ASFinal {
+		t.Fatal("not final")
+	}
+	if _, e := Finalise(p, d, 0); e != kapi.ErrAlreadyFinal {
+		t.Fatalf("double finalise: %v", e)
+	}
+	nd, e := Stop(p, d, 0)
+	mustOK(t, "Stop", e)
+	if nd.Addrspace(0).State != pagedb.ASStopped {
+		t.Fatal("not stopped")
+	}
+	// Stop is idempotent.
+	nd2, e := Stop(p, nd, 0)
+	mustOK(t, "Stop again", e)
+	if nd2.Addrspace(0).State != pagedb.ASStopped {
+		t.Fatal("stop not idempotent")
+	}
+}
+
+func TestRemoveLifecycle(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true)
+	// Cannot remove pages of a running enclave.
+	if _, e := Remove(p, d, 3); e != kapi.ErrNotStopped {
+		t.Fatalf("remove data while final: %v", e)
+	}
+	if _, e := Remove(p, d, 0); e != kapi.ErrNotStopped {
+		t.Fatalf("remove addrspace while final: %v", e)
+	}
+	d, _ = Stop(p, d, 0)
+	// Addrspace must go last (reference counted).
+	if _, e := Remove(p, d, 0); e != kapi.ErrPageInUse {
+		t.Fatalf("remove addrspace with refs: %v", e)
+	}
+	var e kapi.Err
+	for _, pg := range []pagedb.PageNr{1, 2, 3, 4} {
+		d, e = Remove(p, d, pg)
+		mustOK(t, "Remove", e)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("after removing %d: %v", pg, err)
+		}
+	}
+	d, e = Remove(p, d, 0)
+	mustOK(t, "Remove addrspace", e)
+	for i := 0; i < 5; i++ {
+		if !d.IsFree(pagedb.PageNr(i)) {
+			t.Fatalf("page %d not free after teardown", i)
+		}
+	}
+	// Removing a free page is an idempotent success.
+	_, e = Remove(p, d, 3)
+	mustOK(t, "Remove free", e)
+}
+
+func TestRemoveSpareAnyState(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true) // final, running
+	d, e := AllocSpare(p, d, 0, 7)
+	mustOK(t, "AllocSpare", e)
+	// Spares are removable from a running enclave — and the failure of
+	// Remove on a non-spare is the §6.2 declassified side channel.
+	nd, e := Remove(p, d, 7)
+	mustOK(t, "Remove spare", e)
+	if !nd.IsFree(7) {
+		t.Fatal("spare not freed")
+	}
+	if err := nd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocSpare(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, false)
+	nd, e := AllocSpare(p, d, 0, 7)
+	mustOK(t, "AllocSpare init-state", e)
+	if nd.Get(7).Type != pagedb.TypeSpare {
+		t.Fatal("not spare")
+	}
+	// Spares do not alter the measurement.
+	if nd.Addrspace(0).Measurement.Sum() != d.Addrspace(0).Measurement.Sum() {
+		t.Fatal("AllocSpare altered measurement")
+	}
+	// Works on final enclaves too ("at any time").
+	df := buildEnclave(t, p, true)
+	_, e = AllocSpare(p, df, 0, 7)
+	mustOK(t, "AllocSpare final-state", e)
+	// But not stopped.
+	ds, _ := Stop(p, df, 0)
+	if _, e := AllocSpare(p, ds, 0, 7); e != kapi.ErrInvalidAddrspace {
+		t.Fatalf("AllocSpare on stopped: %v", e)
+	}
+}
+
+func TestStaticProfileDisablesDynamicCalls(t *testing.T) {
+	p := testParams()
+	p.StaticProfile = true
+	d := buildEnclave(t, p, false)
+	if _, e := AllocSpare(p, d, 0, 7); e != kapi.ErrInvalidArg {
+		t.Fatalf("AllocSpare under SGXv1 profile: %v", e)
+	}
+	if _, e := SvcMapData(p, d, 4, 7, kapi.NewMapping(0x3000, true, false)); e != kapi.ErrInvalidArg {
+		t.Fatalf("SvcMapData under SGXv1 profile: %v", e)
+	}
+	if _, e := SvcInitL2PTable(p, d, 4, 7, 1); e != kapi.ErrInvalidArg {
+		t.Fatalf("SvcInitL2PTable under SGXv1 profile: %v", e)
+	}
+	if _, e := SvcUnmapData(p, d, 4, 3, kapi.NewMapping(0x1000, true, true)); e != kapi.ErrInvalidArg {
+		t.Fatalf("SvcUnmapData under SGXv1 profile: %v", e)
+	}
+}
+
+func TestApplySMCDispatch(t *testing.T) {
+	p := testParams()
+	d := pagedb.New(p.NPages)
+	nd, v, e := ApplySMC(p, d, SMCRequest{Call: kapi.SMCGetPhysPages})
+	mustOK(t, "dispatch GetPhysPages", e)
+	if v != 32 || nd != d {
+		t.Fatal("GetPhysPages dispatch wrong")
+	}
+	_, _, e = ApplySMC(p, d, SMCRequest{Call: 999})
+	if e != kapi.ErrInvalidArg {
+		t.Fatalf("unknown SMC: %v", e)
+	}
+	nd, _, e = ApplySMC(p, d, SMCRequest{Call: kapi.SMCInitAddrspace, Args: [4]uint32{0, 1}})
+	mustOK(t, "dispatch InitAddrspace", e)
+	if !nd.IsAddrspace(0) {
+		t.Fatal("dispatch did not create addrspace")
+	}
+}

@@ -1,0 +1,138 @@
+// Package spec is Komodo's trusted functional specification (§5.2 of the
+// paper), written as executable pure functions over the abstract PageDB.
+// "We specify the body of [the monitor calls] as pure functions that, given
+// an input PageDB and call parameters, compute an error/success code and
+// resulting PageDB."
+//
+// The concrete monitor (internal/monitor) is an independent implementation
+// over concrete machine state; the refinement harness decodes its secure
+// memory back into an abstract PageDB after every SMC and checks it against
+// this specification — the runtime analogue of the paper's machine-checked
+// refinement proof.
+//
+// Enter and Resume, which involve user-mode execution, are specified as
+// predicates relating the before/after states given a recorded execution
+// trace (see enter.go), exactly as the paper models them ("predicates
+// relating two states and PageDBs" with user execution as nondeterministic
+// havoc).
+package spec
+
+import (
+	"repro/internal/kapi"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pagedb"
+	"repro/internal/sha2"
+)
+
+// Params are the platform constants the specification validates against.
+type Params struct {
+	// NPages is the number of secure pages (returned by GetPhysPages).
+	NPages int
+	// InsecureBase/InsecureSize delimit insecure RAM: the only memory the
+	// OS may hand to MapSecure/MapInsecure.
+	InsecureBase uint32
+	InsecureSize uint32
+	// Reserved reports physical pages that must not be accepted as
+	// insecure addresses even though they lie outside secure RAM — the
+	// monitor's own direct-mapped pages. The paper reports exactly this
+	// bug in its unverified prototype (§9.1): "it must also avoid any of
+	// the monitor's own pages". May be nil.
+	Reserved func(pa uint32) bool
+	// AttestKey is the boot-time attestation secret (§4): "a secret key
+	// generated at boot from a cryptographically secure source of
+	// randomness".
+	AttestKey [32]byte
+	// Rand supplies the hardware randomness consumed by SvcGetRandom. In
+	// refinement checking it replays the words the concrete monitor drew.
+	Rand func() uint32
+
+	// StaticProfile disables the dynamic memory-management calls
+	// (AllocSpare and the SGXv2-style SVCs), modelling the paper's first
+	// Komodo version "using static memory management modelled on SGXv1"
+	// (§7.3). The default (false) is the full SGXv2-style system.
+	StaticProfile bool
+}
+
+// InsecureOK reports whether pa is a valid page-aligned insecure physical
+// address the OS may pass to the mapping calls.
+func (p Params) InsecureOK(pa uint32) bool {
+	if pa%mem.PageSize != 0 {
+		return false
+	}
+	if pa < p.InsecureBase || uint64(pa)+mem.PageSize > uint64(p.InsecureBase)+uint64(p.InsecureSize) {
+		return false
+	}
+	if p.Reserved != nil && p.Reserved(pa) {
+		return false
+	}
+	return true
+}
+
+// measureInitThread extends the enclave measurement for a thread creation:
+// "(ii) the entry point of every thread" (§4).
+func measureInitThread(as *pagedb.Addrspace, entry uint32) {
+	as.Measurement.WriteWords([]uint32{kapi.SMCInitThread, entry})
+}
+
+// measureMapSecure extends the measurement for a secure data page: "(i)
+// the enclave virtual address, permissions and initial contents of each
+// secure page" (§4).
+func measureMapSecure(as *pagedb.Addrspace, m kapi.Mapping, contents *[mem.PageWords]uint32) {
+	as.Measurement.WriteWords([]uint32{kapi.SMCMapSecure, uint32(m)})
+	as.Measurement.WriteWords(contents[:])
+}
+
+// attestMAC computes the attestation MAC over (measurement, user data) —
+// §4: "a MAC... computed over (i) the attesting enclave's measurement, and
+// (ii) enclave-provided data".
+func attestMAC(key [32]byte, measurement, data [8]uint32) [8]uint32 {
+	msg := make([]uint32, 0, 16)
+	msg = append(msg, measurement[:]...)
+	msg = append(msg, data[:]...)
+	mac := sha2.HMAC(key[:], sha2.WordsToBytes(msg))
+	var out [8]uint32
+	copy(out[:], sha2.BytesToWords(mac[:]))
+	return out
+}
+
+// checkedAddrspace validates that asPg names an address-space page,
+// returning it or an error code.
+func checkedAddrspace(d *pagedb.DB, asPg pagedb.PageNr) (*pagedb.Addrspace, kapi.Err) {
+	if !d.ValidPageNr(asPg) {
+		return nil, kapi.ErrInvalidPageNo
+	}
+	if !d.IsAddrspace(asPg) {
+		return nil, kapi.ErrInvalidAddrspace
+	}
+	return d.Addrspace(asPg), kapi.ErrSuccess
+}
+
+// checkedFreePage validates that pg names a free page.
+func checkedFreePage(d *pagedb.DB, pg pagedb.PageNr) kapi.Err {
+	if !d.ValidPageNr(pg) {
+		return kapi.ErrInvalidPageNo
+	}
+	if !d.IsFree(pg) {
+		return kapi.ErrPageInUse
+	}
+	return kapi.ErrSuccess
+}
+
+// mappingTarget resolves the L2 page table slot a valid mapping call will
+// write, enforcing: the mapping word is well-formed, the covering L2 table
+// exists, and the VA is not already mapped.
+func mappingTarget(d *pagedb.DB, asPg pagedb.PageNr, m kapi.Mapping) (l2pg pagedb.PageNr, idx int, e kapi.Err) {
+	if !m.Valid() {
+		return 0, 0, kapi.ErrInvalidMapping
+	}
+	l2pg, ok := d.L2ForVA(asPg, m.VA())
+	if !ok {
+		return 0, 0, kapi.ErrInvalidMapping
+	}
+	idx = mmu.L2Index(m.VA())
+	if d.Get(l2pg).L2.Entries[idx].Valid {
+		return 0, 0, kapi.ErrAddrInUse
+	}
+	return l2pg, idx, kapi.ErrSuccess
+}

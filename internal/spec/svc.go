@@ -1,0 +1,248 @@
+package spec
+
+import (
+	"sort"
+
+	"repro/internal/kapi"
+	"repro/internal/mmu"
+	"repro/internal/pagedb"
+)
+
+// This file specifies the supervisor calls available to a running enclave
+// (Table 1, bottom half). Each is a pure function taking the current
+// PageDB and the identity of the executing thread. "The specifications of
+// SVCs from an enclave are logically nested inside the definition of Enter
+// and Resume" (§5.2): enter.go invokes these while replaying a recorded
+// execution trace.
+
+// SvcGetRandom returns a hardware random word (Table 1: "Hardware source
+// of secure random numbers"). The randomness source is Params.Rand so that
+// refinement checking can replay the words the concrete monitor drew.
+func SvcGetRandom(p Params, d *pagedb.DB, thread pagedb.PageNr) (*pagedb.DB, uint32, kapi.Err) {
+	return d, p.Rand(), kapi.ErrSuccess
+}
+
+// SvcAttest constructs an attestation of the enclave's identity: a MAC
+// over the enclave's measurement and 8 words of enclave-provided data.
+func SvcAttest(p Params, d *pagedb.DB, thread pagedb.PageNr, data [8]uint32) (*pagedb.DB, [8]uint32, kapi.Err) {
+	as := d.Addrspace(d.Get(thread).Owner)
+	return d, attestMAC(p.AttestKey, as.Measured, data), kapi.ErrSuccess
+}
+
+// SvcVerifyStep0 stages the attested data words (multi-step verify ABI:
+// all operands must fit in registers).
+func SvcVerifyStep0(p Params, d *pagedb.DB, thread pagedb.PageNr, data [8]uint32) (*pagedb.DB, kapi.Err) {
+	nd := d.Clone()
+	nd.Get(thread).Thread.VerifyData = data
+	return nd, kapi.ErrSuccess
+}
+
+// SvcVerifyStep1 stages the claimed measurement.
+func SvcVerifyStep1(p Params, d *pagedb.DB, thread pagedb.PageNr, measure [8]uint32) (*pagedb.DB, kapi.Err) {
+	nd := d.Clone()
+	nd.Get(thread).Thread.VerifyMeasure = measure
+	return nd, kapi.ErrSuccess
+}
+
+// SvcVerifyStep2 checks the MAC against the staged data and measurement,
+// returning 1 (valid) or 0 in the result value.
+func SvcVerifyStep2(p Params, d *pagedb.DB, thread pagedb.PageNr, mac [8]uint32) (*pagedb.DB, uint32, kapi.Err) {
+	th := d.Get(thread).Thread
+	want := attestMAC(p.AttestKey, th.VerifyMeasure, th.VerifyData)
+	if want == mac {
+		return d, 1, kapi.ErrSuccess
+	}
+	return d, 0, kapi.ErrSuccess
+}
+
+// SvcInitL2PTable converts a spare page into a second-level page table at
+// l1index (Table 1: "Create 2nd-level page table from a spare page").
+// Unlike the SMC variant, the enclave performs this on its own pages at
+// runtime — the OS cannot tell whether the spare became a page table or
+// data (§4: "it cannot tell whether the enclave has used them as data or
+// page-table pages").
+func SvcInitL2PTable(p Params, d *pagedb.DB, thread pagedb.PageNr, sparePg pagedb.PageNr, l1index uint32) (*pagedb.DB, kapi.Err) {
+	if p.StaticProfile {
+		return d, kapi.ErrInvalidArg
+	}
+	as := d.Get(thread).Owner
+	if e := checkedOwnedSpare(d, as, sparePg); e != kapi.ErrSuccess {
+		return d, e
+	}
+	if l1index >= 256 {
+		return d, kapi.ErrInvalidMapping
+	}
+	l1 := d.Get(d.Addrspace(as).L1PT).L1
+	if l1.Present[l1index] {
+		return d, kapi.ErrAddrInUse
+	}
+	nd := d.Clone()
+	nd.Pages[sparePg] = pagedb.Entry{Type: pagedb.TypeL2PT, Owner: as, L2: &pagedb.L2PT{}}
+	nl1 := nd.Get(nd.Addrspace(as).L1PT).L1
+	nl1.Present[l1index] = true
+	nl1.L2[l1index] = sparePg
+	return nd, kapi.ErrSuccess
+}
+
+// SvcMapData maps a spare page as a zero-filled data page (Table 1: "Map
+// spare page as zero-filled data page at address and perms in vaddr").
+// Dynamic allocations do not alter the measurement (§4).
+func SvcMapData(p Params, d *pagedb.DB, thread pagedb.PageNr, sparePg pagedb.PageNr, m kapi.Mapping) (*pagedb.DB, kapi.Err) {
+	if p.StaticProfile {
+		return d, kapi.ErrInvalidArg
+	}
+	as := d.Get(thread).Owner
+	if e := checkedOwnedSpare(d, as, sparePg); e != kapi.ErrSuccess {
+		return d, e
+	}
+	l2pg, idx, e := mappingTarget(d, as, m)
+	if e != kapi.ErrSuccess {
+		return d, e
+	}
+	nd := d.Clone()
+	nd.Pages[sparePg] = pagedb.Entry{Type: pagedb.TypeData, Owner: as, Data: &pagedb.Data{}}
+	nd.Get(l2pg).L2.Entries[idx] = pagedb.L2Entry{
+		Valid: true, Secure: true, Page: sparePg, Write: m.Write(), Exec: m.Exec(),
+	}
+	return nd, kapi.ErrSuccess
+}
+
+// SvcUnmapData unmaps a data page, turning it back into a spare page
+// (Table 1). The vaddr must currently map exactly dataPg.
+func SvcUnmapData(p Params, d *pagedb.DB, thread pagedb.PageNr, dataPg pagedb.PageNr, m kapi.Mapping) (*pagedb.DB, kapi.Err) {
+	if p.StaticProfile {
+		return d, kapi.ErrInvalidArg
+	}
+	as := d.Get(thread).Owner
+	if !d.ValidPageNr(dataPg) {
+		return d, kapi.ErrInvalidPageNo
+	}
+	e := d.Get(dataPg)
+	if e.Type != pagedb.TypeData || e.Owner != as {
+		return d, kapi.ErrInvalidArg
+	}
+	if !m.Valid() {
+		return d, kapi.ErrInvalidMapping
+	}
+	pte, l2pg, idx := d.LookupMapping(as, m.VA())
+	if pte == nil || !pte.Secure || pte.Page != dataPg {
+		return d, kapi.ErrInvalidMapping
+	}
+	nd := d.Clone()
+	nd.Get(l2pg).L2.Entries[idx] = pagedb.L2Entry{}
+	nd.Pages[dataPg] = pagedb.Entry{Type: pagedb.TypeSpare, Owner: as}
+	return nd, kapi.ErrSuccess
+}
+
+// SvcSetFaultHandler registers the enclave's fault-upcall address (the
+// §9.2 dispatcher extension). The address must lie in the 1 GB enclave
+// space; 0 unregisters. The handler address is enclave-private state: not
+// measured, not visible to the OS.
+func SvcSetFaultHandler(p Params, d *pagedb.DB, thread pagedb.PageNr, addr uint32) (*pagedb.DB, kapi.Err) {
+	if addr >= 1<<30 {
+		return d, kapi.ErrInvalidArg
+	}
+	nd := d.Clone()
+	nd.Get(thread).Thread.Handler = addr
+	return nd, kapi.ErrSuccess
+}
+
+// SvcFaultReturn resumes the context interrupted by a handled fault. Only
+// meaningful while executing the fault handler; otherwise rejected (and
+// execution continues in the enclave).
+func SvcFaultReturn(p Params, d *pagedb.DB, thread pagedb.PageNr) (*pagedb.DB, kapi.Err) {
+	th := d.Get(thread).Thread
+	if !th.InHandler {
+		return d, kapi.ErrInvalidArg
+	}
+	nd := d.Clone()
+	nd.Get(thread).Thread.InHandler = false
+	return nd, kapi.ErrSuccess
+}
+
+func checkedOwnedSpare(d *pagedb.DB, as, sparePg pagedb.PageNr) kapi.Err {
+	if !d.ValidPageNr(sparePg) {
+		return kapi.ErrInvalidPageNo
+	}
+	e := d.Get(sparePg)
+	if e.Type != pagedb.TypeSpare || e.Owner != as {
+		return kapi.ErrNotSpare
+	}
+	return kapi.ErrSuccess
+}
+
+// ApplySVC dispatches a supervisor call by number against d, for the
+// executing thread. Args and the returned values use the register ABI
+// (R1–R8 packed into [8]uint32). Exit is not dispatchable here: it is a
+// terminal event handled by the Enter/Resume relation.
+//
+// Unknown SVC numbers return ErrInvalidArg and leave the PageDB unchanged,
+// so an enclave probing the call space learns nothing and harms nothing.
+func ApplySVC(p Params, d *pagedb.DB, thread pagedb.PageNr, call uint32, args [8]uint32) (*pagedb.DB, [8]uint32, kapi.Err) {
+	var vals [8]uint32
+	switch call {
+	case kapi.SVCGetRandom:
+		nd, v, e := SvcGetRandom(p, d, thread)
+		vals[0] = v
+		return nd, vals, e
+	case kapi.SVCAttest:
+		nd, mac, e := SvcAttest(p, d, thread, args)
+		return nd, mac, e
+	case kapi.SVCVerifyStep0:
+		nd, e := SvcVerifyStep0(p, d, thread, args)
+		return nd, vals, e
+	case kapi.SVCVerifyStep1:
+		nd, e := SvcVerifyStep1(p, d, thread, args)
+		return nd, vals, e
+	case kapi.SVCVerifyStep2:
+		nd, ok, e := SvcVerifyStep2(p, d, thread, args)
+		vals[0] = ok
+		return nd, vals, e
+	case kapi.SVCInitL2PTable:
+		nd, e := SvcInitL2PTable(p, d, thread, pagedb.PageNr(args[0]), args[1])
+		return nd, vals, e
+	case kapi.SVCMapData:
+		nd, e := SvcMapData(p, d, thread, pagedb.PageNr(args[0]), kapi.Mapping(args[1]))
+		return nd, vals, e
+	case kapi.SVCUnmapData:
+		nd, e := SvcUnmapData(p, d, thread, pagedb.PageNr(args[0]), kapi.Mapping(args[1]))
+		return nd, vals, e
+	case kapi.SVCSetFaultHandler:
+		nd, e := SvcSetFaultHandler(p, d, thread, args[0])
+		return nd, vals, e
+	case kapi.SVCFaultReturn:
+		nd, e := SvcFaultReturn(p, d, thread)
+		return nd, vals, e
+	default:
+		return d, vals, kapi.ErrInvalidArg
+	}
+}
+
+// WritablePages returns the data pages of address space as that are
+// currently mapped writable — exactly the secure pages user-mode execution
+// may modify ("when user code executes, it havocs... all user-writable
+// pages", §5.1). Sorted ascending.
+func WritablePages(d *pagedb.DB, as pagedb.PageNr) []pagedb.PageNr {
+	asp := d.Addrspace(as)
+	if asp == nil || !asp.L1PTSet {
+		return nil
+	}
+	seen := make(map[pagedb.PageNr]bool)
+	var out []pagedb.PageNr
+	l1 := d.Get(asp.L1PT).L1
+	for i := 0; i < mmu.L1Entries; i++ {
+		if !l1.Present[i] {
+			continue
+		}
+		l2 := d.Get(l1.L2[i]).L2
+		for j := range l2.Entries {
+			pte := &l2.Entries[j]
+			if pte.Valid && pte.Secure && pte.Write && !seen[pte.Page] {
+				seen[pte.Page] = true
+				out = append(out, pte.Page)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,225 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/kapi"
+	"repro/internal/pagedb"
+)
+
+func TestSvcGetRandomUsesParamsRand(t *testing.T) {
+	p := testParams()
+	calls := 0
+	p.Rand = func() uint32 { calls++; return 0xabcd }
+	d := buildEnclave(t, p, true)
+	_, v, e := SvcGetRandom(p, d, 4)
+	mustOK(t, "GetRandom", e)
+	if v != 0xabcd || calls != 1 {
+		t.Fatalf("v=%#x calls=%d", v, calls)
+	}
+}
+
+func TestAttestVerifyRoundTrip(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true)
+	data := [8]uint32{0xd0, 0xd1, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7}
+	_, mac, e := SvcAttest(p, d, 4, data)
+	mustOK(t, "Attest", e)
+	meas := d.Addrspace(0).Measured
+
+	// Verify through the three-step ABI.
+	d2, e := SvcVerifyStep0(p, d, 4, data)
+	mustOK(t, "VerifyStep0", e)
+	d2, e = SvcVerifyStep1(p, d2, 4, meas)
+	mustOK(t, "VerifyStep1", e)
+	_, ok, e := SvcVerifyStep2(p, d2, 4, mac)
+	mustOK(t, "VerifyStep2", e)
+	if ok != 1 {
+		t.Fatal("valid attestation rejected")
+	}
+
+	// Wrong measurement must fail.
+	badMeas := meas
+	badMeas[0] ^= 1
+	d3, _ := SvcVerifyStep0(p, d, 4, data)
+	d3, _ = SvcVerifyStep1(p, d3, 4, badMeas)
+	_, ok, _ = SvcVerifyStep2(p, d3, 4, mac)
+	if ok != 0 {
+		t.Fatal("forged measurement accepted")
+	}
+
+	// Wrong data must fail.
+	badData := data
+	badData[7] ^= 1
+	d4, _ := SvcVerifyStep0(p, d, 4, badData)
+	d4, _ = SvcVerifyStep1(p, d4, 4, meas)
+	_, ok, _ = SvcVerifyStep2(p, d4, 4, mac)
+	if ok != 0 {
+		t.Fatal("forged data accepted")
+	}
+
+	// Wrong MAC must fail.
+	badMac := mac
+	badMac[3] ^= 1
+	d5, _ := SvcVerifyStep0(p, d, 4, data)
+	d5, _ = SvcVerifyStep1(p, d5, 4, meas)
+	_, ok, _ = SvcVerifyStep2(p, d5, 4, badMac)
+	if ok != 0 {
+		t.Fatal("forged MAC accepted")
+	}
+}
+
+func TestAttestationKeyedByBootSecret(t *testing.T) {
+	p1 := testParams()
+	p2 := testParams()
+	p2.AttestKey = [32]byte{9, 9, 9}
+	d := buildEnclave(t, p1, true)
+	var data [8]uint32
+	_, mac1, _ := SvcAttest(p1, d, 4, data)
+	_, mac2, _ := SvcAttest(p2, d, 4, data)
+	if mac1 == mac2 {
+		t.Fatal("attestations identical under different boot keys")
+	}
+}
+
+func TestSvcMapDataLifecycle(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true)
+	d, e := AllocSpare(p, d, 0, 7)
+	mustOK(t, "AllocSpare", e)
+	measBefore := d.Addrspace(0).Measured
+
+	m := kapi.NewMapping(0x3000, true, false)
+	d, e = SvcMapData(p, d, 4, 7, m)
+	mustOK(t, "MapData", e)
+	if d.Get(7).Type != pagedb.TypeData {
+		t.Fatal("spare not converted to data")
+	}
+	for _, w := range d.Get(7).Data.Contents {
+		if w != 0 {
+			t.Fatal("MapData page not zero-filled")
+		}
+	}
+	pte, _, _ := d.LookupMapping(0, 0x3000)
+	if pte == nil || pte.Page != 7 || !pte.Write {
+		t.Fatalf("mapping = %+v", pte)
+	}
+	if d.Addrspace(0).Measured != measBefore {
+		t.Fatal("dynamic allocation altered measurement")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unmap turns it back into a spare.
+	d, e = SvcUnmapData(p, d, 4, 7, m)
+	mustOK(t, "UnmapData", e)
+	if d.Get(7).Type != pagedb.TypeSpare {
+		t.Fatal("data not converted back to spare")
+	}
+	if pte, _, _ := d.LookupMapping(0, 0x3000); pte != nil {
+		t.Fatal("mapping survived unmap")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSvcMapDataValidation(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true)
+	m := kapi.NewMapping(0x3000, true, false)
+	// Not a spare page.
+	if _, e := SvcMapData(p, d, 4, 3, m); e != kapi.ErrNotSpare {
+		t.Fatalf("map data page: %v", e)
+	}
+	// Spare of another enclave.
+	d2, _ := InitAddrspace(p, d, 10, 11)
+	d2, _ = AllocSpare(p, d2, 10, 12)
+	if _, e := SvcMapData(p, d2, 4, 12, m); e != kapi.ErrNotSpare {
+		t.Fatalf("map foreign spare: %v", e)
+	}
+	// VA already mapped.
+	d3, _ := AllocSpare(p, d, 0, 7)
+	if _, e := SvcMapData(p, d3, 4, 7, kapi.NewMapping(0x1000, true, false)); e != kapi.ErrAddrInUse {
+		t.Fatalf("map over existing va: %v", e)
+	}
+	// No L2 table.
+	if _, e := SvcMapData(p, d3, 4, 7, kapi.NewMapping(9<<22, true, false)); e != kapi.ErrInvalidMapping {
+		t.Fatalf("map without l2: %v", e)
+	}
+}
+
+func TestSvcUnmapDataValidation(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true)
+	// VA maps a different page than claimed.
+	d, _ = AllocSpare(p, d, 0, 7)
+	d, e := SvcMapData(p, d, 4, 7, kapi.NewMapping(0x3000, true, false))
+	mustOK(t, "setup MapData", e)
+	if _, e := SvcUnmapData(p, d, 4, 7, kapi.NewMapping(0x1000, true, true)); e != kapi.ErrInvalidMapping {
+		t.Fatalf("unmap mismatched va/page: %v", e)
+	}
+	// Not a data page.
+	if _, e := SvcUnmapData(p, d, 4, 2, kapi.NewMapping(0x3000, true, false)); e != kapi.ErrInvalidArg {
+		t.Fatalf("unmap l2pt: %v", e)
+	}
+}
+
+func TestSvcInitL2PTableFromSpare(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true)
+	d, _ = AllocSpare(p, d, 0, 7)
+	d, e := SvcInitL2PTable(p, d, 4, 7, 3)
+	mustOK(t, "SvcInitL2PTable", e)
+	if d.Get(7).Type != pagedb.TypeL2PT {
+		t.Fatal("spare not converted to L2PT")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Occupied slot.
+	d2, _ := AllocSpare(p, d, 0, 8)
+	if _, e := SvcInitL2PTable(p, d2, 4, 8, 0); e != kapi.ErrAddrInUse {
+		t.Fatalf("occupied slot: %v", e)
+	}
+	// The enclave can now map data under the new table.
+	d3, _ := AllocSpare(p, d, 0, 8)
+	d3, e = SvcMapData(p, d3, 4, 8, kapi.NewMapping(3<<22, true, false))
+	mustOK(t, "MapData under new table", e)
+	if err := d3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySVCDispatch(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true)
+	_, vals, e := ApplySVC(p, d, 4, kapi.SVCGetRandom, [8]uint32{})
+	mustOK(t, "dispatch GetRandom", e)
+	if vals[0] != 4 {
+		t.Fatalf("vals = %v", vals)
+	}
+	_, _, e = ApplySVC(p, d, 4, 999, [8]uint32{})
+	if e != kapi.ErrInvalidArg {
+		t.Fatalf("unknown SVC: %v", e)
+	}
+}
+
+func TestWritablePages(t *testing.T) {
+	p := testParams()
+	d := buildEnclave(t, p, true) // page 3 mapped rw
+	got := WritablePages(d, 0)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("WritablePages = %v", got)
+	}
+	// A read-only mapping must not appear.
+	d2 := pagedb.New(p.NPages)
+	d2, _ = InitAddrspace(p, d2, 0, 1)
+	d2, _ = InitL2PTable(p, d2, 0, 2, 0)
+	var c [1024]uint32
+	d2, _ = MapSecure(p, d2, 0, 3, kapi.NewMapping(0x1000, false, true), p.InsecureBase, &c)
+	if got := WritablePages(d2, 0); len(got) != 0 {
+		t.Fatalf("read-only page reported writable: %v", got)
+	}
+}

@@ -1,0 +1,219 @@
+package komodo_test
+
+import (
+	"testing"
+
+	"repro/internal/kasm"
+	"repro/komodo"
+)
+
+// The downstream-user acceptance test: every feature a consumer of the
+// library touches, exercised through the public API only (plus the kasm
+// guest library for enclave code).
+
+func load(t *testing.T, sys *komodo.System, g kasm.Guest) *komodo.Enclave {
+	t.Helper()
+	nimg, err := g.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := sys.LoadEnclave(komodo.FromNWOSImage(nimg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestAcceptanceFullTour(t *testing.T) {
+	sys, err := komodo.New(
+		komodo.WithSeed(2718),
+		komodo.WithRefinementChecking(),
+		komodo.WithProtection(komodo.ProtEncrypt),
+		komodo.WithExecBudget(10_000_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Several enclaves coexist.
+	adder := load(t, sys, kasm.AddArgs())
+	vault := load(t, sys, kasm.Vault())
+	pager := load(t, sys, kasm.SelfPager())
+
+	// Plain computation.
+	if res, err := adder.Run(2, 3); err != nil || res.Value != 5 {
+		t.Fatalf("adder: %v %+v", err, res)
+	}
+	// Measurements are per-identity.
+	ma, _ := adder.Measurement()
+	mv, _ := vault.Measurement()
+	if ma == mv {
+		t.Fatal("distinct enclaves share a measurement")
+	}
+	// Shared-memory protocol (vault provision + unlock).
+	pw := []uint32{1, 2, 3, 4}
+	vault.WriteShared(0, 0, pw)
+	if res, err := vault.Run(0); err != nil || res.Value != 1 {
+		t.Fatalf("provision: %v %+v", err, res)
+	}
+	vault.WriteShared(0, 0, pw)
+	if res, err := vault.Run(1); err != nil || res.Value != 1 {
+		t.Fatalf("unlock: %v %+v", err, res)
+	}
+	// Dispatcher extension through the facade.
+	if res, err := pager.Run(pager.SparePages()[0]); err != nil || res.Value != 0xabcd {
+		t.Fatalf("self-pager: %v %+v", err, res)
+	}
+	// Interrupt visibility.
+	counter := load(t, sys, kasm.CountTo())
+	sys.ScheduleInterrupt(2000)
+	res, err := counter.Enter(60_000)
+	if err != nil || !res.Interrupted {
+		t.Fatalf("interrupt: %v %+v", err, res)
+	}
+	if res, err = counter.Resume(); err != nil || res.Value != 60_000 {
+		t.Fatalf("resume: %v %+v", err, res)
+	}
+	// Teardown and reuse.
+	for _, e := range []*komodo.Enclave{adder, vault, pager, counter} {
+		if err := e.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again := load(t, sys, kasm.ExitConst(11))
+	if res, err := again.Run(); err != nil || res.Value != 11 {
+		t.Fatalf("post-teardown reuse: %v %+v", err, res)
+	}
+}
+
+func TestAcceptanceSnapshotForking(t *testing.T) {
+	sys, err := komodo.New(komodo.WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := load(t, sys, kasm.GetRandom())
+	snap := sys.Snapshot()
+	res1, err := enc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := enc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same fork point, same entropy stream: identical random words.
+	if res1.Value != res2.Value {
+		t.Fatalf("forked runs diverged: %#x vs %#x", res1.Value, res2.Value)
+	}
+	// Without the restore, the stream advances.
+	res3, err := enc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Value == res2.Value {
+		t.Fatal("entropy stream did not advance")
+	}
+}
+
+func TestAcceptanceCycleAccounting(t *testing.T) {
+	sys, _ := komodo.New()
+	enc := load(t, sys, kasm.ExitConst(1))
+	c0 := sys.Cycles()
+	enc.Run()
+	c1 := sys.Cycles()
+	enc.Run()
+	c2 := sys.Cycles()
+	if c1 <= c0 || c2 <= c1 {
+		t.Fatal("cycle counter not monotone across runs")
+	}
+	// Two identical crossings cost the same.
+	if c2-c1 != c1-c0 {
+		// First crossing may differ only by TLB effects under the default
+		// (always-flush) monitor; it must not.
+		t.Fatalf("crossing costs differ: %d vs %d", c1-c0, c2-c1)
+	}
+}
+
+func TestAcceptancePhysPagesMatchesMonitor(t *testing.T) {
+	sys, _ := komodo.New()
+	n, err := sys.PhysPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != sys.Monitor().NPages() {
+		t.Fatalf("PhysPages %d != monitor %d", n, sys.Monitor().NPages())
+	}
+	if sys.OS() == nil || sys.Machine() == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestAcceptanceMultiThread(t *testing.T) {
+	sys, _ := komodo.New()
+	nimg, err := kasm.CountTo().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := komodo.FromNWOSImage(nimg)
+	img.ExtraThreads = []uint32{0}
+	enc, err := sys.LoadEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Threads() != 2 {
+		t.Fatalf("threads = %d", enc.Threads())
+	}
+	sys.ScheduleInterrupt(500)
+	res, err := enc.EnterThread(0, 100_000)
+	if err != nil || !res.Interrupted {
+		t.Fatalf("suspend: %v %+v", err, res)
+	}
+	if res, err := enc.EnterThread(1, 50); err != nil || res.Value != 50 {
+		t.Fatalf("thread 1: %v %+v", err, res)
+	}
+	if res, err := enc.ResumeThread(0); err != nil || res.Value != 100_000 {
+		t.Fatalf("resume 0: %v %+v", err, res)
+	}
+	if _, err := enc.EnterThread(5); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+}
+
+func TestAcceptanceSecureMemoryOption(t *testing.T) {
+	// A 512 kB secure region: 128 pages minus 2 reserved.
+	sys, err := komodo.New(komodo.WithSecureMemory(512 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sys.PhysPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 126 {
+		t.Fatalf("PhysPages = %d, want 126", n)
+	}
+	enc := load(t, sys, kasm.ExitConst(9))
+	if res, err := enc.Run(); err != nil || res.Value != 9 {
+		t.Fatalf("enclave on small region: %v %+v", err, res)
+	}
+	// An unusable region fails loudly at boot.
+	if _, err := komodo.New(komodo.WithSecureMemory(2 << 12)); err == nil {
+		t.Fatal("two-page secure region accepted")
+	}
+}
+
+func TestAcceptanceOptimisedOption(t *testing.T) {
+	sys, err := komodo.New(komodo.WithOptimisedCrossings(), komodo.WithRefinementChecking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := load(t, sys, kasm.AddArgs())
+	for i := uint32(0); i < 3; i++ {
+		if res, err := enc.Run(i, 1); err != nil || res.Value != i+1 {
+			t.Fatalf("optimised run %d: %v %+v", i, err, res)
+		}
+	}
+}

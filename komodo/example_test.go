@@ -1,0 +1,65 @@
+package komodo_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/komodo"
+)
+
+// Example shows the minimal lifecycle: boot, load, run, destroy.
+func Example() {
+	sys, err := komodo.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := asm.New()
+	p.Add(arm.R1, arm.R0, arm.R1) // result = arg1 + arg2
+	p.Movw(arm.R0, kapi.SVCExit)
+	p.Svc()
+	code, _ := p.Assemble(0)
+
+	enc, err := sys.LoadEnclave(komodo.Image{
+		Segments: []komodo.Segment{{VA: 0, Exec: true, Words: code}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := enc.Run(40, 2)
+	fmt.Println(res.Value)
+	// Output: 42
+}
+
+// ExampleEnclave_Measurement shows that an enclave's identity is a
+// deterministic function of its image.
+func ExampleEnclave_Measurement() {
+	load := func(seed uint64) [8]uint32 {
+		sys, _ := komodo.New(komodo.WithSeed(seed))
+		nimg, _ := kasm.AddArgs().Image()
+		enc, _ := sys.LoadEnclave(komodo.FromNWOSImage(nimg))
+		m, _ := enc.Measurement()
+		return m
+	}
+	fmt.Println(load(1) == load(2))
+	// Output: true
+}
+
+// ExampleEnclave_Resume shows interrupt suspension and resumption: the OS
+// regains control mid-execution and continues the thread later.
+func ExampleEnclave_Resume() {
+	sys, _ := komodo.New()
+	nimg, _ := kasm.CountTo().Image()
+	enc, _ := sys.LoadEnclave(komodo.FromNWOSImage(nimg))
+	sys.ScheduleInterrupt(1000)
+	res, _ := enc.Enter(100_000)
+	fmt.Println("interrupted:", res.Interrupted)
+	res, _ = enc.Resume()
+	fmt.Println("result:", res.Value)
+	// Output:
+	// interrupted: true
+	// result: 100000
+}

@@ -1,0 +1,198 @@
+package komodo_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kasm"
+	"repro/komodo"
+)
+
+// loadGuest converts a kasm guest into a facade image and loads it.
+func loadGuest(t *testing.T, sys *komodo.System, g kasm.Guest) *komodo.Enclave {
+	t.Helper()
+	nimg, err := g.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := komodo.Image{Entry: nimg.Entry, Spares: nimg.Spares}
+	for _, s := range nimg.Segments {
+		img.Segments = append(img.Segments, komodo.Segment{VA: s.VA, Write: s.Write, Exec: s.Exec, Words: s.Words})
+	}
+	for _, sh := range nimg.Shared {
+		img.Shared = append(img.Shared, komodo.SharedRegion{VA: sh.VA, Write: sh.Write, Pages: sh.Pages})
+	}
+	enc, err := sys.LoadEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := komodo.New(komodo.WithRefinementChecking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sys.PhysPages()
+	if err != nil || n != 254 {
+		t.Fatalf("PhysPages = %d, %v", n, err)
+	}
+	enc := loadGuest(t, sys, kasm.AddArgs())
+	res, err := enc.Run(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 42 || res.Faulted || res.Interrupted {
+		t.Fatalf("Run = %+v", res)
+	}
+	if err := enc.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunResumesAcrossInterrupts(t *testing.T) {
+	sys, err := komodo.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := loadGuest(t, sys, kasm.CountTo())
+	sys.ScheduleInterrupt(5000)
+	res, err := enc.Enter(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatalf("expected interruption, got %+v", res)
+	}
+	res, err = enc.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 100_000 {
+		t.Fatalf("resume result %+v", res)
+	}
+	// Run hides the suspension entirely.
+	sys.ScheduleInterrupt(5000)
+	res, err = enc.Run(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupted || res.Value != 50_000 {
+		t.Fatalf("Run = %+v", res)
+	}
+}
+
+func TestFaultSurfaced(t *testing.T) {
+	sys, _ := komodo.New()
+	enc := loadGuest(t, sys, kasm.Faulter(kasm.FaultWriteRO))
+	res, err := enc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Faulted {
+		t.Fatalf("fault not surfaced: %+v", res)
+	}
+}
+
+func TestMeasurementStableAndDistinct(t *testing.T) {
+	sysA, _ := komodo.New(komodo.WithSeed(3))
+	sysB, _ := komodo.New(komodo.WithSeed(4))
+	a := loadGuest(t, sysA, kasm.AddArgs())
+	b := loadGuest(t, sysB, kasm.AddArgs())
+	ma, err := a.Measurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Measurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma != mb {
+		t.Fatal("same image produced different measurements on different platforms")
+	}
+	c := loadGuest(t, sysA, kasm.ExitConst(1))
+	mc, _ := c.Measurement()
+	if mc == ma {
+		t.Fatal("different images produced identical measurements")
+	}
+}
+
+func TestSharedRegionIO(t *testing.T) {
+	sys, _ := komodo.New()
+	enc := loadGuest(t, sys, kasm.SharedEcho())
+	if err := enc.WriteShared(0, 0, []uint32{500}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := enc.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 501 {
+		t.Fatalf("echo = %d", res.Value)
+	}
+	out, err := enc.ReadShared(0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 501 {
+		t.Fatalf("shared out = %d", out[0])
+	}
+	if _, err := enc.ReadShared(3, 0, 1); err == nil {
+		t.Fatal("read of missing shared region succeeded")
+	}
+}
+
+func TestStaticProfileOption(t *testing.T) {
+	sys, err := komodo.New(komodo.WithStaticProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nimg, _ := kasm.ExitConst(1).Image()
+	img := komodo.Image{Entry: nimg.Entry, Spares: 1}
+	for _, s := range nimg.Segments {
+		img.Segments = append(img.Segments, komodo.Segment{VA: s.VA, Write: s.Write, Exec: s.Exec, Words: s.Words})
+	}
+	// Requesting spares under the static profile must fail (AllocSpare is
+	// absent from the SGXv1-style API).
+	if _, err := sys.LoadEnclave(img); err == nil {
+		t.Fatal("spare allocation accepted under static profile")
+	}
+}
+
+func TestMonitorErrorsWrapped(t *testing.T) {
+	sys, _ := komodo.New()
+	enc := loadGuest(t, sys, kasm.ExitConst(5))
+	// Resume without suspension is a monitor error surfaced as ErrEnclave.
+	_, err := enc.Resume()
+	if !errors.Is(err, komodo.ErrEnclave) {
+		t.Fatalf("Resume error = %v", err)
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	run := func() uint32 {
+		sys, _ := komodo.New(komodo.WithSeed(77))
+		enc := loadGuest(t, sys, kasm.GetRandom())
+		res, err := enc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Value
+	}
+	if run() != run() {
+		t.Fatal("same-seed simulations diverged")
+	}
+}
+
+func TestCyclesAdvance(t *testing.T) {
+	sys, _ := komodo.New()
+	before := sys.Cycles()
+	enc := loadGuest(t, sys, kasm.ExitConst(1))
+	if _, err := enc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cycles() <= before {
+		t.Fatal("cycle counter did not advance")
+	}
+}
