@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/nwos/ ./internal/monitor/ ./komodo/
+	$(GO) test -race ./...
 
 # The "proof run": PageDB invariants, refinement, noninterference.
 verify:

@@ -14,6 +14,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/kasm"
 	"repro/internal/nwos"
+	"repro/internal/telemetry"
 )
 
 func sanitize(s string) string {
@@ -30,7 +31,7 @@ func BenchmarkTable3(b *testing.B) {
 	}
 	for _, r := range rows {
 		b.Run(sanitize(r.Operation), func(b *testing.B) {
-			var last uint64
+			var last eval.Table3Row
 			for i := 0; i < b.N; i++ {
 				rs, err := eval.Table3()
 				if err != nil {
@@ -38,14 +39,50 @@ func BenchmarkTable3(b *testing.B) {
 				}
 				for _, rr := range rs {
 					if rr.Operation == r.Operation {
-						last = rr.Cycles
+						last = rr
 					}
 				}
 			}
-			b.ReportMetric(float64(last), "sim-cycles")
+			b.ReportMetric(float64(last.Cycles), "sim-cycles")
 			b.ReportMetric(float64(r.PaperCycles), "paper-cycles")
+			// The §8.1 attribution: how much of the row's SMC was
+			// world-switch mechanics vs. the call body's own work.
+			b.ReportMetric(float64(last.DispatchCycles), "dispatch-cycles")
+			b.ReportMetric(float64(last.BodyCycles), "body-cycles")
 		})
 	}
+}
+
+// BenchmarkTelemetryNopOverhead pins the tentpole's cost contract: an
+// attached recorder with the default nop sink must add no measurable
+// overhead to the SMC hot path. Both sub-benchmarks run the identical
+// full enclave crossing; compare their ns/op.
+func BenchmarkTelemetryNopOverhead(b *testing.B) {
+	run := func(b *testing.B, rec *telemetry.Recorder) {
+		plat, err := board.Boot(board.Config{Seed: 1, Telemetry: rec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		os := nwos.New(plat.Machine, plat.Monitor, plat.Monitor.NPages())
+		os.SetTelemetry(rec)
+		img, err := kasm.ExitConst(0).Image()
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, err := os.BuildEnclave(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := os.Enter(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) { run(b, nil) })
+	b.Run("nop-sink", func(b *testing.B) { run(b, telemetry.New()) })
 }
 
 // BenchmarkSGXComparison regenerates the §8.1 crossing-latency comparison.

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/nwos"
 	"repro/internal/refine"
+	"repro/internal/telemetry"
 )
 
 var guests = map[string]func() kasm.Guest{
@@ -57,6 +59,8 @@ func main() {
 	check := flag.Bool("check", true, "run with per-SMC refinement checking")
 	static := flag.Bool("static", false, "boot the SGXv1-style static profile")
 	trace := flag.Int("trace", 0, "print the first N executed enclave instructions")
+	stats := flag.Bool("stats", false, "print a telemetry snapshot (JSON) after the run")
+	events := flag.String("events", "", "write the telemetry event stream as JSONL to this file (- = stdout, moving all other output to stderr); summarise with komodo-stats")
 	flag.Parse()
 
 	if *list {
@@ -76,18 +80,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	plat, err := board.Boot(board.Config{Seed: *seed, Monitor: monitor.Config{StaticProfile: *static}})
+	// With -events -, the JSONL stream owns stdout: every other line
+	// (narration, trace, the -stats snapshot) moves to stderr so the
+	// stream stays machine-parseable.
+	out := io.Writer(os.Stdout)
+	var rec *telemetry.Recorder
+	var jsonl *telemetry.JSONLSink
+	if *stats || *events != "" {
+		rec = telemetry.New()
+		if *events != "" {
+			w := os.Stdout
+			if *events == "-" {
+				out = os.Stderr
+			} else {
+				f, err := os.Create(*events)
+				die(err)
+				defer f.Close()
+				w = f
+			}
+			jsonl = telemetry.NewJSONLSink(w)
+			rec.SetSink(jsonl)
+		}
+	}
+
+	plat, err := board.Boot(board.Config{Seed: *seed, Monitor: monitor.Config{StaticProfile: *static}, Telemetry: rec})
 	die(err)
 	var drv nwos.Driver = plat.Monitor
 	if *check {
 		drv = refine.New(plat.Monitor)
 	}
 	osm := nwos.New(plat.Machine, drv, plat.Monitor.NPages())
+	osm.SetTelemetry(rec)
 
 	g := mk()
 	img, err := g.Image()
 	die(err)
-	fmt.Printf("booted: %d secure pages, protection=%v, refinement-checking=%v\n",
+	fmt.Fprintf(out, "booted: %d secure pages, protection=%v, refinement-checking=%v\n",
 		plat.Monitor.NPages(), plat.Machine.Phys.Layout().Protection, *check)
 
 	buildStart := plat.Machine.Cyc.Total()
@@ -96,9 +124,9 @@ func main() {
 	db, err := plat.Monitor.DecodePageDB()
 	die(err)
 	meas := db.Addrspace(enc.AS).Measured
-	fmt.Printf("built enclave %q: addrspace page %d, thread page %d, %d data pages (%d cycles)\n",
+	fmt.Fprintf(out, "built enclave %q: addrspace page %d, thread page %d, %d data pages (%d cycles)\n",
 		*guest, enc.AS, enc.Thread, len(enc.Data), plat.Machine.Cyc.Total()-buildStart)
-	fmt.Printf("measurement: %08x%08x…%08x\n", meas[0], meas[1], meas[7])
+	fmt.Fprintf(out, "measurement: %08x%08x…%08x\n", meas[0], meas[1], meas[7])
 
 	if *irqAfter > 0 {
 		plat.Machine.ScheduleIRQ(*irqAfter)
@@ -107,9 +135,9 @@ func main() {
 		n := 0
 		plat.Machine.TraceFn = func(pc uint32, i arm.Instr) {
 			if n < *trace {
-				fmt.Printf("    %08x: %s\n", pc, i.Disasm())
+				fmt.Fprintf(out, "    %08x: %s\n", pc, i.Disasm())
 			} else if n == *trace {
-				fmt.Println("    ... (trace limit)")
+				fmt.Fprintln(out, "    ... (trace limit)")
 			}
 			n++
 		}
@@ -124,7 +152,7 @@ func main() {
 	e, v, err := osm.Enter(enc, args...)
 	die(err)
 	for e == kapi.ErrInterrupted {
-		fmt.Printf("  suspended by interrupt (exit type %d); resuming\n", v)
+		fmt.Fprintf(out, "  suspended by interrupt (exit type %d); resuming\n", v)
 		if *irqAfter > 0 {
 			plat.Machine.ScheduleIRQ(*irqAfter)
 		}
@@ -134,16 +162,25 @@ func main() {
 	cyc := plat.Machine.Cyc.Total() - start
 	switch e {
 	case kapi.ErrSuccess:
-		fmt.Printf("enclave exited: value=%d (%#x)\n", v, v)
+		fmt.Fprintf(out, "enclave exited: value=%d (%#x)\n", v, v)
 	case kapi.ErrFault:
-		fmt.Printf("enclave faulted: exception type %d (no other information released)\n", v)
+		fmt.Fprintf(out, "enclave faulted: exception type %d (no other information released)\n", v)
 	default:
-		fmt.Printf("monitor returned %v (value %d)\n", e, v)
+		fmt.Fprintf(out, "monitor returned %v (value %d)\n", e, v)
 	}
-	fmt.Printf("execution: %d simulated cycles (%.3f ms at 900 MHz), %d instructions retired\n",
+	fmt.Fprintf(out, "execution: %d simulated cycles (%.3f ms at 900 MHz), %d instructions retired\n",
 		cyc, cycles.Millis(cyc), plat.Machine.Retired())
 	die(osm.Destroy(enc))
-	fmt.Println("enclave destroyed; all pages scrubbed and reclaimed")
+	fmt.Fprintln(out, "enclave destroyed; all pages scrubbed and reclaimed")
+
+	if *stats {
+		js, err := plat.StatsSnapshot().MarshalIndent()
+		die(err)
+		fmt.Fprintln(out, string(js))
+	}
+	if jsonl != nil {
+		die(jsonl.Err())
+	}
 }
 
 func die(err error) {

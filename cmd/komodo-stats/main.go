@@ -1,0 +1,136 @@
+// komodo-stats summarises a telemetry event stream produced by
+// komodo-sim -events (or any telemetry.JSONLSink): one JSON object per
+// line. It aggregates the stream into per-call counts, error rates, and
+// cycle totals, grouped by event kind — a quick way to see what a run
+// did without replaying it.
+//
+//	komodo-sim -guest notary -events events.jsonl
+//	komodo-stats events.jsonl
+//	komodo-sim -guest count -arg 100000 -events - | komodo-stats
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// line mirrors telemetry's JSONL wire form (sink.go jsonEvent).
+type line struct {
+	Seq    uint64    `json:"seq"`
+	Kind   string    `json:"kind"`
+	Call   uint32    `json:"call"`
+	Name   string    `json:"name"`
+	Args   [4]uint32 `json:"args"`
+	Err    uint32    `json:"err"`
+	Val    uint32    `json:"val"`
+	Cycles uint64    `json:"cycles"`
+}
+
+type agg struct {
+	count  uint64
+	errors uint64
+	cycles uint64
+}
+
+func main() {
+	var r io.Reader = os.Stdin
+	if len(os.Args) > 1 && os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "komodo-stats:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	perKind := map[string]map[string]*agg{}
+	var total, badLines int
+	var firstSeq, lastSeq uint64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e line
+		if err := json.Unmarshal(raw, &e); err != nil {
+			badLines++
+			continue
+		}
+		if total == 0 {
+			firstSeq = e.Seq
+		}
+		lastSeq = e.Seq
+		total++
+		byName := perKind[e.Kind]
+		if byName == nil {
+			byName = map[string]*agg{}
+			perKind[e.Kind] = byName
+		}
+		name := e.Name
+		if name == "" {
+			name = fmt.Sprintf("call-%d", e.Call)
+		}
+		a := byName[name]
+		if a == nil {
+			a = &agg{}
+			byName[name] = a
+		}
+		a.count++
+		a.cycles += e.Cycles
+		if e.Kind == "smc" || e.Kind == "svc" {
+			// Err 0 is KOM_ERR_SUCCESS; 4 (KOM_ERR_INTERRUPTED) is a
+			// normal suspend, not a failure.
+			if e.Err != 0 && e.Err != 4 {
+				a.errors++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "komodo-stats:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d events (seq %d..%d)", total, firstSeq, lastSeq)
+	if badLines > 0 {
+		fmt.Printf(", %d unparseable lines skipped", badLines)
+	}
+	fmt.Println()
+
+	kinds := make([]string, 0, len(perKind))
+	for k := range perKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		byName := perKind[kind]
+		names := make([]string, 0, len(byName))
+		for n := range byName {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if byName[names[i]].count != byName[names[j]].count {
+				return byName[names[i]].count > byName[names[j]].count
+			}
+			return names[i] < names[j]
+		})
+		fmt.Printf("\n%s:\n", kind)
+		for _, n := range names {
+			a := byName[n]
+			fmt.Printf("  %-24s %8d", n, a.count)
+			if a.errors > 0 {
+				fmt.Printf("  errors=%d", a.errors)
+			}
+			if a.cycles > 0 {
+				fmt.Printf("  cycles=%d (mean %d)", a.cycles, a.cycles/a.count)
+			}
+			fmt.Println()
+		}
+	}
+}

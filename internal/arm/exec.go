@@ -269,6 +269,7 @@ func (m *Machine) Run(budget int64) Trap {
 			return t
 		}
 		m.retired++
+		m.insnClass[classOf[insn.Op]]++
 		m.Cyc.Charge(cycles.Insn)
 	}
 	return Trap{Kind: TrapBudget}

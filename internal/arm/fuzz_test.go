@@ -24,8 +24,45 @@ func FuzzDecodeExecute(f *testing.F) {
 		uint32(OpWRSYS)<<24 | 5, // TLBIALL
 		uint32(OpMSR)<<24 | 1,   // SPSR write
 	}
+	// One seed per encoding Disasm special-cases, so the corpus reaches
+	// every decoder arm with distinct operand forms: both addressing modes
+	// of loads/stores, both MRS/MSR selectors, every named system register
+	// (plus one unnamed), conditional branches, BX, and the wide moves.
+	disasmSeeds := []Instr{
+		{Op: OpLDR, Rd: R1, Rn: R2, Imm: 0x7fc},
+		{Op: OpSTR, Rd: R3, Rn: SP, Imm: 0},
+		{Op: OpLDRR, Rd: R4, Rn: R5, Rm: R6},
+		{Op: OpSTRR, Rd: R7, Rn: R8, Rm: R9},
+		{Op: OpMRS, Rd: R0, Imm: 0}, // mrs r0, cpsr
+		{Op: OpMRS, Rd: R0, Imm: 1}, // mrs r0, spsr
+		{Op: OpMSR, Rn: R1, Imm: 0}, // msr cpsr, r1
+		{Op: OpRDSYS, Rd: R2, Imm: SysTTBR0},
+		{Op: OpRDSYS, Rd: R2, Imm: SysTTBR1},
+		{Op: OpRDSYS, Rd: R2, Imm: SysVBAR},
+		{Op: OpRDSYS, Rd: R2, Imm: SysRNG},
+		{Op: OpWRSYS, Rn: R3, Imm: SysMVBAR},
+		{Op: OpWRSYS, Rn: R3, Imm: SysSCR},
+		{Op: OpWRSYS, Rn: R3, Imm: 99}, // unnamed sysreg
+		{Op: OpB, Cond: CondEQ, Off: 8},
+		{Op: OpB, Cond: CondNE, Off: -8},
+		{Op: OpBX, Rm: LR},
+		{Op: OpMOVW, Rd: R10, Imm: 0xbeef},
+		{Op: OpMOVT, Rd: R10, Imm: 0xdead},
+		{Op: OpCPSID},
+		{Op: OpCPSIE},
+		{Op: OpDSB},
+		{Op: OpISB},
+	}
+	for _, i := range disasmSeeds {
+		w, err := Encode(i)
+		if err != nil {
+			f.Fatalf("seed %+v does not encode: %v", i, err)
+		}
+		seeds = append(seeds, w)
+	}
 	for _, s := range seeds {
 		f.Add(s, uint8(0))
+		f.Add(s, uint8(1)) // same word from user mode
 	}
 	f.Fuzz(func(t *testing.T, word uint32, modeSel uint8) {
 		phys, err := mem.NewPhysical(mem.DefaultLayout())
@@ -46,6 +83,79 @@ func FuzzDecodeExecute(f *testing.F) {
 		m.SetCPSR(PSR{Mode: mode, I: true, F: true})
 		m.SetPC(base)
 		m.Run(16) // must not panic
+	})
+}
+
+// FuzzInsnClassConservation: however a random three-word program behaves —
+// retiring, branching, trapping, or faulting — the per-class retirement
+// counters must sum exactly to Retired() (an instruction is classed when
+// and only when it retires), and a Snapshot/Restore round trip must
+// preserve both totals. This is the accounting invariant the telemetry
+// snapshot's insn_classes map relies on.
+func FuzzInsnClassConservation(f *testing.F) {
+	mustEnc := func(i Instr) uint32 {
+		w, err := Encode(i)
+		if err != nil {
+			f.Fatalf("seed %+v does not encode: %v", i, err)
+		}
+		return w
+	}
+	f.Add(mustEnc(Instr{Op: OpADDI, Rd: R0, Rn: R0, Imm: 1}),
+		mustEnc(Instr{Op: OpLDR, Rd: R1, Rn: R2, Imm: 0}),
+		mustEnc(Instr{Op: OpB, Cond: CondAL, Off: -8}), uint8(0))
+	f.Add(mustEnc(Instr{Op: OpNOP}),
+		mustEnc(Instr{Op: OpSMC}), // traps mid-program: never retires
+		mustEnc(Instr{Op: OpNOP}), uint8(0))
+	f.Add(mustEnc(Instr{Op: OpMOVW, Rd: R3, Imm: 0x1234}),
+		mustEnc(Instr{Op: OpMRS, Rd: R4, Imm: 0}),
+		mustEnc(Instr{Op: OpBX, Rm: LR}), uint8(1))
+	f.Add(uint32(0xffff_ffff), uint32(0), uint32(0), uint8(0)) // undef first
+	f.Fuzz(func(t *testing.T, w0, w1, w2 uint32, modeSel uint8) {
+		phys, err := mem.NewPhysical(mem.DefaultLayout())
+		if err != nil {
+			t.Skip()
+		}
+		m := NewMachine(phys, rng.New(2))
+		base := phys.Layout().InsecureBase
+		phys.Write(base, w0, mem.Normal)
+		phys.Write(base+4, w1, mem.Normal)
+		phys.Write(base+8, w2, mem.Normal)
+		hlt, _ := Encode(Instr{Op: OpHLT})
+		phys.Write(base+12, hlt, mem.Normal)
+		m.SetSCRNS(true)
+		mode := ModeSvc
+		if modeSel%2 == 1 {
+			mode = ModeUsr
+		}
+		m.SetCPSR(PSR{Mode: mode, I: true, F: true})
+		m.SetPC(base)
+
+		check := func(when string) {
+			var sum uint64
+			for _, n := range m.InsnClassCounts() {
+				sum += n
+			}
+			if sum != m.Retired() {
+				t.Fatalf("%s: class counts sum to %d, Retired() = %d", when, sum, m.Retired())
+			}
+		}
+		m.Run(8)
+		check("after run")
+
+		retiredAtSnap := m.Retired()
+		classesAtSnap := m.InsnClassCounts()
+		snap := m.Snapshot()
+		m.Run(8)
+		check("after second run")
+
+		if err := m.Restore(snap); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		check("after restore")
+		if m.Retired() != retiredAtSnap || m.InsnClassCounts() != classesAtSnap {
+			t.Fatalf("restore lost counters: retired %d->%d, classes %v->%v",
+				retiredAtSnap, m.Retired(), classesAtSnap, m.InsnClassCounts())
+		}
 	})
 }
 

@@ -31,6 +31,7 @@ type Snapshot struct {
 	irqPending   bool
 	fiqPending   bool
 	retired      uint64
+	insnClass    [NumInsnClasses]uint64
 
 	memory *mem.MemSnapshot
 	rng    [4]uint64
@@ -60,6 +61,7 @@ func (m *Machine) Snapshot() *Snapshot {
 		irqPending:    m.irqPending,
 		fiqPending:    m.fiqPending,
 		retired:       m.retired,
+		insnClass:     m.insnClass,
 		memory:        m.Phys.Snapshot(),
 		rng:           m.RNG.State(),
 		cycles:        m.Cyc.Total(),
@@ -96,6 +98,7 @@ func (m *Machine) Restore(s *Snapshot) error {
 	m.irqPending = s.irqPending
 	m.fiqPending = s.fiqPending
 	m.retired = s.retired
+	m.insnClass = s.insnClass
 	m.ptPages = make(map[uint32]bool, len(s.ptPages))
 	for k, v := range s.ptPages {
 		m.ptPages[k] = v

@@ -58,8 +58,11 @@ type Machine struct {
 	irqPending   bool
 	fiqPending   bool
 
-	// retired counts executed instructions.
-	retired uint64
+	// retired counts executed instructions; insnClass breaks the same
+	// count down by instruction class (telemetry: the counts always sum
+	// to retired).
+	retired   uint64
+	insnClass [NumInsnClasses]uint64
 
 	// TraceFn, when set, is invoked for every instruction about to
 	// execute (after fetch+decode). Used by komodo-sim's -trace mode and

@@ -12,6 +12,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/monitor"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // Config selects the platform variant.
@@ -30,12 +31,17 @@ type Config struct {
 	Layout *mem.Layout
 	// Monitor is passed through to monitor.Install.
 	Monitor monitor.Config
+	// Telemetry, when non-nil, is attached to the monitor at boot so
+	// every SMC from the first call onward is counted. nil boots an
+	// uninstrumented platform (the default; zero overhead).
+	Telemetry *telemetry.Recorder
 }
 
 // Platform is a booted machine.
 type Platform struct {
-	Machine *arm.Machine
-	Monitor *monitor.Monitor
+	Machine   *arm.Machine
+	Monitor   *monitor.Monitor
+	Telemetry *telemetry.Recorder // nil unless Config.Telemetry was set
 }
 
 // Boot builds and boots the platform.
@@ -63,5 +69,35 @@ func Boot(cfg Config) (*Platform, error) {
 	m.SetSCRNS(true)
 	m.SetCPSR(arm.PSR{Mode: arm.ModeSvc, I: false, F: false})
 	m.SetPC(layout.InsecureBase)
-	return &Platform{Machine: m, Monitor: mon}, nil
+	if cfg.Telemetry != nil {
+		mon.SetTelemetry(cfg.Telemetry)
+	}
+	return &Platform{Machine: m, Monitor: mon, Telemetry: cfg.Telemetry}, nil
+}
+
+// StatsSnapshot combines the recorder's counters with the machine-level
+// gauges (cycle counter, retirement counters, TLB, PageDB census) into
+// one exportable view. Works with a nil recorder: the per-call series
+// are then absent but machine gauges still populate.
+func (p *Platform) StatsSnapshot() telemetry.Snapshot {
+	s := p.Telemetry.Snapshot()
+	m := p.Machine
+	s.Cycles = m.Cyc.Total()
+	s.Retired = m.Retired()
+	s.InsnClasses = m.InsnClassMap()
+	c := m.TLB.Counters()
+	s.TLB = telemetry.TLBStats{
+		Hits: c.Hits, Misses: c.Misses, Fills: c.Fills,
+		Flushes: c.Flushes, Entries: c.Entries,
+	}
+	// DecodePageDB reads through the monitor's charged accessors; a stats
+	// snapshot is an out-of-band observation, so rewind the cycle counter
+	// to keep the cycle model unperturbed.
+	before := m.Cyc.Total()
+	if db, err := p.Monitor.DecodePageDB(); err == nil {
+		s.PageCensus = db.Census()
+	}
+	m.Cyc.Reset()
+	m.Cyc.Charge(before)
+	return s
 }

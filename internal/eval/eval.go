@@ -20,6 +20,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/nwos"
 	"repro/internal/sgx"
+	"repro/internal/telemetry"
 )
 
 // bench is a fresh platform with an unchecked driver (refinement checking
@@ -30,11 +31,16 @@ type bench struct {
 }
 
 func newBench(seed uint64) (*bench, error) {
-	plat, err := board.Boot(board.Config{Seed: seed})
+	// The telemetry recorder observes without charging cycles, so the
+	// benches run instrumented: the per-call dispatch/body split comes
+	// straight from the recorder.
+	plat, err := board.Boot(board.Config{Seed: seed, Telemetry: telemetry.New()})
 	if err != nil {
 		return nil, err
 	}
-	return &bench{plat: plat, os: nwos.New(plat.Machine, plat.Monitor, plat.Monitor.NPages())}, nil
+	osm := nwos.New(plat.Machine, plat.Monitor, plat.Monitor.NPages())
+	osm.SetTelemetry(plat.Telemetry)
+	return &bench{plat: plat, os: osm}, nil
 }
 
 func (b *bench) build(g kasm.Guest) (*nwos.Enclave, error) {
@@ -60,6 +66,14 @@ type Table3Row struct {
 	Notes       string
 	Cycles      uint64
 	PaperCycles uint64
+
+	// DispatchCycles/BodyCycles split the row's underlying SMC into
+	// world-switch mechanics (entry, register save/restore, exit) versus
+	// the call body's own work — the attribution behind the paper's §8.1
+	// crossing analysis. Taken from the telemetry recorder's last
+	// observation of the row's SMC.
+	DispatchCycles uint64
+	BodyCycles     uint64
 }
 
 // Table3 reproduces the paper's Table 3 microbenchmarks.
@@ -69,8 +83,15 @@ func Table3() ([]Table3Row, error) {
 		return nil, err
 	}
 	var rows []Table3Row
-	add := func(op, notes string, cyc, paper uint64) {
-		rows = append(rows, Table3Row{Operation: op, Notes: notes, Cycles: cyc, PaperCycles: paper})
+	// add records a row; call names the SMC whose last dispatch/body
+	// split the row reports (for SVC-differenced rows this is the Enter
+	// crossing that carried the SVC).
+	add := func(op, notes string, cyc, paper uint64, call uint32) {
+		disp, body := b.plat.Telemetry.LastSplit(call)
+		rows = append(rows, Table3Row{
+			Operation: op, Notes: notes, Cycles: cyc, PaperCycles: paper,
+			DispatchCycles: disp, BodyCycles: body,
+		})
 	}
 
 	// GetPhysPages: the null SMC.
@@ -81,7 +102,7 @@ func Table3() ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	add("GetPhysPages", "Null SMC", nullSMC, 123)
+	add("GetPhysPages", "Null SMC", nullSMC, 123, kapi.SMCGetPhysPages)
 
 	// Enter + Exit: full crossing on a trivial enclave. The guest runs 3
 	// instructions; the paper's measurement likewise includes a trivial
@@ -97,13 +118,13 @@ func Table3() ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	add("Enter + Exit", "Full enclave crossing (call & return)", crossing, 738)
+	add("Enter + Exit", "Full enclave crossing (call & return)", crossing, 738, kapi.SMCEnter)
 
 	// Enter only: setup cycles up to the first enclave instruction.
 	if _, _, err := b.os.Enter(exitEnc); err != nil {
 		return nil, err
 	}
-	add("Enter", "only (no return)", b.plat.Monitor.LastEnterSetup, 496)
+	add("Enter", "only (no return)", b.plat.Monitor.LastEnterSetup, 496, kapi.SMCEnter)
 
 	// Resume only: suspend a spinning enclave, then measure resume setup.
 	spin, err := b.build(kasm.CountTo())
@@ -118,7 +139,7 @@ func Table3() ([]Table3Row, error) {
 	if e, _, err := b.os.Resume(spin); err != nil || e != kapi.ErrInterrupted {
 		return nil, fmt.Errorf("eval: resume failed: %v %v", err, e)
 	}
-	add("Resume", "only (no return)", b.plat.Monitor.LastEnterSetup, 625)
+	add("Resume", "only (no return)", b.plat.Monitor.LastEnterSetup, 625, kapi.SMCResume)
 
 	// Attest / Verify: difference a guest performing the SVC against the
 	// bare-crossing guest, isolating the SVC cost (the few extra guest
@@ -137,7 +158,7 @@ func Table3() ([]Table3Row, error) {
 	if attest > crossing {
 		attest -= crossing
 	}
-	add("Attest", "Construct attestation", attest, 12411)
+	add("Attest", "Construct attestation", attest, 12411, kapi.SMCEnter)
 
 	verifyEnc, err := b.build(kasm.VerifyOnce())
 	if err != nil {
@@ -153,7 +174,7 @@ func Table3() ([]Table3Row, error) {
 	if verify > crossing {
 		verify -= crossing
 	}
-	add("Verify", "Verify attestation", verify, 13373)
+	add("Verify", "Verify attestation", verify, 13373, kapi.SMCEnter)
 
 	// AllocSpare: plain SMC against an existing enclave.
 	sp, err := b.os.AllocPage()
@@ -170,7 +191,7 @@ func Table3() ([]Table3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	add("AllocSpare", "Dynamic allocation", alloc, 217)
+	add("AllocSpare", "Dynamic allocation", alloc, 217, kapi.SMCAllocSpare)
 
 	// MapData: the SVC cost (zero-fill a page + PTE + TLB flush),
 	// differenced against the bare crossing.
@@ -188,7 +209,7 @@ func Table3() ([]Table3Row, error) {
 	if mapData > crossing {
 		mapData -= crossing
 	}
-	add("MapData", "Dynamic allocation", mapData, 5826)
+	add("MapData", "Dynamic allocation", mapData, 5826, kapi.SMCEnter)
 	return rows, nil
 }
 

@@ -63,6 +63,42 @@ const (
 	SVCFaultReturn     uint32 = 11
 )
 
+var smcNames = map[uint32]string{
+	SMCGetPhysPages:  "KOM_SMC_GET_PHYSPAGES",
+	SMCInitAddrspace: "KOM_SMC_INIT_ADDRSPACE",
+	SMCInitThread:    "KOM_SMC_INIT_THREAD",
+	SMCInitL2PTable:  "KOM_SMC_INIT_L2PTABLE",
+	SMCAllocSpare:    "KOM_SMC_ALLOC_SPARE",
+	SMCMapSecure:     "KOM_SMC_MAP_SECURE",
+	SMCMapInsecure:   "KOM_SMC_MAP_INSECURE",
+	SMCFinalise:      "KOM_SMC_FINALISE",
+	SMCEnter:         "KOM_SMC_ENTER",
+	SMCResume:        "KOM_SMC_RESUME",
+	SMCStop:          "KOM_SMC_STOP",
+	SMCRemove:        "KOM_SMC_REMOVE",
+}
+
+var svcNames = map[uint32]string{
+	SVCExit:            "KOM_SVC_EXIT",
+	SVCGetRandom:       "KOM_SVC_GET_RANDOM",
+	SVCAttest:          "KOM_SVC_ATTEST",
+	SVCVerifyStep0:     "KOM_SVC_VERIFY_STEP0",
+	SVCVerifyStep1:     "KOM_SVC_VERIFY_STEP1",
+	SVCVerifyStep2:     "KOM_SVC_VERIFY_STEP2",
+	SVCInitL2PTable:    "KOM_SVC_INIT_L2PTABLE",
+	SVCMapData:         "KOM_SVC_MAP_DATA",
+	SVCUnmapData:       "KOM_SVC_UNMAP_DATA",
+	SVCSetFaultHandler: "KOM_SVC_SET_FAULT_HANDLER",
+	SVCFaultReturn:     "KOM_SVC_FAULT_RETURN",
+}
+
+// SMCName returns the KOM_* name of an SMC call number ("" if unknown).
+// Telemetry series and the komodo-stats summariser key on these names.
+func SMCName(call uint32) string { return smcNames[call] }
+
+// SVCName returns the KOM_SVC_* name of an SVC call number ("" if unknown).
+func SVCName(call uint32) string { return svcNames[call] }
+
 // Err is a Komodo monitor error code, returned in R0.
 type Err uint32
 

@@ -144,6 +144,7 @@ type TLB struct {
 	consistent bool
 	fills      uint64
 	hits       uint64
+	misses     uint64
 	flushes    uint64
 
 	// One-entry MRU cache in front of the map: instruction fetch hits the
@@ -176,6 +177,8 @@ func (t *TLB) Lookup(va uint32) (paBase uint32, p Perms, ok bool) {
 	if ok {
 		t.hits++
 		t.lastVA, t.last, t.lastOK = page, e, true
+	} else {
+		t.misses++
 	}
 	return e.paBase, e.perms, ok
 }
@@ -206,6 +209,22 @@ func (t *TLB) Consistent() bool { return t.consistent }
 
 // Stats returns fill/hit/flush counters for evaluation.
 func (t *TLB) Stats() (fills, hits, flushes uint64) { return t.fills, t.hits, t.flushes }
+
+// Counters is the TLB's full counter set for telemetry. Every miss
+// corresponds to a page walk; fills can exceed misses only if a caller
+// fills without a preceding failed lookup.
+type Counters struct {
+	Hits    uint64
+	Misses  uint64
+	Fills   uint64
+	Flushes uint64
+	Entries int
+}
+
+// Counters returns the current counter values.
+func (t *TLB) Counters() Counters {
+	return Counters{Hits: t.hits, Misses: t.misses, Fills: t.fills, Flushes: t.flushes, Entries: len(t.entries)}
+}
 
 // Size returns the number of cached entries.
 func (t *TLB) Size() int { return len(t.entries) }

@@ -1,0 +1,202 @@
+package mmu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestTLBEdgeCases is the table-driven edge-case suite for the TLB's
+// counter and consistency semantics. Each case runs a fresh TLB through a
+// scripted sequence and asserts the exact Counters() afterwards — the same
+// counters the telemetry snapshot exposes, so these tests also pin the
+// meaning of the stats the -stats output reports.
+func TestTLBEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		run        func(t *testing.T, tlb *TLB)
+		want       Counters
+		consistent bool
+	}{
+		{
+			// A flush must invalidate both the map and the one-entry MRU
+			// cache: looking up the just-flushed page may not hit.
+			name: "lookup-after-flush-misses",
+			run: func(t *testing.T, tlb *TLB) {
+				tlb.Fill(0x1000, 0x40002000, Perms{})
+				if _, _, ok := tlb.Lookup(0x1000); !ok {
+					t.Fatal("lookup after fill missed")
+				}
+				tlb.Flush()
+				if _, _, ok := tlb.Lookup(0x1000); ok {
+					t.Fatal("lookup after flush hit a stale entry")
+				}
+			},
+			want:       Counters{Hits: 1, Misses: 1, Fills: 1, Flushes: 1, Entries: 0},
+			consistent: true,
+		},
+		{
+			// Repeated misses on the same page each count: the MRU cache
+			// is only set on hits/fills, never on misses.
+			name: "repeated-misses-all-count",
+			run: func(t *testing.T, tlb *TLB) {
+				for i := 0; i < 3; i++ {
+					if _, _, ok := tlb.Lookup(0x5000); ok {
+						t.Fatal("empty TLB hit")
+					}
+				}
+			},
+			want:       Counters{Misses: 3},
+			consistent: true,
+		},
+		{
+			// All offsets within one page share a single entry; every
+			// lookup is a hit (first via the map, rest via the MRU cache).
+			name: "offsets-share-one-entry",
+			run: func(t *testing.T, tlb *TLB) {
+				tlb.Fill(0x2abc, 0x40003000, Perms{Write: true})
+				for _, off := range []uint32{0x0, 0x4, 0xffc} {
+					pa, p, ok := tlb.Lookup(0x2000 + off)
+					if !ok || pa != 0x40003000 || !p.Write {
+						t.Fatalf("offset %#x: ok=%v pa=%#x perms=%+v", off, ok, pa, p)
+					}
+				}
+			},
+			want:       Counters{Hits: 3, Fills: 1, Entries: 1},
+			consistent: true,
+		},
+		{
+			// Refilling the same VA overwrites in place: entry count stays
+			// 1 and the new translation wins immediately.
+			name: "refill-overwrites-in-place",
+			run: func(t *testing.T, tlb *TLB) {
+				tlb.Fill(0x3000, 0x40004000, Perms{})
+				tlb.Fill(0x3000, 0x40008000, Perms{Exec: true})
+				pa, p, ok := tlb.Lookup(0x3000)
+				if !ok || pa != 0x40008000 || !p.Exec {
+					t.Fatalf("refill not visible: ok=%v pa=%#x perms=%+v", ok, pa, p)
+				}
+			},
+			want:       Counters{Hits: 1, Fills: 2, Entries: 1},
+			consistent: true,
+		},
+		{
+			// The §5.1 hazard: marking inconsistent does NOT drop entries.
+			// Stale translations keep hitting until an explicit flush —
+			// that is exactly why the monitor must flush before entry.
+			name: "mark-inconsistent-keeps-stale-entries",
+			run: func(t *testing.T, tlb *TLB) {
+				tlb.Fill(0x4000, 0x40005000, Perms{})
+				tlb.MarkInconsistent()
+				if _, _, ok := tlb.Lookup(0x4000); !ok {
+					t.Fatal("entry dropped by MarkInconsistent")
+				}
+			},
+			want:       Counters{Hits: 1, Fills: 1, Entries: 1},
+			consistent: false,
+		},
+		{
+			// Flush is the only way back to consistency, and it always
+			// counts — even on an already-empty TLB.
+			name: "flush-restores-consistency",
+			run: func(t *testing.T, tlb *TLB) {
+				tlb.MarkInconsistent()
+				tlb.Flush()
+				tlb.Flush()
+			},
+			want:       Counters{Flushes: 2},
+			consistent: true,
+		},
+		{
+			// Alternating between two pages defeats the MRU cache but
+			// still hits the map: hits count identically either way.
+			name: "alternating-pages-hit-via-map",
+			run: func(t *testing.T, tlb *TLB) {
+				tlb.Fill(0x6000, 0x40006000, Perms{})
+				tlb.Fill(0x7000, 0x40007000, Perms{})
+				for i := 0; i < 2; i++ {
+					if _, _, ok := tlb.Lookup(0x6000); !ok {
+						t.Fatal("miss on 0x6000")
+					}
+					if _, _, ok := tlb.Lookup(0x7000); !ok {
+						t.Fatal("miss on 0x7000")
+					}
+				}
+			},
+			want:       Counters{Hits: 4, Fills: 2, Entries: 2},
+			consistent: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tlb := NewTLB()
+			tc.run(t, tlb)
+			if got := tlb.Counters(); got != tc.want {
+				t.Errorf("Counters() = %+v, want %+v", got, tc.want)
+			}
+			if got := tlb.Consistent(); got != tc.consistent {
+				t.Errorf("Consistent() = %v, want %v", got, tc.consistent)
+			}
+		})
+	}
+}
+
+// TestTLBStaleAfterRemap reproduces the fill-then-remap inconsistency
+// end-to-end: a cached walk keeps translating to the OLD physical page
+// after the page table is rewritten, until the TLB is flushed. This is the
+// concrete attack the monitor's flush-before-entry obligation closes.
+func TestTLBStaleAfterRemap(t *testing.T) {
+	p := newPhys(t)
+	va := uint32(3 << 22)
+	ttbr0, oldTarget := buildTables(t, p, va, Perms{Write: true})
+
+	tlb := NewTLB()
+	pa, _, err := Walk(p, ttbr0, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlb.Fill(va, pa, Perms{Write: true})
+
+	// Remap the same VA to a different physical page, as a page-table
+	// store would. The store obligates MarkInconsistent.
+	newTarget := p.SecurePageBase(3)
+	l2 := p.SecurePageBase(1)
+	if err := p.Write(l2+uint32(L2Index(va))*4, PTE(newTarget, Perms{Write: true}), mem.Secure); err != nil {
+		t.Fatal(err)
+	}
+	tlb.MarkInconsistent()
+
+	// The TLB still serves the stale translation...
+	stale, _, ok := tlb.Lookup(va)
+	if !ok || stale != oldTarget {
+		t.Fatalf("stale lookup: ok=%v pa=%#x, want old target %#x", ok, stale, oldTarget)
+	}
+	// ...while a fresh walk sees the new mapping: TLB and tables disagree,
+	// which is what Consistent()==false asserts.
+	walked, _, err := Walk(p, ttbr0, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walked != newTarget {
+		t.Fatalf("walk after remap = %#x, want %#x", walked, newTarget)
+	}
+	if tlb.Consistent() {
+		t.Fatal("TLB consistent while serving a stale translation")
+	}
+
+	// Flush closes the window: next lookup misses and a refill from the
+	// walk restores agreement.
+	tlb.Flush()
+	if _, _, ok := tlb.Lookup(va); ok {
+		t.Fatal("stale entry survived flush")
+	}
+	tlb.Fill(va, walked, Perms{Write: true})
+	pa2, _, ok := tlb.Lookup(va)
+	if !ok || pa2 != newTarget {
+		t.Fatalf("post-flush lookup: ok=%v pa=%#x", ok, pa2)
+	}
+	c := tlb.Counters()
+	if c.Misses != 1 || c.Flushes != 1 || c.Fills != 2 {
+		t.Fatalf("counters after remap scenario: %+v", c)
+	}
+}

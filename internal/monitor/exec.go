@@ -99,6 +99,7 @@ func (k *Monitor) smcEnter(thrPg, a1, a2, a3 uint32, resume bool) (kapi.Err, uin
 	// Probe for the Table 3 "Enter only"/"Resume only" rows: everything
 	// up to here is the cost of reaching the first enclave instruction.
 	k.LastEnterSetup = m.Cyc.Total() - k.smcStartCyc
+	k.tel.ObserveEnterSetup(resume, k.LastEnterSetup)
 
 	// The enclave-execution loop ("while (!done) { MOVS_PC_LR(); }",
 	// §7.2 — ours is structured, the prototype's used the SP low bit).
@@ -109,6 +110,7 @@ func (k *Monitor) smcEnter(thrPg, a1, a2, a3 uint32, resume bool) (kapi.Err, uin
 			call := m.Reg(arm.R0)
 			if call == kapi.SVCExit {
 				retval := m.Reg(arm.R1)
+				k.tel.ObserveSVC(call, uint32(kapi.ErrSuccess), 0)
 				k.recordEvent(spec.ExecEvent{Kind: spec.EventExit, ExitVal: retval})
 				// "the enclave's registers are not saved, permitting it
 				// to be re-entered" (§4).
@@ -119,6 +121,7 @@ func (k *Monitor) smcEnter(thrPg, a1, a2, a3 uint32, resume bool) (kapi.Err, uin
 				// Dispatcher extension: resume the context interrupted by
 				// the handled fault. (Outside a handler, the call falls
 				// through to the generic dispatch and is rejected.)
+				k.tel.ObserveSVC(call, uint32(kapi.ErrSuccess), 0)
 				k.thSetInHandler(th, false)
 				k.recordEvent(spec.ExecEvent{
 					Kind: spec.EventSVC, Call: call,
@@ -136,7 +139,9 @@ func (k *Monitor) smcEnter(thrPg, a1, a2, a3 uint32, resume bool) (kapi.Err, uin
 			for i := 0; i < 8; i++ {
 				args[i] = m.Reg(arm.Reg(1 + i))
 			}
+			svcStart := m.Cyc.Total()
 			errc, vals := k.dispatchSVC(th, as, call, args)
+			k.tel.ObserveSVC(call, uint32(errc), m.Cyc.Total()-svcStart)
 			k.recordEvent(spec.ExecEvent{Kind: spec.EventSVC, Call: call, Args: args, Res: errc, Vals: vals})
 			m.SetReg(arm.R0, uint32(errc))
 			for i := 0; i < 8; i++ {

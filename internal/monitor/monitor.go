@@ -10,6 +10,7 @@ import (
 	"repro/internal/pagedb"
 	"repro/internal/sha2"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
 // Monitor is the concrete Komodo monitor instance bound to a machine.
@@ -39,6 +40,11 @@ type Monitor struct {
 	// "Resume only (no return)" rows).
 	smcStartCyc    uint64
 	LastEnterSetup uint64
+
+	// tel collects counters and trace events. Nil-receiver safe, so the
+	// uninstrumented monitor pays only a nil check; observations never
+	// charge simulated cycles (they must not perturb the cycle model).
+	tel *telemetry.Recorder
 }
 
 // Config parameterises Install.
@@ -104,6 +110,13 @@ func Install(m *arm.Machine, cfg Config) (*Monitor, error) {
 	m.SetVBAR(0xffff_1000)
 	return k, nil
 }
+
+// SetTelemetry attaches a telemetry recorder. Pass nil to detach; a nil
+// recorder is a no-op on every observation path.
+func (k *Monitor) SetTelemetry(t *telemetry.Recorder) { k.tel = t }
+
+// Telemetry returns the attached recorder (nil if none).
+func (k *Monitor) Telemetry() *telemetry.Recorder { return k.tel }
 
 // NPages returns the number of allocatable secure pages.
 func (k *Monitor) NPages() int { return k.npages }
@@ -321,6 +334,13 @@ func (k *Monitor) readSVCArgs() [8]uint32 {
 
 // zeroPage zero-fills an enclave page, charging the Table 3 cost.
 func (k *Monitor) zeroPage(n pagedb.PageNr) {
+	k.zeroPageRaw(n)
+	k.tel.ObservePageMove(telemetry.MoveZeroFilled, uint32(n))
+}
+
+// zeroPageRaw is zeroPage without the telemetry classification, for
+// callers that account the page movement themselves (scrubPage).
+func (k *Monitor) zeroPageRaw(n pagedb.PageNr) {
 	if err := k.m.Phys.ZeroPage(k.physPage(n), mem.Secure); err != nil {
 		panic(fmt.Sprintf("monitor: zero page %d: %v", n, err))
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/pagedb"
 	"repro/internal/sha2"
+	"repro/internal/telemetry"
 )
 
 // HandleSMC is the monitor's top-level SMC handler. It must be called with
@@ -24,6 +25,7 @@ func (k *Monitor) HandleSMC() error {
 	if m.CPSR().Mode != arm.ModeMon {
 		return fmt.Errorf("monitor: HandleSMC outside monitor mode (%v)", m.CPSR().Mode)
 	}
+	entryStart := m.Cyc.Total()
 	m.Cyc.Charge(cycles.SMCEntry + cycles.RegSaveMinimal)
 	k.smcStartCyc = m.Cyc.Total()
 	k.rngTrace = nil
@@ -41,10 +43,12 @@ func (k *Monitor) HandleSMC() error {
 		saved[i] = m.Reg(arm.Reg(5 + i))
 	}
 
+	bodyStart := m.Cyc.Total()
 	errc, val, simErr := k.dispatchSMC(call, args)
 	if simErr != nil {
 		return simErr
 	}
+	bodyCyc := m.Cyc.Total() - bodyStart
 
 	// Result registers and leak-prevention zeroing (§5.2: "non-volatile
 	// registers are preserved, other non-return registers are zeroed").
@@ -59,6 +63,11 @@ func (k *Monitor) HandleSMC() error {
 	}
 	m.Cyc.Charge(cycles.SMCExit)
 	m.ExceptionReturn()
+	// Attribute the call's cycles to dispatch (world-switch mechanics:
+	// entry, register save/restore, exit) versus body (the call's own
+	// work), the split §8.1 analyses. Recording charges no cycles.
+	totalCyc := m.Cyc.Total() - entryStart
+	k.tel.ObserveSMC(call, args, uint32(errc), val, totalCyc, totalCyc-bodyCyc)
 	return nil
 }
 
@@ -319,6 +328,7 @@ func (k *Monitor) smcMapSecure(asPg, dataPg uint32, m kapi.Mapping, contentAddr 
 	k.m.NotePTStore()
 	k.pdSet(data, ctData, as)
 	k.asAddRef(as, 1)
+	k.tel.ObservePageMove(telemetry.MoveToSecure, dataPg)
 	return kapi.ErrSuccess, 0
 }
 
@@ -339,6 +349,7 @@ func (k *Monitor) smcMapInsecure(asPg uint32, m kapi.Mapping, target uint32) (ka
 	}
 	k.wr(slot, k.pteFor(target, m, true))
 	k.m.NotePTStore()
+	k.tel.ObservePageMove(telemetry.MoveInsecureShared, target/mem.PageSize)
 	return kapi.ErrSuccess, 0
 }
 
@@ -407,4 +418,7 @@ func (k *Monitor) smcRemove(pg uint32) (kapi.Err, uint32) {
 
 // scrubPage zeroes a page being freed so its contents cannot leak into the
 // next enclave that allocates it.
-func (k *Monitor) scrubPage(n pagedb.PageNr) { k.zeroPage(n) }
+func (k *Monitor) scrubPage(n pagedb.PageNr) {
+	k.zeroPageRaw(n)
+	k.tel.ObservePageMove(telemetry.MoveScrubbed, uint32(n))
+}

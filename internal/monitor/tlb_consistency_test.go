@@ -1,0 +1,180 @@
+package monitor_test
+
+// Tests that every monitor path rewriting page tables (or the PageDB that
+// backs them) marks TLB consistency, and that enclave crossings restore
+// it — the §5.1 obligation made observable through the TLB's flush/miss
+// counters that the telemetry snapshot exports.
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/monitor"
+)
+
+// TestPageTableSMCsMarkTLBInconsistent walks the static build sequence one
+// SMC at a time. Before each call the TLB is flushed (consistent); after
+// each call it must be inconsistent, because every one of these calls
+// either stores into a live page table (InitL2PTable, MapSecure,
+// MapInsecure) or changes the allocation state backing one (the pdSet
+// conservative invalidation).
+func TestPageTableSMCsMarkTLBInconsistent(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	asPg, _ := w.os.AllocPage()
+	l1Pg, _ := w.os.AllocPage()
+	l2Pg, _ := w.os.AllocPage()
+	dataPg, _ := w.os.AllocPage()
+	thrPg, _ := w.os.AllocPage()
+	insecure := w.plat.Machine.Phys.Layout().InsecureBase
+	m := kapi.NewMapping(0x1000, true, false)
+
+	steps := []struct {
+		name string
+		call uint32
+		args []uint32
+	}{
+		{"InitAddrspace", kapi.SMCInitAddrspace, []uint32{uint32(asPg), uint32(l1Pg)}},
+		{"InitL2PTable", kapi.SMCInitL2PTable, []uint32{uint32(asPg), uint32(l2Pg), 0}},
+		{"MapSecure", kapi.SMCMapSecure, []uint32{uint32(asPg), uint32(dataPg), uint32(m), insecure}},
+		{"MapInsecure", kapi.SMCMapInsecure, []uint32{uint32(asPg), uint32(kapi.NewMapping(0x2000, true, false)), insecure}},
+		{"InitThread", kapi.SMCInitThread, []uint32{uint32(asPg), uint32(thrPg), 0}},
+	}
+	tlb := w.plat.Machine.TLB
+	for _, s := range steps {
+		tlb.Flush()
+		if !tlb.Consistent() {
+			t.Fatalf("%s: TLB not consistent after flush", s.name)
+		}
+		e, _, err := w.chk.SMC(s.call, s.args...)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if e != kapi.ErrSuccess {
+			t.Fatalf("%s: %v", s.name, e)
+		}
+		if tlb.Consistent() {
+			t.Errorf("%s left the TLB marked consistent after rewriting page-table state", s.name)
+		}
+	}
+}
+
+// TestEnterRestoresTLBConsistency: after a build (page tables freshly
+// written, TLB inconsistent) a full Enter+Exit crossing must leave the TLB
+// consistent again — the unoptimised monitor flushes on entry and on exit.
+func TestEnterRestoresTLBConsistency(t *testing.T) {
+	w := newWorld(t, board.Config{})
+	enc := w.build(t, kasm.ExitConst(7))
+	tlb := w.plat.Machine.TLB
+	if tlb.Consistent() {
+		t.Fatal("TLB consistent right after build — no page-table store was noted")
+	}
+	before := tlb.Counters()
+	e, v, err := w.os.Enter(enc)
+	if err != nil || e != kapi.ErrSuccess || v != 7 {
+		t.Fatalf("Enter: (%v, %d, %v)", e, v, err)
+	}
+	after := tlb.Counters()
+	if !tlb.Consistent() {
+		t.Fatal("TLB inconsistent after a full crossing")
+	}
+	if got := after.Flushes - before.Flushes; got != 2 {
+		t.Errorf("crossing performed %d flushes, want 2 (entry + exit)", got)
+	}
+	// The entry flush emptied the TLB, so the enclave's first fetch
+	// missed and walked; misses move in lockstep with fills here.
+	if after.Misses == before.Misses {
+		t.Error("no TLB misses recorded for a cold crossing")
+	}
+	if after.Fills == before.Fills {
+		t.Error("no TLB fills recorded for a cold crossing")
+	}
+}
+
+// TestCrossingFlushDiscipline pins the flush counters of both monitor
+// configurations: the unoptimised monitor flushes twice per crossing
+// (every entry, every exit, §8.1), while the optimised one flushes only
+// when consistency was actually lost — zero flushes and zero misses on a
+// warm repeat crossing.
+func TestCrossingFlushDiscipline(t *testing.T) {
+	const repeats = 5
+	for _, opt := range []bool{false, true} {
+		name := "unoptimised"
+		if opt {
+			name = "optimised"
+		}
+		t.Run(name, func(t *testing.T) {
+			w := newWorld(t, board.Config{Monitor: monitor.Config{Optimised: opt}})
+			enc := w.build(t, kasm.ExitConst(3))
+			// Warm-up crossing: pays the cold flush either way.
+			if e, _, err := w.os.Enter(enc); err != nil || e != kapi.ErrSuccess {
+				t.Fatalf("warm-up Enter: (%v, %v)", e, err)
+			}
+			tlb := w.plat.Machine.TLB
+			before := tlb.Counters()
+			for i := 0; i < repeats; i++ {
+				if e, _, err := w.os.Enter(enc); err != nil || e != kapi.ErrSuccess {
+					t.Fatalf("repeat Enter %d: (%v, %v)", i, e, err)
+				}
+			}
+			after := tlb.Counters()
+			flushes := after.Flushes - before.Flushes
+			misses := after.Misses - before.Misses
+			if opt {
+				if flushes != 0 {
+					t.Errorf("optimised repeat crossings flushed %d times, want 0", flushes)
+				}
+				if misses != 0 {
+					t.Errorf("optimised repeat crossings missed %d times, want 0 (warm TLB)", misses)
+				}
+			} else {
+				if flushes != 2*repeats {
+					t.Errorf("unoptimised crossings flushed %d times, want %d", flushes, 2*repeats)
+				}
+				if misses == 0 {
+					t.Error("unoptimised repeat crossings recorded no misses despite per-crossing flushes")
+				}
+			}
+		})
+	}
+}
+
+// TestOptimisedFlushAfterInterveningPTWrite: the optimised fast path may
+// skip the entry flush only while Consistent() holds. Any page-table
+// activity between crossings (here: building a second enclave) must force
+// exactly one flush on the next entry, after which repeats are again
+// flush-free.
+func TestOptimisedFlushAfterInterveningPTWrite(t *testing.T) {
+	w := newWorld(t, board.Config{Monitor: monitor.Config{Optimised: true}})
+	enc := w.build(t, kasm.ExitConst(1))
+	if e, _, err := w.os.Enter(enc); err != nil || e != kapi.ErrSuccess {
+		t.Fatalf("warm-up Enter: (%v, %v)", e, err)
+	}
+	tlb := w.plat.Machine.TLB
+	if !tlb.Consistent() {
+		t.Fatal("TLB inconsistent after optimised crossing with no intervening writes")
+	}
+
+	// Intervening page-table work invalidates the fast path.
+	w.build(t, kasm.ExitConst(2))
+	if tlb.Consistent() {
+		t.Fatal("building a second enclave did not mark the TLB inconsistent")
+	}
+	before := tlb.Counters()
+	if e, _, err := w.os.Enter(enc); err != nil || e != kapi.ErrSuccess {
+		t.Fatalf("Enter after PT write: (%v, %v)", e, err)
+	}
+	mid := tlb.Counters()
+	if got := mid.Flushes - before.Flushes; got != 1 {
+		t.Errorf("entry after PT write flushed %d times, want exactly 1", got)
+	}
+	// Consistency restored: the fast path applies again.
+	if e, _, err := w.os.Enter(enc); err != nil || e != kapi.ErrSuccess {
+		t.Fatalf("repeat Enter: (%v, %v)", e, err)
+	}
+	after := tlb.Counters()
+	if got := after.Flushes - mid.Flushes; got != 0 {
+		t.Errorf("repeat after restored consistency flushed %d times, want 0", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/pagedb"
+	"repro/internal/telemetry"
 )
 
 // Driver issues SMCs to the monitor.
@@ -37,6 +38,9 @@ type OS struct {
 	freePage     []bool // OS's belief about secure page allocation
 	nextInsecure uint32 // bump allocator over insecure RAM
 	insecureEnd  uint32
+
+	// tel records enclave lifecycle events (nil-receiver safe).
+	tel *telemetry.Recorder
 }
 
 // New builds an OS over a booted machine and SMC driver. npages is the
@@ -58,6 +62,11 @@ func New(mach *arm.Machine, drv Driver, npages int) *OS {
 	}
 	return os
 }
+
+// SetTelemetry attaches a telemetry recorder for lifecycle events. The
+// same recorder is normally shared with the monitor, so SMC boundary
+// events and lifecycle events interleave in one trace ring.
+func (o *OS) SetTelemetry(t *telemetry.Recorder) { o.tel = t }
 
 // Machine exposes the underlying machine.
 func (o *OS) Machine() *arm.Machine { return o.mach }
@@ -190,6 +199,7 @@ func (o *OS) BuildEnclave(img Image) (*Enclave, error) {
 	if _, err := o.smc("InitAddrspace", kapi.SMCInitAddrspace, uint32(asPg), uint32(l1Pg)); err != nil {
 		return nil, err
 	}
+	o.tel.ObserveLifecycle(telemetry.LifeInit, uint32(asPg))
 	enc := &Enclave{AS: asPg, L1PT: l1Pg, L2PTs: make(map[int]pagedb.PageNr)}
 
 	ensureL2 := func(va uint32) error {
@@ -314,7 +324,30 @@ func (o *OS) BuildEnclave(img Image) (*Enclave, error) {
 	if _, err := o.smc("Finalise", kapi.SMCFinalise, uint32(asPg)); err != nil {
 		return nil, err
 	}
+	o.tel.ObserveLifecycle(telemetry.LifeFinalise, uint32(asPg))
 	return enc, nil
+}
+
+// observeRun records the lifecycle events of one Enter/Resume SMC: the
+// attempt (LifeEnter or LifeResume) and, on success, how the enclave left
+// the processor (suspended by an interrupt, exited, or faulted).
+func (o *OS) observeRun(resume bool, th pagedb.PageNr, errc kapi.Err, err error) {
+	if o.tel == nil || err != nil {
+		return
+	}
+	if resume {
+		o.tel.ObserveLifecycle(telemetry.LifeResume, uint32(th))
+	} else {
+		o.tel.ObserveLifecycle(telemetry.LifeEnter, uint32(th))
+	}
+	switch errc {
+	case kapi.ErrInterrupted:
+		o.tel.ObserveLifecycle(telemetry.LifeSuspend, uint32(th))
+	case kapi.ErrSuccess:
+		o.tel.ObserveLifecycle(telemetry.LifeExit, uint32(th))
+	case kapi.ErrFault:
+		o.tel.ObserveLifecycle(telemetry.LifeFault, uint32(th))
+	}
 }
 
 // Enter runs the enclave's thread with up to three arguments, returning
@@ -325,12 +358,16 @@ func (o *OS) Enter(e *Enclave, args ...uint32) (kapi.Err, uint32, error) {
 	for i := 0; i < len(args) && i < 3; i++ {
 		a[1+i] = args[i]
 	}
-	return o.drv.SMC(kapi.SMCEnter, a...)
+	errc, val, err := o.drv.SMC(kapi.SMCEnter, a...)
+	o.observeRun(false, e.Thread, errc, err)
+	return errc, val, err
 }
 
 // Resume resumes a suspended thread.
 func (o *OS) Resume(e *Enclave) (kapi.Err, uint32, error) {
-	return o.drv.SMC(kapi.SMCResume, uint32(e.Thread))
+	errc, val, err := o.drv.SMC(kapi.SMCResume, uint32(e.Thread))
+	o.observeRun(true, e.Thread, errc, err)
+	return errc, val, err
 }
 
 // EnterThread enters a specific thread (index into Threads).
@@ -340,12 +377,16 @@ func (o *OS) EnterThread(e *Enclave, idx int, args ...uint32) (kapi.Err, uint32,
 	for i := 0; i < len(args) && i < 3; i++ {
 		a[1+i] = args[i]
 	}
-	return o.drv.SMC(kapi.SMCEnter, a...)
+	errc, val, err := o.drv.SMC(kapi.SMCEnter, a...)
+	o.observeRun(false, e.Threads[idx], errc, err)
+	return errc, val, err
 }
 
 // ResumeThread resumes a specific suspended thread.
 func (o *OS) ResumeThread(e *Enclave, idx int) (kapi.Err, uint32, error) {
-	return o.drv.SMC(kapi.SMCResume, uint32(e.Threads[idx]))
+	errc, val, err := o.drv.SMC(kapi.SMCResume, uint32(e.Threads[idx]))
+	o.observeRun(true, e.Threads[idx], errc, err)
+	return errc, val, err
 }
 
 // RunToCompletion enters the enclave and keeps resuming across interrupts
@@ -364,6 +405,7 @@ func (o *OS) Destroy(e *Enclave) error {
 	if _, err := o.smc("Stop", kapi.SMCStop, uint32(e.AS)); err != nil {
 		return err
 	}
+	o.tel.ObserveLifecycle(telemetry.LifeStop, uint32(e.AS))
 	var pages []pagedb.PageNr
 	pages = append(pages, e.Data...)
 	pages = append(pages, e.Spares...)
@@ -386,5 +428,6 @@ func (o *OS) Destroy(e *Enclave) error {
 		return err
 	}
 	o.ReleasePage(e.AS)
+	o.tel.ObserveLifecycle(telemetry.LifeRemove, uint32(e.AS))
 	return nil
 }

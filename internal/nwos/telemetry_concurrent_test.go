@@ -1,0 +1,241 @@
+package nwos_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/nwos"
+	"repro/internal/telemetry"
+)
+
+// concurrentRig is a booted platform with telemetry attached, a locked
+// driver, and one pre-built enclave per worker.
+type concurrentRig struct {
+	plat   *board.Platform
+	rec    *telemetry.Recorder
+	sink   *telemetry.MemorySink
+	locked *nwos.LockedDriver
+	os     *nwos.OS
+	encs   []*nwos.Enclave
+}
+
+func newConcurrentRig(t *testing.T, workers int, drvWrap func(*board.Platform, nwos.Driver) nwos.Driver) *concurrentRig {
+	t.Helper()
+	rec := telemetry.New()
+	sink := &telemetry.MemorySink{}
+	rec.SetSink(sink)
+	plat, err := board.Boot(board.Config{Seed: 8, Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inner nwos.Driver = plat.Monitor
+	if drvWrap != nil {
+		inner = drvWrap(plat, inner)
+	}
+	locked := nwos.NewLockedDriver(inner)
+	osm := nwos.New(plat.Machine, locked, plat.Monitor.NPages())
+	osm.SetTelemetry(rec)
+	encs := make([]*nwos.Enclave, workers)
+	for i := range encs {
+		img, err := kasm.AddArgs().Image()
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs[i], err = osm.BuildEnclave(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &concurrentRig{plat: plat, rec: rec, sink: sink, locked: locked, os: osm, encs: encs}
+}
+
+// hammer runs the mixed-SMC workload: every worker issues iters rounds of
+// {GetPhysPages, valid Enter, failing Enter}. Returns the first error.
+func (r *concurrentRig) hammer(workers, iters int) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, _, err := r.locked.SMC(kapi.SMCGetPhysPages); err != nil {
+					errs <- fmt.Errorf("worker %d: GetPhysPages: %w", w, err)
+					return
+				}
+				e, v, err := r.os.Enter(r.encs[w], uint32(w), uint32(i))
+				if err != nil || e != kapi.ErrSuccess || v != uint32(w+i) {
+					errs <- fmt.Errorf("worker %d: Enter: (%v, %d, %v)", w, e, v, err)
+					return
+				}
+				// A failing SMC: Enter on an out-of-range page. Issued
+				// through the raw driver so it counts as an SMC error
+				// without a lifecycle event.
+				e, _, err = r.locked.SMC(kapi.SMCEnter, 9999)
+				if err != nil || e != kapi.ErrInvalidPageNo {
+					errs <- fmt.Errorf("worker %d: bad Enter: (%v, %v)", w, e, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// TestTelemetryExactCountsUnderConcurrency: N goroutines issue mixed SMCs
+// through the big monitor lock; afterwards every counter must equal the
+// exact number of operations performed — the "counters are exact under
+// concurrency" contract. Run with -race.
+func TestTelemetryExactCountsUnderConcurrency(t *testing.T) {
+	const workers, iters = 8, 40
+	rig := newConcurrentRig(t, workers, nil)
+	rec := rig.rec
+
+	// The build phase already recorded events; difference against it.
+	baseGet := rec.SMCCount(kapi.SMCGetPhysPages)
+	baseEnter := rec.SMCCount(kapi.SMCEnter)
+	baseExit := rec.SVCCount(kapi.SVCExit)
+	baseLifeEnter := rec.LifecycleCount(telemetry.LifeEnter)
+	baseLifeExit := rec.LifecycleCount(telemetry.LifeExit)
+
+	if err := rig.hammer(workers, iters); err != nil {
+		t.Fatal(err)
+	}
+
+	const ops = workers * iters
+	if got := rec.SMCCount(kapi.SMCGetPhysPages) - baseGet; got != ops {
+		t.Errorf("GetPhysPages count = %d, want %d", got, ops)
+	}
+	// Each round issues two Enter SMCs: one valid, one failing.
+	if got := rec.SMCCount(kapi.SMCEnter) - baseEnter; got != 2*ops {
+		t.Errorf("Enter count = %d, want %d", got, 2*ops)
+	}
+	if got := rec.SVCCount(kapi.SVCExit) - baseExit; got != ops {
+		t.Errorf("SVCExit count = %d, want %d", got, ops)
+	}
+	// Lifecycle: only the valid Enters go through the OS wrapper.
+	if got := rec.LifecycleCount(telemetry.LifeEnter) - baseLifeEnter; got != ops {
+		t.Errorf("LifeEnter count = %d, want %d", got, ops)
+	}
+	if got := rec.LifecycleCount(telemetry.LifeExit) - baseLifeExit; got != ops {
+		t.Errorf("LifeExit count = %d, want %d", got, ops)
+	}
+
+	// The failing Enters show up as errors in the Enter series.
+	snap := rec.Snapshot()
+	var enterStats *telemetry.CallStats
+	for i := range snap.SMC {
+		if snap.SMC[i].Call == kapi.SMCEnter {
+			enterStats = &snap.SMC[i]
+		}
+	}
+	if enterStats == nil {
+		t.Fatal("no Enter series in snapshot")
+	}
+	if enterStats.Errors != ops {
+		t.Errorf("Enter errors = %d, want %d", enterStats.Errors, ops)
+	}
+
+	// Conservation: the recorder emits exactly one trace event per
+	// observation, so the ring's lifetime total must equal the sum of
+	// every counter.
+	var want uint64
+	for _, s := range snap.SMC {
+		want += s.Count
+	}
+	for _, s := range snap.SVC {
+		want += s.Count
+	}
+	for _, n := range snap.Lifecycle {
+		want += n
+	}
+	for _, n := range snap.PageMoves {
+		want += n
+	}
+	if got := rec.Ring().Total(); got != want {
+		t.Errorf("ring total = %d, counter sum = %d", got, want)
+	}
+	// The unbounded memory sink saw every event too.
+	if got := uint64(rig.sink.Len()); got != want {
+		t.Errorf("sink saw %d events, counter sum = %d", got, want)
+	}
+}
+
+// TestTraceRingLinearisableUnderConcurrentSMCs: the retained ring suffix
+// must be a gap-free, strictly ordered tail of the event sequence even
+// when producers race — sequence numbers are assigned under the ring
+// lock, so ring order is the linearisation order. Run with -race.
+func TestTraceRingLinearisableUnderConcurrentSMCs(t *testing.T) {
+	const workers, iters = 8, 40
+	rig := newConcurrentRig(t, workers, nil)
+	if err := rig.hammer(workers, iters); err != nil {
+		t.Fatal(err)
+	}
+
+	ring := rig.rec.Ring()
+	events := ring.Snapshot()
+	if len(events) == 0 {
+		t.Fatal("empty trace ring after workload")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("ring gap: event %d has seq %d after seq %d", i, events[i].Seq, events[i-1].Seq)
+		}
+	}
+	if last := events[len(events)-1].Seq; last != ring.Total()-1 {
+		t.Errorf("last seq = %d, want %d", last, ring.Total()-1)
+	}
+	if want := ring.Total() - ring.Dropped(); uint64(len(events)) != want {
+		t.Errorf("retained %d events, want %d", len(events), want)
+	}
+
+	// The full (sink-captured) sequence agrees with the ring's tail.
+	all := rig.sink.Events()
+	tail := all[len(all)-len(events):]
+	for i := range events {
+		if events[i] != tail[i] {
+			t.Fatalf("ring event %d (%+v) != sink event (%+v)", i, events[i], tail[i])
+		}
+	}
+}
+
+// TestTelemetryWithInterferingDriver: the racing-core interference hook
+// (scribbling insecure RAM before every call) must not disturb exact
+// counting or monitor integrity. Run with -race.
+func TestTelemetryWithInterferingDriver(t *testing.T) {
+	const workers, iters = 4, 25
+	rig := newConcurrentRig(t, workers, func(plat *board.Platform, inner nwos.Driver) nwos.Driver {
+		return &nwos.InterferingDriver{
+			Inner: inner,
+			Interfere: func(call uint32, args []uint32) {
+				// The hook runs under the big lock (LockedDriver wraps
+				// the interfering driver), modelling the other core's
+				// writes landing while the monitor is entered.
+				nwos.ScribbleInsecure(plat.Machine.Phys, plat.Machine.Phys.Layout().InsecureBase, 0xbad, 4)
+			},
+		}
+	})
+	plat := rig.plat
+
+	baseEnter := rig.rec.SMCCount(kapi.SMCEnter)
+	if err := rig.hammer(workers, iters); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.rec.SMCCount(kapi.SMCEnter) - baseEnter; got != 2*workers*iters {
+		t.Errorf("Enter count under interference = %d, want %d", got, 2*workers*iters)
+	}
+	db, err := plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -210,6 +210,17 @@ func (d *DB) Addrspace(n PageNr) *Addrspace {
 // Free clears page n back to the free state.
 func (d *DB) Free(n PageNr) { d.Pages[n] = Entry{} }
 
+// Census counts pages by allocation type, keyed by PageType.String().
+// Telemetry snapshots embed it so a stats dump shows how secure RAM is
+// divided between enclaves and the free pool.
+func (d *DB) Census() map[string]int {
+	out := make(map[string]int)
+	for i := range d.Pages {
+		out[d.Pages[i].Type.String()]++
+	}
+	return out
+}
+
 // OwnedBy returns the page numbers owned by address space as (excluding
 // the address-space page itself), in ascending order.
 func (d *DB) OwnedBy(as PageNr) []PageNr {

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives every boundary event as it is recorded. Implementations
+// must be safe for concurrent Emit calls. The hot path calls Emit with a
+// value Event, so a sink that does nothing costs only the interface call.
+type Sink interface {
+	Emit(Event)
+}
+
+// NopSink discards events. It is the default sink and must cost nothing
+// measurable on the SMC hot path (BenchmarkTelemetryNopOverhead).
+type NopSink struct{}
+
+// Emit discards the event.
+func (NopSink) Emit(Event) {}
+
+// MemorySink accumulates every event in memory, unbounded — unlike the
+// recorder's ring, which retains only a suffix. Intended for tests and
+// short interactive runs.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything received so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns how many events were received.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// JSONLSink streams each event as one JSON object per line — the exchange
+// format cmd/komodo-stats summarises. Writes are serialised; encoding
+// errors are retained and reported by Err (Emit cannot fail).
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes the event as one JSON line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(jsonEvent(e))
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first write/encode error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// jsonEvent is the wire form of an Event: kind as its string name, plus
+// a resolved call name where one exists, so the JSONL stream is readable
+// without the binary's constant tables.
+type jsonEvent Event
+
+// MarshalJSON renders the event with symbolic kind and call names.
+func (e jsonEvent) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Seq    uint64    `json:"seq"`
+		Kind   string    `json:"kind"`
+		Call   uint32    `json:"call"`
+		Name   string    `json:"name,omitempty"`
+		Args   [4]uint32 `json:"args"`
+		Err    uint32    `json:"err"`
+		Val    uint32    `json:"val"`
+		Cycles uint64    `json:"cycles"`
+	}{e.Seq, Kind(e.Kind).String(), e.Call, EventName(Event(e)), e.Args, e.Err, e.Val, e.Cycles})
+}
+
+// EventName resolves the symbolic name of an event's Call field according
+// to its kind ("" if unknown).
+func EventName(e Event) string {
+	switch e.Kind {
+	case KindSMC:
+		return SMCName(e.Call)
+	case KindSVC:
+		return SVCName(e.Call)
+	case KindLifecycle:
+		if e.Call < uint32(NumLifecycle) {
+			return Lifecycle(e.Call).String()
+		}
+	case KindPageMove:
+		if e.Call < NumPageMoves {
+			return pageMoveNames[e.Call]
+		}
+	}
+	return ""
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/nwos"
 	"repro/internal/pagedb"
 	"repro/internal/refine"
+	"repro/internal/telemetry"
 )
 
 // Protection selects the isolated-memory hardware variant (§3.2 of the
@@ -55,6 +56,8 @@ type config struct {
 	budget     int64
 	secureSize uint32
 	optimised  bool
+	telemetry  bool
+	sink       telemetry.Sink
 }
 
 // WithSeed sets the hardware RNG seed (default 1). Equal seeds give
@@ -88,6 +91,21 @@ func WithSecureMemory(bytes uint32) Option { return func(c *config) { c.secureSi
 // accounting). The default is the paper-faithful unoptimised monitor.
 func WithOptimisedCrossings() Option { return func(c *config) { c.optimised = true } }
 
+// WithTelemetry attaches a telemetry recorder to the platform: per-SMC
+// counters and cycle histograms, lifecycle events, page-movement
+// accounting, and a bounded in-memory trace ring. Read the results with
+// Telemetry (the live recorder) or TelemetrySnapshot (a JSON-friendly
+// summary). Without this option the system is uninstrumented and the
+// observation paths cost nothing.
+func WithTelemetry() Option { return func(c *config) { c.telemetry = true } }
+
+// WithTelemetrySink attaches a telemetry recorder that forwards every
+// trace event to s as it happens (e.g. a telemetry.MemorySink for tests,
+// or a telemetry.JSONLSink streaming to a file). Implies WithTelemetry.
+func WithTelemetrySink(s telemetry.Sink) Option {
+	return func(c *config) { c.telemetry = true; c.sink = s }
+}
+
 // System is a booted Komodo platform.
 type System struct {
 	plat *board.Platform
@@ -105,6 +123,13 @@ func New(opts ...Option) (*System, error) {
 		Protection: c.protection,
 		Monitor:    monitor.Config{StaticProfile: c.static, ExecBudget: c.budget, Optimised: c.optimised},
 	}
+	if c.telemetry {
+		rec := telemetry.New()
+		if c.sink != nil {
+			rec.SetSink(c.sink)
+		}
+		bc.Telemetry = rec
+	}
 	if c.secureSize != 0 {
 		l := mem.DefaultLayout()
 		l.Protection = c.protection
@@ -119,11 +144,20 @@ func New(opts ...Option) (*System, error) {
 	if c.checked {
 		drv = refine.New(plat.Monitor)
 	}
-	return &System{
-		plat: plat,
-		os:   nwos.New(plat.Machine, drv, plat.Monitor.NPages()),
-	}, nil
+	osm := nwos.New(plat.Machine, drv, plat.Monitor.NPages())
+	osm.SetTelemetry(plat.Telemetry)
+	return &System{plat: plat, os: osm}, nil
 }
+
+// Telemetry returns the recorder attached by WithTelemetry, or nil. The
+// nil recorder is safe to pass around: every observation and accessor on
+// it is a no-op.
+func (s *System) Telemetry() *telemetry.Recorder { return s.plat.Telemetry }
+
+// TelemetrySnapshot summarises the platform's counters — per-call series,
+// lifecycle and page-movement tallies, instruction classes, TLB and
+// PageDB census — as one JSON-serialisable value.
+func (s *System) TelemetrySnapshot() telemetry.Snapshot { return s.plat.StatsSnapshot() }
 
 // PhysPages returns the number of allocatable secure pages, as reported by
 // the GetPhysPages monitor call.
