@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-quick examples loc fmt vet clean
+.PHONY: all build test race verify bench bench-quick bench-json examples loc fmt vet clean serve serve-smoke load-compare
 
 all: build vet test
 
@@ -28,6 +28,21 @@ bench:
 # The same through the go benchmark harness.
 bench-quick:
 	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Machine-readable evaluation (BENCH_*.json tracking, result diffing).
+bench-json:
+	$(GO) run ./cmd/komodo-bench -json
+
+# The serving layer (docs/SERVING.md): warm-pool attestation/notary HTTP
+# service, and the boot-vs-snapshot provisioning comparison.
+serve:
+	$(GO) run ./cmd/komodo-serve
+
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+load-compare:
+	$(GO) run ./cmd/komodo-load -compare -workers 4 -clients 8 -duration 5s
 
 examples:
 	@for ex in quickstart notary attestation dynamicmem maliciousos vault selfpaging remoteattest swap; do \

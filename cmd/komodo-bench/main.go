@@ -1,9 +1,12 @@
 // komodo-bench regenerates the paper's evaluation: Table 3, the §8.1 SGX
 // comparison, Figure 5, and the Table 2 line-count breakdown. With no
-// flags it prints everything.
+// flags it prints everything; -json emits the selected sections as one
+// machine-readable object (the schema komodo-load result tracking and
+// BENCH_*.json diffing consume).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -11,12 +14,23 @@ import (
 	"repro/internal/eval"
 )
 
+// output is the -json schema: each requested section, keyed by name.
+type output struct {
+	Table3      []eval.Table3Row   `json:"table3,omitempty"`
+	Ablation    []eval.AblationRow `json:"ablation,omitempty"`
+	SGX         []eval.SGXRow      `json:"sgx,omitempty"`
+	Figure5     []eval.Fig5Point   `json:"figure5,omitempty"`
+	Table2      []eval.LocRow      `json:"table2,omitempty"`
+	PaperTable2 []eval.PaperRow    `json:"paper_table2,omitempty"`
+}
+
 func main() {
 	t3 := flag.Bool("table3", false, "print only the Table 3 microbenchmarks")
 	sgxOnly := flag.Bool("sgx", false, "print only the SGX crossing comparison (§8.1)")
 	f5 := flag.Bool("figure5", false, "print only the Figure 5 notary series")
 	t2 := flag.Bool("table2", false, "print only the Table 2 line-count breakdown")
 	abl := flag.Bool("ablation", false, "print only the crossing-optimisation ablation")
+	asJSON := flag.Bool("json", false, "emit the selected sections as JSON")
 	root := flag.String("root", ".", "module root for the line-count breakdown")
 	flag.Parse()
 	all := !*t3 && !*sgxOnly && !*f5 && !*t2 && !*abl
@@ -26,63 +40,90 @@ func main() {
 		os.Exit(1)
 	}
 
+	var out output
 	if all || *t3 {
 		rows, err := eval.Table3()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println("Table 3: Microbenchmark results (simulated cycles vs. paper's Raspberry Pi 2)")
-		fmt.Printf("  %-14s %-42s %10s %10s\n", "Operation", "Notes", "cycles", "paper")
-		for _, r := range rows {
-			fmt.Printf("  %-14s %-42s %10d %10d\n", r.Operation, r.Notes, r.Cycles, r.PaperCycles)
-		}
-		fmt.Println()
+		out.Table3 = rows
 	}
 	if all || *abl {
 		rows, err := eval.Ablation()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println("Ablation: §8.1 crossing optimisations (cycles per full crossing)")
-		fmt.Printf("  %-46s %10s %10s\n", "Configuration", "cold", "hot")
-		for _, r := range rows {
-			fmt.Printf("  %-46s %10d %10d\n", r.Config, r.FirstCrossing, r.RepeatCrossing)
-		}
-		fmt.Println()
+		out.Ablation = rows
 	}
 	if all || *sgxOnly {
 		rows, err := eval.SGXComparison()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println("SGX comparison (§8.1): enclave crossing latency")
-		fmt.Printf("  %-18s %12s %12s %8s\n", "Operation", "Komodo", "SGX model", "ratio")
-		for _, r := range rows {
-			fmt.Printf("  %-18s %12d %12d %7.1fx\n", r.Operation, r.Komodo, r.SGX, float64(r.SGX)/float64(r.Komodo))
-		}
-		fmt.Println()
+		out.SGX = rows
 	}
 	if all || *f5 {
 		pts, err := eval.Figure5(eval.Figure5Sizes)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println("Figure 5: Notary performance (time to notarise vs. input size, 900 MHz clock)")
-		fmt.Printf("  %8s %14s %14s %8s\n", "size", "enclave (ms)", "native (ms)", "ratio")
-		for _, p := range pts {
-			fmt.Printf("  %6dkB %14.3f %14.3f %8.3f\n", p.KB, p.EnclaveMS, p.NativeMS, p.EnclaveMS/p.NativeMS)
-		}
-		fmt.Println()
+		out.Figure5 = pts
 	}
 	if all || *t2 {
 		rows, err := eval.CountLines(*root)
 		if err != nil {
 			fail(err)
 		}
+		out.Table2 = rows
+		out.PaperTable2 = eval.PaperTable2Rows()
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if out.Table3 != nil {
+		fmt.Println("Table 3: Microbenchmark results (simulated cycles vs. paper's Raspberry Pi 2)")
+		fmt.Printf("  %-14s %-42s %10s %10s\n", "Operation", "Notes", "cycles", "paper")
+		for _, r := range out.Table3 {
+			fmt.Printf("  %-14s %-42s %10d %10d\n", r.Operation, r.Notes, r.Cycles, r.PaperCycles)
+		}
+		fmt.Println()
+	}
+	if out.Ablation != nil {
+		fmt.Println("Ablation: §8.1 crossing optimisations (cycles per full crossing)")
+		fmt.Printf("  %-46s %10s %10s\n", "Configuration", "cold", "hot")
+		for _, r := range out.Ablation {
+			fmt.Printf("  %-46s %10d %10d\n", r.Config, r.FirstCrossing, r.RepeatCrossing)
+		}
+		fmt.Println()
+	}
+	if out.SGX != nil {
+		fmt.Println("SGX comparison (§8.1): enclave crossing latency")
+		fmt.Printf("  %-18s %12s %12s %8s\n", "Operation", "Komodo", "SGX model", "ratio")
+		for _, r := range out.SGX {
+			fmt.Printf("  %-18s %12d %12d %7.1fx\n", r.Operation, r.Komodo, r.SGX, float64(r.SGX)/float64(r.Komodo))
+		}
+		fmt.Println()
+	}
+	if out.Figure5 != nil {
+		fmt.Println("Figure 5: Notary performance (time to notarise vs. input size, 900 MHz clock)")
+		fmt.Printf("  %8s %14s %14s %8s\n", "size", "enclave (ms)", "native (ms)", "ratio")
+		for _, p := range out.Figure5 {
+			fmt.Printf("  %6dkB %14.3f %14.3f %8.3f\n", p.KB, p.EnclaveMS, p.NativeMS, p.EnclaveMS/p.NativeMS)
+		}
+		fmt.Println()
+	}
+	if out.Table2 != nil {
 		fmt.Println("Table 2 analogue: line counts of this reproduction")
 		fmt.Printf("  %-52s %8s %8s %8s\n", "Component", "spec", "impl", "proof")
 		var ts, ti, tp int
-		for _, r := range rows {
+		for _, r := range out.Table2 {
 			fmt.Printf("  %-52s %8d %8d %8d\n", r.Component, r.Spec, r.Impl, r.Proof)
 			ts += r.Spec
 			ti += r.Impl
@@ -91,7 +132,7 @@ func main() {
 		fmt.Printf("  %-52s %8d %8d %8d\n", "Total", ts, ti, tp)
 		fmt.Println("\nPaper's Table 2 (for comparison):")
 		fmt.Printf("  %-52s %8s %8s %8s\n", "Component", "spec", "impl", "proof")
-		for _, r := range eval.PaperTable2Rows() {
+		for _, r := range out.PaperTable2 {
 			fmt.Printf("  %-52s %8d %8d %8d\n", r.Component, r.Spec, r.Impl, r.Proof)
 		}
 	}

@@ -1,0 +1,380 @@
+// komodo-load is a closed-loop load generator for the enclave serving
+// layer. Each client loops request → response → next request, so offered
+// load tracks service capacity and the queue exercises real backpressure.
+//
+// Against a running komodo-serve:
+//
+//	komodo-load -url http://127.0.0.1:8787 -clients 8 -duration 5s -verify
+//
+// Self-contained provisioning comparison (boots its own pools in-process,
+// the EXPERIMENTS.md serving section):
+//
+//	komodo-load -compare -workers 4 -clients 8 -duration 5s
+//	komodo-load -sweep 1,2,4,8 -clients 8 -duration 3s
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/kasm"
+	"repro/internal/pool"
+	"repro/internal/server"
+)
+
+type options struct {
+	url      string
+	clients  int
+	duration time.Duration
+	requests int
+	endpoint string
+	verify   bool
+	jsonOut  bool
+
+	workers int
+	queue   int
+	mode    string
+	seed    uint64
+	reuse   int
+	compare bool
+	sweep   string
+}
+
+// Result is one load run's summary (also the -json schema).
+type Result struct {
+	Label      string  `json:"label"`
+	Mode       string  `json:"mode,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	Clients    int     `json:"clients"`
+	Seconds    float64 `json:"seconds"`
+	OK         int     `json:"ok"`
+	Rejected   int     `json:"rejected_429"`
+	Unavail    int     `json:"unavailable_503"`
+	Errors     int     `json:"errors"`
+	Verified   int     `json:"verified"`
+	Throughput float64 `json:"requests_per_sec"`
+	P50ms      float64 `json:"p50_ms"`
+	P90ms      float64 `json:"p90_ms"`
+	P99ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.url, "url", "", "target server base URL (empty: boot an in-process pool)")
+	flag.IntVar(&o.clients, "clients", 8, "concurrent closed-loop clients")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "run length (ignored if -requests > 0)")
+	flag.IntVar(&o.requests, "requests", 0, "total request budget (0 = run for -duration)")
+	flag.StringVar(&o.endpoint, "endpoint", "attest", "workload: attest | notary | mixed")
+	flag.BoolVar(&o.verify, "verify", false, "verify every quote client-side with kasm.VerifyQuote")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of text")
+	flag.IntVar(&o.workers, "workers", 4, "in-process: pool size")
+	flag.IntVar(&o.queue, "queue", 64, "in-process: queue depth")
+	flag.StringVar(&o.mode, "mode", "snapshot", "in-process: snapshot | boot")
+	flag.Uint64Var(&o.seed, "seed", 42, "in-process: board seed")
+	flag.IntVar(&o.reuse, "max-reuse", 0, "in-process: per-worker reuse limit")
+	flag.BoolVar(&o.compare, "compare", false, "run snapshot-clone vs boot-per-request back to back")
+	flag.StringVar(&o.sweep, "sweep", "", "comma-separated pool sizes to sweep (snapshot mode)")
+	flag.Parse()
+
+	var results []Result
+	switch {
+	case o.compare:
+		for _, mode := range []string{"boot", "snapshot"} {
+			o.mode = mode
+			r, err := runInProcess(o, fmt.Sprintf("%s/%dw", mode, o.workers))
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+	case o.sweep != "":
+		for _, f := range strings.Split(o.sweep, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fail(fmt.Errorf("bad -sweep entry %q", f))
+			}
+			o.workers = n
+			r, err := runInProcess(o, fmt.Sprintf("%s/%dw", o.mode, n))
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+	case o.url == "":
+		r, err := runInProcess(o, fmt.Sprintf("%s/%dw", o.mode, o.workers))
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	default:
+		r, err := drive(o, strings.TrimRight(o.url, "/"), "remote")
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	}
+
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Printf("%-16s %9s %7s %7s %6s %8s %8s %8s %8s\n",
+		"run", "req/s", "ok", "429", "err", "p50 ms", "p90 ms", "p99 ms", "max ms")
+	for _, r := range results {
+		fmt.Printf("%-16s %9.1f %7d %7d %6d %8.2f %8.2f %8.2f %8.2f\n",
+			r.Label, r.Throughput, r.OK, r.Rejected, r.Errors+r.Unavail, r.P50ms, r.P90ms, r.P99ms, r.MaxMs)
+	}
+	if len(results) == 2 && results[0].Mode == "boot-each" && results[1].Mode == "snapshot" &&
+		results[0].Throughput > 0 {
+		fmt.Printf("\nsnapshot-clone provisioning: %.1fx the throughput of boot-per-request\n",
+			results[1].Throughput/results[0].Throughput)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "komodo-load:", err)
+	os.Exit(1)
+}
+
+// runInProcess boots a pool + server on a loopback listener and drives it.
+func runInProcess(o options, label string) (Result, error) {
+	pcfg := pool.Config{Size: o.workers, Boot: server.Blueprint(o.seed), MaxReuse: o.reuse}
+	switch o.mode {
+	case "snapshot":
+		pcfg.Mode = pool.ModeSnapshot
+	case "boot":
+		pcfg.Mode = pool.ModeBootEach
+	default:
+		return Result{}, fmt.Errorf("unknown -mode %q", o.mode)
+	}
+	p, err := pool.New(pcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	srv := server.New(server.Config{Pool: p, QueueDepth: o.queue, RequestTimeout: 30 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain()
+		hs.Shutdown(ctx)
+		p.Close(ctx)
+	}()
+
+	r, err := drive(o, "http://"+ln.Addr().String(), label)
+	if err != nil {
+		return r, err
+	}
+	r.Mode = pcfg.Mode.String()
+	r.Workers = o.workers
+	return r, nil
+}
+
+// drive runs the closed-loop clients against base and aggregates.
+func drive(o options, base, label string) (Result, error) {
+	var quoteKey [8]uint32
+	if o.verify {
+		var kr server.QuoteKeyResponse
+		if err := getJSON(base+"/v1/quotekey", &kr); err != nil {
+			return Result{}, fmt.Errorf("fetching quote key: %w", err)
+		}
+		k, err := server.DecodeWords(kr.QuoteKey)
+		if err != nil {
+			return Result{}, err
+		}
+		quoteKey = k
+	}
+
+	type tally struct {
+		ok, rejected, unavail, errs, verified int
+		lat                                   []time.Duration
+		err                                   error
+	}
+	tallies := make([]tally, o.clients)
+
+	deadline := time.Now().Add(o.duration)
+	var budget chan struct{}
+	if o.requests > 0 {
+		budget = make(chan struct{}, o.requests)
+		for i := 0; i < o.requests; i++ {
+			budget <- struct{}{}
+		}
+		close(budget)
+		deadline = time.Now().Add(24 * time.Hour)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t := &tallies[c]
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			client := &http.Client{Timeout: 60 * time.Second}
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				if budget != nil {
+					if _, more := <-budget; !more {
+						return
+					}
+				}
+				ep := o.endpoint
+				if ep == "mixed" {
+					if rng.Intn(2) == 0 {
+						ep = "attest"
+					} else {
+						ep = "notary"
+					}
+				}
+				reqStart := time.Now()
+				status, body, err := doRequest(client, base, ep, c, seq, rng)
+				if err != nil {
+					t.errs++
+					continue
+				}
+				switch status {
+				case http.StatusOK:
+					t.ok++
+					t.lat = append(t.lat, time.Since(reqStart))
+					if o.verify && ep == "attest" {
+						ok, verr := verifyAttest(body, quoteKey, fmt.Sprintf("nonce-%d-%d", c, seq))
+						if verr != nil || !ok {
+							t.err = fmt.Errorf("quote verification failed: %v", verr)
+							return
+						}
+						t.verified++
+					}
+				case http.StatusTooManyRequests:
+					t.rejected++
+					time.Sleep(500 * time.Microsecond) // brief backoff on saturation
+				case http.StatusServiceUnavailable:
+					t.unavail++
+					time.Sleep(time.Millisecond)
+				default:
+					t.errs++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var r Result
+	r.Label = label
+	r.Clients = o.clients
+	r.Seconds = elapsed.Seconds()
+	var lats []time.Duration
+	for i := range tallies {
+		t := &tallies[i]
+		if t.err != nil {
+			return r, t.err
+		}
+		r.OK += t.ok
+		r.Rejected += t.rejected
+		r.Unavail += t.unavail
+		r.Errors += t.errs
+		r.Verified += t.verified
+		lats = append(lats, t.lat...)
+	}
+	if r.OK == 0 {
+		return r, fmt.Errorf("no successful requests (429s: %d, 503s: %d, errors: %d)",
+			r.Rejected, r.Unavail, r.Errors)
+	}
+	r.Throughput = float64(r.OK) / elapsed.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		idx := int(q * float64(len(lats)-1))
+		return float64(lats[idx].Microseconds()) / 1000
+	}
+	r.P50ms, r.P90ms, r.P99ms = pct(0.50), pct(0.90), pct(0.99)
+	r.MaxMs = float64(lats[len(lats)-1].Microseconds()) / 1000
+	return r, nil
+}
+
+func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand) (int, []byte, error) {
+	var resp *http.Response
+	var err error
+	switch ep {
+	case "attest":
+		resp, err = client.Get(fmt.Sprintf("%s/v1/attest?nonce=nonce-%d-%d", base, c, seq))
+	case "notary":
+		doc := make([]byte, 64+rng.Intn(448))
+		rng.Read(doc)
+		resp, err = client.Post(base+"/v1/notary/sign", "application/octet-stream", bytes.NewReader(doc))
+	default:
+		return 0, nil, fmt.Errorf("unknown endpoint %q", ep)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// verifyAttest checks an attest response end to end: the nonce echo, the
+// nonce→data derivation, and the quote itself against the provisioned key.
+func verifyAttest(body []byte, quoteKey [8]uint32, wantNonce string) (bool, error) {
+	var ar server.AttestResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return false, err
+	}
+	if ar.Nonce != wantNonce {
+		return false, fmt.Errorf("nonce echo %q != %q", ar.Nonce, wantNonce)
+	}
+	data, err := server.DecodeWords(ar.Data)
+	if err != nil {
+		return false, err
+	}
+	if data != server.NonceWords([]byte(wantNonce)) {
+		return false, fmt.Errorf("data words are not SHA-256(nonce)")
+	}
+	meas, err := server.DecodeWords(ar.Measurement)
+	if err != nil {
+		return false, err
+	}
+	quote, err := server.DecodeWords(ar.Quote)
+	if err != nil {
+		return false, err
+	}
+	return kasm.VerifyQuote(quoteKey, meas, data, quote), nil
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

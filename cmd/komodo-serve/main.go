@@ -1,0 +1,111 @@
+// komodo-serve runs the enclave serving layer: a warm pool of simulated
+// Komodo boards behind an HTTP/JSON front end offering network
+// attestation (/v1/attest?nonce=...), notary signing (/v1/notary/sign),
+// health and stats. See docs/SERVING.md for the endpoint contract.
+//
+//	komodo-serve -addr 127.0.0.1:8787 -workers 4
+//
+// SIGINT/SIGTERM drains gracefully: health checks start failing, in-flight
+// requests finish, the pool shuts down, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8787", "listen address (use :0 for a random port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	workers := flag.Int("workers", 4, "pool size (simulated boards)")
+	queue := flag.Int("queue", 64, "request queue depth (429 beyond this)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request worker-wait deadline")
+	reuse := flag.Int("max-reuse", 0, "retire a worker after this many requests (0 = never)")
+	seed := flag.Uint64("seed", 42, "board RNG seed (all workers share it: identical quote keys)")
+	mode := flag.String("mode", "snapshot", "worker re-provisioning: snapshot | boot")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
+	healthcheck := flag.Bool("healthcheck", false, "run a full attest probe after every restore")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "komodo-serve:", err)
+		os.Exit(1)
+	}
+
+	pcfg := pool.Config{
+		Size:     *workers,
+		Boot:     server.Blueprint(*seed),
+		MaxReuse: *reuse,
+	}
+	switch *mode {
+	case "snapshot":
+		pcfg.Mode = pool.ModeSnapshot
+	case "boot":
+		pcfg.Mode = pool.ModeBootEach
+	default:
+		fail(fmt.Errorf("unknown -mode %q (want snapshot or boot)", *mode))
+	}
+	if *healthcheck {
+		pcfg.HealthCheck = server.HealthCheck
+	}
+
+	bootStart := time.Now()
+	p, err := pool.New(pcfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("booted %d worker(s) in %v (%s mode)\n", *workers, time.Since(bootStart).Round(time.Millisecond), pcfg.Mode)
+
+	srv := server.New(server.Config{
+		Pool:           p,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("listening on http://%s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %v, draining...\n", s)
+	case err := <-errc:
+		fail(err)
+	}
+
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fail(fmt.Errorf("http shutdown: %w", err))
+	}
+	if err := p.Close(ctx); err != nil {
+		fail(fmt.Errorf("pool drain: %w", err))
+	}
+	ps := p.Stats()
+	fmt.Printf("drained cleanly: %d requests served, %d boots, %d restores\n", ps.Gets, ps.Boots, ps.Restores)
+}

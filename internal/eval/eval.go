@@ -62,18 +62,18 @@ func (b *bench) delta(f func() error) (uint64, error) {
 
 // Table3Row is one microbenchmark result alongside the paper's.
 type Table3Row struct {
-	Operation   string
-	Notes       string
-	Cycles      uint64
-	PaperCycles uint64
+	Operation   string `json:"operation"`
+	Notes       string `json:"notes"`
+	Cycles      uint64 `json:"cycles"`
+	PaperCycles uint64 `json:"paper_cycles"`
 
 	// DispatchCycles/BodyCycles split the row's underlying SMC into
 	// world-switch mechanics (entry, register save/restore, exit) versus
 	// the call body's own work — the attribution behind the paper's §8.1
 	// crossing analysis. Taken from the telemetry recorder's last
 	// observation of the row's SMC.
-	DispatchCycles uint64
-	BodyCycles     uint64
+	DispatchCycles uint64 `json:"dispatch_cycles"`
+	BodyCycles     uint64 `json:"body_cycles"`
 }
 
 // Table3 reproduces the paper's Table 3 microbenchmarks.
@@ -215,9 +215,9 @@ func Table3() ([]Table3Row, error) {
 
 // SGXRow compares crossing/attestation latencies against the SGX model.
 type SGXRow struct {
-	Operation string
-	Komodo    uint64
-	SGX       uint64
+	Operation string `json:"operation"`
+	Komodo    uint64 `json:"komodo_cycles"`
+	SGX       uint64 `json:"sgx_cycles"`
 }
 
 // SGXComparison reproduces the §8.1 discussion: Komodo's full crossing vs
@@ -272,9 +272,9 @@ func SGXComparison() ([]SGXRow, error) {
 // invocation of the same enclave, and elide the conservative banked-
 // register save/restore.
 type AblationRow struct {
-	Config         string
-	FirstCrossing  uint64 // cold: tables just built
-	RepeatCrossing uint64 // hot: same enclave, tables untouched
+	Config         string `json:"config"`
+	FirstCrossing  uint64 `json:"first_crossing"`  // cold: tables just built
+	RepeatCrossing uint64 `json:"repeat_crossing"` // hot: same enclave, tables untouched
 }
 
 // Ablation measures both monitor configurations.
@@ -402,9 +402,9 @@ func MaxEnclaves() (int, error) {
 
 // Fig5Point is one point of the Figure 5 series.
 type Fig5Point struct {
-	KB        int
-	EnclaveMS float64
-	NativeMS  float64
+	KB        int     `json:"kb"`
+	EnclaveMS float64 `json:"enclave_ms"`
+	NativeMS  float64 `json:"native_ms"`
 }
 
 // Figure5Sizes are the paper's x axis: 4–512 kB.

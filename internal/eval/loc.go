@@ -21,10 +21,10 @@ import (
 //
 // LocRow reports one component's line counts.
 type LocRow struct {
-	Component string
-	Spec      int
-	Impl      int
-	Proof     int
+	Component string `json:"component"`
+	Spec      int    `json:"spec"`
+	Impl      int    `json:"impl"`
+	Proof     int    `json:"proof"`
 }
 
 // componentOf classifies a repo-relative path into (component, role).
@@ -172,10 +172,10 @@ func countFile(path string) (int, error) {
 
 // PaperTable2 is the paper's own Table 2, for side-by-side reporting.
 type PaperRow struct {
-	Component string
-	Spec      int
-	Impl      int
-	Proof     int
+	Component string `json:"component"`
+	Spec      int    `json:"spec"`
+	Impl      int    `json:"impl"`
+	Proof     int    `json:"proof"`
 }
 
 // PaperTable2Rows returns the published line counts.

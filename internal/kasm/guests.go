@@ -129,6 +129,35 @@ func AttestToShared() Guest {
 	return Guest{Prog: p, WithShared: true}
 }
 
+// AttestSharedLayout documents AttestShared's shared-page word offsets.
+const (
+	AttestSharedIn  = 0 // words 0..7: caller-supplied data (e.g. a nonce)
+	AttestSharedOut = 8 // words 8..15: the local-attestation MAC
+)
+
+// AttestShared attests over caller-supplied data: it reads 8 words from
+// the shared page, runs the Attest SVC over them, writes the MAC to
+// shared words 8..15, and exits with 1. This is the serving layer's app
+// enclave — the OS (the HTTP server) writes a fresh nonce in, and relays
+// the MAC to the quoting enclave for a requote.
+func AttestShared() Guest {
+	p := asm.New()
+	p.MovImm32(arm.R12, SharedVA+AttestSharedIn*4)
+	for i := 0; i < 8; i++ {
+		p.Ldr(arm.Reg(1+i), arm.R12, uint32(i*4))
+	}
+	p.Movw(arm.R0, kapi.SVCAttest)
+	p.Svc()
+	// MAC now in R1–R8: store to shared words 8..15.
+	p.MovImm32(arm.R0, SharedVA+AttestSharedOut*4)
+	for i := 0; i < 8; i++ {
+		p.Str(arm.Reg(1+i), arm.R0, uint32(i*4))
+	}
+	p.Movw(arm.R1, 1)
+	emitExit(p)
+	return Guest{Prog: p, WithShared: true}
+}
+
 // VerifyFromShared reads (data[8], measure[8], mac[8]) from the shared
 // page and runs the three-step verify, exiting with the verdict (1 ok).
 func VerifyFromShared() Guest {

@@ -1,0 +1,369 @@
+// Package pool provides a warm pool of simulated Komodo boards for the
+// serving layer. Booting a board — secure-world initialisation, enclave
+// image construction (page-by-page measurement through the monitor's SMC
+// sequence), quoting-enclave provisioning — is the expensive part of
+// serving a request. The pool pays it once per worker: each worker boots,
+// prepares its enclaves, and captures a golden Snapshot; a request then
+// checks the worker out, runs, and the pool rewinds the board to the
+// golden snapshot on release (a fast clone) instead of re-booting.
+//
+// The restore-on-release discipline is also the isolation story: no
+// register, page, TLB or RNG state survives from one request to the next,
+// so a request cannot observe or influence its predecessor. Two extra
+// defences back it up: a per-worker reuse limit (after MaxReuse checkouts
+// the worker is retired and freshly booted), and an optional health check
+// run after every restore (a worker that fails it is retired too). A
+// request that errors mid-flight releases with Fail, which always
+// retires: a board in an unknown state is never returned to the pool.
+//
+// For apples-to-apples measurement the pool also runs in ModeBootEach,
+// which re-boots the worker after every request instead of restoring —
+// the baseline the snapshot-clone design is measured against.
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/komodo"
+)
+
+// Mode selects how a worker is re-provisioned between requests.
+type Mode int
+
+const (
+	// ModeSnapshot restores the golden snapshot on release (fast clone).
+	ModeSnapshot Mode = iota
+	// ModeBootEach boots a fresh board on release (the slow baseline).
+	ModeBootEach
+)
+
+func (m Mode) String() string {
+	if m == ModeBootEach {
+		return "boot-each"
+	}
+	return "snapshot"
+}
+
+// BootFunc boots one worker's platform: a fresh System plus an opaque
+// application state (enclave handles etc.) that request handlers retrieve
+// with Worker.State. It must return the system at a quiescent point — the
+// pool captures the golden snapshot immediately after it returns, and
+// every restore rewinds to exactly that state.
+type BootFunc func() (*komodo.System, any, error)
+
+// Config configures New.
+type Config struct {
+	// Size is the number of workers (default 4).
+	Size int
+	// Boot boots one worker. Required.
+	Boot BootFunc
+	// Mode selects snapshot-clone (default) or boot-per-request.
+	Mode Mode
+	// MaxReuse retires a worker after this many checkouts since its last
+	// boot, re-booting it fresh. 0 means unlimited.
+	MaxReuse int
+	// BootRetries is how many times a failed boot is retried before the
+	// worker slot is abandoned (default 3).
+	BootRetries int
+	// HealthCheck, if set, runs after every restore; an error retires the
+	// worker. It sees the restored system and the worker's state.
+	HealthCheck func(sys *komodo.System, state any) error
+}
+
+// Outcome tells Put what to do with the returned worker.
+type Outcome int
+
+const (
+	// OK releases a healthy worker; the pool re-provisions it according
+	// to its Mode (restore to golden, or re-boot). Use for stateless
+	// requests: nothing from this request survives.
+	OK Outcome = iota
+	// Keep releases the worker without re-provisioning: enclave state
+	// (e.g. the notary's monotonic counter) persists to the next
+	// checkout. The reuse limit still applies.
+	Keep
+	// Fail retires the worker: the board is discarded and freshly
+	// booted. Use whenever a request errored mid-flight.
+	Fail
+)
+
+// ErrClosed is returned by Get after Close.
+var ErrClosed = errors.New("pool: closed")
+
+// Worker is one checked-out board.
+type Worker struct {
+	id     int
+	sys    *komodo.System
+	state  any
+	golden *komodo.Snapshot
+
+	uses  int // checkouts since last boot
+	epoch int // restores since last boot
+	boots int // times booted
+}
+
+// ID identifies the worker slot (stable across re-boots).
+func (w *Worker) ID() int { return w.id }
+
+// System is the checked-out board. Valid only between Get and Put.
+func (w *Worker) System() *komodo.System { return w.sys }
+
+// State is the opaque application state returned by the BootFunc.
+func (w *Worker) State() any { return w.state }
+
+// Epoch counts restores since the worker last booted. State kept across
+// Keep releases is only comparable within one (ID, boot, epoch) window.
+func (w *Worker) Epoch() int { return w.epoch }
+
+// Uses counts checkouts since the worker last booted.
+func (w *Worker) Uses() int { return w.uses }
+
+// Stats is a point-in-time view of pool activity.
+type Stats struct {
+	Size        int    `json:"size"`      // configured worker slots
+	Live        int    `json:"live"`      // slots with a working board
+	Dead        int    `json:"dead"`      // slots abandoned after boot failures
+	Available   int    `json:"available"` // idle workers ready for Get
+	InFlight    int    `json:"in_flight"` // checked-out workers
+	Mode        string `json:"mode"`      // snapshot | boot-each
+	Gets        uint64 `json:"gets"`      // successful checkouts
+	Puts        uint64 `json:"puts"`      // releases
+	Boots       uint64 `json:"boots"`     // full board boots (incl. initial)
+	Restores    uint64 `json:"restores"`  // golden-snapshot restores
+	Retires     uint64 `json:"retires"`   // workers retired (Fail/health/reuse)
+	HealthFails uint64 `json:"health_fails"`
+	BootNS      uint64 `json:"boot_ns"`    // cumulative wall time booting
+	RestoreNS   uint64 `json:"restore_ns"` // cumulative wall time restoring
+}
+
+// Pool is a warm pool of booted boards.
+type Pool struct {
+	cfg  Config
+	free chan *Worker
+
+	mu       sync.Mutex
+	closed   bool
+	live     int
+	dead     int
+	inFlight int
+	stats    Stats
+}
+
+// New boots cfg.Size workers and returns the ready pool. Boot failures at
+// construction are fatal: a pool that cannot boot one worker is
+// misconfigured.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Boot == nil {
+		return nil, errors.New("pool: Config.Boot is required")
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 4
+	}
+	if cfg.BootRetries <= 0 {
+		cfg.BootRetries = 3
+	}
+	p := &Pool{cfg: cfg, free: make(chan *Worker, cfg.Size)}
+	for i := 0; i < cfg.Size; i++ {
+		w := &Worker{id: i}
+		if err := p.boot(w); err != nil {
+			return nil, fmt.Errorf("pool: booting worker %d: %w", i, err)
+		}
+		p.live++
+		p.free <- w
+	}
+	return p, nil
+}
+
+// boot (re)boots a worker slot and captures its golden snapshot.
+func (p *Pool) boot(w *Worker) error {
+	var lastErr error
+	for attempt := 0; attempt < p.cfg.BootRetries; attempt++ {
+		start := time.Now()
+		sys, state, err := p.cfg.Boot()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		w.sys, w.state = sys, state
+		w.golden = sys.Snapshot()
+		w.uses, w.epoch = 0, 0
+		w.boots++
+		p.mu.Lock()
+		p.stats.Boots++
+		p.stats.BootNS += uint64(time.Since(start).Nanoseconds())
+		p.mu.Unlock()
+		return nil
+	}
+	return lastErr
+}
+
+// Get checks a worker out, blocking until one is idle or ctx is done.
+func (p *Pool) Get(ctx context.Context) (*Worker, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.mu.Unlock()
+	select {
+	case w := <-p.free:
+		p.mu.Lock()
+		if p.closed {
+			// Lost the race with Close: hand the worker back for the
+			// drain loop to collect.
+			p.mu.Unlock()
+			p.free <- w
+			return nil, ErrClosed
+		}
+		p.inFlight++
+		p.stats.Gets++
+		w.uses++
+		p.mu.Unlock()
+		return w, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Put releases a worker checked out with Get. The outcome decides its
+// fate: OK re-provisions per the pool mode, Keep preserves state, Fail
+// retires. Re-provisioning happens synchronously in the caller.
+func (p *Pool) Put(w *Worker, outcome Outcome) {
+	p.mu.Lock()
+	p.inFlight--
+	p.stats.Puts++
+	closed := p.closed
+	p.mu.Unlock()
+
+	if closed {
+		// Draining: no point re-provisioning, just hand it back.
+		p.free <- w
+		return
+	}
+
+	overused := p.cfg.MaxReuse > 0 && w.uses >= p.cfg.MaxReuse
+	switch {
+	case outcome == Fail:
+		p.count(func(s *Stats) { s.Retires++ })
+		p.reboot(w)
+	case overused:
+		p.count(func(s *Stats) { s.Retires++ })
+		p.reboot(w)
+	case outcome == Keep:
+		p.free <- w
+	case p.cfg.Mode == ModeBootEach:
+		p.reboot(w)
+	default:
+		p.restore(w)
+	}
+}
+
+func (p *Pool) count(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// restore rewinds the worker to its golden snapshot and health-checks it;
+// on any failure it falls back to a full re-boot.
+func (p *Pool) restore(w *Worker) {
+	start := time.Now()
+	err := w.sys.Restore(w.golden)
+	if err == nil {
+		w.epoch++
+		p.count(func(s *Stats) {
+			s.Restores++
+			s.RestoreNS += uint64(time.Since(start).Nanoseconds())
+		})
+		if p.cfg.HealthCheck != nil {
+			if herr := p.cfg.HealthCheck(w.sys, w.state); herr != nil {
+				p.count(func(s *Stats) { s.HealthFails++; s.Retires++ })
+				p.reboot(w)
+				return
+			}
+		}
+		p.free <- w
+		return
+	}
+	p.count(func(s *Stats) { s.Retires++ })
+	p.reboot(w)
+}
+
+// reboot fully re-boots the worker slot. If every retry fails the slot is
+// abandoned: the pool shrinks and the failure is visible in Stats.Dead.
+func (p *Pool) reboot(w *Worker) {
+	if err := p.boot(w); err != nil {
+		p.mu.Lock()
+		p.live--
+		p.dead++
+		p.mu.Unlock()
+		return
+	}
+	p.free <- w
+}
+
+// Telemetry collects telemetry snapshots from currently idle workers —
+// checking each out briefly and returning it untouched — without blocking
+// behind in-flight requests. Workers busy serving are skipped, so under
+// load the sample covers only the idle subset.
+func (p *Pool) Telemetry() []telemetry.Snapshot {
+	var held []*Worker
+	var out []telemetry.Snapshot
+collect:
+	for i := 0; i < p.cfg.Size; i++ {
+		select {
+		case w := <-p.free:
+			held = append(held, w)
+			out = append(out, w.sys.TelemetrySnapshot())
+		default:
+			break collect
+		}
+	}
+	for _, w := range held {
+		p.free <- w
+	}
+	return out
+}
+
+// Stats reports pool activity.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Size = p.cfg.Size
+	s.Live = p.live
+	s.Dead = p.dead
+	s.Available = len(p.free)
+	s.InFlight = p.inFlight
+	s.Mode = p.cfg.Mode.String()
+	return s
+}
+
+// Close drains the pool: new Gets fail with ErrClosed, and Close blocks
+// until every live worker has been released (or ctx is done). After Close
+// returns nil, no requests are in flight and no workers leak.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	collected := 0
+	for {
+		p.mu.Lock()
+		live := p.live
+		p.mu.Unlock()
+		if collected >= live {
+			return nil
+		}
+		select {
+		case <-p.free:
+			collected++
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

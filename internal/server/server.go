@@ -1,0 +1,339 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/telemetry"
+)
+
+// Config configures New.
+type Config struct {
+	// Pool supplies the workers. Required.
+	Pool *pool.Pool
+	// QueueDepth bounds how many requests may hold a service slot at
+	// once — in flight plus waiting for a worker. A request arriving with
+	// the queue full is rejected immediately with 429 (default 64).
+	QueueDepth int
+	// RequestTimeout bounds the wait for a worker. A request that cannot
+	// get one in time is answered 503 (default 5s). The enclave run
+	// itself is not preemptible — bound it with komodo.WithExecBudget on
+	// the pool's boot options.
+	RequestTimeout time.Duration
+	// MaxNonceBytes bounds the attestation nonce (default 256).
+	MaxNonceBytes int
+}
+
+// Server is the HTTP front end. It implements http.Handler.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	slots    chan struct{}
+	draining atomic.Bool
+
+	requests atomic.Uint64 // all requests to /v1/attest and /v1/notary/sign
+	served   atomic.Uint64 // 200s
+	rejected atomic.Uint64 // 429s (queue saturated)
+	timeouts atomic.Uint64 // 503s (worker-wait deadline)
+	failures atomic.Uint64 // 5xx enclave/worker errors
+
+	quoteKey atomic.Pointer[[8]uint32]
+}
+
+// New builds the server around a pool.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MaxNonceBytes <= 0 {
+		cfg.MaxNonceBytes = 256
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, cfg.QueueDepth),
+	}
+	s.mux.HandleFunc("/v1/attest", s.handleAttest)
+	s.mux.HandleFunc("/v1/notary/sign", s.handleNotarySign)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/quotekey", s.handleQuoteKey)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain flips the server into draining mode: /v1/healthz starts failing
+// (so load balancers stop routing here) and new work is refused with 503.
+// In-flight requests finish normally; the caller then shuts the HTTP
+// listener down and closes the pool.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueLen reports how many requests currently hold a service slot
+// (in service plus waiting for a worker).
+func (s *Server) QueueLen() int { return len(s.slots) }
+
+// errorBody is every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) replyErr(w http.ResponseWriter, status int, format string, args ...any) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.reply(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// withWorker runs fn on a checked-out worker under the server's
+// backpressure discipline: bounded queue (429 on saturation), worker-wait
+// deadline (503), retire-on-error (any fn error releases with pool.Fail).
+// fn returns the release outcome for the success path.
+func (s *Server) withWorker(w http.ResponseWriter, r *http.Request,
+	fn func(wk *pool.Worker) (pool.Outcome, error)) {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		s.timeouts.Add(1)
+		s.replyErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		s.replyErr(w, http.StatusTooManyRequests, "queue full (depth %d)", s.cfg.QueueDepth)
+		return
+	}
+	defer func() { <-s.slots }()
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	wk, err := s.cfg.Pool.Get(ctx)
+	if err != nil {
+		if err == pool.ErrClosed {
+			s.timeouts.Add(1)
+			s.replyErr(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		s.timeouts.Add(1)
+		s.replyErr(w, http.StatusServiceUnavailable, "no worker within deadline: %v", err)
+		return
+	}
+	outcome, err := fn(wk)
+	if err != nil {
+		s.cfg.Pool.Put(wk, pool.Fail)
+		s.failures.Add(1)
+		s.replyErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.cfg.Pool.Put(wk, outcome)
+	s.served.Add(1)
+}
+
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// AttestResponse is the /v1/attest body. Word-array fields are 64-char
+// hex strings (DecodeWords parses them back).
+type AttestResponse struct {
+	Nonce       string `json:"nonce"`       // echoed verbatim
+	Data        string `json:"data"`        // NonceWords(nonce): what was attested
+	Measurement string `json:"measurement"` // attester enclave identity
+	Quote       string `json:"quote"`       // verify with kasm.VerifyQuote
+	Worker      int    `json:"worker"`
+	Epoch       int    `json:"epoch"`
+}
+
+func (s *Server) handleAttest(w http.ResponseWriter, r *http.Request) {
+	nonce := r.URL.Query().Get("nonce")
+	if nonce == "" {
+		s.replyErr(w, http.StatusBadRequest, "missing nonce parameter")
+		return
+	}
+	if len(nonce) > s.cfg.MaxNonceBytes {
+		s.replyErr(w, http.StatusBadRequest, "nonce longer than %d bytes", s.cfg.MaxNonceBytes)
+		return
+	}
+	s.withWorker(w, r, func(wk *pool.Worker) (pool.Outcome, error) {
+		st, ok := wk.State().(*WorkerState)
+		if !ok {
+			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
+		}
+		att, err := Attest(st, NonceWords([]byte(nonce)))
+		if err != nil {
+			return pool.Fail, err
+		}
+		s.quoteKey.CompareAndSwap(nil, &st.QuoteKey)
+		s.reply(w, http.StatusOK, AttestResponse{
+			Nonce:       nonce,
+			Data:        EncodeWords(att.Data),
+			Measurement: EncodeWords(att.Measurement),
+			Quote:       EncodeWords(att.Quote),
+			Worker:      wk.ID(),
+			Epoch:       wk.Epoch(),
+		})
+		// Attestation is stateless: restore-clone the worker.
+		return pool.OK, nil
+	})
+}
+
+// NotaryResponse is the /v1/notary/sign body. Notarisations are ordered
+// per (worker, epoch) shard: the counter is monotonic within one shard
+// and resets when the worker re-boots or restores.
+type NotaryResponse struct {
+	Counter uint32 `json:"counter"`
+	Digest  string `json:"digest"` // H(docwords ‖ counter), hex
+	MAC     string `json:"mac"`    // in-enclave MAC over the digest, hex
+	Worker  int    `json:"worker"`
+	Epoch   int    `json:"epoch"`
+}
+
+func (s *Server) handleNotarySign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.replyErr(w, http.StatusMethodNotAllowed, "POST the document bytes")
+		return
+	}
+	doc, err := io.ReadAll(io.LimitReader(r.Body, int64(MaxDocBytes)+1))
+	if err != nil {
+		s.replyErr(w, http.StatusBadRequest, "reading document: %v", err)
+		return
+	}
+	if len(doc) == 0 {
+		s.replyErr(w, http.StatusBadRequest, "empty document")
+		return
+	}
+	if len(doc) > MaxDocBytes {
+		s.replyErr(w, http.StatusRequestEntityTooLarge, "document larger than %d bytes", MaxDocBytes)
+		return
+	}
+	s.withWorker(w, r, func(wk *pool.Worker) (pool.Outcome, error) {
+		st, ok := wk.State().(*WorkerState)
+		if !ok {
+			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
+		}
+		n, err := NotarySign(st, doc)
+		if err != nil {
+			return pool.Fail, err
+		}
+		s.reply(w, http.StatusOK, NotaryResponse{
+			Counter: n.Counter,
+			Digest:  EncodeWords(n.Digest),
+			MAC:     EncodeWords(n.MAC),
+			Worker:  wk.ID(),
+			Epoch:   wk.Epoch(),
+		})
+		// The notary counter is live enclave state: keep it.
+		return pool.Keep, nil
+	})
+}
+
+// HealthzResponse is the /v1/healthz body.
+type HealthzResponse struct {
+	Status    string `json:"status"`
+	Live      int    `json:"live"`
+	Available int    `json:"available"`
+	InFlight  int    `json:"in_flight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ps := s.cfg.Pool.Stats()
+	body := HealthzResponse{Status: "ok", Live: ps.Live, Available: ps.Available, InFlight: ps.InFlight}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case ps.Live == 0:
+		body.Status = "no live workers"
+		status = http.StatusServiceUnavailable
+	}
+	s.reply(w, status, body)
+}
+
+// StatsResponse is the /v1/stats body: server counters, pool counters,
+// and one telemetry snapshot merged across the currently idle boards.
+type StatsResponse struct {
+	Server struct {
+		Requests uint64 `json:"requests"`
+		Served   uint64 `json:"served"`
+		Rejected uint64 `json:"rejected_429"`
+		Timeouts uint64 `json:"timeouts_503"`
+		Failures uint64 `json:"failures_5xx"`
+		Queue    int    `json:"queue_depth"`
+	} `json:"server"`
+	Pool      pool.Stats         `json:"pool"`
+	Sampled   int                `json:"telemetry_workers_sampled"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// Stats returns the same view /v1/stats serves.
+func (s *Server) Stats() StatsResponse {
+	var out StatsResponse
+	out.Server.Requests = s.requests.Load()
+	out.Server.Served = s.served.Load()
+	out.Server.Rejected = s.rejected.Load()
+	out.Server.Timeouts = s.timeouts.Load()
+	out.Server.Failures = s.failures.Load()
+	out.Server.Queue = s.cfg.QueueDepth
+	out.Pool = s.cfg.Pool.Stats()
+	snaps := s.cfg.Pool.Telemetry()
+	out.Sampled = len(snaps)
+	out.Telemetry = telemetry.Merge(snaps...)
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, s.Stats())
+}
+
+// QuoteKeyResponse is the /v1/quotekey body. In a real deployment the
+// quote key leaves the factory over a provisioning channel and never
+// touches the serving path; this endpoint stands in for that channel so
+// remote verifiers (and the smoke test) can check quotes.
+type QuoteKeyResponse struct {
+	QuoteKey string `json:"quote_key"`
+}
+
+func (s *Server) handleQuoteKey(w http.ResponseWriter, r *http.Request) {
+	if k := s.quoteKey.Load(); k != nil {
+		s.reply(w, http.StatusOK, QuoteKeyResponse{QuoteKey: EncodeWords(*k)})
+		return
+	}
+	// No attest has run yet: peek at an idle worker's state.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	wk, err := s.cfg.Pool.Get(ctx)
+	if err != nil {
+		s.replyErr(w, http.StatusServiceUnavailable, "no worker within deadline: %v", err)
+		return
+	}
+	st, ok := wk.State().(*WorkerState)
+	if !ok {
+		s.cfg.Pool.Put(wk, pool.Fail)
+		s.replyErr(w, http.StatusInternalServerError, "worker state is %T", wk.State())
+		return
+	}
+	key := st.QuoteKey
+	s.cfg.Pool.Put(wk, pool.Keep) // nothing ran; no need to re-provision
+	s.quoteKey.CompareAndSwap(nil, &key)
+	s.reply(w, http.StatusOK, QuoteKeyResponse{QuoteKey: EncodeWords(key)})
+}

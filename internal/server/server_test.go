@@ -1,0 +1,331 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kasm"
+	"repro/internal/pool"
+)
+
+func newPool(t *testing.T, cfg pool.Config) *pool.Pool {
+	t.Helper()
+	if cfg.Boot == nil {
+		cfg.Boot = Blueprint(42)
+	}
+	p, err := pool.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		p.Close(ctx)
+	})
+	return p
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAttestEndToEnd(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var key QuoteKeyResponse
+	if code := getJSON(t, ts.URL+"/v1/quotekey", &key); code != 200 {
+		t.Fatalf("quotekey: %d", code)
+	}
+	quoteKey, err := DecodeWords(key.QuoteKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nonce := range []string{"abc", "another-nonce-0001"} {
+		var ar AttestResponse
+		if code := getJSON(t, ts.URL+"/v1/attest?nonce="+nonce, &ar); code != 200 {
+			t.Fatalf("attest: %d", code)
+		}
+		if ar.Nonce != nonce {
+			t.Fatalf("nonce echo: %q != %q", ar.Nonce, nonce)
+		}
+		data, _ := DecodeWords(ar.Data)
+		if data != NonceWords([]byte(nonce)) {
+			t.Fatalf("data words are not SHA-256 of the nonce")
+		}
+		meas, _ := DecodeWords(ar.Measurement)
+		quote, _ := DecodeWords(ar.Quote)
+		if !kasm.VerifyQuote(quoteKey, meas, data, quote) {
+			t.Fatalf("quote for nonce %q did not verify", nonce)
+		}
+	}
+
+	// Distinct nonces must yield distinct quotes (freshness).
+	var a1, a2 AttestResponse
+	getJSON(t, ts.URL+"/v1/attest?nonce=x1", &a1)
+	getJSON(t, ts.URL+"/v1/attest?nonce=x2", &a2)
+	if a1.Quote == a2.Quote {
+		t.Fatal("two nonces produced the same quote")
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/attest", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing nonce: %d", code)
+	}
+}
+
+func TestNotarySignShardMonotonic(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sign := func(doc string) NotaryResponse {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/notary/sign", "application/octet-stream",
+			bytes.NewReader([]byte(doc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("sign: %d %s", resp.StatusCode, b)
+		}
+		var nr NotaryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&nr); err != nil {
+			t.Fatal(err)
+		}
+		return nr
+	}
+	n1 := sign("contract A")
+	n2 := sign("contract B")
+	n3 := sign("contract A")
+	if !(n1.Counter < n2.Counter && n2.Counter < n3.Counter) {
+		t.Fatalf("counters not monotonic within shard: %d %d %d", n1.Counter, n2.Counter, n3.Counter)
+	}
+	// Same document, later timestamp: digest (hence MAC) must differ.
+	if n1.Digest == n3.Digest || n1.MAC == n3.MAC {
+		t.Fatal("re-notarisation did not advance the binding")
+	}
+
+	// Attestations restore the worker; the notary shard then starts a new
+	// epoch with a fresh counter — the documented sharding contract.
+	if code := getJSON(t, ts.URL+"/v1/attest?nonce=reset", nil); code != 200 {
+		t.Fatalf("attest: %d", code)
+	}
+	n4 := sign("contract C")
+	if n4.Counter != 1 || n4.Epoch == n1.Epoch {
+		t.Fatalf("restore did not open a new shard epoch: %+v vs %+v", n4, n1)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/notary/sign", "application/octet-stream", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty document: %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 2})
+	srv := New(Config{Pool: p, QueueDepth: 8})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var hz HealthzResponse
+	if code := getJSON(t, ts.URL+"/v1/healthz", &hz); code != 200 || hz.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, hz)
+	}
+	if code := getJSON(t, ts.URL+"/v1/attest?nonce=n", nil); code != 200 {
+		t.Fatalf("attest: %d", code)
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Server.Served != 1 || st.Server.Requests != 1 {
+		t.Fatalf("server stats: %+v", st.Server)
+	}
+	if st.Pool.Boots != 2 || st.Pool.Restores != 1 {
+		t.Fatalf("pool stats: %+v", st.Pool)
+	}
+	if st.Sampled != 2 {
+		t.Fatalf("telemetry sampled %d workers", st.Sampled)
+	}
+	// The merged telemetry must show enclave activity from boot (enclave
+	// construction SMCs) across both boards.
+	if len(st.Telemetry.SMC) == 0 || st.Telemetry.Cycles == 0 {
+		t.Fatalf("merged telemetry empty: %+v", st.Telemetry)
+	}
+}
+
+// TestSaturationReturns429 is the pool-exhaustion satellite: with the
+// only worker held and the depth-1 queue occupied, every further request
+// must be answered 429 immediately — not queued, not hung — and the
+// parked request must still complete once a worker frees up.
+func TestSaturationReturns429(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p, QueueDepth: 1, RequestTimeout: 30 * time.Second})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Exhaust the pool: check the only worker out by hand.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	w, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one request in the queue; it holds the single service slot
+	// while it waits for a worker.
+	parked := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/attest?nonce=parked")
+		if err != nil {
+			parked <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		parked <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked request never took the service slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is saturated: every further request bounces with 429.
+	const flood = 10
+	for i := 0; i < flood; i++ {
+		if code := getJSON(t, fmt.Sprintf("%s/v1/attest?nonce=flood-%d", ts.URL, i), nil); code != http.StatusTooManyRequests {
+			t.Fatalf("flood request %d: got %d, want 429", i, code)
+		}
+	}
+
+	// Release the worker: the parked request must complete, not hang.
+	p.Put(w, pool.Keep)
+	select {
+	case code := <-parked:
+		if code != http.StatusOK {
+			t.Fatalf("parked request finished with %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parked request hung after a worker freed up")
+	}
+
+	st := srv.Stats()
+	if st.Server.Rejected != flood || st.Server.Served != 1 {
+		t.Fatalf("post-flood counters: %+v", st.Server)
+	}
+	if st.Pool.InFlight != 0 || st.Pool.Available != st.Pool.Live {
+		t.Fatalf("post-flood pool: %+v", st.Pool)
+	}
+}
+
+// TestDrainLeavesNothingInFlight is the drain satellite: drain under
+// load, then require zero in-flight requests and no leaked workers.
+func TestDrainLeavesNothingInFlight(t *testing.T) {
+	p, err := pool.New(pool.Config{Size: 2, Boot: Blueprint(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Pool: p, QueueDepth: 4})
+	ts := httptest.NewServer(srv)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/v1/attest?nonce=drain-%d", ts.URL, i))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+
+	srv.Drain()
+	if code := getJSON(t, ts.URL+"/v1/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/attest?nonce=late", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("attest while draining: %d", code)
+	}
+	wg.Wait()
+	ts.Close() // waits for in-flight handlers
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatalf("pool drain: %v", err)
+	}
+	if s := p.Stats(); s.InFlight != 0 {
+		t.Fatalf("requests leaked workers: %+v", s)
+	}
+}
+
+func TestWorkerWaitDeadline503(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p, QueueDepth: 4, RequestTimeout: 30 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Hold the only worker so queued requests hit the wait deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	w, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := getJSON(t, ts.URL+"/v1/attest?nonce=waiting", nil)
+	p.Put(w, pool.Keep)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 on worker-wait deadline, got %d", code)
+	}
+	if st := srv.Stats(); st.Server.Timeouts != 1 {
+		t.Fatalf("timeout not counted: %+v", st.Server)
+	}
+}
+
+func TestHealthCheckFlow(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 1, HealthCheck: HealthCheck})
+	srv := New(Config{Pool: p})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	if code := getJSON(t, ts.URL+"/v1/attest?nonce=hc", nil); code != 200 {
+		t.Fatalf("attest: %d", code)
+	}
+	// The OK release restored the worker and ran the health probe.
+	if s := p.Stats(); s.HealthFails != 0 || s.Restores != 1 {
+		t.Fatalf("health check did not run cleanly: %+v", s)
+	}
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import "testing"
+
+func TestMergeSumsSeries(t *testing.T) {
+	a := Snapshot{
+		Cycles:  100,
+		Retired: 40,
+		SMC: []CallStats{
+			{Call: 3, Name: "x", Count: 2, Cycles: 20, DispatchCycles: 5, BodyCycles: 15},
+			{Call: 5, Name: "y", Count: 1, Cycles: 7},
+		},
+		Lifecycle:         map[string]uint64{"enter": 2},
+		PageMoves:         map[string]uint64{"free_to_data": 3},
+		InsnClasses:       map[string]uint64{"alu": 10},
+		PageCensus:        map[string]int{"data": 4},
+		TLB:               TLBStats{Hits: 10, Misses: 2, Entries: 3},
+		Trace:             TraceStats{Recorded: 5, Dropped: 1, Capacity: 64},
+		EnterSetupCycles:  200,
+		ResumeSetupCycles: 50,
+	}
+	b := Snapshot{
+		Cycles:  50,
+		Retired: 10,
+		SMC: []CallStats{
+			{Call: 3, Name: "x", Count: 1, Cycles: 10, DispatchCycles: 2, BodyCycles: 8},
+		},
+		SVC:               []CallStats{{Call: 1, Name: "z", Count: 4, Cycles: 40}},
+		Lifecycle:         map[string]uint64{"enter": 1, "exit": 1},
+		EnterSetupCycles:  150,
+		ResumeSetupCycles: 90,
+	}
+	m := Merge(a, b)
+	if m.Cycles != 150 || m.Retired != 50 {
+		t.Fatalf("gauges: %+v", m)
+	}
+	if len(m.SMC) != 2 {
+		t.Fatalf("SMC series: %+v", m.SMC)
+	}
+	if m.SMC[0].Call != 3 || m.SMC[0].Count != 3 || m.SMC[0].Cycles != 30 ||
+		m.SMC[0].DispatchCycles != 7 || m.SMC[0].BodyCycles != 23 {
+		t.Fatalf("call 3 merge: %+v", m.SMC[0])
+	}
+	if m.SMC[1].Call != 5 || m.SMC[1].Count != 1 {
+		t.Fatalf("call 5 merge: %+v", m.SMC[1])
+	}
+	if len(m.SVC) != 1 || m.SVC[0].Count != 4 {
+		t.Fatalf("SVC merge: %+v", m.SVC)
+	}
+	if m.Lifecycle["enter"] != 3 || m.Lifecycle["exit"] != 1 {
+		t.Fatalf("lifecycle merge: %+v", m.Lifecycle)
+	}
+	if m.PageMoves["free_to_data"] != 3 || m.InsnClasses["alu"] != 10 || m.PageCensus["data"] != 4 {
+		t.Fatalf("map merge: %+v", m)
+	}
+	if m.TLB.Hits != 10 || m.TLB.Entries != 3 || m.Trace.Recorded != 5 {
+		t.Fatalf("tlb/trace merge: %+v", m)
+	}
+	// Setup gauges report the latest single-platform measurement: max.
+	if m.EnterSetupCycles != 200 || m.ResumeSetupCycles != 90 {
+		t.Fatalf("setup gauges: %+v", m)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge()
+	if m.SMC != nil || m.SVC != nil || len(m.Lifecycle) != 0 {
+		t.Fatalf("empty merge: %+v", m)
+	}
+}

@@ -398,6 +398,17 @@ func (s *System) Snapshot() *Snapshot { return s.plat.Machine.Snapshot() }
 
 // Restore rewinds the platform to a snapshot taken from this System (or an
 // identically configured one).
+//
+// The golden-snapshot clone contract (pinned by TestRestoreGoldenBitIdentical
+// and relied on by internal/pool): a snapshot taken at a quiescent point —
+// enclaves finalised, nothing mid-SMC — can be restored any number of
+// times, and each restore yields a bit-identical re-run: same enclave
+// measurements, same MACs, same RNG stream, same cycle counts. Enclave
+// handles created before the snapshot remain valid after a restore,
+// because the OS-model bookkeeping they carry describes exactly the state
+// the machine rewinds to. State created *after* the snapshot (enclaves
+// loaded, counters advanced) is discarded by the restore; handles to such
+// enclaves must not be used again.
 func (s *System) Restore(snap *Snapshot) error { return s.plat.Machine.Restore(snap) }
 
 // Pages gives access to the raw page handle of an enclave for advanced

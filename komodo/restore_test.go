@@ -1,0 +1,113 @@
+package komodo_test
+
+import (
+	"testing"
+
+	"repro/internal/kasm"
+	"repro/komodo"
+)
+
+// TestRestoreGoldenBitIdentical pins the clone contract the serving
+// pool's provisioning depends on (internal/pool): restoring a golden
+// snapshot taken at a quiescent point yields a bit-identical re-run —
+// same measurement, same outputs, same cycle count — and enclave handles
+// created before the snapshot stay valid afterwards.
+func TestRestoreGoldenBitIdentical(t *testing.T) {
+	sys, err := komodo.New(komodo.WithSeed(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nimg, err := kasm.NotaryGuest(1).Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	notary, err := sys.LoadEnclave(komodo.FromNWOSImage(nimg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := sys.Snapshot()
+	cycles0 := sys.Cycles()
+	meas0, err := notary.Measurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := make([]uint32, 32)
+	for i := range doc {
+		doc[i] = uint32(i) * 7
+	}
+	run := func() (counter uint32, mac []uint32, cycles uint64) {
+		t.Helper()
+		if err := notary.WriteShared(0, 0, doc); err != nil {
+			t.Fatal(err)
+		}
+		res, err := notary.Run(uint32(len(doc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mac, err = notary.ReadShared(0, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Value, mac, sys.Cycles()
+	}
+
+	c1, mac1, cyc1 := run()
+	if c1 != 1 {
+		t.Fatalf("fresh notary counter = %d, want 1", c1)
+	}
+
+	if err := sys.Restore(golden); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Cycles(); got != cycles0 {
+		t.Fatalf("cycle counter after restore: %d, want %d", got, cycles0)
+	}
+	meas1, err := notary.Measurement()
+	if err != nil {
+		t.Fatalf("enclave handle invalid after restore: %v", err)
+	}
+	if meas1 != meas0 {
+		t.Fatalf("measurement changed across restore: %08x vs %08x", meas1[0], meas0[0])
+	}
+
+	c2, mac2, cyc2 := run()
+	if c2 != c1 {
+		t.Fatalf("replayed counter = %d, want %d", c2, c1)
+	}
+	for i := range mac1 {
+		if mac1[i] != mac2[i] {
+			t.Fatalf("replayed MAC diverged at word %d: %08x vs %08x", i, mac1[i], mac2[i])
+		}
+	}
+	if cyc1 != cyc2 {
+		t.Fatalf("replayed run cost %d cycles, first run cost %d", cyc2, cyc1)
+	}
+
+	// Without a restore the counter advances and the MAC changes: the
+	// clone contract is about the restore, not about the workload being
+	// constant.
+	c3, mac3, _ := run()
+	if c3 != c2+1 {
+		t.Fatalf("counter did not advance without restore: %d after %d", c3, c2)
+	}
+	same := true
+	for i := range mac2 {
+		if mac2[i] != mac3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("MAC identical for different counters")
+	}
+
+	// Restoring again from the same golden snapshot still works: one
+	// snapshot serves arbitrarily many clones.
+	if err := sys.Restore(golden); err != nil {
+		t.Fatal(err)
+	}
+	c4, _, _ := run()
+	if c4 != 1 {
+		t.Fatalf("second clone counter = %d, want 1", c4)
+	}
+}
