@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-quick bench-json examples loc fmt vet clean serve serve-smoke load-compare
+.PHONY: all build test race verify bench bench-quick bench-json examples loc fmt vet clean serve serve-smoke ckpt-smoke load-compare
 
 all: build vet test
 
@@ -40,6 +40,11 @@ serve:
 
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Sealed-checkpoint durability (docs/SEALING.md): kill the server,
+# restart on the same state dir, require strictly monotonic counters.
+ckpt-smoke:
+	sh scripts/ckpt_smoke.sh
 
 load-compare:
 	$(GO) run ./cmd/komodo-load -compare -workers 4 -clients 8 -duration 5s

@@ -1,0 +1,192 @@
+// komodo-ckpt manipulates sealed enclave checkpoints (docs/SEALING.md):
+//
+//	komodo-ckpt inspect ckpt.json           # cleartext header + manifest
+//	komodo-ckpt verify -seed 42 ckpt.json   # restore onto a scratch board
+//	komodo-ckpt pull -url http://host:8787 -out ckpt.json
+//	komodo-ckpt push -url http://host:8787 ckpt.json
+//
+// inspect and verify are offline. verify boots a throwaway board with
+// the given seed and attempts a real monitor-mediated restore: it
+// succeeds exactly when the blob is untampered and the seed derives the
+// same measurement-bound sealing key — the same check a production
+// restore performs. pull checkpoints a live server's notary and saves
+// the portable JSON; push restores one onto a live server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/seal"
+	"repro/internal/server"
+	"repro/komodo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "pull":
+		err = cmdPull(os.Args[2:])
+	case "push":
+		err = cmdPush(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "komodo-ckpt:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: komodo-ckpt inspect|verify|pull|push [flags] [file]")
+	os.Exit(2)
+}
+
+func load(path string) (*komodo.Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return komodo.UnmarshalCheckpoint(data)
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("inspect: need at least one checkpoint file")
+	}
+	for _, path := range fs.Args() {
+		ckpt, err := load(path)
+		if err != nil {
+			return err
+		}
+		h, err := seal.ParseHeader(ckpt.Blob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		man := ckpt.Manifest
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  sealed blob     %d words (payload %d + overhead %d)\n",
+			len(ckpt.Blob), h.PayloadLen, seal.OverheadWords)
+		fmt.Printf("  version/kind    %d / %d\n", h.Version, h.Kind)
+		fmt.Printf("  measurement     %s\n", wordsHex(h.Measurement[:]))
+		fmt.Printf("  nonce           %08x%08x\n", h.Nonce[0], h.Nonce[1])
+		fmt.Printf("  pages           %d (threads %d, l2 tables %d, data %d, spares %d)\n",
+			man.NumPages, len(man.Threads), len(man.L2), len(man.Data), len(man.Spares))
+		if len(man.SharedPA) > 0 {
+			fmt.Printf("  shared regions  %d\n", len(man.SharedPA))
+		}
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	seed := fs.Uint64("seed", 42, "boot secret seed of the board to restore onto")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("verify: need exactly one checkpoint file")
+	}
+	ckpt, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sys, err := komodo.New(komodo.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	if _, err := sys.RestoreEnclave(ckpt); err != nil {
+		return fmt.Errorf("REJECTED: %w", err)
+	}
+	fmt.Printf("OK: restores under seed %d (%d sealed words, %d pages)\n",
+		*seed, len(ckpt.Blob), ckpt.Manifest.NumPages)
+	return nil
+}
+
+func cmdPull(args []string) error {
+	fs := flag.NewFlagSet("pull", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8787", "komodo-serve base URL")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+	resp, err := http.Post(strings.TrimRight(*url, "/")+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %d %s", resp.StatusCode, body)
+	}
+	var cr server.CheckpointResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Println(cr.Checkpoint)
+		return nil
+	}
+	if err := os.WriteFile(*out, []byte(cr.Checkpoint), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("pulled worker %d checkpoint (counter %d, %d words) to %s\n",
+		cr.Worker, cr.Counter, cr.BlobWords, *out)
+	return nil
+}
+
+func cmdPush(args []string) error {
+	fs := flag.NewFlagSet("push", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8787", "komodo-serve base URL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("push: need exactly one checkpoint file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(*url, "/")+"/v1/restore", "application/json",
+		bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server rejected restore: %d %s", resp.StatusCode, body)
+	}
+	var rr server.RestoreResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		return err
+	}
+	fmt.Printf("restored onto worker %d (%d sealed words)\n", rr.Worker, rr.BlobWords)
+	return nil
+}
+
+func wordsHex(ws []uint32) string {
+	var b strings.Builder
+	for _, w := range ws {
+		fmt.Fprintf(&b, "%08x", w)
+	}
+	return b.String()
+}

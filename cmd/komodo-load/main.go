@@ -70,6 +70,11 @@ type Result struct {
 	P90ms      float64 `json:"p90_ms"`
 	P99ms      float64 `json:"p99_ms"`
 	MaxMs      float64 `json:"max_ms"`
+	// CounterMin/CounterMax are the lowest and highest notary counters
+	// observed across all clients (0/0 when no notary requests ran).
+	// Scripts use CounterMax to assert monotonicity across restarts.
+	CounterMin uint32 `json:"counter_min,omitempty"`
+	CounterMax uint32 `json:"counter_max,omitempty"`
 }
 
 func main() {
@@ -139,8 +144,12 @@ func main() {
 	fmt.Printf("%-16s %9s %7s %7s %6s %8s %8s %8s %8s\n",
 		"run", "req/s", "ok", "429", "err", "p50 ms", "p90 ms", "p99 ms", "max ms")
 	for _, r := range results {
-		fmt.Printf("%-16s %9.1f %7d %7d %6d %8.2f %8.2f %8.2f %8.2f\n",
+		fmt.Printf("%-16s %9.1f %7d %7d %6d %8.2f %8.2f %8.2f %8.2f",
 			r.Label, r.Throughput, r.OK, r.Rejected, r.Errors+r.Unavail, r.P50ms, r.P90ms, r.P99ms, r.MaxMs)
+		if r.CounterMax > 0 {
+			fmt.Printf("  counters=%d..%d", r.CounterMin, r.CounterMax)
+		}
+		fmt.Println()
 	}
 	if len(results) == 2 && results[0].Mode == "boot-each" && results[1].Mode == "snapshot" &&
 		results[0].Throughput > 0 {
@@ -210,6 +219,7 @@ func drive(o options, base, label string) (Result, error) {
 
 	type tally struct {
 		ok, rejected, unavail, errs, verified int
+		counterMin, counterMax                uint32
 		lat                                   []time.Duration
 		err                                   error
 	}
@@ -259,6 +269,17 @@ func drive(o options, base, label string) (Result, error) {
 				case http.StatusOK:
 					t.ok++
 					t.lat = append(t.lat, time.Since(reqStart))
+					if ep == "notary" {
+						var nr server.NotaryResponse
+						if json.Unmarshal(body, &nr) == nil && nr.Counter > 0 {
+							if t.counterMin == 0 || nr.Counter < t.counterMin {
+								t.counterMin = nr.Counter
+							}
+							if nr.Counter > t.counterMax {
+								t.counterMax = nr.Counter
+							}
+						}
+					}
 					if o.verify && ep == "attest" {
 						ok, verr := verifyAttest(body, quoteKey, fmt.Sprintf("nonce-%d-%d", c, seq))
 						if verr != nil || !ok {
@@ -297,6 +318,14 @@ func drive(o options, base, label string) (Result, error) {
 		r.Unavail += t.unavail
 		r.Errors += t.errs
 		r.Verified += t.verified
+		if t.counterMax > 0 {
+			if r.CounterMin == 0 || t.counterMin < r.CounterMin {
+				r.CounterMin = t.counterMin
+			}
+			if t.counterMax > r.CounterMax {
+				r.CounterMax = t.counterMax
+			}
+		}
 		lats = append(lats, t.lat...)
 	}
 	if r.OK == 0 {

@@ -5,6 +5,12 @@
 //
 //	komodo-serve -addr 127.0.0.1:8787 -workers 4
 //
+// With -state-dir the notary counters become durable: every sign seals
+// the notary enclave into a checkpoint appended to a crash-safe WAL in
+// that directory, and a restarted server (same -seed, same directory)
+// restores each worker's latest checkpoint at boot, so counters continue
+// strictly past their last issued value. See docs/SEALING.md.
+//
 // SIGINT/SIGTERM drains gracefully: health checks start failing, in-flight
 // requests finish, the pool shuts down, then the process exits 0.
 package main
@@ -35,6 +41,8 @@ func main() {
 	mode := flag.String("mode", "snapshot", "worker re-provisioning: snapshot | boot")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget")
 	healthcheck := flag.Bool("healthcheck", false, "run a full attest probe after every restore")
+	stateDir := flag.String("state-dir", "", "durable notary state directory (empty: counters are volatile)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint the notary after every Nth sign (with -state-dir)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -42,10 +50,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	var ckpts *server.CheckpointStore
+	if *stateDir != "" {
+		var err error
+		if ckpts, err = server.OpenCheckpointStore(*stateDir); err != nil {
+			fail(err)
+		}
+		defer ckpts.Close()
+		if n := len(ckpts.Workers()); n > 0 {
+			fmt.Printf("state dir %s: checkpoints for %d worker(s) recovered\n", *stateDir, n)
+		}
+	}
+
 	pcfg := pool.Config{
-		Size:     *workers,
-		Boot:     server.Blueprint(*seed),
-		MaxReuse: *reuse,
+		Size:      *workers,
+		Boot:      server.Blueprint(*seed),
+		MaxReuse:  *reuse,
+		Provision: server.RestoreProvision(ckpts),
 	}
 	switch *mode {
 	case "snapshot":
@@ -67,9 +88,11 @@ func main() {
 	fmt.Printf("booted %d worker(s) in %v (%s mode)\n", *workers, time.Since(bootStart).Round(time.Millisecond), pcfg.Mode)
 
 	srv := server.New(server.Config{
-		Pool:           p,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
+		Pool:            p,
+		QueueDepth:      *queue,
+		RequestTimeout:  *timeout,
+		Checkpoints:     ckpts,
+		CheckpointEvery: *ckptEvery,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -31,6 +31,15 @@ const (
 	SMCResume        uint32 = 10
 	SMCStop          uint32 = 11
 	SMCRemove        uint32 = 12
+
+	// Sealed storage (docs/SEALING.md). Checkpoint serialises a finalised
+	// or stopped enclave into a sealed blob in insecure memory; Restore
+	// rebuilds the enclave from such a blob onto OS-donated free pages.
+	// Both are keyed by a sealing key derived from the monitor's boot
+	// secret and the enclave's measurement, so a blob only opens on a
+	// board with the same boot secret, for the same enclave identity.
+	SMCCheckpoint uint32 = 13
+	SMCRestore    uint32 = 14
 )
 
 // SVC call numbers (Table 1, bottom half: "Supervisor calls (SVCs, from
@@ -61,6 +70,13 @@ const (
 	// resumes the interrupted context. The OS observes nothing.
 	SVCSetFaultHandler uint32 = 10
 	SVCFaultReturn     uint32 = 11
+
+	// GetSealKey returns the calling enclave's measurement-bound sealing
+	// key in R1–R8 (the SGX EGETKEY analogue): HMAC of the monitor's seal
+	// root keyed by the enclave's measurement. Deterministic — two
+	// enclaves with the same measurement on the same board derive the
+	// same key; any other enclave or board derives a different one.
+	SVCGetSealKey uint32 = 12
 )
 
 var smcNames = map[uint32]string{
@@ -76,6 +92,8 @@ var smcNames = map[uint32]string{
 	SMCResume:        "KOM_SMC_RESUME",
 	SMCStop:          "KOM_SMC_STOP",
 	SMCRemove:        "KOM_SMC_REMOVE",
+	SMCCheckpoint:    "KOM_SMC_CHECKPOINT",
+	SMCRestore:       "KOM_SMC_RESTORE",
 }
 
 var svcNames = map[uint32]string{
@@ -90,6 +108,7 @@ var svcNames = map[uint32]string{
 	SVCUnmapData:       "KOM_SVC_UNMAP_DATA",
 	SVCSetFaultHandler: "KOM_SVC_SET_FAULT_HANDLER",
 	SVCFaultReturn:     "KOM_SVC_FAULT_RETURN",
+	SVCGetSealKey:      "KOM_SVC_GET_SEAL_KEY",
 }
 
 // SMCName returns the KOM_* name of an SMC call number ("" if unknown).
@@ -125,6 +144,7 @@ const (
 	ErrInvalidArg       Err = 15 // other argument validation failure (e.g. aliased pages)
 	ErrNotSpare         Err = 16 // page is not a spare page
 	ErrNotStoppable     Err = 17 // page's enclave is not stopped and page is not spare
+	ErrSealInvalid      Err = 18 // sealed blob failed authentication or decoding
 )
 
 var errNames = map[Err]string{
@@ -146,6 +166,7 @@ var errNames = map[Err]string{
 	ErrInvalidArg:       "KOM_ERR_INVALID_ARG",
 	ErrNotSpare:         "KOM_ERR_NOT_SPARE",
 	ErrNotStoppable:     "KOM_ERR_NOT_STOPPABLE",
+	ErrSealInvalid:      "KOM_ERR_SEAL_INVALID",
 }
 
 func (e Err) String() string {

@@ -158,6 +158,24 @@ func AttestShared() Guest {
 	return Guest{Prog: p, WithShared: true}
 }
 
+// SealKeyToShared fetches the enclave's measurement-bound sealing key
+// (the EGETKEY-analogue SVC) and writes the 8 key words to the shared
+// page, then exits with 1. Test-only transport: a production enclave
+// would keep the key inside and seal with it locally.
+func SealKeyToShared() Guest {
+	p := asm.New()
+	p.Movw(arm.R0, kapi.SVCGetSealKey)
+	p.Svc()
+	// Key in R1–R8: store to shared page words 0..7.
+	p.MovImm32(arm.R0, SharedVA)
+	for i := 0; i < 8; i++ {
+		p.Str(arm.Reg(1+i), arm.R0, uint32(i*4))
+	}
+	p.Movw(arm.R1, 1)
+	emitExit(p)
+	return Guest{Prog: p, WithShared: true}
+}
+
 // VerifyFromShared reads (data[8], measure[8], mac[8]) from the shared
 // page and runs the three-step verify, exiting with the verdict (1 ok).
 func VerifyFromShared() Guest {

@@ -50,6 +50,7 @@ const (
 	// Globals page offsets (bytes).
 	gOffNPages    = 0
 	gOffAttestKey = 32 // 8 words
+	gOffSealRoot  = 64 // 8 words: sealing root (docs/SEALING.md)
 
 	// Concrete page-type encodings stored in the PageDB table.
 	ctFree      = 0

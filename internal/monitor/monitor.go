@@ -8,6 +8,7 @@ import (
 	"repro/internal/kapi"
 	"repro/internal/mem"
 	"repro/internal/pagedb"
+	"repro/internal/seal"
 	"repro/internal/sha2"
 	"repro/internal/spec"
 	"repro/internal/telemetry"
@@ -21,6 +22,11 @@ type Monitor struct {
 	// attestKey caches the boot-derived attestation secret (also stored
 	// in the globals page; the cache avoids 8 memory reads per MAC).
 	attestKey [32]byte
+
+	// sealRoot is the sealing-key root, derived from the boot secret at
+	// install (docs/SEALING.md). Like attestKey it is cached from the
+	// globals page.
+	sealRoot [32]byte
 
 	// ExecBudget bounds simulated enclave instructions per Enter/Resume;
 	// exceeding it is a simulation error (real hardware would simply keep
@@ -95,10 +101,20 @@ func Install(m *arm.Machine, cfg Config) (*Monitor, error) {
 	copy(k.attestKey[:], key)
 	m.Cyc.Charge(cycles.RNGWord * 8)
 
+	// Derive the sealing root from the boot secret (one HMAC) and persist
+	// it alongside the attestation key. Sealing never uses the boot
+	// secret directly, so a future sealed-storage compromise cannot walk
+	// back to the attestation identity.
+	k.sealRoot = seal.DeriveRoot(k.attestKey)
+	m.Cyc.Charge(cycles.HMACFixed + cycles.SHABlock*sha2.HMACBlocks(len("komodo-seal-root-v1")))
+
 	// Persist globals and zero the PageDB table.
 	k.wr(k.globalsAddr(gOffNPages), uint32(npages))
 	for i, w := range keyWords {
 		k.wr(k.globalsAddr(gOffAttestKey)+uint32(i*4), w)
+	}
+	for i, w := range sha2.BytesToWords(k.sealRoot[:]) {
+		k.wr(k.globalsAddr(gOffSealRoot)+uint32(i*4), w)
 	}
 	pdb := m.Phys.SecurePageBase(pdbPage)
 	if err := m.Phys.ZeroPage(pdb, mem.Secure); err != nil {
@@ -127,6 +143,10 @@ func (k *Monitor) Machine() *arm.Machine { return k.m }
 // AttestKey exposes the boot secret to the verification harness only (the
 // spec needs it to recompute MACs). Nothing in the OS model uses this.
 func (k *Monitor) AttestKey() [32]byte { return k.attestKey }
+
+// SealRoot exposes the sealing root to the verification harness and
+// offline tooling (komodo-ckpt) only. Nothing in the OS model uses this.
+func (k *Monitor) SealRoot() [32]byte { return k.sealRoot }
 
 // StaticProfile reports whether the SGXv1-style profile is active.
 func (k *Monitor) StaticProfile() bool { return k.staticProfile }

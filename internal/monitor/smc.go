@@ -107,6 +107,10 @@ func (k *Monitor) dispatchSMC(call uint32, a [4]uint32) (kapi.Err, uint32, error
 	case kapi.SMCRemove:
 		e, v := k.smcRemove(a[0])
 		return e, v, nil
+	case kapi.SMCCheckpoint:
+		return k.smcCheckpoint(a[0], a[1], a[2])
+	case kapi.SMCRestore:
+		return k.smcRestore(a[0], a[1], a[2], a[3])
 	default:
 		return kapi.ErrInvalidArg, 0, nil
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/pagedb"
+	"repro/internal/seal"
 	"repro/internal/sha2"
 )
 
@@ -67,6 +68,15 @@ func (k *Monitor) dispatchSVC(th, as pagedb.PageNr, call uint32, args [8]uint32)
 			return kapi.ErrInvalidArg, vals
 		}
 		k.thSetHandler(th, args[0])
+		return kapi.ErrSuccess, vals
+
+	case kapi.SVCGetSealKey:
+		// The SGX EGETKEY analogue: hand the enclave its own
+		// measurement-bound sealing key. One HMAC over the 50-byte
+		// derivation message (docs/SEALING.md).
+		key := seal.DeriveKey(k.sealRoot, k.asMeasured(as))
+		k.m.Cyc.Charge(cycles.HMACFixed + cycles.SHABlock*sha2.HMACBlocks(18+32))
+		copy(vals[:], sha2.BytesToWords(key[:]))
 		return kapi.ErrSuccess, vals
 
 	// SVCFaultReturn outside a fault handler falls through to the default

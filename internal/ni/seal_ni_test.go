@@ -1,0 +1,134 @@
+package ni
+
+// Noninterference stance of sealed checkpoints (docs/SEALING.md): a
+// checkpoint blob leaves the TCB through insecure memory, so it is a
+// declassification point — by design, declassification-by-encryption.
+// The observable part of the blob (header, measurement, nonce, length)
+// must be identical across secret-differing worlds; only the ciphertext
+// and tag may depend on the secret, and they are indistinguishable from
+// random without the sealing key.
+
+import (
+	"testing"
+
+	"repro/internal/board"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/seal"
+)
+
+func TestCheckpointBlobDeclassification(t *testing.T) {
+	p, err := NewPair(41, board.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := kasm.ComputeOnSecret().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := p.BuildBoth(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two worlds now differ only in the victim's data-page secret.
+	if err := p.PokeSecret(enc.Data[0], 0x5ec_a, 0x5ec_b); err != nil {
+		t.Fatal(err)
+	}
+
+	blobA, manA, err := p.A.OS.CheckpointEnclave(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobB, manB, err := p.B.OS.CheckpointEnclave(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Public outputs first: identical lengths and manifests — the blob's
+	// shape reveals page counts, never page contents.
+	if len(blobA) != len(blobB) {
+		t.Fatalf("blob lengths differ: %d vs %d — shape leaked a secret", len(blobA), len(blobB))
+	}
+	if manA.NumPages != manB.NumPages || manA.L1 != manB.L1 {
+		t.Fatalf("manifests differ: %+v vs %+v", manA, manB)
+	}
+	// The clear header (magic, version, kind, length, measurement, nonce)
+	// must be word-for-word equal: both enclaves have the same measurement
+	// and the identically-seeded monitors drew the same nonce.
+	for i := 0; i < seal.HeaderWords; i++ {
+		if blobA[i] != blobB[i] {
+			t.Fatalf("header word %d differs: %#x vs %#x — secret leaked in clear", i, blobA[i], blobB[i])
+		}
+	}
+	// The secret-bearing part must actually differ — otherwise the test
+	// proves nothing (and the data page would not be in the image).
+	differs := false
+	for i := seal.HeaderWords; i < len(blobA); i++ {
+		if blobA[i] != blobB[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("ciphertexts identical across secret-differing worlds — secret not in image?")
+	}
+
+	// The checkpoint wrote only to insecure memory and left the PageDB
+	// untouched and valid.
+	dA, err := p.A.Plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dA.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each blob restores in its own world (the keys match) and the clone
+	// carries its world's secret forward.
+	cloneA, err := p.A.OS.RestoreEnclave(blobA, manA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloneB, err := p.B.OS.RestoreEnclave(blobB, manB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cloneA.AS != cloneB.AS {
+		t.Fatalf("restores diverged: %v vs %v", cloneA.AS, cloneB.AS)
+	}
+	// Cross-world swap still opens (same boot secret by construction —
+	// identical seeds model a shared class key), but a world with a
+	// different secret cannot: covered by TestCrossBoardMigration in
+	// internal/refine.
+	if p.A.Chk.Failures+p.B.Chk.Failures != 0 {
+		t.Fatalf("refinement failures: %d/%d", p.A.Chk.Failures, p.B.Chk.Failures)
+	}
+}
+
+// TestSealKeyIsEnclaveSecret: the EGETKEY-analogue SVC returns the same
+// key in both worlds (it depends only on measurement and boot secret,
+// both public-equal across the pair) — so the sealing key itself cannot
+// act as a covert channel between secret-differing runs.
+func TestSealKeyIsEnclaveSecret(t *testing.T) {
+	p, err := NewPair(43, board.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := kasm.SealKeyToShared().Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := p.BuildBoth(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Step("get-seal-key", func(w *World) ([]uint32, error) {
+		if e, _, err := w.OS.Enter(enc); err != nil || e != kapi.ErrSuccess {
+			return nil, err
+		}
+		return w.OS.ReadInsecure(enc.SharedPA[0], 8)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

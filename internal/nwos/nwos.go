@@ -39,6 +39,11 @@ type OS struct {
 	nextInsecure uint32 // bump allocator over insecure RAM
 	insecureEnd  uint32
 
+	// scratchBase/scratchPages cache the insecure staging region used
+	// for checkpoint blobs and page lists (checkpoint.go).
+	scratchBase  uint32
+	scratchPages int
+
 	// tel records enclave lifecycle events (nil-receiver safe).
 	tel *telemetry.Recorder
 }

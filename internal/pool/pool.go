@@ -73,6 +73,12 @@ type Config struct {
 	// HealthCheck, if set, runs after every restore; an error retires the
 	// worker. It sees the restored system and the worker's state.
 	HealthCheck func(sys *komodo.System, state any) error
+	// Provision, if set, runs after every successful Boot and before the
+	// golden snapshot is captured — so whatever it does (e.g. restoring
+	// durable enclave checkpoints from a state store) becomes part of the
+	// state every subsequent restore rewinds to. An error counts as a
+	// boot failure and is retried like one.
+	Provision func(workerID int, sys *komodo.System, state any) error
 }
 
 // Outcome tells Put what to do with the returned worker.
@@ -122,6 +128,16 @@ func (w *Worker) Epoch() int { return w.epoch }
 
 // Uses counts checkouts since the worker last booted.
 func (w *Worker) Uses() int { return w.uses }
+
+// Rebase re-captures the golden snapshot from the worker's current
+// state, making it the new restore point, and resets the epoch counter.
+// Call while the worker is checked out — e.g. after restoring an enclave
+// checkpoint onto it — so OK releases rewind to the rebased state rather
+// than the boot-time golden.
+func (w *Worker) Rebase() {
+	w.golden = w.sys.Snapshot()
+	w.epoch = 0
+}
 
 // Stats is a point-in-time view of pool activity.
 type Stats struct {
@@ -188,6 +204,12 @@ func (p *Pool) boot(w *Worker) error {
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if p.cfg.Provision != nil {
+			if err := p.cfg.Provision(w.id, sys, state); err != nil {
+				lastErr = fmt.Errorf("provision: %w", err)
+				continue
+			}
 		}
 		w.sys, w.state = sys, state
 		w.golden = sys.Snapshot()

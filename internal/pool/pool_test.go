@@ -295,6 +295,100 @@ func TestConcurrentCheckouts(t *testing.T) {
 	}
 }
 
+// TestProvisionBakedIntoGolden: state established by the Provision hook
+// is captured in the golden snapshot, so it survives every restore —
+// the mechanism komodo-serve uses to make restored notary counters
+// durable across the restore-on-release cycle.
+func TestProvisionBakedIntoGolden(t *testing.T) {
+	p := mustPool(t, Config{
+		Size: 1,
+		Provision: func(id int, sys *komodo.System, state any) error {
+			// Advance the notary once: the golden counter becomes 1.
+			enc := state.(*komodo.Enclave)
+			if err := enc.WriteShared(0, 0, make([]uint32, 16)); err != nil {
+				return err
+			}
+			res, err := enc.Run(16)
+			if err != nil {
+				return err
+			}
+			if res.Value != 1 {
+				return errors.New("provision saw stale counter")
+			}
+			return nil
+		},
+	})
+	for i := 0; i < 2; i++ {
+		w := get(t, p)
+		// Provisioned counter=1 is part of golden: every checkout sees 2.
+		if c := notarise(t, w); c != 2 {
+			t.Fatalf("checkout %d: counter = %d, want 2", i, c)
+		}
+		p.Put(w, OK)
+	}
+}
+
+func TestProvisionFailureRetriesBoot(t *testing.T) {
+	calls := 0
+	p := mustPool(t, Config{
+		Size:        1,
+		BootRetries: 3,
+		Provision: func(id int, sys *komodo.System, state any) error {
+			calls++
+			if calls == 1 {
+				return errors.New("store unavailable")
+			}
+			return nil
+		},
+	})
+	if calls != 2 {
+		t.Fatalf("provision called %d times, want 2", calls)
+	}
+	w := get(t, p)
+	if c := notarise(t, w); c != 1 {
+		t.Fatalf("counter = %d, want 1", c)
+	}
+	p.Put(w, OK)
+}
+
+func TestProvisionFailurePermanent(t *testing.T) {
+	_, err := New(Config{
+		Size: 1,
+		Boot: counterBoot,
+		Provision: func(id int, sys *komodo.System, state any) error {
+			return errors.New("always broken")
+		},
+	})
+	if err == nil {
+		t.Fatal("New succeeded with a permanently failing Provision")
+	}
+}
+
+// TestRebase: re-capturing the golden snapshot mid-checkout makes the
+// current state the new restore point.
+func TestRebase(t *testing.T) {
+	p := mustPool(t, Config{Size: 1})
+	w := get(t, p)
+	if c := notarise(t, w); c != 1 {
+		t.Fatalf("counter = %d, want 1", c)
+	}
+	w.Rebase()
+	if w.Epoch() != 0 {
+		t.Fatalf("epoch after rebase = %d, want 0", w.Epoch())
+	}
+	p.Put(w, OK) // restore → rewinds to the rebased state, counter stays 1
+	w = get(t, p)
+	if c := notarise(t, w); c != 2 {
+		t.Fatalf("counter after rebased restore = %d, want 2 (rebase lost)", c)
+	}
+	p.Put(w, OK)
+	w = get(t, p)
+	if c := notarise(t, w); c != 2 {
+		t.Fatalf("second restore = %d, want 2", c)
+	}
+	p.Put(w, OK)
+}
+
 func TestTelemetrySampling(t *testing.T) {
 	p := mustPool(t, Config{Size: 2})
 	w := get(t, p)

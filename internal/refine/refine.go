@@ -18,6 +18,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/monitor"
 	"repro/internal/pagedb"
+	"repro/internal/seal"
 	"repro/internal/spec"
 )
 
@@ -58,6 +59,14 @@ func (c *Checker) SMC(call uint32, args ...uint32) (kapi.Err, uint32, error) {
 			contents = snap
 		}
 	}
+	// Restore consumes two insecure windows (the sealed blob and the
+	// donated-page list); snapshot both before the monitor runs, for the
+	// same reason as MapSecure's source page.
+	var blob, pageList []uint32
+	if call == kapi.SMCRestore && len(args) >= 4 {
+		blob = c.snapshotWords(args[0], args[1], seal.MaxPayloadWords+seal.OverheadWords)
+		pageList = c.snapshotWords(args[2], args[3], mem.PageWords)
+	}
 
 	gotErr, gotVal, simErr := c.Mon.SMC(call, args...)
 	if simErr != nil {
@@ -90,6 +99,8 @@ func (c *Checker) SMC(call uint32, args ...uint32) (kapi.Err, uint32, error) {
 			req.Args[i] = args[i]
 		}
 		req.Contents = contents
+		req.Blob = blob
+		req.PageList = pageList
 		specDB, specVal, specErr := spec.ApplySMC(p, before, req)
 		if specErr != gotErr {
 			return gotErr, gotVal, c.fail(fmt.Errorf(
@@ -103,6 +114,23 @@ func (c *Checker) SMC(call uint32, args ...uint32) (kapi.Err, uint32, error) {
 			return gotErr, gotVal, c.fail(fmt.Errorf(
 				"refine: call %d args %v: concrete PageDB diverges from specification", call, args))
 		}
+		// Checkpoint also writes a sealed blob to insecure memory; the
+		// spec (sharing the concrete crypto and RNG replay) predicts its
+		// exact words. Compare them against what the monitor wrote.
+		if call == kapi.SMCCheckpoint && gotErr == kapi.ErrSuccess {
+			_, _, specBlob, _ := spec.Checkpoint(c.Mon.SpecParams(), before, pagedb.PageNr(args[0]), args[1], args[2])
+			got := c.snapshotWords(args[1], uint32(len(specBlob)), seal.MaxPayloadWords+seal.OverheadWords)
+			if len(got) != len(specBlob) {
+				return gotErr, gotVal, c.fail(fmt.Errorf(
+					"refine: checkpoint: cannot re-read %d blob words", len(specBlob)))
+			}
+			for i := range specBlob {
+				if got[i] != specBlob[i] {
+					return gotErr, gotVal, c.fail(fmt.Errorf(
+						"refine: checkpoint blob word %d: monitor wrote %#x, spec says %#x", i, got[i], specBlob[i]))
+				}
+			}
+		}
 	}
 	return gotErr, gotVal, nil
 }
@@ -114,6 +142,32 @@ func (c *Checker) fail(err error) error {
 		return nil
 	}
 	return err
+}
+
+// snapshotWords copies n words of insecure memory starting at pa, or
+// returns nil when the window is not entirely valid insecure memory (in
+// which case the spec rejects the call before consulting the snapshot).
+func (c *Checker) snapshotWords(pa, n, max uint32) []uint32 {
+	phys := c.Mon.Machine().Phys
+	if n == 0 || n > max || pa%mem.PageSize != 0 {
+		return nil
+	}
+	if uint64(pa)+uint64(n)*4 > 1<<32 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		a := pa + uint32(i*4)
+		if i%mem.PageWords == 0 && !phys.InInsecure(a) {
+			return nil
+		}
+		w, err := phys.Read(a, mem.Secure)
+		if err != nil {
+			return nil
+		}
+		out[i] = w
+	}
+	return out
 }
 
 func (c *Checker) snapshotInsecure(pa uint32) (*[mem.PageWords]uint32, bool) {

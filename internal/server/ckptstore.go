@@ -1,0 +1,208 @@
+package server
+
+// CheckpointStore makes notary counters durable across komodo-serve
+// restarts: after a sign, the server seals the notary enclave into a
+// checkpoint (komodo.Checkpoint) and appends it to a crash-safe WAL
+// (internal/store). At the next start the pool's Provision hook restores
+// each worker's latest checkpoint before the golden snapshot is
+// captured, so the monotonic counter resumes from its last durable
+// value instead of 0 — the sealed-storage story of docs/SEALING.md
+// applied to the serving layer.
+//
+// Only the sealed blob is durable. The store never sees enclave
+// plaintext: a checkpoint written by one server process opens only on a
+// monitor holding the same boot secret, so the state directory can live
+// on untrusted disk.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+	"repro/komodo"
+)
+
+const (
+	// recCheckpoint is the WAL record kind for a sealed notary checkpoint.
+	recCheckpoint = uint32(1)
+	// ckptSnapshotName is the folded-state snapshot file.
+	ckptSnapshotName = "checkpoints.json"
+	// ckptCompactEvery folds the WAL into a snapshot after this many
+	// appended records, bounding recovery time and log growth.
+	ckptCompactEvery = 64
+)
+
+// SavedCheckpoint is one durable notary checkpoint: the WAL/snapshot
+// payload, JSON-encoded.
+type SavedCheckpoint struct {
+	Worker  int    `json:"worker"`
+	Counter uint32 `json:"counter"`
+	// Ckpt is komodo.Checkpoint.MarshalBinary output (sealed blob +
+	// untrusted manifest).
+	Ckpt []byte `json:"ckpt"`
+}
+
+// CheckpointStore persists per-worker notary checkpoints. Safe for
+// concurrent use.
+type CheckpointStore struct {
+	mu     sync.Mutex
+	st     *store.Store
+	latest map[int]SavedCheckpoint
+	dirty  int // records appended since the last compaction
+}
+
+// OpenCheckpointStore opens (or creates) the checkpoint store in dir,
+// recovering the latest checkpoint per worker from snapshot + WAL.
+func OpenCheckpointStore(dir string, opts ...store.Option) (*CheckpointStore, error) {
+	st, err := store.Open(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c := &CheckpointStore{st: st, latest: make(map[int]SavedCheckpoint)}
+	// Snapshot first (the folded base), then replay the WAL over it —
+	// later records win.
+	if data, ok, err := st.ReadSnapshot(ckptSnapshotName); err != nil {
+		st.Close()
+		return nil, err
+	} else if ok {
+		var snap []SavedCheckpoint
+		if err := json.Unmarshal(data, &snap); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("server: checkpoint snapshot corrupt: %w", err)
+		}
+		for _, s := range snap {
+			c.latest[s.Worker] = s
+		}
+	}
+	for _, rec := range st.Records() {
+		if rec.Kind != recCheckpoint {
+			continue
+		}
+		var s SavedCheckpoint
+		if err := json.Unmarshal(rec.Payload, &s); err != nil {
+			// A record that passed the CRC but does not parse is a
+			// software bug, not a torn write; fail loudly.
+			st.Close()
+			return nil, fmt.Errorf("server: checkpoint record %d corrupt: %w", rec.Seq, err)
+		}
+		c.latest[s.Worker] = s
+	}
+	return c, nil
+}
+
+// Save durably records worker's notary checkpoint at the given counter.
+func (c *CheckpointStore) Save(worker int, counter uint32, ckpt *komodo.Checkpoint) error {
+	blob, err := ckpt.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	s := SavedCheckpoint{Worker: worker, Counter: counter, Ckpt: blob}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.st.Append(recCheckpoint, payload); err != nil {
+		return err
+	}
+	c.latest[worker] = s
+	c.dirty++
+	if c.dirty >= ckptCompactEvery {
+		// Best effort: a failed compaction leaves the WAL intact, so
+		// nothing durable is lost — only log growth.
+		if err := c.compactLocked(); err == nil {
+			c.dirty = 0
+		}
+	}
+	return nil
+}
+
+// compactLocked folds latest into a snapshot and truncates the WAL.
+// The snapshot rename is atomic and happens before the truncate, so a
+// crash between the two replays redundant (not missing) records.
+func (c *CheckpointStore) compactLocked() error {
+	snap := make([]SavedCheckpoint, 0, len(c.latest))
+	for _, s := range c.latest {
+		snap = append(snap, s)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	if err := c.st.WriteSnapshot(ckptSnapshotName, data); err != nil {
+		return err
+	}
+	return c.st.Compact()
+}
+
+// Latest returns worker's most recent checkpoint, if any.
+func (c *CheckpointStore) Latest(worker int) (SavedCheckpoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.latest[worker]
+	return s, ok
+}
+
+// Workers lists the worker IDs with saved checkpoints.
+func (c *CheckpointStore) Workers() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.latest))
+	for id := range c.latest {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close closes the underlying store.
+func (c *CheckpointStore) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.Close()
+}
+
+// RestoreProvision builds a pool Provision hook that restores each
+// worker's latest saved checkpoint onto its freshly booted board,
+// replacing the blueprint's fresh notary. It runs before the pool
+// captures the golden snapshot, so the restored counter is part of the
+// state every subsequent restore rewinds to.
+//
+// Restore fails — and with it the boot — if the blob was tampered with
+// or the board's monitor holds a different boot secret: durability
+// never weakens the sealing policy.
+func RestoreProvision(cs *CheckpointStore) func(int, *komodo.System, any) error {
+	return func(workerID int, sys *komodo.System, state any) error {
+		if cs == nil {
+			return nil
+		}
+		saved, ok := cs.Latest(workerID)
+		if !ok {
+			return nil
+		}
+		st, ok := state.(*WorkerState)
+		if !ok {
+			return fmt.Errorf("server: worker state is %T, want *WorkerState", state)
+		}
+		ckpt, err := komodo.UnmarshalCheckpoint(saved.Ckpt)
+		if err != nil {
+			return err
+		}
+		// The blueprint's fresh notary is superseded; free its pages
+		// first so the restore has room. A restore failure fails the
+		// boot, so the missing fresh notary is never observable.
+		if st.Notary != nil {
+			if err := st.Notary.Destroy(); err != nil {
+				return err
+			}
+			st.Notary = nil
+		}
+		enc, err := sys.RestoreEnclave(ckpt)
+		if err != nil {
+			return fmt.Errorf("server: restoring worker %d notary: %w", workerID, err)
+		}
+		st.Notary = enc
+		return nil
+	}
+}

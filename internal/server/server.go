@@ -11,7 +11,12 @@ import (
 
 	"repro/internal/pool"
 	"repro/internal/telemetry"
+	"repro/komodo"
 )
+
+// maxCheckpointBytes bounds a POSTed /v1/restore body. A checkpoint is
+// at most a few MiB of base64-wrapped sealed words; 32 MiB is generous.
+const maxCheckpointBytes = int64(32 << 20)
 
 // Config configures New.
 type Config struct {
@@ -28,6 +33,17 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxNonceBytes bounds the attestation nonce (default 256).
 	MaxNonceBytes int
+	// Checkpoints, if set, makes notary counters durable: after a sign
+	// the notary enclave is sealed into a checkpoint and appended to
+	// this store, and /v1/checkpoint + /v1/restore are enabled. Pair it
+	// with RestoreProvision on the pool so saved counters resume at
+	// boot.
+	Checkpoints *CheckpointStore
+	// CheckpointEvery checkpoints after every Nth sign per worker
+	// (default 1: every sign). Values > 1 trade durability for
+	// throughput — a crash can replay up to N-1 counter values, which
+	// breaks strict monotonicity across restarts.
+	CheckpointEvery int
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -37,11 +53,12 @@ type Server struct {
 	slots    chan struct{}
 	draining atomic.Bool
 
-	requests atomic.Uint64 // all requests to /v1/attest and /v1/notary/sign
-	served   atomic.Uint64 // 200s
-	rejected atomic.Uint64 // 429s (queue saturated)
-	timeouts atomic.Uint64 // 503s (worker-wait deadline)
-	failures atomic.Uint64 // 5xx enclave/worker errors
+	requests     atomic.Uint64 // all requests to /v1/attest and /v1/notary/sign
+	served       atomic.Uint64 // 200s
+	rejected     atomic.Uint64 // 429s (queue saturated)
+	timeouts     atomic.Uint64 // 503s (worker-wait deadline)
+	drainRejects atomic.Uint64 // 503s (refused while draining)
+	failures     atomic.Uint64 // 5xx enclave/worker errors
 
 	quoteKey atomic.Pointer[[8]uint32]
 }
@@ -57,6 +74,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxNonceBytes <= 0 {
 		cfg.MaxNonceBytes = 256
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
@@ -67,6 +87,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/quotekey", s.handleQuoteKey)
+	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/v1/restore", s.handleRestore)
 	return s
 }
 
@@ -97,10 +119,23 @@ func (s *Server) reply(w http.ResponseWriter, status int, body any) {
 }
 
 func (s *Server) replyErr(w http.ResponseWriter, status int, format string, args ...any) {
+	// Backpressure rejections are retryable; tell clients when. Queue
+	// saturation and worker-wait timeouts clear quickly (retry in 1s);
+	// draining means this instance is going away (back off longer, let
+	// the balancer re-route).
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
 	}
 	s.reply(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// replyDraining rejects a request because the server is shutting down.
+func (s *Server) replyDraining(w http.ResponseWriter) {
+	s.drainRejects.Add(1)
+	w.Header().Set("Retry-After", "5")
+	s.reply(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
 }
 
 // withWorker runs fn on a checked-out worker under the server's
@@ -111,8 +146,7 @@ func (s *Server) withWorker(w http.ResponseWriter, r *http.Request,
 	fn func(wk *pool.Worker) (pool.Outcome, error)) {
 	s.requests.Add(1)
 	if s.draining.Load() {
-		s.timeouts.Add(1)
-		s.replyErr(w, http.StatusServiceUnavailable, "draining")
+		s.replyDraining(w)
 		return
 	}
 	select {
@@ -129,8 +163,7 @@ func (s *Server) withWorker(w http.ResponseWriter, r *http.Request,
 	wk, err := s.cfg.Pool.Get(ctx)
 	if err != nil {
 		if err == pool.ErrClosed {
-			s.timeouts.Add(1)
-			s.replyErr(w, http.StatusServiceUnavailable, "draining")
+			s.replyDraining(w)
 			return
 		}
 		s.timeouts.Add(1)
@@ -234,6 +267,12 @@ func (s *Server) handleNotarySign(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return pool.Fail, err
 		}
+		// Seal the signed counter into the durable store before
+		// replying: once the client sees a counter, a restart must not
+		// replay it.
+		if err := s.maybeCheckpoint(wk, st, n.Counter); err != nil {
+			return pool.Fail, fmt.Errorf("checkpointing notary: %w", err)
+		}
 		s.reply(w, http.StatusOK, NotaryResponse{
 			Counter: n.Counter,
 			Digest:  EncodeWords(n.Digest),
@@ -242,6 +281,133 @@ func (s *Server) handleNotarySign(w http.ResponseWriter, r *http.Request) {
 			Epoch:   wk.Epoch(),
 		})
 		// The notary counter is live enclave state: keep it.
+		return pool.Keep, nil
+	})
+}
+
+// maybeCheckpoint seals the worker's notary into the checkpoint store,
+// according to the CheckpointEvery policy, and rebases the worker onto
+// the committed state. The rebase makes the durable counter the restore
+// point for stateless releases too: in durable mode a counter, once
+// issued, is never re-issued — not after a pool restore and not after a
+// process restart.
+func (s *Server) maybeCheckpoint(wk *pool.Worker, st *WorkerState, counter uint32) error {
+	if s.cfg.Checkpoints == nil {
+		return nil
+	}
+	if counter%uint32(s.cfg.CheckpointEvery) != 0 {
+		return nil
+	}
+	ckpt, err := wk.System().CheckpointEnclave(st.Notary)
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Checkpoints.Save(wk.ID(), counter, ckpt); err != nil {
+		return err
+	}
+	wk.Rebase()
+	return nil
+}
+
+// CheckpointResponse is the /v1/checkpoint body.
+type CheckpointResponse struct {
+	Worker     int    `json:"worker"`
+	Counter    uint32 `json:"counter"`
+	BlobWords  int    `json:"blob_words"`
+	Checkpoint string `json:"checkpoint"` // komodo.Checkpoint JSON (base64 blob inside)
+}
+
+// handleCheckpoint seals one worker's notary on demand and returns the
+// portable checkpoint (also persisting it when a store is configured).
+// The counter reported is the last one the store saw for this worker —
+// the sealed blob itself is opaque — so without a store it reads 0.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.replyErr(w, http.StatusMethodNotAllowed, "POST to checkpoint")
+		return
+	}
+	s.withWorker(w, r, func(wk *pool.Worker) (pool.Outcome, error) {
+		st, ok := wk.State().(*WorkerState)
+		if !ok {
+			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
+		}
+		ckpt, err := wk.System().CheckpointEnclave(st.Notary)
+		if err != nil {
+			return pool.Fail, err
+		}
+		var counter uint32
+		if s.cfg.Checkpoints != nil {
+			if saved, ok := s.cfg.Checkpoints.Latest(wk.ID()); ok {
+				counter = saved.Counter
+			}
+			if err := s.cfg.Checkpoints.Save(wk.ID(), counter, ckpt); err != nil {
+				return pool.Fail, err
+			}
+		}
+		data, err := ckpt.MarshalBinary()
+		if err != nil {
+			return pool.Fail, err
+		}
+		s.reply(w, http.StatusOK, CheckpointResponse{
+			Worker:     wk.ID(),
+			Counter:    counter,
+			BlobWords:  len(ckpt.Blob),
+			Checkpoint: string(data),
+		})
+		return pool.Keep, nil
+	})
+}
+
+// RestoreResponse is the /v1/restore body.
+type RestoreResponse struct {
+	Worker    int `json:"worker"`
+	BlobWords int `json:"blob_words"`
+}
+
+// handleRestore instantiates a POSTed checkpoint (MarshalBinary JSON)
+// as the worker's notary, replacing the current one, and rebases the
+// worker so the restored state survives pool restores. Restore fails
+// closed on a tampered blob or a foreign boot secret.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.replyErr(w, http.StatusMethodNotAllowed, "POST the checkpoint JSON")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxCheckpointBytes+1))
+	if err != nil {
+		s.replyErr(w, http.StatusBadRequest, "reading checkpoint: %v", err)
+		return
+	}
+	if int64(len(body)) > maxCheckpointBytes {
+		s.replyErr(w, http.StatusRequestEntityTooLarge, "checkpoint larger than %d bytes", maxCheckpointBytes)
+		return
+	}
+	ckpt, err := komodo.UnmarshalCheckpoint(body)
+	if err != nil {
+		s.replyErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.withWorker(w, r, func(wk *pool.Worker) (pool.Outcome, error) {
+		st, ok := wk.State().(*WorkerState)
+		if !ok {
+			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
+		}
+		if st.Notary != nil {
+			if err := st.Notary.Destroy(); err != nil {
+				return pool.Fail, err
+			}
+			st.Notary = nil
+		}
+		enc, err := wk.System().RestoreEnclave(ckpt)
+		if err != nil {
+			// The old notary is gone; the board is not servable as-is.
+			return pool.Fail, fmt.Errorf("restore rejected: %w", err)
+		}
+		st.Notary = enc
+		// Make the restored notary part of the worker's golden state so
+		// stateless (OK-release) requests do not rewind it away.
+		wk.Rebase()
+		s.reply(w, http.StatusOK, RestoreResponse{Worker: wk.ID(), BlobWords: len(ckpt.Blob)})
 		return pool.Keep, nil
 	})
 }
@@ -277,6 +443,7 @@ type StatsResponse struct {
 		Served   uint64 `json:"served"`
 		Rejected uint64 `json:"rejected_429"`
 		Timeouts uint64 `json:"timeouts_503"`
+		Draining uint64 `json:"rejected_draining_503"`
 		Failures uint64 `json:"failures_5xx"`
 		Queue    int    `json:"queue_depth"`
 	} `json:"server"`
@@ -292,6 +459,7 @@ func (s *Server) Stats() StatsResponse {
 	out.Server.Served = s.served.Load()
 	out.Server.Rejected = s.rejected.Load()
 	out.Server.Timeouts = s.timeouts.Load()
+	out.Server.Draining = s.drainRejects.Load()
 	out.Server.Failures = s.failures.Load()
 	out.Server.Queue = s.cfg.QueueDepth
 	out.Pool = s.cfg.Pool.Stats()

@@ -263,11 +263,15 @@ func Remove(p Params, d *pagedb.DB, pg pagedb.PageNr) (*pagedb.DB, kapi.Err) {
 
 // SMCRequest is a non-executing SMC with its arguments, used by trace
 // generators and the dispatch helper. For MapSecure, Contents carries the
-// snapshot of the insecure source page.
+// snapshot of the insecure source page. For Restore, Blob and PageList
+// carry the snapshots of the sealed blob and donated-page list read from
+// insecure memory.
 type SMCRequest struct {
 	Call     uint32
 	Args     [4]uint32
 	Contents *[mem.PageWords]uint32
+	Blob     []uint32
+	PageList []uint32
 }
 
 // ApplySMC dispatches a non-executing SMC request against d, returning the
@@ -312,6 +316,12 @@ func ApplySMC(p Params, d *pagedb.DB, req SMCRequest) (*pagedb.DB, uint32, kapi.
 	case kapi.SMCRemove:
 		nd, e := Remove(p, d, pagedb.PageNr(a[0]))
 		return nd, 0, e
+	case kapi.SMCCheckpoint:
+		nd, v, _, e := Checkpoint(p, d, pagedb.PageNr(a[0]), a[1], a[2])
+		return nd, v, e
+	case kapi.SMCRestore:
+		nd, v, e := Restore(p, d, a[0], a[1], a[2], a[3], req.Blob, req.PageList)
+		return nd, v, e
 	default:
 		return d, 0, kapi.ErrInvalidArg
 	}

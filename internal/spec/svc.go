@@ -213,6 +213,8 @@ func ApplySVC(p Params, d *pagedb.DB, thread pagedb.PageNr, call uint32, args [8
 	case kapi.SVCFaultReturn:
 		nd, e := SvcFaultReturn(p, d, thread)
 		return nd, vals, e
+	case kapi.SVCGetSealKey:
+		return SvcGetSealKey(p, d, thread)
 	default:
 		return d, vals, kapi.ErrInvalidArg
 	}

@@ -1,0 +1,88 @@
+package komodo
+
+// Sealed enclave checkpoints at the facade level: a Checkpoint bundles
+// the monitor-sealed blob (opaque, integrity- and confidentiality-
+// protected) with the untrusted OS manifest needed to re-address the
+// enclave after restore. Checkpoints serialise to JSON for transport
+// and at-rest storage (internal/store); see docs/SEALING.md.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/nwos"
+	"repro/internal/sha2"
+)
+
+// Checkpoint is a sealed, durable image of one enclave.
+type Checkpoint struct {
+	// Manifest is the OS bookkeeping: page roles by logical index. It is
+	// untrusted — a corrupted manifest makes restore fail, never unseal
+	// someone else's state.
+	Manifest nwos.Manifest
+	// Blob is the sealed image. Only a monitor holding the same boot
+	// secret can open it, and only under the same enclave measurement.
+	Blob []uint32
+}
+
+// checkpointWire is the JSON encoding: the manifest inline, the blob as
+// base64 of its big-endian word bytes.
+type checkpointWire struct {
+	Version  int           `json:"version"`
+	Manifest nwos.Manifest `json:"manifest"`
+	Blob     string        `json:"blob"`
+}
+
+// MarshalBinary encodes the checkpoint for storage or transport.
+func (c *Checkpoint) MarshalBinary() ([]byte, error) {
+	w := checkpointWire{
+		Version:  1,
+		Manifest: c.Manifest,
+		Blob:     base64.StdEncoding.EncodeToString(sha2.WordsToBytes(c.Blob)),
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalCheckpoint decodes MarshalBinary output.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	var w checkpointWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("komodo: checkpoint decode: %w", err)
+	}
+	if w.Version != 1 {
+		return nil, fmt.Errorf("komodo: unsupported checkpoint version %d", w.Version)
+	}
+	raw, err := base64.StdEncoding.DecodeString(w.Blob)
+	if err != nil {
+		return nil, fmt.Errorf("komodo: checkpoint blob decode: %w", err)
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("komodo: checkpoint blob length %d not word-aligned", len(raw))
+	}
+	return &Checkpoint{Manifest: w.Manifest, Blob: sha2.BytesToWords(raw)}, nil
+}
+
+// CheckpointEnclave seals a finalised (or stopped) enclave into a
+// portable checkpoint. The enclave keeps running; the checkpoint is a
+// point-in-time copy.
+func (s *System) CheckpointEnclave(e *Enclave) (*Checkpoint, error) {
+	blob, man, err := s.os.CheckpointEnclave(e.enc)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{Manifest: man, Blob: blob}, nil
+}
+
+// RestoreEnclave instantiates a checkpoint onto this system. It succeeds
+// exactly when this board's monitor derives the same measurement-bound
+// sealing key — same boot secret, same enclave measurement — so a blob
+// can migrate between identically-keyed boards but never to a foreign
+// one, and never after tampering.
+func (s *System) RestoreEnclave(c *Checkpoint) (*Enclave, error) {
+	enc, err := s.os.RestoreEnclave(c.Blob, c.Manifest)
+	if err != nil {
+		return nil, err
+	}
+	return &Enclave{sys: s, enc: enc}, nil
+}
