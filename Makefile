@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-quick bench-json examples loc fmt vet clean serve serve-smoke ckpt-smoke load-compare
+.PHONY: all build test race verify bench bench-quick bench-json examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke load-compare
 
 all: build vet test
 
@@ -45,6 +45,12 @@ serve-smoke:
 # restart on the same state dir, require strictly monotonic counters.
 ckpt-smoke:
 	sh scripts/ckpt_smoke.sh
+
+# Observability surface (docs/OBSERVABILITY.md): traced requests land in
+# the flight recorder, komodo-trace renders them, /metrics exposes every
+# expected Prometheus family.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 load-compare:
 	$(GO) run ./cmd/komodo-load -compare -workers 4 -clients 8 -duration 5s

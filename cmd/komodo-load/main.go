@@ -24,25 +24,26 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/kasm"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/server"
 )
 
 type options struct {
-	url      string
-	clients  int
-	duration time.Duration
-	requests int
-	endpoint string
-	verify   bool
-	jsonOut  bool
+	url         string
+	clients     int
+	duration    time.Duration
+	requests    int
+	endpoint    string
+	verify      bool
+	jsonOut     bool
+	traceparent string
 
 	workers int
 	queue   int
@@ -67,7 +68,7 @@ type Result struct {
 	Verified   int     `json:"verified"`
 	Throughput float64 `json:"requests_per_sec"`
 	P50ms      float64 `json:"p50_ms"`
-	P90ms      float64 `json:"p90_ms"`
+	P95ms      float64 `json:"p95_ms"`
 	P99ms      float64 `json:"p99_ms"`
 	MaxMs      float64 `json:"max_ms"`
 	// CounterMin/CounterMax are the lowest and highest notary counters
@@ -86,6 +87,7 @@ func main() {
 	flag.StringVar(&o.endpoint, "endpoint", "attest", "workload: attest | notary | mixed")
 	flag.BoolVar(&o.verify, "verify", false, "verify every quote client-side with kasm.VerifyQuote")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of text")
+	flag.StringVar(&o.traceparent, "traceparent", "", "W3C traceparent header to send on every request (exercises inbound trace propagation)")
 	flag.IntVar(&o.workers, "workers", 4, "in-process: pool size")
 	flag.IntVar(&o.queue, "queue", 64, "in-process: queue depth")
 	flag.StringVar(&o.mode, "mode", "snapshot", "in-process: snapshot | boot")
@@ -142,10 +144,10 @@ func main() {
 		return
 	}
 	fmt.Printf("%-16s %9s %7s %7s %6s %8s %8s %8s %8s\n",
-		"run", "req/s", "ok", "429", "err", "p50 ms", "p90 ms", "p99 ms", "max ms")
+		"run", "req/s", "ok", "429", "err", "p50 ms", "p95 ms", "p99 ms", "max ms")
 	for _, r := range results {
 		fmt.Printf("%-16s %9.1f %7d %7d %6d %8.2f %8.2f %8.2f %8.2f",
-			r.Label, r.Throughput, r.OK, r.Rejected, r.Errors+r.Unavail, r.P50ms, r.P90ms, r.P99ms, r.MaxMs)
+			r.Label, r.Throughput, r.OK, r.Rejected, r.Errors+r.Unavail, r.P50ms, r.P95ms, r.P99ms, r.MaxMs)
 		if r.CounterMax > 0 {
 			fmt.Printf("  counters=%d..%d", r.CounterMin, r.CounterMax)
 		}
@@ -220,10 +222,12 @@ func drive(o options, base, label string) (Result, error) {
 	type tally struct {
 		ok, rejected, unavail, errs, verified int
 		counterMin, counterMax                uint32
-		lat                                   []time.Duration
 		err                                   error
 	}
 	tallies := make([]tally, o.clients)
+	// One lock-free histogram shared by every client goroutine; quantiles
+	// come from its log-linear buckets rather than a sorted sample slice.
+	hist := obs.NewHistogram()
 
 	deadline := time.Now().Add(o.duration)
 	var budget chan struct{}
@@ -260,7 +264,7 @@ func drive(o options, base, label string) (Result, error) {
 					}
 				}
 				reqStart := time.Now()
-				status, body, err := doRequest(client, base, ep, c, seq, rng)
+				status, body, err := doRequest(client, base, ep, c, seq, rng, o.traceparent)
 				if err != nil {
 					t.errs++
 					continue
@@ -268,7 +272,7 @@ func drive(o options, base, label string) (Result, error) {
 				switch status {
 				case http.StatusOK:
 					t.ok++
-					t.lat = append(t.lat, time.Since(reqStart))
+					hist.Observe(time.Since(reqStart))
 					if ep == "notary" {
 						var nr server.NotaryResponse
 						if json.Unmarshal(body, &nr) == nil && nr.Counter > 0 {
@@ -307,7 +311,6 @@ func drive(o options, base, label string) (Result, error) {
 	r.Label = label
 	r.Clients = o.clients
 	r.Seconds = elapsed.Seconds()
-	var lats []time.Duration
 	for i := range tallies {
 		t := &tallies[i]
 		if t.err != nil {
@@ -326,36 +329,43 @@ func drive(o options, base, label string) (Result, error) {
 				r.CounterMax = t.counterMax
 			}
 		}
-		lats = append(lats, t.lat...)
 	}
 	if r.OK == 0 {
 		return r, fmt.Errorf("no successful requests (429s: %d, 503s: %d, errors: %d)",
 			r.Rejected, r.Unavail, r.Errors)
 	}
 	r.Throughput = float64(r.OK) / elapsed.Seconds()
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(q float64) float64 {
-		idx := int(q * float64(len(lats)-1))
-		return float64(lats[idx].Microseconds()) / 1000
-	}
-	r.P50ms, r.P90ms, r.P99ms = pct(0.50), pct(0.90), pct(0.99)
-	r.MaxMs = float64(lats[len(lats)-1].Microseconds()) / 1000
+	snap := hist.Snapshot()
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	r.P50ms, r.P95ms, r.P99ms = ms(snap.Quantile(0.50)), ms(snap.Quantile(0.95)), ms(snap.Quantile(0.99))
+	r.MaxMs = ms(time.Duration(snap.MaxNS))
 	return r, nil
 }
 
-func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand) (int, []byte, error) {
-	var resp *http.Response
+func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand, traceparent string) (int, []byte, error) {
+	var req *http.Request
 	var err error
 	switch ep {
 	case "attest":
-		resp, err = client.Get(fmt.Sprintf("%s/v1/attest?nonce=nonce-%d-%d", base, c, seq))
+		req, err = http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/v1/attest?nonce=nonce-%d-%d", base, c, seq), nil)
 	case "notary":
 		doc := make([]byte, 64+rng.Intn(448))
 		rng.Read(doc)
-		resp, err = client.Post(base+"/v1/notary/sign", "application/octet-stream", bytes.NewReader(doc))
+		req, err = http.NewRequest(http.MethodPost, base+"/v1/notary/sign", bytes.NewReader(doc))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/octet-stream")
+		}
 	default:
 		return 0, nil, fmt.Errorf("unknown endpoint %q", ep)
 	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}

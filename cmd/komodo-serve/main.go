@@ -13,6 +13,11 @@
 //
 // SIGINT/SIGTERM drains gracefully: health checks start failing, in-flight
 // requests finish, the pool shuts down, then the process exits 0.
+//
+// Observability (docs/OBSERVABILITY.md): /metrics serves Prometheus text
+// exposition, /v1/debug/traces dumps the slowest request traces, SIGQUIT
+// writes the same dump to stderr without stopping the server, and
+// -pprof-addr exposes net/http/pprof on a separate listener.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +49,8 @@ func main() {
 	healthcheck := flag.Bool("healthcheck", false, "run a full attest probe after every restore")
 	stateDir := flag.String("state-dir", "", "durable notary state directory (empty: counters are volatile)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint the notary after every Nth sign (with -state-dir)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty: disabled)")
+	flightSize := flag.Int("flight-traces", 0, "slow-request traces retained for /v1/debug/traces (0 = default)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -88,12 +96,30 @@ func main() {
 	fmt.Printf("booted %d worker(s) in %v (%s mode)\n", *workers, time.Since(bootStart).Round(time.Millisecond), pcfg.Mode)
 
 	srv := server.New(server.Config{
-		Pool:            p,
-		QueueDepth:      *queue,
-		RequestTimeout:  *timeout,
-		Checkpoints:     ckpts,
-		CheckpointEvery: *ckptEvery,
+		Pool:               p,
+		QueueDepth:         *queue,
+		RequestTimeout:     *timeout,
+		Checkpoints:        ckpts,
+		CheckpointEvery:    *ckptEvery,
+		FlightRecorderSize: *flightSize,
 	})
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener so profiling is never
+		// reachable through the serving address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fail(fmt.Errorf("pprof listener: %w", err))
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, pm)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -110,6 +136,17 @@ func main() {
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving —
+	// the "why are requests slow right now" lever that needs no client.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "SIGQUIT: dumping slow-request traces")
+			srv.FlightRecorder().WriteJSON(os.Stderr)
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,157 @@
+// komodo-trace renders captured request traces as aligned text timelines.
+// Input is the JSON served by komodo-serve's /v1/debug/traces — either the
+// full flight-recorder dump or a single trace — read from a file, stdin,
+// or fetched live with -url.
+//
+//	komodo-trace -url http://127.0.0.1:8787            # slowest retained traces
+//	komodo-trace -url http://127.0.0.1:8787 -id 0af7...c
+//	curl -s $BASE/v1/debug/traces | komodo-trace -n 3
+//
+// Each timeline interleaves the two time domains of a trace (see
+// docs/OBSERVABILITY.md): wall-clock spans show their duration, monitor
+// spans show the simulated cycle count the telemetry recorder observed at
+// the SMC boundary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "komodo-serve base URL to fetch /v1/debug/traces from")
+	id := flag.String("id", "", "render only the trace with this 32-hex trace-id")
+	file := flag.String("f", "", "read trace JSON from this file (default: stdin when -url is empty)")
+	n := flag.Int("n", 0, "render at most the N slowest traces (0 = all)")
+	flag.Parse()
+
+	data, err := readInput(*url, *id, *file)
+	if err != nil {
+		fail(err)
+	}
+	traces, seen, err := parseTraces(data)
+	if err != nil {
+		fail(err)
+	}
+	if *id != "" {
+		var keep []obs.TraceData
+		for _, td := range traces {
+			if td.TraceID == *id {
+				keep = append(keep, td)
+			}
+		}
+		traces = keep
+	}
+	if len(traces) == 0 {
+		fail(fmt.Errorf("no traces in input"))
+	}
+	if *n > 0 && len(traces) > *n {
+		traces = traces[:*n]
+	}
+	if seen > 0 {
+		fmt.Printf("%d trace(s) rendered of %d retained, %d seen\n\n", len(traces), len(traces), seen)
+	}
+	for i, td := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		render(os.Stdout, td)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "komodo-trace:", err)
+	os.Exit(1)
+}
+
+func readInput(url, id, file string) ([]byte, error) {
+	switch {
+	case url != "":
+		u := strings.TrimRight(url, "/")
+		if !strings.Contains(u, "/v1/debug/traces") {
+			u += "/v1/debug/traces"
+		}
+		if id != "" {
+			u += "?id=" + id
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %d %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		return body, nil
+	case file != "":
+		return os.ReadFile(file)
+	default:
+		return io.ReadAll(os.Stdin)
+	}
+}
+
+// parseTraces accepts either a flight-recorder dump envelope or a single
+// trace object.
+func parseTraces(data []byte) ([]obs.TraceData, uint64, error) {
+	var dump obs.Dump
+	if err := json.Unmarshal(data, &dump); err == nil && len(dump.Traces) > 0 {
+		return dump.Traces, dump.Seen, nil
+	}
+	var td obs.TraceData
+	if err := json.Unmarshal(data, &td); err == nil && td.TraceID != "" {
+		return []obs.TraceData{td}, 0, nil
+	}
+	return nil, 0, fmt.Errorf("input is neither a trace dump nor a single trace")
+}
+
+func render(w io.Writer, td obs.TraceData) {
+	fmt.Fprintf(w, "trace %s  endpoint=%s outcome=%s dur=%s",
+		td.TraceID, td.Endpoint, td.Outcome, fmtDur(time.Duration(td.DurNS)))
+	if td.ParentID != "" {
+		fmt.Fprintf(w, " parent=%s", td.ParentID)
+	}
+	fmt.Fprintf(w, "\n      start %s  span %s\n", td.Start.Format(time.RFC3339Nano), td.SpanID)
+
+	spans := append([]obs.Span(nil), td.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartNS < spans[j].StartNS })
+
+	nameW, costW := len("SPAN"), len("DURATION")
+	rows := make([][3]string, len(spans))
+	for i, sp := range spans {
+		cost := fmtDur(time.Duration(sp.DurNS))
+		if sp.Cycles > 0 {
+			cost = fmt.Sprintf("%d cyc", sp.Cycles)
+		}
+		rows[i] = [3]string{sp.Name, cost, sp.Detail}
+		if len(sp.Name) > nameW {
+			nameW = len(sp.Name)
+		}
+		if len(cost) > costW {
+			costW = len(cost)
+		}
+	}
+	fmt.Fprintf(w, "  %12s  %-*s  %*s  %s\n", "OFFSET", nameW, "SPAN", costW, "DURATION", "DETAIL")
+	for i, sp := range spans {
+		fmt.Fprintf(w, "  %12s  %-*s  %*s  %s\n",
+			"+"+fmtDur(time.Duration(sp.StartNS)), nameW, rows[i][0], costW, rows[i][1], rows[i][2])
+	}
+}
+
+// fmtDur renders a duration in fixed ms with µs precision, so every
+// offset/duration column lines up.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+}

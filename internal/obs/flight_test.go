@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func td(id string, durNS int64) TraceData {
+	return TraceData{TraceID: id, SpanID: "0102030405060708", Endpoint: "/v1/x", Outcome: "ok", DurNS: durNS}
+}
+
+func TestFlightRecorderKeepsSlowest(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 1; i <= 10; i++ {
+		f.Record(td(fmt.Sprintf("t%02d", i), int64(i)*1000))
+	}
+	if f.Seen() != 10 || f.Len() != 3 {
+		t.Fatalf("seen %d retained %d", f.Seen(), f.Len())
+	}
+	got := f.Slowest()
+	want := []string{"t10", "t09", "t08"}
+	for i, w := range want {
+		if got[i].TraceID != w {
+			t.Fatalf("slowest order: %+v", got)
+		}
+	}
+	// A newly-seen slow trace evicts the fastest retained one.
+	f.Record(td("big", 99_000))
+	got = f.Slowest()
+	if got[0].TraceID != "big" || f.Len() != 3 || got[2].TraceID != "t09" {
+		t.Fatalf("eviction: %+v", got)
+	}
+	// A fast trace bounces without evicting.
+	f.Record(td("tiny", 1))
+	if _, ok := f.Find("tiny"); ok {
+		t.Fatal("fast trace retained over slower ones")
+	}
+	if tdd, ok := f.Find("t10"); !ok || tdd.DurNS != 10_000 {
+		t.Fatalf("find: %+v %v", tdd, ok)
+	}
+}
+
+func TestFlightRecorderDumpJSON(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Record(td("aaaa", 5000))
+	var sb strings.Builder
+	if err := f.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal([]byte(sb.String()), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Seen != 1 || d.Retained != 1 || d.Traces[0].TraceID != "aaaa" {
+		t.Fatalf("dump: %+v", d)
+	}
+	// Empty recorder dumps an empty array, not null.
+	var sb2 strings.Builder
+	if err := NewFlightRecorder(0).WriteJSON(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), `"traces": []`) {
+		t.Fatalf("empty dump: %s", sb2.String())
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(td(fmt.Sprintf("w%d-%d", w, i), int64(w*1000+i)))
+				if i%50 == 0 {
+					f.Slowest()
+					f.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Seen() != 1600 || f.Len() != 8 {
+		t.Fatalf("seen %d retained %d", f.Seen(), f.Len())
+	}
+	got := f.Slowest()
+	for i := 1; i < len(got); i++ {
+		if got[i].DurNS > got[i-1].DurNS {
+			t.Fatalf("not sorted: %+v", got)
+		}
+	}
+	var nilF *FlightRecorder
+	nilF.Record(td("x", 1))
+	if nilF.Len() != 0 || nilF.Slowest() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}

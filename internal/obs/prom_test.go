@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter("x_total", "Things.", Sample{Value: 3})
+	p.Gauge("y", `A "quoted\" gauge`+"\nwith newline",
+		Sample{Labels: L("state", `a"b\c`), Value: 1.5},
+		Sample{Labels: L("state", "ok", "shard", "0"), Value: 2})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP x_total Things.\n# TYPE x_total counter\nx_total 3\n",
+		"# TYPE y gauge\n",
+		`y{state="a\"b\\c"} 1.5` + "\n",
+		`y{state="ok",shard="0"} 2` + "\n",
+		`\nwith newline`, // help newline escaped, not literal
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "with newline\n# ") == false && strings.Count(out, "# HELP y ") != 1 {
+		t.Fatalf("help line mangled:\n%s", out)
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Microsecond)
+	h.Observe(100 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Histogram("lat_seconds", "Latency.", HistSeries{Labels: L("endpoint", "/v1/x"), Snap: h.Snapshot()})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE lat_seconds histogram\n") {
+		t.Fatalf("no TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"} 3`) {
+		t.Fatalf("+Inf bucket must hold all samples:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_count{endpoint="/v1/x"} 3`) {
+		t.Fatalf("count sample:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_sum{endpoint="/v1/x"} 2.10001`) {
+		t.Fatalf("sum sample (want ~2.10001s):\n%s", out)
+	}
+	// Buckets must be cumulative: values never decrease down the series.
+	last := -1.0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket series not cumulative at %q", line)
+		}
+		last = v
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const knownTraceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+func TestParseTraceparent(t *testing.T) {
+	tid, sid, ok := ParseTraceparent(knownTraceparent)
+	if !ok {
+		t.Fatal("valid header rejected")
+	}
+	if tid.String() != "0af7651916cd43dd8448eb211c80319c" || sid.String() != "b7ad6b7169203331" {
+		t.Fatalf("parsed %s %s", tid, sid)
+	}
+	bad := []string{
+		"",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",    // missing flags
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace-id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span-id
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // forbidden version
+		"00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // not hex
+		"000af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-011", // bad dashes
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("accepted invalid header %q", h)
+		}
+	}
+}
+
+func TestTracePropagationAndMinting(t *testing.T) {
+	// Inbound header: trace-id adopted, inbound span becomes parent.
+	tr := NewTrace("/v1/x", knownTraceparent)
+	if tr.ID().String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("inbound trace-id not adopted: %s", tr.ID())
+	}
+	td := tr.Finish("ok")
+	if td.ParentID != "b7ad6b7169203331" {
+		t.Fatalf("inbound span-id not recorded as parent: %+v", td)
+	}
+	if !strings.HasPrefix(tr.Traceparent(), "00-0af7651916cd43dd8448eb211c80319c-") ||
+		!strings.HasSuffix(tr.Traceparent(), "-01") {
+		t.Fatalf("outbound header: %s", tr.Traceparent())
+	}
+	if strings.Contains(tr.Traceparent(), "b7ad6b7169203331") {
+		t.Fatal("outbound header reuses the inbound span-id")
+	}
+
+	// No header: a fresh trace-id is minted, no parent.
+	tr2 := NewTrace("/v1/x", "")
+	if tr2.ID().IsZero() || tr2.ID() == tr.ID() {
+		t.Fatalf("minted trace-id: %s", tr2.ID())
+	}
+	if td2 := tr2.Finish("ok"); td2.ParentID != "" {
+		t.Fatalf("minted trace has a parent: %+v", td2)
+	}
+	if tr.SpanTag() == 0 || tr2.SpanTag() == 0 || tr.SpanTag() == tr2.SpanTag() {
+		t.Fatalf("span tags: %d %d", tr.SpanTag(), tr2.SpanTag())
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("/v1/y", "")
+	sp := tr.StartSpan("queue")
+	time.Sleep(time.Millisecond)
+	sp.EndDetail("admitted")
+	tr.AddCycleSpan("smc:KOM_SMC_ENTER", 1234, "err=0")
+	td := tr.Finish("ok")
+	if len(td.Spans) != 2 {
+		t.Fatalf("spans: %+v", td.Spans)
+	}
+	q := td.Spans[0]
+	if q.Name != "queue" || q.DurNS < int64(time.Millisecond) || q.Detail != "admitted" {
+		t.Fatalf("queue span: %+v", q)
+	}
+	c := td.Spans[1]
+	if c.Name != "smc:KOM_SMC_ENTER" || c.Cycles != 1234 || c.DurNS != 0 {
+		t.Fatalf("cycle span: %+v", c)
+	}
+	if c.StartNS < q.StartNS+q.DurNS {
+		t.Fatalf("cycle span ordered before the wall span that preceded it: %+v vs %+v", c, q)
+	}
+	if td.DurNS < q.DurNS {
+		t.Fatalf("trace shorter than its span: %+v", td)
+	}
+}
+
+func TestNilTraceIsFree(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x").End()
+	tr.AddCycleSpan("y", 1, "")
+	if tr.SpanTag() != 0 || tr.Traceparent() != "" || !tr.ID().IsZero() {
+		t.Fatal("nil trace leaked state")
+	}
+	if td := tr.Finish("ok"); len(td.Spans) != 0 {
+		t.Fatal("nil trace produced spans")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context produced a trace")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("nil context produced a trace")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTrace("/v1/z", "")
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	if WithTrace(context.Background(), nil) != context.Background() {
+		t.Fatal("nil trace changed the context")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("/v1/c", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := tr.StartSpan("s")
+				tr.AddCycleSpan("c", uint64(j), "")
+				sp.End()
+				tr.Data()
+			}
+		}()
+	}
+	wg.Wait()
+	if td := tr.Finish("ok"); len(td.Spans) != 8*200 {
+		t.Fatalf("lost spans: %d", len(td.Spans))
+	}
+}

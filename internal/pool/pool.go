@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/komodo"
 )
@@ -225,6 +226,8 @@ func (p *Pool) boot(w *Worker) error {
 }
 
 // Get checks a worker out, blocking until one is idle or ctx is done.
+// When ctx carries an observability trace (internal/obs), the wait for
+// an idle worker is recorded as an "acquire" span.
 func (p *Pool) Get(ctx context.Context) (*Worker, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -232,6 +235,7 @@ func (p *Pool) Get(ctx context.Context) (*Worker, error) {
 		return nil, ErrClosed
 	}
 	p.mu.Unlock()
+	sp := obs.FromContext(ctx).StartSpan("acquire")
 	select {
 	case w := <-p.free:
 		p.mu.Lock()
@@ -240,14 +244,17 @@ func (p *Pool) Get(ctx context.Context) (*Worker, error) {
 			// drain loop to collect.
 			p.mu.Unlock()
 			p.free <- w
+			sp.EndDetail("closed")
 			return nil, ErrClosed
 		}
 		p.inFlight++
 		p.stats.Gets++
 		w.uses++
 		p.mu.Unlock()
+		sp.EndDetail(fmt.Sprintf("worker=%d", w.id))
 		return w, nil
 	case <-ctx.Done():
+		sp.EndDetail("deadline")
 		return nil, ctx.Err()
 	}
 }
@@ -256,6 +263,17 @@ func (p *Pool) Get(ctx context.Context) (*Worker, error) {
 // fate: OK re-provisions per the pool mode, Keep preserves state, Fail
 // retires. Re-provisioning happens synchronously in the caller.
 func (p *Pool) Put(w *Worker, outcome Outcome) {
+	p.Release(context.Background(), w, outcome)
+}
+
+// Release is Put with a request context: when ctx carries an
+// observability trace (internal/obs), the re-provision phase is recorded
+// as a "restore" span whose detail names the action actually taken —
+// "golden" (snapshot rewind), "keep" (state preserved, no rewind) or
+// "boot" (full re-boot, whether from Fail, reuse limit or boot-each
+// mode). Re-provisioning happens synchronously in the caller, so the
+// span measures cost the releasing request really paid.
+func (p *Pool) Release(ctx context.Context, w *Worker, outcome Outcome) {
 	p.mu.Lock()
 	p.inFlight--
 	p.stats.Puts++
@@ -268,20 +286,26 @@ func (p *Pool) Put(w *Worker, outcome Outcome) {
 		return
 	}
 
+	sp := obs.FromContext(ctx).StartSpan("restore")
 	overused := p.cfg.MaxReuse > 0 && w.uses >= p.cfg.MaxReuse
 	switch {
 	case outcome == Fail:
 		p.count(func(s *Stats) { s.Retires++ })
 		p.reboot(w)
+		sp.EndDetail("boot")
 	case overused:
 		p.count(func(s *Stats) { s.Retires++ })
 		p.reboot(w)
+		sp.EndDetail("boot")
 	case outcome == Keep:
 		p.free <- w
+		sp.EndDetail("keep")
 	case p.cfg.Mode == ModeBootEach:
 		p.reboot(w)
+		sp.EndDetail("boot")
 	default:
 		p.restore(w)
+		sp.EndDetail("golden")
 	}
 }
 

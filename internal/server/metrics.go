@@ -1,0 +1,125 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// handleMetrics serves the Prometheus text exposition format (0.0.4),
+// hand-written via obs.PromWriter: server counters, pool gauges, the
+// per-endpoint wall-clock latency histograms, flight-recorder occupancy,
+// merged monitor telemetry from the currently idle workers, and Go
+// runtime stats. See docs/OBSERVABILITY.md for the name reference.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+
+	p.Counter("komodo_server_requests_total",
+		"Requests admitted to the worker path (attest, notary, checkpoint, restore).",
+		obs.Sample{Value: float64(s.requests.Load())})
+	p.Counter("komodo_server_responses_total",
+		"Worker-path responses by result class.",
+		obs.Sample{Labels: obs.L("result", "served"), Value: float64(s.served.Load())},
+		obs.Sample{Labels: obs.L("result", "rejected_429"), Value: float64(s.rejected.Load())},
+		obs.Sample{Labels: obs.L("result", "timeout_503"), Value: float64(s.timeouts.Load())},
+		obs.Sample{Labels: obs.L("result", "draining_503"), Value: float64(s.drainRejects.Load())},
+		obs.Sample{Labels: obs.L("result", "failure_5xx"), Value: float64(s.failures.Load())})
+	p.Gauge("komodo_server_queue_len",
+		"Requests currently holding a service slot (in service plus waiting).",
+		obs.Sample{Value: float64(len(s.slots))})
+	p.Gauge("komodo_server_queue_limit",
+		"Configured service-slot bound (QueueDepth).",
+		obs.Sample{Value: float64(s.cfg.QueueDepth)})
+	p.Gauge("komodo_server_draining",
+		"1 while the server is draining, else 0.",
+		obs.Sample{Value: b2f(s.draining.Load())})
+
+	ps := s.cfg.Pool.Stats()
+	p.Gauge("komodo_pool_workers",
+		"Worker slots by state.",
+		obs.Sample{Labels: obs.L("state", "live"), Value: float64(ps.Live)},
+		obs.Sample{Labels: obs.L("state", "dead"), Value: float64(ps.Dead)},
+		obs.Sample{Labels: obs.L("state", "available"), Value: float64(ps.Available)},
+		obs.Sample{Labels: obs.L("state", "in_flight"), Value: float64(ps.InFlight)})
+	p.Counter("komodo_pool_gets_total", "Successful worker checkouts.",
+		obs.Sample{Value: float64(ps.Gets)})
+	p.Counter("komodo_pool_puts_total", "Worker releases.",
+		obs.Sample{Value: float64(ps.Puts)})
+	p.Counter("komodo_pool_boots_total", "Full board boots, including the initial ones.",
+		obs.Sample{Value: float64(ps.Boots)})
+	p.Counter("komodo_pool_restores_total", "Golden-snapshot restores.",
+		obs.Sample{Value: float64(ps.Restores)})
+	p.Counter("komodo_pool_retires_total", "Workers retired (Fail, health check, reuse limit).",
+		obs.Sample{Value: float64(ps.Retires)})
+	p.Counter("komodo_pool_health_fails_total", "Post-restore health-check failures.",
+		obs.Sample{Value: float64(ps.HealthFails)})
+	p.Counter("komodo_pool_boot_seconds_total", "Cumulative wall time booting boards.",
+		obs.Sample{Value: float64(ps.BootNS) / 1e9})
+	p.Counter("komodo_pool_restore_seconds_total", "Cumulative wall time restoring snapshots.",
+		obs.Sample{Value: float64(ps.RestoreNS) / 1e9})
+
+	var series []obs.HistSeries
+	s.lat.Each(func(endpoint, outcome string, h *obs.Histogram) {
+		series = append(series, obs.HistSeries{
+			Labels: obs.L("endpoint", endpoint, "outcome", outcome),
+			Snap:   h.Snapshot(),
+		})
+	})
+	p.Histogram("komodo_request_duration_seconds",
+		"Wall-clock request latency by endpoint and outcome.", series...)
+
+	p.Counter("komodo_flight_traces_seen_total",
+		"Finished traces offered to the flight recorder.",
+		obs.Sample{Value: float64(s.flight.Seen())})
+	p.Gauge("komodo_flight_traces_retained",
+		"Slow traces currently retained for /v1/debug/traces.",
+		obs.Sample{Value: float64(s.flight.Len())})
+
+	// Monitor-level telemetry, merged across the currently idle workers
+	// (workers busy serving are skipped, same sampling as /v1/stats).
+	snaps := s.cfg.Pool.Telemetry()
+	tel := telemetry.Merge(snaps...)
+	p.Gauge("komodo_telemetry_workers_sampled",
+		"Idle workers whose telemetry this scrape merged.",
+		obs.Sample{Value: float64(len(snaps))})
+	smcCalls := make([]obs.Sample, 0, len(tel.SMC))
+	smcCycles := make([]obs.Sample, 0, len(tel.SMC))
+	for _, cs := range tel.SMC {
+		smcCalls = append(smcCalls, obs.Sample{Labels: obs.L("call", cs.Name), Value: float64(cs.Count)})
+		smcCycles = append(smcCycles, obs.Sample{Labels: obs.L("call", cs.Name), Value: float64(cs.Cycles)})
+	}
+	p.Counter("komodo_smc_calls_total",
+		"Monitor SMC invocations by call, summed over sampled idle workers.", smcCalls...)
+	p.Counter("komodo_smc_cycles_total",
+		"Simulated cycles spent in the monitor by SMC call, summed over sampled idle workers.",
+		smcCycles...)
+
+	obs.WriteRuntimeMetrics(p)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleDebugTraces serves the flight recorder: the retained slowest
+// traces as an indented JSON obs.Dump, slowest first. With ?id=<32-hex
+// trace id> it returns just that trace (404 if it was never retained or
+// has been evicted).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		td, ok := s.flight.Find(id)
+		if !ok {
+			s.replyErr(w, http.StatusNotFound, "trace %s not retained", id)
+			return
+		}
+		s.reply(w, http.StatusOK, td)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.flight.WriteJSON(w)
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/telemetry"
 	"repro/komodo"
@@ -44,6 +45,10 @@ type Config struct {
 	// throughput — a crash can replay up to N-1 counter values, which
 	// breaks strict monotonicity across restarts.
 	CheckpointEvery int
+	// FlightRecorderSize caps how many slow-request traces the flight
+	// recorder retains for /v1/debug/traces (default
+	// obs.DefaultFlightRecorderSize).
+	FlightRecorderSize int
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -61,6 +66,9 @@ type Server struct {
 	failures     atomic.Uint64 // 5xx enclave/worker errors
 
 	quoteKey atomic.Pointer[[8]uint32]
+
+	lat    *obs.LatencyVec     // wall-clock latency per (endpoint, outcome)
+	flight *obs.FlightRecorder // N slowest finished traces
 }
 
 // New builds the server around a pool.
@@ -78,18 +86,79 @@ func New(cfg Config) *Server {
 		cfg.CheckpointEvery = 1
 	}
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		slots: make(chan struct{}, cfg.QueueDepth),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		slots:  make(chan struct{}, cfg.QueueDepth),
+		lat:    obs.NewLatencyVec(),
+		flight: obs.NewFlightRecorder(cfg.FlightRecorderSize),
 	}
-	s.mux.HandleFunc("/v1/attest", s.handleAttest)
-	s.mux.HandleFunc("/v1/notary/sign", s.handleNotarySign)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/quotekey", s.handleQuoteKey)
-	s.mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("/v1/restore", s.handleRestore)
+	s.mux.HandleFunc("/v1/attest", s.traced("/v1/attest", s.handleAttest))
+	s.mux.HandleFunc("/v1/notary/sign", s.traced("/v1/notary/sign", s.handleNotarySign))
+	s.mux.HandleFunc("/v1/healthz", s.traced("/v1/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/stats", s.traced("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("/v1/quotekey", s.traced("/v1/quotekey", s.handleQuoteKey))
+	s.mux.HandleFunc("/v1/checkpoint", s.traced("/v1/checkpoint", s.handleCheckpoint))
+	s.mux.HandleFunc("/v1/restore", s.traced("/v1/restore", s.handleRestore))
+	s.mux.HandleFunc("/v1/debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// FlightRecorder exposes the slow-request recorder (for SIGQUIT dumps).
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
+
+// statusWriter captures the response status for outcome classification.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// outcomeFor maps an HTTP status onto the outcome label used on latency
+// series and trace records.
+func outcomeFor(status int) string {
+	switch {
+	case status == 0 || status == http.StatusOK:
+		return "ok"
+	case status == http.StatusTooManyRequests:
+		return "rejected"
+	case status == http.StatusServiceUnavailable:
+		return "unavailable"
+	case status >= 400 && status < 500:
+		return "bad_request"
+	default:
+		return "error"
+	}
+}
+
+// traced wraps a handler in the request-tracing pipeline: adopt the
+// inbound W3C traceparent (or mint a fresh trace), thread the trace
+// through the request context, echo the outbound traceparent header,
+// and on completion record the wall-clock latency on the endpoint's
+// histogram and offer the finished trace to the flight recorder.
+func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(endpoint, r.Header.Get("traceparent"))
+		w.Header().Set("Traceparent", tr.Traceparent())
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		td := tr.Finish(outcomeFor(sw.status))
+		s.lat.Observe(endpoint, td.Outcome, time.Duration(td.DurNS))
+		s.flight.Record(td)
+	}
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -142,16 +211,29 @@ func (s *Server) replyDraining(w http.ResponseWriter) {
 // backpressure discipline: bounded queue (429 on saturation), worker-wait
 // deadline (503), retire-on-error (any fn error releases with pool.Fail).
 // fn returns the release outcome for the success path.
+//
+// The phases land on the request's trace as spans: "queue" (service-slot
+// admission), "acquire" (worker wait, recorded by the pool), "execute"
+// (fn itself) and "restore" (release re-provisioning, recorded by the
+// pool). While fn runs, the worker's telemetry recorder is tagged with
+// the trace's span tag — the worker is held exclusively, so every
+// monitor boundary event recorded in that window belongs to this
+// request — and afterwards those events are harvested back onto the
+// trace as cycle-domain spans.
 func (s *Server) withWorker(w http.ResponseWriter, r *http.Request,
-	fn func(wk *pool.Worker) (pool.Outcome, error)) {
+	fn func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error)) {
 	s.requests.Add(1)
 	if s.draining.Load() {
 		s.replyDraining(w)
 		return
 	}
+	tr := obs.FromContext(r.Context())
+	qsp := tr.StartSpan("queue")
 	select {
 	case s.slots <- struct{}{}:
+		qsp.EndDetail("admitted")
 	default:
+		qsp.EndDetail("full")
 		s.rejected.Add(1)
 		s.replyErr(w, http.StatusTooManyRequests, "queue full (depth %d)", s.cfg.QueueDepth)
 		return
@@ -160,7 +242,7 @@ func (s *Server) withWorker(w http.ResponseWriter, r *http.Request,
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	wk, err := s.cfg.Pool.Get(ctx)
+	wk, err := s.cfg.Pool.Get(ctx) // records the "acquire" span
 	if err != nil {
 		if err == pool.ErrClosed {
 			s.replyDraining(w)
@@ -170,15 +252,53 @@ func (s *Server) withWorker(w http.ResponseWriter, r *http.Request,
 		s.replyErr(w, http.StatusServiceUnavailable, "no worker within deadline: %v", err)
 		return
 	}
-	outcome, err := fn(wk)
+
+	rec := wk.System().Telemetry()
+	mark := rec.Ring().Total()
+	rec.SetSpanTag(tr.SpanTag())
+	exec := tr.StartSpan("execute")
+	outcome, err := fn(ctx, wk)
+	rec.SetSpanTag(0)
+	harvestCycleSpans(tr, rec, mark)
 	if err != nil {
-		s.cfg.Pool.Put(wk, pool.Fail)
+		exec.EndDetail("error")
+		s.cfg.Pool.Release(r.Context(), wk, pool.Fail)
 		s.failures.Add(1)
 		s.replyErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.cfg.Pool.Put(wk, outcome)
+	exec.End()
+	s.cfg.Pool.Release(r.Context(), wk, outcome)
 	s.served.Add(1)
+}
+
+// harvestCycleSpans converts the monitor boundary events recorded for
+// this request (identified by span tag) into cycle-domain spans on its
+// trace: one "smc:NAME" or "svc:NAME" span per call, carrying the
+// simulated cycles the monitor spent in it.
+func harvestCycleSpans(tr *obs.Trace, rec *telemetry.Recorder, mark uint64) {
+	if tr == nil {
+		return
+	}
+	for _, e := range rec.EventsSince(mark) {
+		if e.Span != tr.SpanTag() {
+			continue
+		}
+		var prefix string
+		switch e.Kind {
+		case telemetry.KindSMC:
+			prefix = "smc:"
+		case telemetry.KindSVC:
+			prefix = "svc:"
+		default:
+			continue
+		}
+		name := telemetry.EventName(e)
+		if name == "" {
+			name = fmt.Sprintf("call%d", e.Call)
+		}
+		tr.AddCycleSpan(prefix+name, e.Cycles, fmt.Sprintf("err=%d", e.Err))
+	}
 }
 
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
@@ -206,12 +326,12 @@ func (s *Server) handleAttest(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusBadRequest, "nonce longer than %d bytes", s.cfg.MaxNonceBytes)
 		return
 	}
-	s.withWorker(w, r, func(wk *pool.Worker) (pool.Outcome, error) {
+	s.withWorker(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
 		st, ok := wk.State().(*WorkerState)
 		if !ok {
 			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
 		}
-		att, err := Attest(st, NonceWords([]byte(nonce)))
+		att, err := Attest(ctx, st, NonceWords([]byte(nonce)))
 		if err != nil {
 			return pool.Fail, err
 		}
@@ -258,12 +378,12 @@ func (s *Server) handleNotarySign(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusRequestEntityTooLarge, "document larger than %d bytes", MaxDocBytes)
 		return
 	}
-	s.withWorker(w, r, func(wk *pool.Worker) (pool.Outcome, error) {
+	s.withWorker(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
 		st, ok := wk.State().(*WorkerState)
 		if !ok {
 			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
 		}
-		n, err := NotarySign(st, doc)
+		n, err := NotarySign(ctx, st, doc)
 		if err != nil {
 			return pool.Fail, err
 		}
@@ -326,7 +446,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusMethodNotAllowed, "POST to checkpoint")
 		return
 	}
-	s.withWorker(w, r, func(wk *pool.Worker) (pool.Outcome, error) {
+	s.withWorker(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
 		st, ok := wk.State().(*WorkerState)
 		if !ok {
 			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
@@ -387,7 +507,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.withWorker(w, r, func(wk *pool.Worker) (pool.Outcome, error) {
+	s.withWorker(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
 		st, ok := wk.State().(*WorkerState)
 		if !ok {
 			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())

@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 
@@ -96,7 +97,7 @@ func HealthCheck(sys *komodo.System, state any) error {
 	if !ok {
 		return fmt.Errorf("server: unexpected worker state %T", state)
 	}
-	att, err := Attest(st, NonceWords([]byte("healthcheck probe")))
+	att, err := Attest(context.Background(), st, NonceWords([]byte("healthcheck probe")))
 	if err != nil {
 		return err
 	}
@@ -126,14 +127,15 @@ type Attestation struct {
 // the attester enclave attests over the nonce-derived data words, the
 // untrusted relay (this server, playing the OS) hands the local
 // attestation to the quoting enclave, and the quoting enclave re-quotes
-// it after an in-enclave Verify.
-func Attest(st *WorkerState, data [8]uint32) (Attestation, error) {
+// it after an in-enclave Verify. When ctx carries an observability trace
+// (internal/obs) each enclave crossing lands on it as a span.
+func Attest(ctx context.Context, st *WorkerState, data [8]uint32) (Attestation, error) {
 	var out Attestation
 	out.Data = data
 	if err := st.Attester.WriteShared(0, kasm.AttestSharedIn, data[:]); err != nil {
 		return out, err
 	}
-	res, err := st.Attester.Run()
+	res, err := st.Attester.RunCtx(ctx)
 	if err != nil {
 		return out, err
 	}
@@ -157,7 +159,7 @@ func Attest(st *WorkerState, data [8]uint32) (Attestation, error) {
 	if err := st.QE.WriteShared(0, 0, payload); err != nil {
 		return out, err
 	}
-	res, err = st.QE.Run(1)
+	res, err = st.QE.RunCtx(ctx, 1)
 	if err != nil {
 		return out, err
 	}
@@ -183,14 +185,15 @@ type Notarisation struct {
 // document is zero-padded to whole 64-byte blocks. The notary's counter
 // is live enclave state: callers must release the worker with pool.Keep
 // so it keeps advancing, and order notarisations per (worker, epoch)
-// shard — see docs/SERVING.md.
-func NotarySign(st *WorkerState, doc []byte) (Notarisation, error) {
+// shard — see docs/SERVING.md. When ctx carries an observability trace
+// the notary's enclave crossings land on it as spans.
+func NotarySign(ctx context.Context, st *WorkerState, doc []byte) (Notarisation, error) {
 	var out Notarisation
 	words := docWords(doc)
 	if err := st.Notary.WriteShared(0, 0, words); err != nil {
 		return out, err
 	}
-	res, err := st.Notary.Run(uint32(len(words)))
+	res, err := st.Notary.RunCtx(ctx, uint32(len(words)))
 	if err != nil {
 		return out, err
 	}

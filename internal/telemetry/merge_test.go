@@ -62,6 +62,70 @@ func TestMergeSumsSeries(t *testing.T) {
 	}
 }
 
+// TestMergeDisjointCallSets pins merging snapshots whose SMC call sets do
+// not overlap at all: every series must survive unchanged, ordered by
+// call number, with nothing summed into the wrong slot.
+func TestMergeDisjointCallSets(t *testing.T) {
+	a := Snapshot{SMC: []CallStats{
+		{Call: 9, Name: "late", Count: 4, Errors: 1, Cycles: 90, DispatchCycles: 30, BodyCycles: 60},
+	}}
+	b := Snapshot{SMC: []CallStats{
+		{Call: 2, Name: "early", Count: 7, Cycles: 14, DispatchCycles: 4, BodyCycles: 10},
+		{Call: 11, Name: "later", Count: 1, Cycles: 5, DispatchCycles: 5},
+	}}
+	m := Merge(a, b)
+	if len(m.SMC) != 3 {
+		t.Fatalf("disjoint merge lost or invented series: %+v", m.SMC)
+	}
+	for i, want := range []uint32{2, 9, 11} {
+		if m.SMC[i].Call != want {
+			t.Fatalf("series not in call order: %+v", m.SMC)
+		}
+	}
+	for _, cs := range m.SMC {
+		var src CallStats
+		switch cs.Call {
+		case 2:
+			src = b.SMC[0]
+		case 9:
+			src = a.SMC[0]
+		case 11:
+			src = b.SMC[1]
+		}
+		if cs != src {
+			t.Fatalf("disjoint series mutated: got %+v want %+v", cs, src)
+		}
+	}
+}
+
+// TestMergeSumsHistogramBuckets pins bucket-by-bucket histogram summation
+// (the original merge test only covered scalar sums).
+func TestMergeSumsHistogramBuckets(t *testing.T) {
+	var ha, hb [NumHistBuckets]uint64
+	ha[0], ha[5], ha[NumHistBuckets-1] = 1, 10, 3
+	hb[5], hb[6] = 7, 2
+	a := Snapshot{SMC: []CallStats{{Call: 4, Name: "x", Count: 14, Hist: ha}}}
+	b := Snapshot{SMC: []CallStats{{Call: 4, Name: "x", Count: 9, Hist: hb}}}
+	m := Merge(a, b)
+	if len(m.SMC) != 1 || m.SMC[0].Count != 23 {
+		t.Fatalf("merge: %+v", m.SMC)
+	}
+	got := m.SMC[0].Hist
+	want := [NumHistBuckets]uint64{}
+	want[0], want[5], want[6], want[NumHistBuckets-1] = 1, 17, 2, 3
+	if got != want {
+		t.Fatalf("bucket sums:\ngot  %v\nwant %v", got, want)
+	}
+	// Bucket totals must equal the merged count: no observation lost.
+	var sum uint64
+	for _, c := range got {
+		sum += c
+	}
+	if sum != m.SMC[0].Count {
+		t.Fatalf("histogram holds %d of %d observations", sum, m.SMC[0].Count)
+	}
+}
+
 func TestMergeEmpty(t *testing.T) {
 	m := Merge()
 	if m.SMC != nil || m.SVC != nil || len(m.Lifecycle) != 0 {

@@ -51,11 +51,16 @@ func (s *MemorySink) Len() int {
 
 // JSONLSink streams each event as one JSON object per line — the exchange
 // format cmd/komodo-stats summarises. Writes are serialised; encoding
-// errors are retained and reported by Err (Emit cannot fail).
+// errors are retained and reported by Err (Emit cannot fail). After the
+// first error the sink stops writing, but keeps count: every event that
+// could not be durably written — including the one that hit the error —
+// shows up in Dropped, so a truncated stream is detectable rather than
+// silently short.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu      sync.Mutex
+	enc     *json.Encoder
+	err     error
+	dropped uint64
 }
 
 // NewJSONLSink returns a sink writing JSON lines to w.
@@ -69,6 +74,9 @@ func (s *JSONLSink) Emit(e Event) {
 	if s.err == nil {
 		s.err = s.enc.Encode(jsonEvent(e))
 	}
+	if s.err != nil {
+		s.dropped++
+	}
 	s.mu.Unlock()
 }
 
@@ -77,6 +85,15 @@ func (s *JSONLSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// Dropped returns how many events were discarded because of an earlier
+// write error (the event whose write failed counts too: a failed Encode
+// may leave a torn line, so it is not durably written either).
+func (s *JSONLSink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // jsonEvent is the wire form of an Event: kind as its string name, plus
@@ -95,7 +112,8 @@ func (e jsonEvent) MarshalJSON() ([]byte, error) {
 		Err    uint32    `json:"err"`
 		Val    uint32    `json:"val"`
 		Cycles uint64    `json:"cycles"`
-	}{e.Seq, Kind(e.Kind).String(), e.Call, EventName(Event(e)), e.Args, e.Err, e.Val, e.Cycles})
+		Span   uint64    `json:"span,omitempty"`
+	}{e.Seq, Kind(e.Kind).String(), e.Call, EventName(Event(e)), e.Args, e.Err, e.Val, e.Cycles, e.Span})
 }
 
 // EventName resolves the symbolic name of an event's Call field according

@@ -146,6 +146,11 @@ type Event struct {
 	Err    uint32    `json:"err"`
 	Val    uint32    `json:"val"`
 	Cycles uint64    `json:"cycles"`
+	// Span is the request-correlation tag active when the event was
+	// recorded (see Recorder.SetSpanTag); 0 means "no request context".
+	// The serving layer uses it to attribute monitor-boundary events to
+	// the distributed trace of the HTTP request that caused them.
+	Span uint64 `json:"span,omitempty"`
 }
 
 // callSeries is the atomic counter block of one SMC or SVC number.
@@ -178,9 +183,10 @@ func (s *callSeries) observe(total, dispatchCyc uint64, isErr bool) {
 // are safe for concurrent use and safe on a nil receiver (a nil Recorder
 // records nothing).
 type Recorder struct {
-	sink Sink
-	ring *Ring
-	seq  atomic.Uint64
+	sink    Sink
+	ring    *Ring
+	seq     atomic.Uint64
+	spanTag atomic.Uint64
 
 	smc [MaxCall]callSeries
 	svc [MaxCall]callSeries
@@ -222,11 +228,50 @@ func (r *Recorder) Ring() *Ring {
 	return r.ring
 }
 
+// SetSpanTag sets the request-correlation tag stamped onto every event
+// recorded from now on (0 clears it). The serving layer brackets each
+// request with SetSpanTag(tag)/SetSpanTag(0) while it has exclusive use
+// of the platform, then harvests the tagged events from the ring to build
+// the request's monitor-level span timeline.
+func (r *Recorder) SetSpanTag(tag uint64) {
+	if r == nil {
+		return
+	}
+	r.spanTag.Store(tag)
+}
+
+// SpanTag returns the currently active correlation tag.
+func (r *Recorder) SpanTag() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.spanTag.Load()
+}
+
+// EventsSince returns the ring's retained events with sequence numbers at
+// or above mark (use Ring().Total() before a request as the mark). Events
+// older than the ring capacity are gone; what remains is still a
+// contiguous suffix, so per-request harvesting never sees gaps in the
+// middle.
+func (r *Recorder) EventsSince(mark uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	all := r.ring.Snapshot()
+	for i, e := range all {
+		if e.Seq >= mark {
+			return all[i:]
+		}
+	}
+	return nil
+}
+
 // emit assigns a sequence number, appends to the ring, and forwards to the
 // sink. The ring append and the sequence assignment happen under the ring
 // lock, so ring order always matches sequence order (linearisability of
 // the trace is asserted by the concurrency suite).
 func (r *Recorder) emit(e Event) {
+	e.Span = r.spanTag.Load()
 	e.Seq = r.ring.appendNext(&r.seq, e)
 	r.sink.Emit(e)
 }

@@ -199,6 +199,98 @@ func TestJSONLSink(t *testing.T) {
 	}
 }
 
+// failAfter fails every write after the first n bytes worth of calls.
+type failAfter struct {
+	writes int
+	n      int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.n {
+		return 0, errShortDisk
+	}
+	return len(p), nil
+}
+
+var errShortDisk = &shortDiskError{}
+
+type shortDiskError struct{}
+
+func (*shortDiskError) Error() string { return "disk full" }
+
+// TestJSONLSinkCountsDropped pins that a JSONL sink that hits a write
+// error reports every event it subsequently discards — including the one
+// whose write failed — instead of silently truncating the stream.
+func TestJSONLSinkCountsDropped(t *testing.T) {
+	sink := NewJSONLSink(&failAfter{n: 2})
+	r := New()
+	r.SetSink(sink)
+	r.ObserveLifecycle(LifeInit, 1)
+	r.ObserveLifecycle(LifeFinalise, 1)
+	if sink.Err() != nil || sink.Dropped() != 0 {
+		t.Fatalf("healthy sink: err=%v dropped=%d", sink.Err(), sink.Dropped())
+	}
+	r.ObserveLifecycle(LifeEnter, 1) // write fails here
+	if sink.Err() == nil {
+		t.Fatal("write error not retained")
+	}
+	if sink.Dropped() != 1 {
+		t.Fatalf("failing event not counted dropped: %d", sink.Dropped())
+	}
+	for i := 0; i < 5; i++ {
+		r.ObserveLifecycle(LifeExit, 1)
+	}
+	if sink.Dropped() != 6 {
+		t.Fatalf("post-error events not counted: dropped=%d, want 6", sink.Dropped())
+	}
+	if sink.Err().Error() != "disk full" {
+		t.Fatalf("first error not sticky: %v", sink.Err())
+	}
+}
+
+func TestSpanTagStampsEvents(t *testing.T) {
+	r := New()
+	r.ObserveSVC(kapi.SVCGetRandom, 0, 10) // before any tag
+	mark := r.Ring().Total()
+	r.SetSpanTag(0xfeedface)
+	r.ObserveSMC(kapi.SMCEnter, [4]uint32{1}, 0, 0, 700, 160)
+	r.ObserveSVC(kapi.SVCGetRandom, 0, 80)
+	r.SetSpanTag(0)
+	r.ObserveSVC(kapi.SVCGetRandom, 0, 20) // after the tag cleared
+
+	evs := r.Ring().Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("events: %+v", evs)
+	}
+	if evs[0].Span != 0 || evs[3].Span != 0 {
+		t.Fatalf("untagged events carry a span: %+v", evs)
+	}
+	if evs[1].Span != 0xfeedface || evs[2].Span != 0xfeedface {
+		t.Fatalf("tagged events lost the span: %+v", evs)
+	}
+
+	since := r.EventsSince(mark)
+	if len(since) != 3 || since[0].Seq != mark {
+		t.Fatalf("EventsSince(%d): %+v", mark, since)
+	}
+	var tagged int
+	for _, e := range since {
+		if e.Span == 0xfeedface {
+			tagged++
+		}
+	}
+	if tagged != 2 {
+		t.Fatalf("tagged harvest: %d, want 2", tagged)
+	}
+
+	var nilR *Recorder
+	nilR.SetSpanTag(1) // must not panic
+	if nilR.SpanTag() != 0 || nilR.EventsSince(0) != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	r := New()
 	r.ObserveSMC(kapi.SMCEnter, [4]uint32{}, 0, 0, 738, 160)

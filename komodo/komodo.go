@@ -20,6 +20,7 @@
 package komodo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/monitor"
 	"repro/internal/nwos"
+	"repro/internal/obs"
 	"repro/internal/pagedb"
 	"repro/internal/refine"
 	"repro/internal/telemetry"
@@ -336,6 +338,61 @@ func (e *Enclave) Run(args ...uint32) (Result, error) {
 		return Result{}, err
 	}
 	return e.result(errc, val)
+}
+
+// crossingDetail names how a world crossing came back, for span details.
+func crossingDetail(errc kapi.Err, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case errc == kapi.ErrSuccess:
+		return "exit"
+	case errc == kapi.ErrInterrupted:
+		return "interrupted"
+	case errc == kapi.ErrFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("err=%v", errc)
+	}
+}
+
+// EnterCtx is Enter with a request context: when ctx carries an
+// observability trace (internal/obs), the world crossing — dispatch
+// through the monitor into the enclave and back — is recorded as an
+// "enclave.enter" span. The simulated cycle cost of the same crossing
+// appears separately as the monitor-level SMC span harvested from the
+// telemetry recorder; this span is its wall-clock shadow.
+func (e *Enclave) EnterCtx(ctx context.Context, args ...uint32) (Result, error) {
+	sp := obs.FromContext(ctx).StartSpan("enclave.enter")
+	errc, val, err := e.sys.os.Enter(e.enc, args...)
+	sp.EndDetail(crossingDetail(errc, err))
+	if err != nil {
+		return Result{}, err
+	}
+	return e.result(errc, val)
+}
+
+// ResumeCtx is Resume with a request context, recorded as an
+// "enclave.resume" span (see EnterCtx).
+func (e *Enclave) ResumeCtx(ctx context.Context) (Result, error) {
+	sp := obs.FromContext(ctx).StartSpan("enclave.resume")
+	errc, val, err := e.sys.os.Resume(e.enc)
+	sp.EndDetail(crossingDetail(errc, err))
+	if err != nil {
+		return Result{}, err
+	}
+	return e.result(errc, val)
+}
+
+// RunCtx is Run with a request context: the initial enter and every
+// interrupt resume each get their own span, so a trace shows how many
+// times the enclave was suspended on the way to its exit.
+func (e *Enclave) RunCtx(ctx context.Context, args ...uint32) (Result, error) {
+	res, err := e.EnterCtx(ctx, args...)
+	for err == nil && res.Interrupted {
+		res, err = e.ResumeCtx(ctx)
+	}
+	return res, err
 }
 
 // Measurement returns the enclave's attestation measurement (public).

@@ -1,0 +1,100 @@
+#!/bin/sh
+# Observability smoke test: boot komodo-serve, drive traced requests with
+# a known W3C traceparent, then assert the whole observability surface
+# holds together end to end:
+#   - the trace id shows up in the /v1/debug/traces flight-recorder dump,
+#   - komodo-trace renders it as a timeline with serving-phase spans,
+#   - /metrics serves every expected Prometheus family,
+# and finally require a clean SIGTERM drain.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+TRACEPARENT="00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+TRACE_ID="0af7651916cd43dd8448eb211c80319c"
+
+go build -o "$tmp/komodo-serve" ./cmd/komodo-serve
+go build -o "$tmp/komodo-load" ./cmd/komodo-load
+go build -o "$tmp/komodo-trace" ./cmd/komodo-trace
+
+"$tmp/komodo-serve" -addr 127.0.0.1:0 -workers 2 -addr-file "$tmp/addr" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+        echo "obs-smoke: server did not come up" >&2
+        exit 1
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "obs-smoke: server exited during boot" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+addr=$(cat "$tmp/addr")
+echo "obs-smoke: server at $addr"
+
+# fetch URL FILE: GET into FILE, fail on any non-200.
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        code=$(curl -s -o "$2" -w '%{http_code}' "$1")
+        [ "$code" = "200" ] || { echo "obs-smoke: GET $1 returned $code" >&2; exit 1; }
+    else
+        wget -q -O "$2" "$1" || { echo "obs-smoke: GET $1 failed" >&2; exit 1; }
+    fi
+}
+
+# Traced traffic: notary signs carry the known traceparent.
+"$tmp/komodo-load" -url "http://$addr" -clients 2 -requests 8 \
+    -endpoint notary -traceparent "$TRACEPARENT"
+
+# The known trace id must be retained in the flight recorder.
+fetch "http://$addr/v1/debug/traces" "$tmp/traces.json"
+grep -q "$TRACE_ID" "$tmp/traces.json" || {
+    echo "obs-smoke: trace $TRACE_ID not in /v1/debug/traces" >&2
+    exit 1
+}
+echo "obs-smoke: trace $TRACE_ID retained"
+
+# komodo-trace must render it as a timeline with the serving phases.
+"$tmp/komodo-trace" -f "$tmp/traces.json" -id "$TRACE_ID" -n 1 > "$tmp/timeline.txt"
+for span in queue acquire execute restore "smc:"; do
+    grep -q "$span" "$tmp/timeline.txt" || {
+        echo "obs-smoke: timeline missing $span span" >&2
+        cat "$tmp/timeline.txt" >&2
+        exit 1
+    }
+done
+echo "obs-smoke: timeline renders with all serving phases"
+
+# /metrics must parse as text exposition: one sample per expected family.
+fetch "http://$addr/metrics" "$tmp/metrics.txt"
+for fam in \
+    komodo_server_requests_total \
+    komodo_server_responses_total \
+    komodo_pool_workers \
+    komodo_pool_restores_total \
+    komodo_request_duration_seconds_bucket \
+    komodo_flight_traces_seen_total \
+    go_goroutines \
+    process_uptime_seconds; do
+    grep -q "^$fam" "$tmp/metrics.txt" || {
+        echo "obs-smoke: /metrics missing family $fam" >&2
+        exit 1
+    }
+done
+echo "obs-smoke: /metrics serves all expected families"
+
+kill -TERM "$pid"
+wait "$pid"
+status=$?
+pid=
+if [ "$status" -ne 0 ]; then
+    echo "obs-smoke: server exited $status after SIGTERM" >&2
+    exit 1
+fi
+echo "obs-smoke: OK (traced requests, flight recorder, timeline, metrics, clean drain)"

@@ -34,6 +34,18 @@ echo "serve-smoke: server at $addr"
 
 "$tmp/komodo-load" -url "http://$addr" -clients 2 -requests 10 -verify
 
+# One /metrics scrape must answer 200 (content checks live in obs_smoke.sh).
+if command -v curl >/dev/null 2>&1; then
+    code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/metrics")
+else
+    code=$(wget -q -S -O /dev/null "http://$addr/metrics" 2>&1 | awk '/^  HTTP\//{print $2}' | tail -1)
+fi
+if [ "$code" != "200" ]; then
+    echo "serve-smoke: GET /metrics returned ${code:-nothing}" >&2
+    exit 1
+fi
+echo "serve-smoke: /metrics scrape OK"
+
 kill -TERM "$pid"
 wait "$pid"
 status=$?
