@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-quick bench-json examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke load-compare
+.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke load-compare
 
 all: build vet test
 
@@ -32,6 +32,18 @@ bench-quick:
 # Machine-readable evaluation (BENCH_*.json tracking, result diffing).
 bench-json:
 	$(GO) run ./cmd/komodo-bench -json
+
+# CI guard: every benchmark compiles and runs once, and the hot-path perf
+# section (decode cache + delta restore) completes end-to-end. Not a
+# measurement — shared runners are too noisy — just an execution check.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x .
+	$(GO) run ./cmd/komodo-bench -perf -perf-requests 16
+
+# Regenerate the committed perf baseline for this PR sequence number.
+BENCH_N ?= 5
+bench-baseline:
+	$(GO) run ./cmd/komodo-bench -json > BENCH_$(BENCH_N).json
 
 # The serving layer (docs/SERVING.md): warm-pool attestation/notary HTTP
 # service, and the boot-vs-snapshot provisioning comparison.

@@ -205,34 +205,122 @@ func BenchmarkEnclaveCrossing(b *testing.B) {
 }
 
 // BenchmarkInterpreter measures raw simulated-instruction throughput (the
-// KARM interpreter running the SHA-256 inner loop in an enclave).
+// KARM interpreter running the SHA-256 inner loop in an enclave), with
+// the predecoded-instruction cache on (the default) and off. Comparing
+// the two sub-benchmarks' ns/op is the decode-cache speedup recorded in
+// docs/PERFORMANCE.md.
 func BenchmarkInterpreter(b *testing.B) {
-	plat, err := board.Boot(board.Config{Seed: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	os := nwos.New(plat.Machine, plat.Monitor, plat.Monitor.NPages())
-	img, err := kasm.HashShared(1).Image()
-	if err != nil {
-		b.Fatal(err)
-	}
-	enc, err := os.BuildEnclave(img)
-	if err != nil {
-		b.Fatal(err)
-	}
-	doc := make([]uint32, 1024) // 4 kB
-	if err := os.WriteInsecure(enc.SharedPA[0], doc); err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(4096)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		retired := plat.Machine.Retired()
-		if _, _, err := os.Enter(enc, 1024); err != nil {
+	run := func(b *testing.B, noCache bool) {
+		plat, err := board.Boot(board.Config{Seed: 1, DisableDecodeCache: noCache})
+		if err != nil {
 			b.Fatal(err)
 		}
-		if i == b.N-1 {
-			b.ReportMetric(float64(plat.Machine.Retired()-retired), "sim-insns/op")
+		os := nwos.New(plat.Machine, plat.Monitor, plat.Monitor.NPages())
+		img, err := kasm.HashShared(1).Image()
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, err := os.BuildEnclave(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc := make([]uint32, 1024) // 4 kB
+		if err := os.WriteInsecure(enc.SharedPA[0], doc); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			retired := plat.Machine.Retired()
+			if _, _, err := os.Enter(enc, 1024); err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(plat.Machine.Retired()-retired), "sim-insns/op")
+			}
 		}
 	}
+	b.Run("decode-cache", func(b *testing.B) { run(b, false) })
+	b.Run("no-decode-cache", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkPerf regenerates the hot-path performance report (the "perf"
+// section of BENCH_*.json): interpreter throughput with/without the
+// decode cache, delta-restore traffic, and serve-loop latency.
+func BenchmarkPerf(b *testing.B) {
+	var r *eval.PerfReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = eval.Perf(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.InstrPerSec/1e6, "Minstr/s")
+	b.ReportMetric(r.DecodeCacheSpeedup, "decode-speedup")
+	b.ReportMetric(float64(r.RestoreWordsPerRequest), "restore-words/req")
+	b.ReportMetric(r.RestoreReduction, "restore-reduction")
+	b.ReportMetric(r.ServeP50Micros, "serve-p50-us")
+	b.ReportMetric(r.ServeP95Micros, "serve-p95-us")
+}
+
+// BenchmarkRestore measures the golden-snapshot restore itself after one
+// notary request's worth of dirtying: the delta path against a forced
+// full copy of the same machine.
+func BenchmarkRestore(b *testing.B) {
+	boot := func(b *testing.B) (*board.Platform, *nwos.OS, *nwos.Enclave) {
+		plat, err := board.Boot(board.Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		os := nwos.New(plat.Machine, plat.Monitor, plat.Monitor.NPages())
+		img, err := kasm.NotaryGuest(1).Image()
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, err := os.BuildEnclave(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return plat, os, enc
+	}
+	request := func(b *testing.B, os *nwos.OS, enc *nwos.Enclave) {
+		if err := os.WriteInsecure(enc.SharedPA[0], make([]uint32, 64)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := os.Enter(enc, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("delta", func(b *testing.B) {
+		plat, os, enc := boot(b)
+		golden := plat.Machine.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			request(b, os, enc)
+			if err := plat.Machine.Restore(golden); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rs := plat.Machine.Phys.RestoreStats()
+		b.ReportMetric(float64(rs.LastWordsCopied), "words/restore")
+	})
+	b.Run("full", func(b *testing.B) {
+		plat, os, enc := boot(b)
+		// Boots are deterministic, so an identically-seeded twin's golden
+		// snapshot is bit-identical — but foreign, so its generation stamp
+		// is not comparable and every restore takes the full-copy path:
+		// the pre-delta behaviour.
+		twin, _, _ := boot(b)
+		golden := twin.Machine.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			request(b, os, enc)
+			if err := plat.Machine.Restore(golden); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rs := plat.Machine.Phys.RestoreStats()
+		b.ReportMetric(float64(rs.LastWordsCopied), "words/restore")
+	})
 }

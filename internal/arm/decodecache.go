@@ -1,0 +1,197 @@
+package arm
+
+import "repro/internal/mem"
+
+// The predecoded-instruction cache: a per-Machine, direct-mapped map from
+// fetch PC to decoded Instr, so straight-line and loop-heavy code pays
+// fetch-translate + Phys.Read + Decode once instead of per retirement.
+//
+// Semantic invisibility is the contract (the interpreter with the cache
+// must be bit-identical to the interpreter without it, including cycle
+// charges). A hit is only taken when the slow path would provably do the
+// same thing, established by four checks:
+//
+//   - PC tag match: the entry describes this fetch address.
+//   - Fetch-context match: same translation regime — secure user mode
+//     under the same TTBR0, or an untranslated fetch in the same world.
+//     Covers world switches, mode changes and TTBR0 loads.
+//   - TLB-epoch match: no TLB flush or consistency-breaking event (page
+//     table store, TTBR0 load) since the entry was filled. Entries in
+//     the architectural TLB persist until such an event, so a matching
+//     epoch means the translation the entry captured is still the one
+//     the TLB would serve — and the fill charged the same PageWalk
+//     cycles the slow path would have (none on a TLB hit). A stale epoch
+//     does not discard the entry: the fetch is re-run architecturally
+//     (charging the walk the slow path would charge, refilling the TLB)
+//     and only the pure re-decode is skipped when the instruction word
+//     is bit-identical — so decoded instructions survive the monitor's
+//     per-crossing TLB flush.
+//   - Page-version match: mem.Physical bumps a per-page version on every
+//     write (CPU, DMA, physical tamper, restore-copy), so a matching
+//     version means the instruction word is unmodified. This is the
+//     strict invalidation on stores to cached lines: self-modifying code
+//     and monitor-side writes to code pages force a re-decode.
+//
+// Machine.Restore drops the whole cache (snapshot restore invalidation),
+// and the TLB epoch resets with the fresh TLB it installs.
+const (
+	dcacheBits = 12
+	dcacheSize = 1 << dcacheBits // 4096 entries, direct-mapped on PC word index
+)
+
+type dcEntry struct {
+	pc       uint32
+	ctx      uint32
+	pa       uint32
+	word     uint32
+	pageVer  uint64
+	tlbEpoch uint64
+	valid    bool
+	instr    Instr
+}
+
+// DecodeCacheStats is the cache's counter set for telemetry. Revalidated
+// counts stale-TLB-epoch entries repaired by re-running the architectural
+// fetch but skipping the re-decode (see fetchDecode).
+type DecodeCacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Revalidated uint64 `json:"revalidated"`
+	Fills       uint64 `json:"fills"`
+	Resets      uint64 `json:"resets"`
+	Enabled     bool   `json:"enabled"`
+}
+
+type decodeCache struct {
+	entries  []dcEntry
+	hits     uint64
+	misses   uint64
+	revals   uint64
+	fills    uint64
+	resets   uint64
+	disabled bool
+}
+
+// reset drops every entry (snapshot restore, enable/disable toggles).
+func (d *decodeCache) reset() {
+	if d.entries != nil {
+		for i := range d.entries {
+			d.entries[i].valid = false
+		}
+	}
+	d.resets++
+}
+
+// fetchCtx encodes the current translation regime into a comparable word.
+// Secure user mode translates through TTBR0 (page-aligned, so bit 0 is
+// free to mark "translated"); every other mode/world fetches physical
+// addresses directly and is keyed by the world alone (bit 0 clear).
+func (m *Machine) fetchCtx() uint32 {
+	if m.cpsr.Mode == ModeUsr && m.World() == mem.Secure {
+		return m.ttbr0[mem.Secure] | 1
+	}
+	return uint32(m.World()) << 1
+}
+
+// fetchDecode returns the decoded instruction at PC, consulting the
+// predecode cache first. On a miss it performs the architectural fetch
+// (translate + read) and decode, then fills the cache. The error return
+// distinguishes fetch faults (prefetch abort) from decode faults
+// (undefined instruction) exactly as the uncached path does.
+func (m *Machine) fetchDecode() (Instr, bool, error) {
+	ctx := m.fetchCtx()
+	var e *dcEntry
+	if !m.dc.disabled {
+		if m.dc.entries == nil {
+			m.dc.entries = make([]dcEntry, dcacheSize)
+		}
+		e = &m.dc.entries[(m.pc>>2)&(dcacheSize-1)]
+		if e.valid && e.pc == m.pc && e.ctx == ctx {
+			if e.tlbEpoch == m.TLB.Epoch() {
+				// Same translation-validity epoch ⟹ the TLB still serves
+				// the fill-time translation ⟹ the slow path would read
+				// the same PA without a page walk. Page version match ⟹
+				// the word there is unmodified.
+				if m.Phys.PageVersion(e.pa) == e.pageVer {
+					m.dc.hits++
+					return e.instr, false, nil
+				}
+			} else {
+				// Stale epoch (TLB flush / PT store since the fill): the
+				// translation may have changed and the slow path may
+				// charge a page walk. Repair by re-running the
+				// architectural fetch — identical cycle charges, TLB
+				// fills and counters — and skip only the re-decode, which
+				// is pure: same word ⟹ same Instr.
+				pa, word, err := m.fetchPA()
+				if err != nil {
+					m.dc.misses++
+					return Instr{}, true, err
+				}
+				if pa == e.pa && word == e.word {
+					e.tlbEpoch = m.TLB.Epoch()
+					e.pageVer = m.Phys.PageVersion(pa)
+					m.dc.revals++
+					return e.instr, false, nil
+				}
+				insn, err := Decode(word)
+				if err != nil {
+					m.dc.misses++
+					return Instr{}, false, err
+				}
+				*e = dcEntry{
+					pc: m.pc, ctx: ctx, pa: pa, word: word,
+					pageVer:  m.Phys.PageVersion(pa),
+					tlbEpoch: m.TLB.Epoch(),
+					valid:    true,
+					instr:    insn,
+				}
+				m.dc.misses++
+				m.dc.fills++
+				return insn, false, nil
+			}
+		}
+		m.dc.misses++
+	}
+	pa, word, err := m.fetchPA()
+	if err != nil {
+		return Instr{}, true, err
+	}
+	insn, err := Decode(word)
+	if err != nil {
+		return Instr{}, false, err
+	}
+	if e != nil {
+		*e = dcEntry{
+			pc: m.pc, ctx: ctx, pa: pa, word: word,
+			pageVer:  m.Phys.PageVersion(pa),
+			tlbEpoch: m.TLB.Epoch(),
+			valid:    true,
+			instr:    insn,
+		}
+		m.dc.fills++
+	}
+	return insn, false, nil
+}
+
+// EnableDecodeCache turns the predecode cache on or off (it is on by
+// default). Toggling drops all entries; semantics are identical either
+// way — the knob exists for A/B benchmarking and differential tests.
+func (m *Machine) EnableDecodeCache(on bool) {
+	m.dc.disabled = !on
+	m.dc.reset()
+}
+
+// DecodeCacheStats reports the cache's machine-lifetime counters (they
+// are simulator telemetry, not architectural state: Restore rewinds the
+// machine but the counters keep accumulating, like the wall clock).
+func (m *Machine) DecodeCacheStats() DecodeCacheStats {
+	return DecodeCacheStats{
+		Hits:        m.dc.hits,
+		Misses:      m.dc.misses,
+		Revalidated: m.dc.revals,
+		Fills:       m.dc.fills,
+		Resets:      m.dc.resets,
+		Enabled:     !m.dc.disabled,
+	}
+}

@@ -1,0 +1,284 @@
+package arm_test
+
+import (
+	"testing"
+
+	. "repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/rng"
+)
+
+// assertSameRun checks the two machines are architecturally
+// indistinguishable after running the same program — the decode cache's
+// semantic-invisibility contract, including the cycle model.
+func assertSameRun(t *testing.T, on, off *Machine) {
+	t.Helper()
+	for _, r := range []Reg{R0, R1, R2, R3, R4, R5, R6, R7, R8, R9} {
+		if a, b := on.Reg(r), off.Reg(r); a != b {
+			t.Errorf("%v: cached %#x, uncached %#x", r, a, b)
+		}
+	}
+	if a, b := on.PC(), off.PC(); a != b {
+		t.Errorf("PC: cached %#x, uncached %#x", a, b)
+	}
+	if a, b := on.CPSR(), off.CPSR(); a != b {
+		t.Errorf("CPSR: cached %+v, uncached %+v", a, b)
+	}
+	if a, b := on.Retired(), off.Retired(); a != b {
+		t.Errorf("retired: cached %d, uncached %d", a, b)
+	}
+	if a, b := on.Cyc.Total(), off.Cyc.Total(); a != b {
+		t.Errorf("cycles: cached %d, uncached %d", a, b)
+	}
+}
+
+// TestDecodeCacheSelfModifyingCode: a store into the page holding an
+// already-executed (and therefore cached) instruction must force a
+// re-decode. The program executes "movw r2, #1", patches that very word
+// to "movw r2, #99", and loops back over it.
+func TestDecodeCacheSelfModifyingCode(t *testing.T) {
+	patchImg, err := asm.New().Movw(R2, 99).Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Machine {
+		p := asm.New()
+		p.Label("target").Movw(R2, 1). // pass 1: r2=1; pass 2 (patched): r2=99
+						CmpI(R5, 1).
+						Beq("done").
+						MovLabel(R0, "target").
+						MovImm32(R1, patchImg[0]).
+						Str(R1, R0, 0). // self-modify: overwrite "target"
+						Movw(R5, 1).
+						B("target").
+						Label("done").Hlt()
+		return newTestMachine(t, p)
+	}
+	on, off := build(), build()
+	off.EnableDecodeCache(false)
+	runToHalt(t, on)
+	runToHalt(t, off)
+	if on.Reg(R2) != 99 {
+		t.Fatalf("r2 = %d, want 99 (stale cached instruction executed)", on.Reg(R2))
+	}
+	assertSameRun(t, on, off)
+	// No hit assertion here: the patch store bumps the whole code page's
+	// version, so every re-fetched instruction on it re-decodes — that
+	// conservatism is exactly what the test pins down.
+}
+
+// remapMachine maps VA 0 to code frame A, with an alternative frame B
+// holding a different program, both assembled for VA 0.
+func remapMachine(t *testing.T) (m *Machine, l2, frameA, frameB uint32) {
+	t.Helper()
+	phys, err := mem.NewPhysical(mem.DefaultLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = NewMachine(phys, rng.New(1))
+	l1 := phys.SecurePageBase(0)
+	l2 = phys.SecurePageBase(1)
+	frameA = phys.SecurePageBase(2)
+	frameB = phys.SecurePageBase(3)
+	const va = uint32(0)
+	phys.Write(l1+uint32(mmu.L1Index(va))*4, l2|mmu.PteValid, mem.Secure)
+	phys.Write(l2+uint32(mmu.L2Index(va))*4, mmu.PTE(frameA, mmu.Perms{Exec: true}), mem.Secure)
+	imgA, err := asm.New().Movw(R0, 0xA).Svc().Assemble(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgB, err := asm.New().Movw(R0, 0xB).Svc().Assemble(va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range imgA {
+		phys.Write(frameA+uint32(i)*4, w, mem.Secure)
+	}
+	for i, w := range imgB {
+		phys.Write(frameB+uint32(i)*4, w, mem.Secure)
+	}
+	m.SetSCRNS(false)
+	m.SetTTBR0(mem.Secure, l1)
+	m.TLB.Flush()
+	return m, l2, frameA, frameB
+}
+
+func runToSVC(t *testing.T, m *Machine) {
+	t.Helper()
+	m.SetCPSR(PSR{Mode: ModeUsr, I: false})
+	m.SetPC(0)
+	if tr := m.Run(100); tr.Kind != TrapSVC {
+		t.Fatalf("trap = %v (%v at %#x), want SVC", tr.Kind, tr.FaultErr, tr.FaultAddr)
+	}
+}
+
+// TestDecodeCacheRemapNewFrame: remapping the fetch VA to a different
+// physical frame (page-table rewrite + TLB flush) must not serve the old
+// frame's cached decode. Without the TLB-epoch check the stale entry
+// would pass the PC, context and page-version checks — the old frame's
+// contents never changed — and wrongly execute frame A's code.
+func TestDecodeCacheRemapNewFrame(t *testing.T) {
+	m, l2, _, frameB := remapMachine(t)
+	runToSVC(t, m)
+	if m.Reg(R0) != 0xA {
+		t.Fatalf("first run r0 = %#x, want 0xA", m.Reg(R0))
+	}
+	runToSVC(t, m) // warm: this pass should hit the cache
+	if s := m.DecodeCacheStats(); s.Hits == 0 {
+		t.Fatalf("warm pass never hit the cache: %+v", s)
+	}
+	// Remap VA 0 → frame B, as the monitor would: PT store then flush.
+	m.Phys.Write(l2+uint32(mmu.L2Index(0))*4, mmu.PTE(frameB, mmu.Perms{Exec: true}), mem.Secure)
+	m.TLB.Flush()
+	runToSVC(t, m)
+	if m.Reg(R0) != 0xB {
+		t.Fatalf("post-remap r0 = %#x, want 0xB (stale decode from old frame)", m.Reg(R0))
+	}
+}
+
+// TestDecodeCacheTLBFlushForcesRefetch: a bare TLB flush stales every
+// cached decode (translations may be about to change), so the next pass
+// must re-run the architectural fetch for each instruction — the
+// revalidation path — rather than serving epoch-stale entries, with
+// identical architectural results.
+func TestDecodeCacheTLBFlushForcesRefetch(t *testing.T) {
+	p := asm.New()
+	p.Movw(R0, 5).AddI(R0, R0, 1).Svc()
+	m, _ := buildEnclaveMachine(t, p)
+	if tr := m.Run(100); tr.Kind != TrapSVC {
+		t.Fatalf("trap = %v", tr.Kind)
+	}
+	cold := m.DecodeCacheStats()
+	runToSVC(t, m)
+	warm := m.DecodeCacheStats()
+	if warm.Hits-cold.Hits < 3 {
+		t.Fatalf("warm pass hits = %d, want ≥3 (stats %+v)", warm.Hits-cold.Hits, warm)
+	}
+	tlbHits, tlbMisses := tlbCounters(m)
+	m.TLB.Flush()
+	runToSVC(t, m)
+	flushed := m.DecodeCacheStats()
+	if flushed.Revalidated-warm.Revalidated < 3 {
+		t.Fatalf("post-flush revalidations = %d, want ≥3 (stale entries served without refetch)",
+			flushed.Revalidated-warm.Revalidated)
+	}
+	// The revalidating fetches must hit the real TLB machinery, exactly
+	// as the uncached slow path would after a flush.
+	h2, m2 := tlbCounters(m)
+	if h2 == tlbHits && m2 == tlbMisses {
+		t.Fatal("post-flush pass never consulted the TLB")
+	}
+	if m.Reg(R0) != 6 {
+		t.Fatalf("r0 = %d, want 6", m.Reg(R0))
+	}
+}
+
+func tlbCounters(m *Machine) (hits, misses uint64) {
+	c := m.TLB.Counters()
+	return c.Hits, c.Misses
+}
+
+// TestDecodeCacheDifferentialLoop runs a load/store loop in translated
+// secure user mode on two machines, cache on vs off, and demands
+// bit-identical outcomes: registers, flags, cycle count and data memory.
+func TestDecodeCacheDifferentialLoop(t *testing.T) {
+	build := func() (*Machine, uint32) {
+		p := asm.New()
+		p.MovImm32(R0, 0x1000). // data page VA
+					Movw(R1, 0). // byte offset
+					Movw(R3, 0). // accumulator
+					Label("loop").
+					Add(R3, R3, R1).
+					StrR(R3, R0, R1).
+					LdrR(R4, R0, R1).
+					Add(R3, R3, R4).
+					AddI(R1, R1, 4).
+					CmpI(R1, 64*4).
+					Bne("loop").
+					Svc()
+		return buildEnclaveMachine(t, p)
+	}
+	on, dataOn := build()
+	off, dataOff := build()
+	off.EnableDecodeCache(false)
+	if tr := on.Run(100000); tr.Kind != TrapSVC {
+		t.Fatalf("cached run: trap = %v (%v)", tr.Kind, tr.FaultErr)
+	}
+	if tr := off.Run(100000); tr.Kind != TrapSVC {
+		t.Fatalf("uncached run: trap = %v (%v)", tr.Kind, tr.FaultErr)
+	}
+	assertSameRun(t, on, off)
+	for i := 0; i < 64; i++ {
+		a, _ := on.Phys.Read(dataOn+uint32(i)*4, mem.Secure)
+		b, _ := off.Phys.Read(dataOff+uint32(i)*4, mem.Secure)
+		if a != b {
+			t.Fatalf("data[%d]: cached %#x, uncached %#x", i, a, b)
+		}
+	}
+	s := on.DecodeCacheStats()
+	if s.Hits == 0 || !s.Enabled {
+		t.Fatalf("cached run stats: %+v", s)
+	}
+	if s := off.DecodeCacheStats(); s.Hits != 0 || s.Enabled {
+		t.Fatalf("uncached run stats: %+v", s)
+	}
+}
+
+// TestDecodeCacheSnapshotRestoreInvalidates: Machine.Restore rewinds
+// memory underneath the cache, so cached decodes must not survive it.
+// The snapshot is taken before the code is patched; after restoring and
+// re-patching differently, execution must follow the new bytes.
+func TestDecodeCacheSnapshotRestoreInvalidates(t *testing.T) {
+	p := asm.New()
+	p.Label("target").Movw(R2, 1).Hlt()
+	m := newTestMachine(t, p)
+	base := m.Phys.Layout().InsecureBase
+	runToHalt(t, m) // caches "movw r2, #1"
+	snap := m.Snapshot()
+
+	img, err := asm.New().Movw(R2, 7).Assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Phys.Write(base, img[0], mem.Normal)
+	m.SetPC(base)
+	m.SetCPSR(PSR{Mode: ModeSvc, I: true, F: true})
+	runToHalt(t, m)
+	if m.Reg(R2) != 7 {
+		t.Fatalf("patched run r2 = %d, want 7", m.Reg(R2))
+	}
+
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPC(base)
+	m.SetCPSR(PSR{Mode: ModeSvc, I: true, F: true})
+	runToHalt(t, m)
+	if m.Reg(R2) != 1 {
+		t.Fatalf("post-restore r2 = %d, want 1 (stale decode survived restore)", m.Reg(R2))
+	}
+}
+
+// TestDecodeCacheToggle: disabling stops hit accounting entirely;
+// re-enabling starts from an empty cache.
+func TestDecodeCacheToggle(t *testing.T) {
+	p := asm.New()
+	p.Movw(R0, 1).Hlt()
+	m := newTestMachine(t, p)
+	base := m.Phys.Layout().InsecureBase
+	m.EnableDecodeCache(false)
+	runToHalt(t, m)
+	if s := m.DecodeCacheStats(); s.Enabled || s.Hits != 0 || s.Misses != 0 || s.Fills != 0 {
+		t.Fatalf("disabled cache accumulated work: %+v", s)
+	}
+	m.EnableDecodeCache(true)
+	m.SetPC(base)
+	m.SetCPSR(PSR{Mode: ModeSvc, I: true, F: true})
+	runToHalt(t, m)
+	s := m.DecodeCacheStats()
+	if !s.Enabled || s.Fills == 0 || s.Resets < 2 {
+		t.Fatalf("re-enabled cache stats: %+v", s)
+	}
+}

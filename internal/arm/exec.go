@@ -208,16 +208,19 @@ func (m *Machine) memWrite(addr, val uint32) error {
 	return nil
 }
 
-// fetch reads the instruction word at PC.
-func (m *Machine) fetch() (uint32, error) {
+// fetchPA reads the instruction word at PC, returning the physical
+// address it resolved to (the predecode cache tags entries with it).
+func (m *Machine) fetchPA() (pa, word uint32, err error) {
 	if m.cpsr.Mode == ModeUsr && m.World() == mem.Secure {
-		pa, err := m.translate(m.pc, false, true)
+		pa, err = m.translate(m.pc, false, true)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		return m.Phys.Read(pa, mem.Secure)
+		word, err = m.Phys.Read(pa, mem.Secure)
+		return pa, word, err
 	}
-	return m.Phys.Read(m.pc, m.World())
+	word, err = m.Phys.Read(m.pc, m.World())
+	return m.pc, word, err
 }
 
 // --- The interpreter ---
@@ -252,13 +255,12 @@ func (m *Machine) Run(budget int64) Trap {
 			return Trap{Kind: TrapIRQ}
 		}
 
-		word, err := m.fetch()
+		insn, fetchFault, err := m.fetchDecode()
 		if err != nil {
-			m.TakeException(TrapPrefetchAbort, m.pc)
-			return Trap{Kind: TrapPrefetchAbort, FaultAddr: m.pc, FaultErr: err}
-		}
-		insn, err := Decode(word)
-		if err != nil {
+			if fetchFault {
+				m.TakeException(TrapPrefetchAbort, m.pc)
+				return Trap{Kind: TrapPrefetchAbort, FaultAddr: m.pc, FaultErr: err}
+			}
 			m.TakeException(TrapUndef, m.pc)
 			return Trap{Kind: TrapUndef, FaultAddr: m.pc, FaultErr: err}
 		}

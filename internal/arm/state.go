@@ -68,6 +68,11 @@ type Machine struct {
 	// execute (after fetch+decode). Used by komodo-sim's -trace mode and
 	// debugging; nil in normal operation.
 	TraceFn func(pc uint32, i Instr)
+
+	// dc is the predecoded-instruction cache (decodecache.go) — pure
+	// simulator acceleration, semantically invisible. Lazily allocated
+	// on first fetch.
+	dc decodeCache
 }
 
 // NewMachine builds a powered-on machine in secure supervisor mode (the

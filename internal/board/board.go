@@ -35,6 +35,10 @@ type Config struct {
 	// every SMC from the first call onward is counted. nil boots an
 	// uninstrumented platform (the default; zero overhead).
 	Telemetry *telemetry.Recorder
+	// DisableDecodeCache boots the machine with the predecoded-
+	// instruction cache off (A/B benchmarking, differential tests).
+	// Semantics are identical either way; only simulator speed changes.
+	DisableDecodeCache bool
 }
 
 // Platform is a booted machine.
@@ -56,6 +60,9 @@ func Boot(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	m := arm.NewMachine(phys, rng.New(cfg.Seed))
+	if cfg.DisableDecodeCache {
+		m.EnableDecodeCache(false)
+	}
 
 	// The CPU resets into secure supervisor mode; the bootloader runs
 	// there and installs the monitor.
@@ -89,6 +96,21 @@ func (p *Platform) StatsSnapshot() telemetry.Snapshot {
 	s.TLB = telemetry.TLBStats{
 		Hits: c.Hits, Misses: c.Misses, Fills: c.Fills,
 		Flushes: c.Flushes, Entries: c.Entries,
+	}
+	rs := m.Phys.RestoreStats()
+	s.Mem = telemetry.MemStats{
+		DirtyPages:    m.Phys.DirtyPages(),
+		TotalPages:    int(m.Phys.TotalWords() / mem.PageWords),
+		Snapshots:     rs.Snapshots,
+		DeltaRestores: rs.DeltaRestores,
+		FullRestores:  rs.FullRestores,
+		WordsCopied:   rs.WordsCopied,
+		PagesCopied:   rs.PagesCopied,
+	}
+	dc := m.DecodeCacheStats()
+	s.DecodeCache = telemetry.DecodeCacheStats{
+		Hits: dc.Hits, Misses: dc.Misses, Revalidated: dc.Revalidated,
+		Fills: dc.Fills, Resets: dc.Resets, Enabled: dc.Enabled,
 	}
 	// DecodePageDB reads through the monitor's charged accessors; a stats
 	// snapshot is an out-of-band observation, so rewind the cycle counter

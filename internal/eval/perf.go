@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/kasm"
+	"repro/komodo"
+)
+
+// PerfReport captures host-side hot-path performance: how fast the
+// simulator retires instructions with and without the predecoded
+// instruction cache, how much memory the dirty-page delta restore moves
+// per serving-style request compared with a full copy, and the wall-clock
+// request latency distribution of the snapshot/restore serving loop.
+//
+// Unlike the rest of this package these are host measurements (they vary
+// with the machine running them); the committed BENCH_*.json baselines
+// track their trajectory, not exact values.
+type PerfReport struct {
+	Requests int `json:"requests"`
+	DocWords int `json:"doc_words"`
+
+	// Interpreter throughput on the notary's hash loop, simulated
+	// instructions per host second (no restores: pure interpretation).
+	InstrPerSec         float64 `json:"instr_per_sec"`
+	InstrPerSecUncached float64 `json:"instr_per_sec_uncached"`
+	DecodeCacheSpeedup  float64 `json:"decode_cache_speedup"`
+	DecodeCacheHitRate  float64 `json:"decode_cache_hit_rate"`
+
+	// Restore traffic for one notary request: words the delta path
+	// actually copied vs. the full memory image a naive restore copies.
+	RestoreWordsPerRequest uint64  `json:"restore_words_per_request"`
+	RestoreWordsFullCopy   uint64  `json:"restore_words_full_copy"`
+	RestoreReduction       float64 `json:"restore_reduction"`
+
+	// Wall-clock latency of one request (write doc, run notary enclave,
+	// restore golden snapshot), pool-style.
+	ServeP50Micros float64 `json:"serve_p50_us"`
+	ServeP95Micros float64 `json:"serve_p95_us"`
+}
+
+// notarySystem boots a platform and loads the single-shared-page notary.
+func notarySystem(noCache bool) (*komodo.System, *komodo.Enclave, error) {
+	opts := []komodo.Option{komodo.WithSeed(1)}
+	if noCache {
+		opts = append(opts, komodo.WithoutDecodeCache())
+	}
+	sys, err := komodo.New(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	nimg, err := kasm.NotaryGuest(1).Image()
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := sys.LoadEnclave(komodo.FromNWOSImage(nimg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, enc, nil
+}
+
+func testDoc(words int) []uint32 {
+	doc := make([]uint32, words)
+	for i := range doc {
+		doc[i] = uint32(i) * 2654435761
+	}
+	return doc
+}
+
+// throughput measures simulated instructions retired per host second over
+// iters back-to-back notary runs (no snapshot/restore in the loop), plus
+// the decode cache's hit rate for the run.
+func throughput(noCache bool, iters, docWords int) (instrPerSec, hitRate float64, err error) {
+	sys, enc, err := notarySystem(noCache)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := enc.WriteShared(0, 0, testDoc(docWords)); err != nil {
+		return 0, 0, err
+	}
+	m := sys.Machine()
+	startRetired := m.Retired()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := enc.Run(uint32(docWords)); err != nil {
+			return 0, 0, err
+		}
+	}
+	wall := time.Since(start).Seconds()
+	if wall <= 0 {
+		return 0, 0, fmt.Errorf("eval: perf run too fast to time")
+	}
+	dc := m.DecodeCacheStats()
+	if total := dc.Hits + dc.Misses; total > 0 {
+		hitRate = float64(dc.Hits) / float64(total)
+	}
+	return float64(m.Retired()-startRetired) / wall, hitRate, nil
+}
+
+// serveLoop measures the pool's serving discipline: golden snapshot once,
+// then per request write the doc, run the notary, restore. Returns the
+// per-request wall latencies and delta-restore traffic.
+func serveLoop(reqs, docWords int) (lat []time.Duration, deltaWords, fullWords uint64, err error) {
+	sys, enc, err := notarySystem(false)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	golden := sys.Snapshot()
+	m := sys.Machine()
+	doc := testDoc(docWords)
+	lat = make([]time.Duration, 0, reqs)
+	for i := 0; i < reqs; i++ {
+		t0 := time.Now()
+		if err := enc.WriteShared(0, 0, doc); err != nil {
+			return nil, 0, 0, err
+		}
+		if _, err := enc.Run(uint32(docWords)); err != nil {
+			return nil, 0, 0, err
+		}
+		if err := sys.Restore(golden); err != nil {
+			return nil, 0, 0, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	rs := m.Phys.RestoreStats()
+	if rs.DeltaRestores > 0 {
+		deltaWords = rs.WordsCopied / rs.DeltaRestores
+	}
+	return lat, deltaWords, m.Phys.TotalWords(), nil
+}
+
+// Perf measures the serving hot path: reqs notary requests through the
+// snapshot/restore loop, and reqs iterations of the pure compute loop
+// (reqs/4 uncached — enough for a stable rate).
+func Perf(reqs int) (*PerfReport, error) {
+	if reqs < 8 {
+		reqs = 8
+	}
+	const docWords = 64
+	cached, hitRate, err := throughput(false, reqs, docWords)
+	if err != nil {
+		return nil, err
+	}
+	uncachedReqs := reqs / 4
+	if uncachedReqs < 2 {
+		uncachedReqs = 2
+	}
+	uncached, _, err := throughput(true, uncachedReqs, docWords)
+	if err != nil {
+		return nil, err
+	}
+	lat, deltaWords, fullWords, err := serveLoop(reqs, docWords)
+	if err != nil {
+		return nil, err
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) float64 {
+		idx := int(q * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds()) / 1e3
+	}
+	r := &PerfReport{
+		Requests:               reqs,
+		DocWords:               docWords,
+		InstrPerSec:            cached,
+		InstrPerSecUncached:    uncached,
+		DecodeCacheHitRate:     hitRate,
+		RestoreWordsPerRequest: deltaWords,
+		RestoreWordsFullCopy:   fullWords,
+		ServeP50Micros:         p(0.50),
+		ServeP95Micros:         p(0.95),
+	}
+	if uncached > 0 {
+		r.DecodeCacheSpeedup = cached / uncached
+	}
+	if deltaWords > 0 {
+		r.RestoreReduction = float64(fullWords) / float64(deltaWords)
+	}
+	return r, nil
+}

@@ -20,6 +20,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // World identifies the TrustZone security state of an access.
@@ -122,10 +123,47 @@ type Physical struct {
 	insecure []uint32
 	secure   []uint32
 	// tampered marks secure words whose DRAM image was physically
-	// modified under ProtEncrypt; the next CPU access faults.
+	// modified under ProtEncrypt; the next CPU access faults. nil while
+	// no word is poisoned (the common case), so the snapshot/restore
+	// hot path never allocates for it.
 	tampered map[uint32]bool
 	// encKey is the (simulated) memory-encryption keystream seed.
 	encKey uint32
+
+	// Dirty-page tracking for delta restore. dirtyIns/dirtySec are
+	// bitmaps (one bit per 4 kB page) of pages written since the
+	// generation-stamped baseline: the last Snapshot taken from, or
+	// Restore applied to, this Physical. gen identifies that baseline;
+	// a snapshot whose generation matches can be restored by copying
+	// only the dirty pages.
+	dirtyIns []uint64
+	dirtySec []uint64
+	gen      uint64
+	genCtr   uint64
+
+	// verIns/verSec are per-page version counters, bumped on every write
+	// (and on every page a restore copies). A page's version changing is
+	// the only way its contents can change, so version equality is a
+	// sound content-unchanged check — the predecoded-instruction cache in
+	// internal/arm validates entries against it.
+	verIns []uint64
+	verSec []uint64
+
+	stats RestoreStats
+}
+
+// RestoreStats counts snapshot/restore activity and the work each restore
+// did, for telemetry and the BENCH_*.json perf baselines.
+type RestoreStats struct {
+	Snapshots     uint64 `json:"snapshots"`
+	DeltaRestores uint64 `json:"delta_restores"`
+	FullRestores  uint64 `json:"full_restores"`
+	// WordsCopied / PagesCopied accumulate over all restores; the Last*
+	// fields describe only the most recent restore.
+	WordsCopied     uint64 `json:"words_copied"`
+	PagesCopied     uint64 `json:"pages_copied"`
+	LastWordsCopied uint64 `json:"last_words_copied"`
+	LastPagesCopied uint64 `json:"last_pages_copied"`
 }
 
 // NewPhysical builds memory for the given layout.
@@ -140,12 +178,17 @@ func NewPhysical(l Layout) (*Physical, error) {
 	if overlap(l.InsecureBase, l.InsecureSize, l.SecureBase, l.SecureSize) {
 		return nil, errors.New("mem: secure and insecure regions overlap")
 	}
+	insPages := int(l.InsecureSize / PageSize)
+	secPages := int(l.SecureSize / PageSize)
 	return &Physical{
 		layout:   l,
 		insecure: make([]uint32, l.InsecureSize/4),
 		secure:   make([]uint32, l.SecureSize/4),
-		tampered: make(map[uint32]bool),
 		encKey:   0x5ec0_de15,
+		dirtyIns: make([]uint64, (insPages+63)/64),
+		dirtySec: make([]uint64, (secPages+63)/64),
+		verIns:   make([]uint64, insPages),
+		verSec:   make([]uint64, secPages),
 	}, nil
 }
 
@@ -198,19 +241,35 @@ func (p *Physical) Write(addr, val uint32, w World) error {
 		if w != Secure {
 			return fmt.Errorf("%w: write %#x", ErrSecureViolation, addr)
 		}
-		if p.layout.Protection == ProtEncrypt {
+		if p.layout.Protection == ProtEncrypt && p.tampered != nil {
 			// A legitimate write re-encrypts the line, clearing any
 			// pending integrity poison for that word.
 			delete(p.tampered, addr)
 		}
-		p.secure[(addr-p.layout.SecureBase)/4] = val
+		off := addr - p.layout.SecureBase
+		p.touchSecure(off / PageSize)
+		p.secure[off/4] = val
 		return nil
 	case p.InInsecure(addr):
-		p.insecure[(addr-p.layout.InsecureBase)/4] = val
+		off := addr - p.layout.InsecureBase
+		p.touchInsecure(off / PageSize)
+		p.insecure[off/4] = val
 		return nil
 	default:
 		return fmt.Errorf("%w: write %#x", ErrUnmapped, addr)
 	}
+}
+
+// touchSecure / touchInsecure record a write to page pg: set the dirty bit
+// for delta restore and bump the page version for content-change checks.
+func (p *Physical) touchSecure(pg uint32) {
+	p.dirtySec[pg>>6] |= 1 << (pg & 63)
+	p.verSec[pg]++
+}
+
+func (p *Physical) touchInsecure(pg uint32) {
+	p.dirtyIns[pg>>6] |= 1 << (pg & 63)
+	p.verIns[pg]++
 }
 
 // keystream is the simulated encryption engine's per-word pad. It only
@@ -263,14 +322,20 @@ func (p *Physical) TamperDRAM(addr, raw uint32) error {
 			return fmt.Errorf("%w: tamper %#x", ErrShielded, addr)
 		case ProtEncrypt:
 			// The engine will detect the modification: poison the word.
+			if p.tampered == nil {
+				p.tampered = make(map[uint32]bool)
+			}
 			p.tampered[addr] = true
+			p.touchSecure((addr - p.layout.SecureBase) / PageSize)
 			p.secure[(addr-p.layout.SecureBase)/4] = raw ^ p.keystream(addr)
 			return nil
 		default:
+			p.touchSecure((addr - p.layout.SecureBase) / PageSize)
 			p.secure[(addr-p.layout.SecureBase)/4] = raw
 			return nil
 		}
 	case p.InInsecure(addr):
+		p.touchInsecure((addr - p.layout.InsecureBase) / PageSize)
 		p.insecure[(addr-p.layout.InsecureBase)/4] = raw
 		return nil
 	default:
@@ -333,36 +398,167 @@ func (p *Physical) ZeroPage(base uint32, w World) error {
 }
 
 // MemSnapshot captures the full contents of physical memory (for machine
-// snapshot/restore, e.g. forking bisimulation states mid-run).
+// snapshot/restore, e.g. forking bisimulation states mid-run). It is
+// generation-stamped: while the owning Physical's dirty-page tracking is
+// still baselined on this snapshot, Restore copies back only the pages
+// written since (delta restore), falling back to a full copy otherwise.
 type MemSnapshot struct {
 	insecure []uint32
 	secure   []uint32
+	// tampered is nil when no word was poisoned at capture time — the
+	// common case — so restores of clean snapshots allocate nothing.
 	tampered map[uint32]bool
+
+	owner *Physical
+	gen   uint64
 }
 
-// Snapshot copies all memory contents.
+// Snapshot copies all memory contents and re-baselines dirty tracking:
+// from this point the dirty bitmaps record exactly the pages that differ
+// from the returned snapshot.
 func (p *Physical) Snapshot() *MemSnapshot {
 	s := &MemSnapshot{
 		insecure: append([]uint32(nil), p.insecure...),
 		secure:   append([]uint32(nil), p.secure...),
-		tampered: make(map[uint32]bool, len(p.tampered)),
+		owner:    p,
 	}
-	for k, v := range p.tampered {
-		s.tampered[k] = v
+	if len(p.tampered) > 0 {
+		s.tampered = make(map[uint32]bool, len(p.tampered))
+		for k, v := range p.tampered {
+			s.tampered[k] = v
+		}
 	}
+	p.genCtr++
+	p.gen = p.genCtr
+	s.gen = p.gen
+	clearBits(p.dirtyIns)
+	clearBits(p.dirtySec)
+	p.stats.Snapshots++
 	return s
 }
 
-// Restore rewinds memory to a snapshot taken from the same layout.
+// Restore rewinds memory to a snapshot taken from the same layout. When
+// the snapshot is this Physical's current dirty-tracking baseline (the
+// usual serving-pool case: one golden snapshot, restored after every
+// request), only pages dirtied since it are copied back; any other
+// snapshot gets a full copy. Both paths yield bit-identical memory; the
+// delta path just skips pages that provably never changed.
 func (p *Physical) Restore(s *MemSnapshot) error {
 	if len(s.insecure) != len(p.insecure) || len(s.secure) != len(p.secure) {
 		return errors.New("mem: snapshot layout mismatch")
 	}
-	copy(p.insecure, s.insecure)
-	copy(p.secure, s.secure)
-	p.tampered = make(map[uint32]bool, len(s.tampered))
-	for k, v := range s.tampered {
-		p.tampered[k] = v
+	var pages, words uint64
+	if s.owner == p && s.gen == p.gen {
+		pages += copyDirty(p.insecure, s.insecure, p.dirtyIns, p.verIns)
+		pages += copyDirty(p.secure, s.secure, p.dirtySec, p.verSec)
+		words = pages * PageWords
+		p.stats.DeltaRestores++
+	} else {
+		copy(p.insecure, s.insecure)
+		copy(p.secure, s.secure)
+		bumpAll(p.verIns)
+		bumpAll(p.verSec)
+		pages = uint64(len(p.verIns) + len(p.verSec))
+		words = uint64(len(p.insecure) + len(p.secure))
+		p.stats.FullRestores++
+		// Memory now matches s exactly: adopt it as the dirty-tracking
+		// baseline so repeated restores of the same snapshot are deltas.
+		// Foreign snapshots (owner != p) stay full-copy: their
+		// generations are not comparable with ours.
+		if s.owner == p {
+			p.gen = s.gen
+		}
+	}
+	clearBits(p.dirtyIns)
+	clearBits(p.dirtySec)
+	p.stats.WordsCopied += words
+	p.stats.PagesCopied += pages
+	p.stats.LastWordsCopied = words
+	p.stats.LastPagesCopied = pages
+
+	// Reconcile integrity poison without allocating when both sides are
+	// clean (the overwhelmingly common case).
+	switch {
+	case len(s.tampered) == 0:
+		if len(p.tampered) > 0 {
+			clear(p.tampered)
+		}
+	default:
+		if p.tampered == nil {
+			p.tampered = make(map[uint32]bool, len(s.tampered))
+		} else {
+			clear(p.tampered)
+		}
+		for k, v := range s.tampered {
+			p.tampered[k] = v
+		}
 	}
 	return nil
 }
+
+// copyDirty copies every dirty page from src back into dst, bumping the
+// copied pages' versions (their contents change now), and returns the
+// number of pages copied.
+func copyDirty(dst, src []uint32, dirty []uint64, ver []uint64) uint64 {
+	var pages uint64
+	for wi, bits := range dirty {
+		for bits != 0 {
+			b := bits & (-bits) // lowest set bit
+			pg := uint32(wi)<<6 | uint32(trailingZeros64(bits))
+			off := int(pg) * PageWords
+			copy(dst[off:off+PageWords], src[off:off+PageWords])
+			ver[pg]++
+			pages++
+			bits ^= b
+		}
+	}
+	return pages
+}
+
+func clearBits(b []uint64) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func bumpAll(ver []uint64) {
+	for i := range ver {
+		ver[i]++
+	}
+}
+
+func trailingZeros64(v uint64) int { return bits.TrailingZeros64(v) }
+
+// DirtyPages counts pages written since the dirty-tracking baseline (the
+// last Snapshot or Restore) — the komodo_mem_dirty_pages gauge.
+func (p *Physical) DirtyPages() int {
+	n := 0
+	for _, w := range p.dirtyIns {
+		n += bits.OnesCount64(w)
+	}
+	for _, w := range p.dirtySec {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// PageVersion returns the version counter of the page containing addr (0
+// for unmapped addresses). The version changes whenever the page's
+// contents may have changed — every CPU/DMA write, physical tamper, and
+// restore-copy bumps it — so equal versions imply identical contents.
+func (p *Physical) PageVersion(addr uint32) uint64 {
+	switch {
+	case p.InInsecure(addr):
+		return p.verIns[(addr-p.layout.InsecureBase)/PageSize]
+	case p.InSecure(addr):
+		return p.verSec[(addr-p.layout.SecureBase)/PageSize]
+	}
+	return 0
+}
+
+// RestoreStats reports cumulative snapshot/restore activity.
+func (p *Physical) RestoreStats() RestoreStats { return p.stats }
+
+// TotalWords returns the number of words a full restore copies (the
+// whole physical address map).
+func (p *Physical) TotalWords() uint64 { return uint64(len(p.insecure) + len(p.secure)) }

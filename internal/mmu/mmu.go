@@ -146,6 +146,14 @@ type TLB struct {
 	hits       uint64
 	misses     uint64
 	flushes    uint64
+	// epoch advances on every event after which a previously completed
+	// translation might resolve differently on the next walk: a flush
+	// (entries drop, the walk re-reads possibly modified tables) or a
+	// consistency-breaking store/TTBR load. Derived caches keyed on a
+	// translation result (the arm package's predecoded-instruction
+	// cache) validate against it instead of hooking every maintenance
+	// call site.
+	epoch uint64
 
 	// One-entry MRU cache in front of the map: instruction fetch hits the
 	// same page for long runs, and the map lookup dominates the
@@ -196,13 +204,20 @@ func (t *TLB) Fill(va, paBase uint32, p Perms) {
 // supports only whole-TLB flushes, per §5.1).
 func (t *TLB) Flush() {
 	t.flushes++
+	t.epoch++
 	t.entries = make(map[uint32]tlbEntry)
 	t.consistent = true
 	t.lastOK = false
 }
 
 // MarkInconsistent records a page-table store or TTBR0 load without flush.
-func (t *TLB) MarkInconsistent() { t.consistent = false }
+func (t *TLB) MarkInconsistent() {
+	t.consistent = false
+	t.epoch++
+}
+
+// Epoch returns the translation-validity epoch (see the field comment).
+func (t *TLB) Epoch() uint64 { return t.epoch }
 
 // Consistent reports whether the TLB is known to agree with the tables.
 func (t *TLB) Consistent() bool { return t.consistent }

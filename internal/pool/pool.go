@@ -156,6 +156,16 @@ type Stats struct {
 	HealthFails uint64 `json:"health_fails"`
 	BootNS      uint64 `json:"boot_ns"`    // cumulative wall time booting
 	RestoreNS   uint64 `json:"restore_ns"` // cumulative wall time restoring
+
+	// Delta-restore accounting (internal/mem dirty-page tracking): how
+	// many of the golden-snapshot restores were deltas, and how many
+	// words/pages they actually copied. RestoreWordsFull is what the
+	// same restores would have cost without dirty tracking (restores ×
+	// full board size) — the words-copied-per-restore win in one ratio.
+	DeltaRestores    uint64 `json:"delta_restores"`
+	RestoreWords     uint64 `json:"restore_words"`
+	RestorePages     uint64 `json:"restore_pages"`
+	RestoreWordsFull uint64 `json:"restore_words_full"`
 }
 
 // Pool is a warm pool of booted boards.
@@ -319,12 +329,19 @@ func (p *Pool) count(f func(*Stats)) {
 // on any failure it falls back to a full re-boot.
 func (p *Pool) restore(w *Worker) {
 	start := time.Now()
+	phys := w.sys.Machine().Phys
+	before := phys.RestoreStats()
 	err := w.sys.Restore(w.golden)
 	if err == nil {
 		w.epoch++
+		after := phys.RestoreStats()
 		p.count(func(s *Stats) {
 			s.Restores++
 			s.RestoreNS += uint64(time.Since(start).Nanoseconds())
+			s.DeltaRestores += after.DeltaRestores - before.DeltaRestores
+			s.RestoreWords += after.LastWordsCopied
+			s.RestorePages += after.LastPagesCopied
+			s.RestoreWordsFull += phys.TotalWords()
 		})
 		if p.cfg.HealthCheck != nil {
 			if herr := p.cfg.HealthCheck(w.sys, w.state); herr != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/kasm"
+	"repro/internal/telemetry"
 	"repro/komodo"
 )
 
@@ -387,6 +388,107 @@ func TestRebase(t *testing.T) {
 		t.Fatalf("second restore = %d, want 2", c)
 	}
 	p.Put(w, OK)
+}
+
+// tracedBoot boots like counterBoot but attaches a live event sink, so
+// the traced-load race test exercises the telemetry emit path too.
+func tracedBoot() (*komodo.System, any, error) {
+	sys, err := komodo.New(komodo.WithSeed(7), komodo.WithTelemetry(),
+		komodo.WithTelemetrySink(&telemetry.MemorySink{}))
+	if err != nil {
+		return nil, nil, err
+	}
+	nimg, err := kasm.NotaryGuest(1).Image()
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := sys.LoadEnclave(komodo.FromNWOSImage(nimg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, enc, nil
+}
+
+// TestConcurrentCheckoutsTraced is the traced-load variant of
+// TestConcurrentCheckouts: workers run with event sinks attached and the
+// decode cache + dirty-page tracking on (the defaults), while a sampler
+// goroutine scrapes Telemetry/Stats concurrently, the way /metrics and
+// /v1/stats do. Run with -race this covers the whole hot path. It also
+// pins the delta-restore win: restores must move ≥10× fewer words than
+// full copies of the same machines would.
+func TestConcurrentCheckoutsTraced(t *testing.T) {
+	p := mustPool(t, Config{Size: 2, MaxReuse: 8, Boot: tracedBoot})
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Telemetry()
+			p.Stats()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				w, err := p.Get(ctx)
+				cancel()
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				enc := w.State().(*komodo.Enclave)
+				doc := make([]uint32, 16)
+				if werr := enc.WriteShared(0, 0, doc); werr != nil {
+					errs <- werr.Error()
+					p.Put(w, Fail)
+					return
+				}
+				res, rerr := enc.Run(uint32(len(doc)))
+				if rerr != nil {
+					errs <- rerr.Error()
+					p.Put(w, Fail)
+					return
+				}
+				if res.Value != 1 {
+					errs <- "counter leaked across requests"
+					p.Put(w, Fail)
+					return
+				}
+				p.Put(w, OK)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	s := p.Stats()
+	if s.InFlight != 0 || s.Available != s.Live {
+		t.Fatalf("pool not quiescent: %+v", s)
+	}
+	if s.DeltaRestores == 0 {
+		t.Fatalf("no delta restores under serving load: %+v", s)
+	}
+	if s.RestoreWords*10 > s.RestoreWordsFull {
+		t.Fatalf("delta restores copied %d of %d full-equivalent words, want ≥10× reduction",
+			s.RestoreWords, s.RestoreWordsFull)
+	}
 }
 
 func TestTelemetrySampling(t *testing.T) {

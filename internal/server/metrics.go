@@ -59,6 +59,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.Sample{Value: float64(ps.BootNS) / 1e9})
 	p.Counter("komodo_pool_restore_seconds_total", "Cumulative wall time restoring snapshots.",
 		obs.Sample{Value: float64(ps.RestoreNS) / 1e9})
+	p.Counter("komodo_pool_restore_words_total",
+		"Memory words golden-snapshot restores actually copied (delta restore), "+
+			"vs. what full copies of the same restores would have moved.",
+		obs.Sample{Labels: obs.L("kind", "copied"), Value: float64(ps.RestoreWords)},
+		obs.Sample{Labels: obs.L("kind", "full_equivalent"), Value: float64(ps.RestoreWordsFull)})
+	p.Counter("komodo_pool_delta_restores_total",
+		"Golden-snapshot restores served by the dirty-page delta path.",
+		obs.Sample{Value: float64(ps.DeltaRestores)})
 
 	var series []obs.HistSeries
 	s.lat.Each(func(endpoint, outcome string, h *obs.Histogram) {
@@ -95,6 +103,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("komodo_smc_cycles_total",
 		"Simulated cycles spent in the monitor by SMC call, summed over sampled idle workers.",
 		smcCycles...)
+	p.Gauge("komodo_mem_dirty_pages",
+		"Pages written since the last snapshot/restore (what the next delta restore "+
+			"will copy), summed over sampled idle workers.",
+		obs.Sample{Value: float64(tel.Mem.DirtyPages)})
+	p.Counter("komodo_mem_restores_total",
+		"Memory restores by path, summed over sampled idle workers.",
+		obs.Sample{Labels: obs.L("kind", "delta"), Value: float64(tel.Mem.DeltaRestores)},
+		obs.Sample{Labels: obs.L("kind", "full"), Value: float64(tel.Mem.FullRestores)})
+	p.Counter("komodo_mem_restore_words_total",
+		"Words copied by memory restores, summed over sampled idle workers.",
+		obs.Sample{Value: float64(tel.Mem.WordsCopied)})
+	p.Counter("komodo_decode_cache_total",
+		"Predecoded-instruction cache lookups by outcome, summed over sampled idle workers.",
+		obs.Sample{Labels: obs.L("event", "hit"), Value: float64(tel.DecodeCache.Hits)},
+		obs.Sample{Labels: obs.L("event", "miss"), Value: float64(tel.DecodeCache.Misses)},
+		obs.Sample{Labels: obs.L("event", "revalidated"), Value: float64(tel.DecodeCache.Revalidated)})
 
 	obs.WriteRuntimeMetrics(p)
 }

@@ -261,6 +261,12 @@ func TestMetricsExposition(t *testing.T) {
 		"komodo_pool_workers",
 		"komodo_pool_boots_total",
 		"komodo_pool_restores_total",
+		"komodo_pool_restore_words_total",
+		"komodo_pool_delta_restores_total",
+		"komodo_mem_dirty_pages",
+		"komodo_mem_restores_total",
+		"komodo_mem_restore_words_total",
+		"komodo_decode_cache_total",
 		"komodo_request_duration_seconds",
 		"komodo_flight_traces_seen_total",
 		"komodo_flight_traces_retained",

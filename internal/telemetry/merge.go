@@ -43,6 +43,19 @@ func Merge(snaps ...Snapshot) Snapshot {
 		out.TLB.Fills += s.TLB.Fills
 		out.TLB.Flushes += s.TLB.Flushes
 		out.TLB.Entries += s.TLB.Entries
+		out.Mem.DirtyPages += s.Mem.DirtyPages
+		out.Mem.TotalPages += s.Mem.TotalPages
+		out.Mem.Snapshots += s.Mem.Snapshots
+		out.Mem.DeltaRestores += s.Mem.DeltaRestores
+		out.Mem.FullRestores += s.Mem.FullRestores
+		out.Mem.WordsCopied += s.Mem.WordsCopied
+		out.Mem.PagesCopied += s.Mem.PagesCopied
+		out.DecodeCache.Hits += s.DecodeCache.Hits
+		out.DecodeCache.Misses += s.DecodeCache.Misses
+		out.DecodeCache.Revalidated += s.DecodeCache.Revalidated
+		out.DecodeCache.Fills += s.DecodeCache.Fills
+		out.DecodeCache.Resets += s.DecodeCache.Resets
+		out.DecodeCache.Enabled = out.DecodeCache.Enabled || s.DecodeCache.Enabled
 		out.Trace.Recorded += s.Trace.Recorded
 		out.Trace.Dropped += s.Trace.Dropped
 		out.Trace.Capacity += s.Trace.Capacity

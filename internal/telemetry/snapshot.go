@@ -46,6 +46,32 @@ type TLBStats struct {
 	Entries int    `json:"entries"`
 }
 
+// MemStats is the physical-memory view of the dirty-page delta-restore
+// machinery (internal/mem), filled in by the platform.
+type MemStats struct {
+	// DirtyPages is a gauge: pages written since the last snapshot or
+	// restore (what the next delta restore would copy back).
+	DirtyPages int `json:"dirty_pages"`
+	// TotalPages sizes the gauge: what a full restore copies.
+	TotalPages    int    `json:"total_pages"`
+	Snapshots     uint64 `json:"snapshots"`
+	DeltaRestores uint64 `json:"delta_restores"`
+	FullRestores  uint64 `json:"full_restores"`
+	WordsCopied   uint64 `json:"words_copied"`
+	PagesCopied   uint64 `json:"pages_copied"`
+}
+
+// DecodeCacheStats is the interpreter's predecoded-instruction cache
+// view (internal/arm), filled in by the platform.
+type DecodeCacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Revalidated uint64 `json:"revalidated"`
+	Fills       uint64 `json:"fills"`
+	Resets      uint64 `json:"resets"`
+	Enabled     bool   `json:"enabled"`
+}
+
 // TraceStats summarises the boundary-event ring.
 type TraceStats struct {
 	Recorded uint64 `json:"recorded"`
@@ -77,6 +103,8 @@ type Snapshot struct {
 	// platform from the machine's interpreter).
 	InsnClasses map[string]uint64 `json:"insn_classes"`
 	TLB         TLBStats          `json:"tlb"`
+	Mem         MemStats          `json:"mem"`
+	DecodeCache DecodeCacheStats  `json:"decode_cache"`
 	// PageCensus counts secure pages by current PageDB type (filled by
 	// the platform from the decoded PageDB).
 	PageCensus map[string]int `json:"page_census"`

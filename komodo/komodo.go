@@ -51,15 +51,16 @@ const (
 type Option func(*config)
 
 type config struct {
-	seed       uint64
-	protection Protection
-	static     bool
-	checked    bool
-	budget     int64
-	secureSize uint32
-	optimised  bool
-	telemetry  bool
-	sink       telemetry.Sink
+	seed          uint64
+	protection    Protection
+	static        bool
+	checked       bool
+	budget        int64
+	secureSize    uint32
+	optimised     bool
+	telemetry     bool
+	sink          telemetry.Sink
+	noDecodeCache bool
 }
 
 // WithSeed sets the hardware RNG seed (default 1). Equal seeds give
@@ -101,6 +102,13 @@ func WithOptimisedCrossings() Option { return func(c *config) { c.optimised = tr
 // observation paths cost nothing.
 func WithTelemetry() Option { return func(c *config) { c.telemetry = true } }
 
+// WithoutDecodeCache boots the machine with the predecoded-instruction
+// cache disabled. The cache is semantically invisible (bit-identical
+// execution, pinned by the internal/arm differential tests), so the only
+// reason to turn it off is A/B measurement of the simulator itself —
+// see docs/PERFORMANCE.md.
+func WithoutDecodeCache() Option { return func(c *config) { c.noDecodeCache = true } }
+
 // WithTelemetrySink attaches a telemetry recorder that forwards every
 // trace event to s as it happens (e.g. a telemetry.MemorySink for tests,
 // or a telemetry.JSONLSink streaming to a file). Implies WithTelemetry.
@@ -121,9 +129,10 @@ func New(opts ...Option) (*System, error) {
 		o(&c)
 	}
 	bc := board.Config{
-		Seed:       c.seed,
-		Protection: c.protection,
-		Monitor:    monitor.Config{StaticProfile: c.static, ExecBudget: c.budget, Optimised: c.optimised},
+		Seed:               c.seed,
+		Protection:         c.protection,
+		Monitor:            monitor.Config{StaticProfile: c.static, ExecBudget: c.budget, Optimised: c.optimised},
+		DisableDecodeCache: c.noDecodeCache,
 	}
 	if c.telemetry {
 		rec := telemetry.New()
