@@ -114,6 +114,12 @@ func (m *Machine) fetchDecode() (Instr, bool, error) {
 				// the word there is unmodified.
 				if m.Phys.PageVersion(e.pa) == e.pageVer {
 					m.dc.hits++
+					// A translated fetch (ctx bit 0 set) would have gone
+					// through TLB.Lookup and hit; keep the TLB counters
+					// telling the same story as the uncached path.
+					if ctx&1 != 0 {
+						m.TLB.RecordHit()
+					}
 					return e.instr, false, nil
 				}
 			} else {

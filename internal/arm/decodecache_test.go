@@ -217,6 +217,12 @@ func TestDecodeCacheDifferentialLoop(t *testing.T) {
 			t.Fatalf("data[%d]: cached %#x, uncached %#x", i, a, b)
 		}
 	}
+	// TLB hit/miss telemetry must describe the same fetch stream either
+	// way: decode-cache fast-path hits record the TLB hit they elided.
+	ta, tb := on.TLB.Counters(), off.TLB.Counters()
+	if ta.Hits != tb.Hits || ta.Misses != tb.Misses {
+		t.Fatalf("TLB counters diverge: cached %+v, uncached %+v", ta, tb)
+	}
 	s := on.DecodeCacheStats()
 	if s.Hits == 0 || !s.Enabled {
 		t.Fatalf("cached run stats: %+v", s)

@@ -143,6 +143,53 @@ func TestRestoreForeignSnapshotFullCopy(t *testing.T) {
 	}
 }
 
+// TestRestoreForeignThenOwnSnapshot: restoring a foreign snapshot must
+// invalidate the dirty-tracking baseline. Otherwise p.gen can still equal
+// an own snapshot's gen, and restoring that own snapshot afterwards would
+// take the delta path with empty dirty bits — copying nothing and silently
+// leaving the foreign contents in place.
+func TestRestoreForeignThenOwnSnapshot(t *testing.T) {
+	p := newTestMem(t, ProtFilter)
+	base := p.Layout().InsecureBase
+	if err := p.Write(base, 0x0a1, Normal); err != nil {
+		t.Fatal(err)
+	}
+	own := p.Snapshot() // baseline: p.gen == own.gen
+
+	other := newTestMem(t, ProtFilter)
+	if err := other.Write(base, 0xf0e, Normal); err != nil {
+		t.Fatal(err)
+	}
+	foreign := other.Snapshot()
+
+	if err := p.Restore(foreign); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := p.Read(base, Normal); v != 0xf0e {
+		t.Fatalf("after foreign restore: %#x, want 0xf0e", v)
+	}
+	if err := p.Restore(own); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSnapshot(t, p, own)
+	st := p.RestoreStats()
+	if st.FullRestores != 2 || st.DeltaRestores != 0 {
+		t.Fatalf("stats: %+v, want 2 full / 0 delta", st)
+	}
+
+	// own is now the baseline again: the delta path works from here.
+	if err := p.Write(base+PageSize, 0x5, Normal); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore(own); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesSnapshot(t, p, own)
+	if st := p.RestoreStats(); st.DeltaRestores != 1 {
+		t.Fatalf("repeat restore: %+v, want delta", st)
+	}
+}
+
 // TestRestoreLayoutMismatch still errors out before touching anything.
 func TestRestoreLayoutMismatch(t *testing.T) {
 	p := newTestMem(t, ProtFilter)

@@ -464,9 +464,15 @@ func (p *Physical) Restore(s *MemSnapshot) error {
 		// Memory now matches s exactly: adopt it as the dirty-tracking
 		// baseline so repeated restores of the same snapshot are deltas.
 		// Foreign snapshots (owner != p) stay full-copy: their
-		// generations are not comparable with ours.
+		// generations are not comparable with ours, and memory no longer
+		// matches any of our own snapshots — burn a fresh generation so a
+		// stale p.gen can't alias an own snapshot's gen and send a later
+		// Restore of it down the delta path with empty dirty bits.
 		if s.owner == p {
 			p.gen = s.gen
+		} else {
+			p.genCtr++
+			p.gen = p.genCtr
 		}
 	}
 	clearBits(p.dirtyIns)

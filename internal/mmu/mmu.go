@@ -200,6 +200,13 @@ func (t *TLB) Fill(va, paBase uint32, p Perms) {
 	t.lastVA, t.last, t.lastOK = page, e, true
 }
 
+// RecordHit counts a lookup that a derived cache proved would hit without
+// performing it. The arm package's predecode cache skips Lookup on its
+// fast path (a matching epoch guarantees the fill-time translation is
+// still cached here); counting the hit it elided keeps the TLB hit-rate
+// telemetry describing the same architectural fetch stream either way.
+func (t *TLB) RecordHit() { t.hits++ }
+
 // Flush invalidates all entries and marks the TLB consistent (the model
 // supports only whole-TLB flushes, per §5.1).
 func (t *TLB) Flush() {
