@@ -34,14 +34,18 @@ bench-json:
 	$(GO) run ./cmd/komodo-bench -json
 
 # CI guard: every benchmark compiles and runs once, and the hot-path perf
-# section (decode cache + delta restore) completes end-to-end. Not a
+# section (block/decode caches + delta restore) completes end-to-end. Not a
 # measurement — shared runners are too noisy — just an execution check.
+# The block A/B benchmark and the block differential harness also run under
+# the race detector: the superblock cache must stay bit-identical there too.
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x .
+	$(GO) test -race -run XXX -bench BenchmarkInterpreter -benchtime 1x .
+	$(GO) test -race -run 'TestBlockDifferential|FuzzBlockCache' ./internal/arm/
 	$(GO) run ./cmd/komodo-bench -perf -perf-requests 16
 
 # Regenerate the committed perf baseline for this PR sequence number.
-BENCH_N ?= 5
+BENCH_N ?= 6
 bench-baseline:
 	$(GO) run ./cmd/komodo-bench -json > BENCH_$(BENCH_N).json
 

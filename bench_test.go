@@ -205,13 +205,17 @@ func BenchmarkEnclaveCrossing(b *testing.B) {
 }
 
 // BenchmarkInterpreter measures raw simulated-instruction throughput (the
-// KARM interpreter running the SHA-256 inner loop in an enclave), with
-// the predecoded-instruction cache on (the default) and off. Comparing
-// the two sub-benchmarks' ns/op is the decode-cache speedup recorded in
-// docs/PERFORMANCE.md.
+// KARM interpreter running the SHA-256 inner loop in an enclave) across
+// the three cache configurations: superblock cache (the default), decode
+// cache only, and fully uncached. Comparing adjacent sub-benchmarks' ns/op
+// gives each layer's speedup as recorded in docs/PERFORMANCE.md.
 func BenchmarkInterpreter(b *testing.B) {
-	run := func(b *testing.B, noCache bool) {
-		plat, err := board.Boot(board.Config{Seed: 1, DisableDecodeCache: noCache})
+	run := func(b *testing.B, noBlockCache, noDecodeCache bool) {
+		plat, err := board.Boot(board.Config{
+			Seed:               1,
+			DisableBlockCache:  noBlockCache,
+			DisableDecodeCache: noDecodeCache,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -240,13 +244,14 @@ func BenchmarkInterpreter(b *testing.B) {
 			}
 		}
 	}
-	b.Run("decode-cache", func(b *testing.B) { run(b, false) })
-	b.Run("no-decode-cache", func(b *testing.B) { run(b, true) })
+	b.Run("block-cache", func(b *testing.B) { run(b, false, false) })
+	b.Run("decode-cache", func(b *testing.B) { run(b, true, false) })
+	b.Run("no-decode-cache", func(b *testing.B) { run(b, true, true) })
 }
 
 // BenchmarkPerf regenerates the hot-path performance report (the "perf"
-// section of BENCH_*.json): interpreter throughput with/without the
-// decode cache, delta-restore traffic, and serve-loop latency.
+// section of BENCH_*.json): interpreter throughput across the cache
+// configurations, delta-restore traffic, and serve-loop latency.
 func BenchmarkPerf(b *testing.B) {
 	var r *eval.PerfReport
 	var err error
@@ -257,6 +262,8 @@ func BenchmarkPerf(b *testing.B) {
 		}
 	}
 	b.ReportMetric(r.InstrPerSec/1e6, "Minstr/s")
+	b.ReportMetric(r.BlockCacheSpeedup, "block-speedup")
+	b.ReportMetric(r.MeanBlockLen, "block-len")
 	b.ReportMetric(r.DecodeCacheSpeedup, "decode-speedup")
 	b.ReportMetric(float64(r.RestoreWordsPerRequest), "restore-words/req")
 	b.ReportMetric(r.RestoreReduction, "restore-reduction")

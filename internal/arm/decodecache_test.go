@@ -121,6 +121,7 @@ func runToSVC(t *testing.T, m *Machine) {
 // contents never changed — and wrongly execute frame A's code.
 func TestDecodeCacheRemapNewFrame(t *testing.T) {
 	m, l2, _, frameB := remapMachine(t)
+	m.EnableBlockCache(false) // pin the per-instruction decode-cache path
 	runToSVC(t, m)
 	if m.Reg(R0) != 0xA {
 		t.Fatalf("first run r0 = %#x, want 0xA", m.Reg(R0))
@@ -147,6 +148,7 @@ func TestDecodeCacheTLBFlushForcesRefetch(t *testing.T) {
 	p := asm.New()
 	p.Movw(R0, 5).AddI(R0, R0, 1).Svc()
 	m, _ := buildEnclaveMachine(t, p)
+	m.EnableBlockCache(false) // pin the per-instruction decode-cache path
 	if tr := m.Run(100); tr.Kind != TrapSVC {
 		t.Fatalf("trap = %v", tr.Kind)
 	}
@@ -202,6 +204,10 @@ func TestDecodeCacheDifferentialLoop(t *testing.T) {
 	}
 	on, dataOn := build()
 	off, dataOff := build()
+	// Pin both machines to the per-instruction path: this test is the
+	// decode cache's differential (the block cache has its own).
+	on.EnableBlockCache(false)
+	off.EnableBlockCache(false)
 	off.EnableDecodeCache(false)
 	if tr := on.Run(100000); tr.Kind != TrapSVC {
 		t.Fatalf("cached run: trap = %v (%v)", tr.Kind, tr.FaultErr)
@@ -274,6 +280,7 @@ func TestDecodeCacheToggle(t *testing.T) {
 	p.Movw(R0, 1).Hlt()
 	m := newTestMachine(t, p)
 	base := m.Phys.Layout().InsecureBase
+	m.EnableBlockCache(false) // pin the per-instruction decode-cache path
 	m.EnableDecodeCache(false)
 	runToHalt(t, m)
 	if s := m.DecodeCacheStats(); s.Enabled || s.Hits != 0 || s.Misses != 0 || s.Fills != 0 {

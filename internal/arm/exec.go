@@ -255,6 +255,28 @@ func (m *Machine) Run(budget int64) Trap {
 			return Trap{Kind: TrapIRQ}
 		}
 
+		// Superblock fast path: only while interrupt delivery is quiescent
+		// (nothing pending, no injection countdown armed — so the
+		// per-instruction checks above are provably no-ops for the whole
+		// block) and tracing is off. One dispatch stands in for `started`
+		// iterations of this loop.
+		if !m.bc.disabled && m.TraceFn == nil &&
+			m.irqCountdown < 0 && !m.irqPending && !m.fiqPending {
+			var remaining int64
+			if budget > 0 {
+				remaining = budget - n
+			}
+			started, t, stop := m.blockDispatch(remaining)
+			if stop {
+				return t
+			}
+			if started > 0 {
+				n += started - 1
+				continue
+			}
+			// Dispatch declined; fall through to the single-instruction path.
+		}
+
 		insn, fetchFault, err := m.fetchDecode()
 		if err != nil {
 			if fetchFault {
@@ -267,7 +289,12 @@ func (m *Machine) Run(budget int64) Trap {
 		if m.TraceFn != nil {
 			m.TraceFn(m.pc, insn)
 		}
-		if t, stop := m.step(insn); stop {
+		if badReg(insn) {
+			err := fmt.Errorf("arm: invalid register encoding at pc=%#x", m.pc)
+			m.TakeException(TrapUndef, m.pc)
+			return Trap{Kind: TrapUndef, FaultAddr: m.pc, FaultErr: err}
+		}
+		if t, stop := m.step(&insn); stop {
 			return t
 		}
 		m.retired++
@@ -278,8 +305,10 @@ func (m *Machine) Run(budget int64) Trap {
 }
 
 // step executes one decoded instruction. It returns (trap, true) when
-// execution must stop.
-func (m *Machine) step(i Instr) (Trap, bool) {
+// execution must stop. The pointer parameter avoids copying the Instr on
+// the block cache's fused loop, which steps straight out of the cached
+// slice; step must not mutate it.
+func (m *Machine) step(i *Instr) (Trap, bool) {
 	pcNext := m.pc + 4
 	faultPC := m.pc
 
@@ -292,9 +321,9 @@ func (m *Machine) step(i Instr) (Trap, bool) {
 		m.TakeException(TrapDataAbort, faultPC)
 		return Trap{Kind: TrapDataAbort, FaultAddr: addr, FaultErr: err}, true
 	}
-	if badReg(i) {
-		return undef("invalid register encoding")
-	}
+	// badReg validation happens in the callers (Run's slow path and the
+	// block cache's step fallback) so the fused fast path never pays for
+	// it: fast-eligible instructions are register-bounded by construction.
 	priv := m.cpsr.Mode.Privileged()
 
 	switch i.Op {

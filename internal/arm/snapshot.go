@@ -111,10 +111,11 @@ func (m *Machine) Restore(s *Snapshot) error {
 	if !s.tlbConsistent {
 		m.TLB.MarkInconsistent()
 	}
-	// Strict invalidation on snapshot restore: the predecode cache may
-	// hold instructions from the abandoned timeline. (Delta restore
-	// also bumps restored pages' versions, but dropping everything here
-	// keeps the invalidation argument local.)
+	// Strict invalidation on snapshot restore: the predecode and block
+	// caches may hold instructions from the abandoned timeline. (Delta
+	// restore also bumps restored pages' versions, but dropping
+	// everything here keeps the invalidation argument local.)
 	m.dc.reset()
+	m.bc.reset()
 	return nil
 }

@@ -73,6 +73,10 @@ type Machine struct {
 	// simulator acceleration, semantically invisible. Lazily allocated
 	// on first fetch.
 	dc decodeCache
+	// bc is the superblock translation cache (blockcache.go) — the fused
+	// fast path in front of dc, same invisibility contract. Lazily
+	// allocated on first dispatch.
+	bc blockCache
 }
 
 // NewMachine builds a powered-on machine in secure supervisor mode (the

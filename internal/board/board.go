@@ -39,6 +39,10 @@ type Config struct {
 	// instruction cache off (A/B benchmarking, differential tests).
 	// Semantics are identical either way; only simulator speed changes.
 	DisableDecodeCache bool
+	// DisableBlockCache boots the machine with the superblock translation
+	// cache off, leaving the per-instruction path (decode cache included,
+	// unless also disabled). Same invisibility contract as above.
+	DisableBlockCache bool
 }
 
 // Platform is a booted machine.
@@ -62,6 +66,9 @@ func Boot(cfg Config) (*Platform, error) {
 	m := arm.NewMachine(phys, rng.New(cfg.Seed))
 	if cfg.DisableDecodeCache {
 		m.EnableDecodeCache(false)
+	}
+	if cfg.DisableBlockCache {
+		m.EnableBlockCache(false)
 	}
 
 	// The CPU resets into secure supervisor mode; the bootloader runs
@@ -111,6 +118,12 @@ func (p *Platform) StatsSnapshot() telemetry.Snapshot {
 	s.DecodeCache = telemetry.DecodeCacheStats{
 		Hits: dc.Hits, Misses: dc.Misses, Revalidated: dc.Revalidated,
 		Fills: dc.Fills, Resets: dc.Resets, Enabled: dc.Enabled,
+	}
+	bc := m.BlockCacheStats()
+	s.BlockCache = telemetry.BlockCacheStats{
+		Hits: bc.Hits, Misses: bc.Misses, Revalidated: bc.Revalidated,
+		Invalidated: bc.Invalidated, Fills: bc.Fills, Resets: bc.Resets,
+		Blocks: bc.Blocks, BlockInsns: bc.BlockInsns, Enabled: bc.Enabled,
 	}
 	// DecodePageDB reads through the monitor's charged accessors; a stats
 	// snapshot is an out-of-band observation, so rewind the cycle counter

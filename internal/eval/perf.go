@@ -10,10 +10,11 @@ import (
 )
 
 // PerfReport captures host-side hot-path performance: how fast the
-// simulator retires instructions with and without the predecoded
-// instruction cache, how much memory the dirty-page delta restore moves
-// per serving-style request compared with a full copy, and the wall-clock
-// request latency distribution of the snapshot/restore serving loop.
+// simulator retires instructions across the interpreter's three
+// configurations (superblock cache, decode cache only, fully uncached),
+// how much memory the dirty-page delta restore moves per serving-style
+// request compared with a full copy, and the wall-clock request latency
+// distribution of the snapshot/restore serving loop.
 //
 // Unlike the rest of this package these are host measurements (they vary
 // with the machine running them); the committed BENCH_*.json baselines
@@ -24,10 +25,21 @@ type PerfReport struct {
 
 	// Interpreter throughput on the notary's hash loop, simulated
 	// instructions per host second (no restores: pure interpretation).
-	InstrPerSec         float64 `json:"instr_per_sec"`
-	InstrPerSecUncached float64 `json:"instr_per_sec_uncached"`
-	DecodeCacheSpeedup  float64 `json:"decode_cache_speedup"`
-	DecodeCacheHitRate  float64 `json:"decode_cache_hit_rate"`
+	// InstrPerSec is the default configuration (superblock + decode
+	// cache); DecodeOnly disables the block cache; Uncached disables both.
+	InstrPerSec           float64 `json:"instr_per_sec"`
+	InstrPerSecDecodeOnly float64 `json:"instr_per_sec_decode_only"`
+	InstrPerSecUncached   float64 `json:"instr_per_sec_uncached"`
+	// BlockCacheSpeedup is block-cached over decode-only; DecodeCacheSpeedup
+	// is decode-only over uncached (the two layers' separate contributions).
+	BlockCacheSpeedup  float64 `json:"block_cache_speedup"`
+	DecodeCacheSpeedup float64 `json:"decode_cache_speedup"`
+	// BlockCacheHitRate/MeanBlockLen describe the default run; the decode
+	// hit rate comes from the decode-only run (with the block cache on,
+	// the per-instruction decode path barely executes).
+	BlockCacheHitRate  float64 `json:"block_cache_hit_rate"`
+	MeanBlockLen       float64 `json:"mean_block_len"`
+	DecodeCacheHitRate float64 `json:"decode_cache_hit_rate"`
 
 	// Restore traffic for one notary request: words the delta path
 	// actually copied vs. the full memory image a naive restore copies.
@@ -41,11 +53,23 @@ type PerfReport struct {
 	ServeP95Micros float64 `json:"serve_p95_us"`
 }
 
+// perfConfig selects one of the interpreter's cache configurations.
+type perfConfig int
+
+const (
+	cfgBlock      perfConfig = iota // default: superblock + decode cache
+	cfgDecodeOnly                   // block cache off
+	cfgUncached                     // both caches off
+)
+
 // notarySystem boots a platform and loads the single-shared-page notary.
-func notarySystem(noCache bool) (*komodo.System, *komodo.Enclave, error) {
+func notarySystem(cfg perfConfig) (*komodo.System, *komodo.Enclave, error) {
 	opts := []komodo.Option{komodo.WithSeed(1)}
-	if noCache {
-		opts = append(opts, komodo.WithoutDecodeCache())
+	switch cfg {
+	case cfgDecodeOnly:
+		opts = append(opts, komodo.WithoutBlockCache())
+	case cfgUncached:
+		opts = append(opts, komodo.WithoutBlockCache(), komodo.WithoutDecodeCache())
 	}
 	sys, err := komodo.New(opts...)
 	if err != nil {
@@ -70,41 +94,56 @@ func testDoc(words int) []uint32 {
 	return doc
 }
 
+// throughputStats carries one configuration's measurement.
+type throughputStats struct {
+	instrPerSec   float64
+	decodeHitRate float64
+	blockHitRate  float64
+	meanBlockLen  float64
+}
+
 // throughput measures simulated instructions retired per host second over
 // iters back-to-back notary runs (no snapshot/restore in the loop), plus
-// the decode cache's hit rate for the run.
-func throughput(noCache bool, iters, docWords int) (instrPerSec, hitRate float64, err error) {
-	sys, enc, err := notarySystem(noCache)
+// the cache hit rates and mean block length for the run.
+func throughput(cfg perfConfig, iters, docWords int) (throughputStats, error) {
+	var ts throughputStats
+	sys, enc, err := notarySystem(cfg)
 	if err != nil {
-		return 0, 0, err
+		return ts, err
 	}
 	if err := enc.WriteShared(0, 0, testDoc(docWords)); err != nil {
-		return 0, 0, err
+		return ts, err
 	}
 	m := sys.Machine()
 	startRetired := m.Retired()
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := enc.Run(uint32(docWords)); err != nil {
-			return 0, 0, err
+			return ts, err
 		}
 	}
 	wall := time.Since(start).Seconds()
 	if wall <= 0 {
-		return 0, 0, fmt.Errorf("eval: perf run too fast to time")
+		return ts, fmt.Errorf("eval: perf run too fast to time")
 	}
 	dc := m.DecodeCacheStats()
 	if total := dc.Hits + dc.Misses; total > 0 {
-		hitRate = float64(dc.Hits) / float64(total)
+		ts.decodeHitRate = float64(dc.Hits) / float64(total)
 	}
-	return float64(m.Retired()-startRetired) / wall, hitRate, nil
+	bc := m.BlockCacheStats()
+	if total := bc.Hits + bc.Misses; total > 0 {
+		ts.blockHitRate = float64(bc.Hits) / float64(total)
+	}
+	ts.meanBlockLen = bc.MeanBlockLen()
+	ts.instrPerSec = float64(m.Retired()-startRetired) / wall
+	return ts, nil
 }
 
 // serveLoop measures the pool's serving discipline: golden snapshot once,
 // then per request write the doc, run the notary, restore. Returns the
 // per-request wall latencies and delta-restore traffic.
 func serveLoop(reqs, docWords int) (lat []time.Duration, deltaWords, fullWords uint64, err error) {
-	sys, enc, err := notarySystem(false)
+	sys, enc, err := notarySystem(cfgBlock)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -133,22 +172,27 @@ func serveLoop(reqs, docWords int) (lat []time.Duration, deltaWords, fullWords u
 }
 
 // Perf measures the serving hot path: reqs notary requests through the
-// snapshot/restore loop, and reqs iterations of the pure compute loop
-// (reqs/4 uncached — enough for a stable rate).
+// snapshot/restore loop, and reqs iterations of the pure compute loop per
+// cache configuration (reqs/4 for the slower decode-only and uncached
+// configurations — enough for a stable rate).
 func Perf(reqs int) (*PerfReport, error) {
 	if reqs < 8 {
 		reqs = 8
 	}
 	const docWords = 64
-	cached, hitRate, err := throughput(false, reqs, docWords)
+	block, err := throughput(cfgBlock, reqs, docWords)
 	if err != nil {
 		return nil, err
 	}
-	uncachedReqs := reqs / 4
-	if uncachedReqs < 2 {
-		uncachedReqs = 2
+	slowReqs := reqs / 4
+	if slowReqs < 2 {
+		slowReqs = 2
 	}
-	uncached, _, err := throughput(true, uncachedReqs, docWords)
+	decodeOnly, err := throughput(cfgDecodeOnly, slowReqs, docWords)
+	if err != nil {
+		return nil, err
+	}
+	uncached, err := throughput(cfgUncached, slowReqs, docWords)
 	if err != nil {
 		return nil, err
 	}
@@ -165,16 +209,22 @@ func Perf(reqs int) (*PerfReport, error) {
 	r := &PerfReport{
 		Requests:               reqs,
 		DocWords:               docWords,
-		InstrPerSec:            cached,
-		InstrPerSecUncached:    uncached,
-		DecodeCacheHitRate:     hitRate,
+		InstrPerSec:            block.instrPerSec,
+		InstrPerSecDecodeOnly:  decodeOnly.instrPerSec,
+		InstrPerSecUncached:    uncached.instrPerSec,
+		BlockCacheHitRate:      block.blockHitRate,
+		MeanBlockLen:           block.meanBlockLen,
+		DecodeCacheHitRate:     decodeOnly.decodeHitRate,
 		RestoreWordsPerRequest: deltaWords,
 		RestoreWordsFullCopy:   fullWords,
 		ServeP50Micros:         p(0.50),
 		ServeP95Micros:         p(0.95),
 	}
-	if uncached > 0 {
-		r.DecodeCacheSpeedup = cached / uncached
+	if decodeOnly.instrPerSec > 0 {
+		r.BlockCacheSpeedup = block.instrPerSec / decodeOnly.instrPerSec
+	}
+	if uncached.instrPerSec > 0 {
+		r.DecodeCacheSpeedup = decodeOnly.instrPerSec / uncached.instrPerSec
 	}
 	if deltaWords > 0 {
 		r.RestoreReduction = float64(fullWords) / float64(deltaWords)

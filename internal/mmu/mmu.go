@@ -207,6 +207,11 @@ func (t *TLB) Fill(va, paBase uint32, p Perms) {
 // telemetry describing the same architectural fetch stream either way.
 func (t *TLB) RecordHit() { t.hits++ }
 
+// RecordHits batch-records n elided lookups that would all have hit: the
+// arm package's superblock cache proves a whole block's fetches would hit
+// (epoch match at block entry) and records them in one call at block exit.
+func (t *TLB) RecordHits(n uint64) { t.hits += n }
+
 // Flush invalidates all entries and marks the TLB consistent (the model
 // supports only whole-TLB flushes, per §5.1).
 func (t *TLB) Flush() {

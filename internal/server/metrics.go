@@ -119,6 +119,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.Sample{Labels: obs.L("event", "hit"), Value: float64(tel.DecodeCache.Hits)},
 		obs.Sample{Labels: obs.L("event", "miss"), Value: float64(tel.DecodeCache.Misses)},
 		obs.Sample{Labels: obs.L("event", "revalidated"), Value: float64(tel.DecodeCache.Revalidated)})
+	p.Counter("komodo_block_cache_total",
+		"Superblock translation-cache dispatches by outcome, summed over sampled idle workers.",
+		obs.Sample{Labels: obs.L("event", "hit"), Value: float64(tel.BlockCache.Hits)},
+		obs.Sample{Labels: obs.L("event", "miss"), Value: float64(tel.BlockCache.Misses)},
+		obs.Sample{Labels: obs.L("event", "revalidated"), Value: float64(tel.BlockCache.Revalidated)},
+		obs.Sample{Labels: obs.L("event", "invalidated"), Value: float64(tel.BlockCache.Invalidated)})
+	p.Counter("komodo_block_cache_insns_total",
+		"Instructions retired through cached superblocks (blocks gives the count of "+
+			"block executions; the ratio is the mean block length).",
+		obs.Sample{Labels: obs.L("kind", "insns"), Value: float64(tel.BlockCache.BlockInsns)},
+		obs.Sample{Labels: obs.L("kind", "blocks"), Value: float64(tel.BlockCache.Blocks)})
 
 	obs.WriteRuntimeMetrics(p)
 }

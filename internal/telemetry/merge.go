@@ -56,6 +56,15 @@ func Merge(snaps ...Snapshot) Snapshot {
 		out.DecodeCache.Fills += s.DecodeCache.Fills
 		out.DecodeCache.Resets += s.DecodeCache.Resets
 		out.DecodeCache.Enabled = out.DecodeCache.Enabled || s.DecodeCache.Enabled
+		out.BlockCache.Hits += s.BlockCache.Hits
+		out.BlockCache.Misses += s.BlockCache.Misses
+		out.BlockCache.Revalidated += s.BlockCache.Revalidated
+		out.BlockCache.Invalidated += s.BlockCache.Invalidated
+		out.BlockCache.Fills += s.BlockCache.Fills
+		out.BlockCache.Resets += s.BlockCache.Resets
+		out.BlockCache.Blocks += s.BlockCache.Blocks
+		out.BlockCache.BlockInsns += s.BlockCache.BlockInsns
+		out.BlockCache.Enabled = out.BlockCache.Enabled || s.BlockCache.Enabled
 		out.Trace.Recorded += s.Trace.Recorded
 		out.Trace.Dropped += s.Trace.Dropped
 		out.Trace.Capacity += s.Trace.Capacity

@@ -72,6 +72,30 @@ type DecodeCacheStats struct {
 	Enabled     bool   `json:"enabled"`
 }
 
+// BlockCacheStats is the interpreter's superblock translation cache view
+// (internal/arm), filled in by the platform. Blocks/BlockInsns give the
+// mean dispatched block length.
+type BlockCacheStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Revalidated uint64 `json:"revalidated"`
+	Invalidated uint64 `json:"invalidated"`
+	Fills       uint64 `json:"fills"`
+	Resets      uint64 `json:"resets"`
+	Blocks      uint64 `json:"blocks"`
+	BlockInsns  uint64 `json:"block_insns"`
+	Enabled     bool   `json:"enabled"`
+}
+
+// MeanBlockLen is the average number of instructions retired per block
+// execution (0 if no block ever ran).
+func (s BlockCacheStats) MeanBlockLen() float64 {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return float64(s.BlockInsns) / float64(s.Blocks)
+}
+
 // TraceStats summarises the boundary-event ring.
 type TraceStats struct {
 	Recorded uint64 `json:"recorded"`
@@ -105,6 +129,7 @@ type Snapshot struct {
 	TLB         TLBStats          `json:"tlb"`
 	Mem         MemStats          `json:"mem"`
 	DecodeCache DecodeCacheStats  `json:"decode_cache"`
+	BlockCache  BlockCacheStats   `json:"block_cache"`
 	// PageCensus counts secure pages by current PageDB type (filled by
 	// the platform from the decoded PageDB).
 	PageCensus map[string]int `json:"page_census"`

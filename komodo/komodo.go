@@ -61,6 +61,7 @@ type config struct {
 	telemetry     bool
 	sink          telemetry.Sink
 	noDecodeCache bool
+	noBlockCache  bool
 }
 
 // WithSeed sets the hardware RNG seed (default 1). Equal seeds give
@@ -109,6 +110,14 @@ func WithTelemetry() Option { return func(c *config) { c.telemetry = true } }
 // see docs/PERFORMANCE.md.
 func WithoutDecodeCache() Option { return func(c *config) { c.noDecodeCache = true } }
 
+// WithoutBlockCache boots the machine with the superblock translation
+// cache disabled, leaving the per-instruction interpreter path (and the
+// decode cache, unless WithoutDecodeCache is also given). Like the decode
+// cache, the block cache is semantically invisible — pinned by the
+// internal/arm block differential and fuzz harnesses — so this knob
+// exists only for A/B measurement. See docs/PERFORMANCE.md.
+func WithoutBlockCache() Option { return func(c *config) { c.noBlockCache = true } }
+
 // WithTelemetrySink attaches a telemetry recorder that forwards every
 // trace event to s as it happens (e.g. a telemetry.MemorySink for tests,
 // or a telemetry.JSONLSink streaming to a file). Implies WithTelemetry.
@@ -133,6 +142,7 @@ func New(opts ...Option) (*System, error) {
 		Protection:         c.protection,
 		Monitor:            monitor.Config{StaticProfile: c.static, ExecBudget: c.budget, Optimised: c.optimised},
 		DisableDecodeCache: c.noDecodeCache,
+		DisableBlockCache:  c.noBlockCache,
 	}
 	if c.telemetry {
 		rec := telemetry.New()
