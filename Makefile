@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke load-compare
+.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline bench-fleet examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke gateway-smoke load-compare
 
 all: build vet test
 
@@ -49,6 +49,14 @@ BENCH_N ?= 6
 bench-baseline:
 	$(GO) run ./cmd/komodo-bench -json > BENCH_$(BENCH_N).json
 
+# Regenerate the committed fleet-scaling baseline (BENCH_7.json): whole
+# in-process fleets (N pools behind N servers behind a real gateway),
+# sharded notary load, per-backend quantiles, fleet-wide duplicate
+# counter detection.
+bench-fleet:
+	$(GO) run ./cmd/komodo-load -sweep-backends 1,2,4 -endpoint notary \
+		-workers 2 -clients 8 -duration 5s -json > BENCH_7.json
+
 # The serving layer (docs/SERVING.md): warm-pool attestation/notary HTTP
 # service, and the boot-vs-snapshot provisioning comparison.
 serve:
@@ -67,6 +75,13 @@ ckpt-smoke:
 # expected Prometheus family.
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Fleet front (docs/GATEWAY.md): two backends behind komodo-gateway, all
+# race-instrumented; verify quotes through the proxy, kill a backend
+# mid-load (zero non-retryable errors, zero duplicated counters), then
+# live-migrate sealed notary state and require strict monotonicity.
+gateway-smoke:
+	sh scripts/gateway_smoke.sh
 
 load-compare:
 	$(GO) run ./cmd/komodo-load -compare -workers 4 -clients 8 -duration 5s

@@ -11,6 +11,16 @@
 //
 //	komodo-load -compare -workers 4 -clients 8 -duration 5s
 //	komodo-load -sweep 1,2,4,8 -clients 8 -duration 3s
+//
+// Fleet mode: -targets takes a komodo-gateway URL (or a comma-separated
+// backend list to skip the gateway), shards notary traffic with -shards,
+// attributes latency per backend via the X-Komodo-Backend response
+// header, and cross-checks that no (backend, worker, epoch, restores)
+// counter stream ever repeats a value. -sweep-backends boots whole
+// in-process fleets (N backends behind a gateway) for the scaling curve:
+//
+//	komodo-load -targets http://127.0.0.1:9090 -endpoint notary -shards 8
+//	komodo-load -sweep-backends 1,2,4 -workers 2 -endpoint notary -json
 package main
 
 import (
@@ -24,11 +34,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/gateway"
 	"repro/internal/kasm"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -44,6 +56,10 @@ type options struct {
 	verify      bool
 	jsonOut     bool
 	traceparent string
+
+	targets       string
+	shards        int
+	sweepBackends string
 
 	workers int
 	queue   int
@@ -76,6 +92,27 @@ type Result struct {
 	// Scripts use CounterMax to assert monotonicity across restarts.
 	CounterMin uint32 `json:"counter_min,omitempty"`
 	CounterMax uint32 `json:"counter_max,omitempty"`
+	// CounterDups counts notary responses that repeated a counter value
+	// already seen on the same (backend, worker, epoch, restores) stream.
+	// Any nonzero value means a counter was lost or duplicated — e.g. a
+	// failover or migration spliced two lineages together.
+	CounterDups int `json:"counter_dups"`
+	// Backends is the fleet size when driving through a gateway
+	// (-sweep-backends), and PerBackend the per-node latency view built
+	// from the X-Komodo-Backend attribution header (merged quantiles in
+	// the top-level fields come from summing these histograms).
+	Backends   int             `json:"backends,omitempty"`
+	PerBackend []BackendResult `json:"per_backend,omitempty"`
+}
+
+// BackendResult is one backend's slice of a fleet run.
+type BackendResult struct {
+	Backend string  `json:"backend"`
+	OK      int     `json:"ok"`
+	P50ms   float64 `json:"p50_ms"`
+	P95ms   float64 `json:"p95_ms"`
+	P99ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
 }
 
 func main() {
@@ -95,10 +132,39 @@ func main() {
 	flag.IntVar(&o.reuse, "max-reuse", 0, "in-process: per-worker reuse limit")
 	flag.BoolVar(&o.compare, "compare", false, "run snapshot-clone vs boot-per-request back to back")
 	flag.StringVar(&o.sweep, "sweep", "", "comma-separated pool sizes to sweep (snapshot mode)")
+	flag.StringVar(&o.targets, "targets", "", "fleet targets: one gateway URL, or comma-separated backend URLs")
+	flag.IntVar(&o.shards, "shards", 0, "notary shard keys to spread across (client c uses shard s<c mod N>; 0 = unsharded)")
+	flag.StringVar(&o.sweepBackends, "sweep-backends", "", "comma-separated fleet sizes: boot N in-process backends behind a gateway per entry")
 	flag.Parse()
 
 	var results []Result
 	switch {
+	case o.sweepBackends != "":
+		for _, f := range strings.Split(o.sweepBackends, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fail(fmt.Errorf("bad -sweep-backends entry %q", f))
+			}
+			r, err := runFleet(o, n)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+	case o.targets != "":
+		var bases []string
+		for _, u := range strings.Split(o.targets, ",") {
+			bases = append(bases, strings.TrimRight(strings.TrimSpace(u), "/"))
+		}
+		label := "gateway"
+		if len(bases) > 1 {
+			label = fmt.Sprintf("direct/%db", len(bases))
+		}
+		r, err := drive(o, bases, label)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
 	case o.compare:
 		for _, mode := range []string{"boot", "snapshot"} {
 			o.mode = mode
@@ -128,7 +194,7 @@ func main() {
 		}
 		results = append(results, r)
 	default:
-		r, err := drive(o, strings.TrimRight(o.url, "/"), "remote")
+		r, err := drive(o, []string{strings.TrimRight(o.url, "/")}, "remote")
 		if err != nil {
 			fail(err)
 		}
@@ -151,7 +217,14 @@ func main() {
 		if r.CounterMax > 0 {
 			fmt.Printf("  counters=%d..%d", r.CounterMin, r.CounterMax)
 		}
+		if r.CounterDups > 0 {
+			fmt.Printf("  DUPS=%d", r.CounterDups)
+		}
 		fmt.Println()
+		for _, pb := range r.PerBackend {
+			fmt.Printf("  %-14s %9s %7d %7s %6s %8.2f %8.2f %8.2f %8.2f\n",
+				"· "+pb.Backend, "", pb.OK, "", "", pb.P50ms, pb.P95ms, pb.P99ms, pb.MaxMs)
+		}
 	}
 	if len(results) == 2 && results[0].Mode == "boot-each" && results[1].Mode == "snapshot" &&
 		results[0].Throughput > 0 {
@@ -195,7 +268,7 @@ func runInProcess(o options, label string) (Result, error) {
 		p.Close(ctx)
 	}()
 
-	r, err := drive(o, "http://"+ln.Addr().String(), label)
+	r, err := drive(o, []string{"http://" + ln.Addr().String()}, label)
 	if err != nil {
 		return r, err
 	}
@@ -204,12 +277,108 @@ func runInProcess(o options, label string) (Result, error) {
 	return r, nil
 }
 
-// drive runs the closed-loop clients against base and aggregates.
-func drive(o options, base, label string) (Result, error) {
+// runFleet boots n full backend stacks (pool + server, each on its own
+// loopback listener) behind an in-process gateway, and drives the load
+// through the gateway — the -sweep-backends scaling measurement. Each
+// fleet entry is labelled fleet/<n>b and carries the per-backend view.
+func runFleet(o options, n int) (Result, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var specs []gateway.BackendSpec
+	var cleanup []func()
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		pcfg := pool.Config{Size: o.workers, Boot: server.Blueprint(o.seed), MaxReuse: o.reuse, Mode: pool.ModeSnapshot}
+		p, err := pool.New(pcfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("backend %d pool: %w", i, err)
+		}
+		srv := server.New(server.Config{Pool: p, QueueDepth: o.queue, RequestTimeout: 30 * time.Second})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Result{}, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		cleanup = append(cleanup, func() {
+			srv.Drain()
+			hs.Shutdown(ctx)
+			p.Close(ctx)
+		})
+		specs = append(specs, gateway.BackendSpec{Name: fmt.Sprintf("b%d", i), URL: "http://" + ln.Addr().String()})
+	}
+
+	g, err := gateway.New(gateway.Config{Backends: specs, ProbeInterval: 200 * time.Millisecond})
+	if err != nil {
+		return Result{}, err
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Result{}, err
+	}
+	ghs := &http.Server{Handler: g}
+	go ghs.Serve(gln)
+	cleanup = append(cleanup, func() {
+		ghs.Shutdown(ctx)
+		g.Close()
+	})
+
+	fo := o
+	if fo.shards == 0 {
+		// Spread shards well past the fleet size so every backend owns
+		// several arcs of real traffic.
+		fo.shards = 4 * n
+	}
+	r, err := drive(fo, []string{"http://" + gln.Addr().String()}, fmt.Sprintf("fleet/%db", n))
+	if err != nil {
+		return r, err
+	}
+	r.Mode = "snapshot"
+	r.Workers = o.workers
+	r.Backends = n
+	return r, nil
+}
+
+// streamBook detects lost or duplicated notary counters across the whole
+// run: every observed (backend, worker, epoch, restores, counter) tuple
+// must be unique. Duplicate detection is insensitive to response
+// reordering between concurrent clients (unlike per-observation
+// monotonicity), so it is exactly the invariant a fleet must keep
+// through failover and migration.
+type streamBook struct {
+	mu   sync.Mutex
+	seen map[string]struct{}
+	dups int
+}
+
+func (sb *streamBook) record(backend string, nr *server.NotaryResponse) {
+	key := fmt.Sprintf("%s/%d/%d/%d#%d", backend, nr.Worker, nr.Epoch, nr.Restores, nr.Counter)
+	sb.mu.Lock()
+	if _, dup := sb.seen[key]; dup {
+		sb.dups++
+	} else {
+		sb.seen[key] = struct{}{}
+	}
+	sb.mu.Unlock()
+}
+
+// drive runs the closed-loop clients against the targets and aggregates.
+// Client c is pinned to bases[c%len(bases)]; with -shards it also tags
+// notary requests with shard s<c mod shards>, so through a gateway the
+// shard→backend placement is exercised for real. Latency is attributed
+// per backend via the X-Komodo-Backend header (falling back to the
+// target URL when absent), and the merged quantiles are computed over
+// the union of the per-backend histograms.
+func drive(o options, bases []string, label string) (Result, error) {
 	var quoteKey [8]uint32
 	if o.verify {
 		var kr server.QuoteKeyResponse
-		if err := getJSON(base+"/v1/quotekey", &kr); err != nil {
+		if err := getJSON(bases[0]+"/v1/quotekey", &kr); err != nil {
 			return Result{}, fmt.Errorf("fetching quote key: %w", err)
 		}
 		k, err := server.DecodeWords(kr.QuoteKey)
@@ -225,9 +394,22 @@ func drive(o options, base, label string) (Result, error) {
 		err                                   error
 	}
 	tallies := make([]tally, o.clients)
-	// One lock-free histogram shared by every client goroutine; quantiles
-	// come from its log-linear buckets rather than a sorted sample slice.
-	hist := obs.NewHistogram()
+	book := &streamBook{seen: map[string]struct{}{}}
+	// Lock-free histograms shared by every client goroutine, one per
+	// backend plus on-demand; quantiles come from their log-linear
+	// buckets rather than a sorted sample slice.
+	var histMu sync.Mutex
+	hists := map[string]*obs.Histogram{}
+	histFor := func(backend string) *obs.Histogram {
+		histMu.Lock()
+		defer histMu.Unlock()
+		h := hists[backend]
+		if h == nil {
+			h = obs.NewHistogram()
+			hists[backend] = h
+		}
+		return h
+	}
 
 	deadline := time.Now().Add(o.duration)
 	var budget chan struct{}
@@ -249,6 +431,11 @@ func drive(o options, base, label string) (Result, error) {
 			t := &tallies[c]
 			rng := rand.New(rand.NewSource(int64(c) + 1))
 			client := &http.Client{Timeout: 60 * time.Second}
+			base := bases[c%len(bases)]
+			shard := ""
+			if o.shards > 0 {
+				shard = fmt.Sprintf("s%d", c%o.shards)
+			}
 			for seq := 0; time.Now().Before(deadline); seq++ {
 				if budget != nil {
 					if _, more := <-budget; !more {
@@ -264,18 +451,22 @@ func drive(o options, base, label string) (Result, error) {
 					}
 				}
 				reqStart := time.Now()
-				status, body, err := doRequest(client, base, ep, c, seq, rng, o.traceparent)
+				status, body, servedBy, err := doRequest(client, base, ep, c, seq, rng, o.traceparent, shard)
 				if err != nil {
 					t.errs++
 					continue
 				}
+				if servedBy == "" {
+					servedBy = base
+				}
 				switch status {
 				case http.StatusOK:
 					t.ok++
-					hist.Observe(time.Since(reqStart))
+					histFor(servedBy).Observe(time.Since(reqStart))
 					if ep == "notary" {
 						var nr server.NotaryResponse
 						if json.Unmarshal(body, &nr) == nil && nr.Counter > 0 {
+							book.record(servedBy, &nr)
 							if t.counterMin == 0 || nr.Counter < t.counterMin {
 								t.counterMin = nr.Counter
 							}
@@ -335,14 +526,40 @@ func drive(o options, base, label string) (Result, error) {
 			r.Rejected, r.Unavail, r.Errors)
 	}
 	r.Throughput = float64(r.OK) / elapsed.Seconds()
-	snap := hist.Snapshot()
+	r.CounterDups = book.dups
+
+	// Per-backend quantiles, plus a merged view over the union of all
+	// samples (HistSnapshot.Merge, not an average of quantiles).
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-	r.P50ms, r.P95ms, r.P99ms = ms(snap.Quantile(0.50)), ms(snap.Quantile(0.95)), ms(snap.Quantile(0.99))
-	r.MaxMs = ms(time.Duration(snap.MaxNS))
+	var merged obs.HistSnapshot
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap := hists[name].Snapshot()
+		merged.Merge(snap)
+		if len(names) > 1 {
+			r.PerBackend = append(r.PerBackend, BackendResult{
+				Backend: name,
+				OK:      int(snap.Count),
+				P50ms:   ms(snap.Quantile(0.50)),
+				P95ms:   ms(snap.Quantile(0.95)),
+				P99ms:   ms(snap.Quantile(0.99)),
+				MaxMs:   ms(time.Duration(snap.MaxNS)),
+			})
+		}
+	}
+	r.P50ms, r.P95ms, r.P99ms = ms(merged.Quantile(0.50)), ms(merged.Quantile(0.95)), ms(merged.Quantile(0.99))
+	r.MaxMs = ms(time.Duration(merged.MaxNS))
 	return r, nil
 }
 
-func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand, traceparent string) (int, []byte, error) {
+// doRequest issues one request. The fourth return is the backend that
+// served it (the gateway's X-Komodo-Backend attribution header, "" when
+// talking to a backend directly).
+func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand, traceparent, shard string) (int, []byte, string, error) {
 	var req *http.Request
 	var err error
 	switch ep {
@@ -352,29 +569,33 @@ func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand,
 	case "notary":
 		doc := make([]byte, 64+rng.Intn(448))
 		rng.Read(doc)
-		req, err = http.NewRequest(http.MethodPost, base+"/v1/notary/sign", bytes.NewReader(doc))
+		url := base + "/v1/notary/sign"
+		if shard != "" {
+			url += "?shard=" + shard
+		}
+		req, err = http.NewRequest(http.MethodPost, url, bytes.NewReader(doc))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/octet-stream")
 		}
 	default:
-		return 0, nil, fmt.Errorf("unknown endpoint %q", ep)
+		return 0, nil, "", fmt.Errorf("unknown endpoint %q", ep)
 	}
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, "", err
 	}
 	if traceparent != "" {
 		req.Header.Set("traceparent", traceparent)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, "", err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, "", err
 	}
-	return resp.StatusCode, body, nil
+	return resp.StatusCode, body, resp.Header.Get("X-Komodo-Backend"), nil
 }
 
 // verifyAttest checks an attest response end to end: the nonce echo, the

@@ -1,0 +1,790 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// Config configures New.
+type Config struct {
+	// Backends lists the komodo-serve nodes to front. Required, >= 1.
+	Backends []BackendSpec
+	// VNodes is the number of ring points per backend (default 64).
+	VNodes int
+	// ProbeInterval is the mean health-probe period per backend (default
+	// 500ms). Each probe is jittered ±25% so a fleet of backends is
+	// never probed in lockstep.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /v1/healthz probe (default 1s).
+	ProbeTimeout time.Duration
+	// DownAfter demotes a backend after this many consecutive probe
+	// failures (default 2). Request-path transport errors demote
+	// immediately regardless.
+	DownAfter int
+	// UpAfter promotes a down backend after this many consecutive probe
+	// successes (default 2).
+	UpAfter int
+	// RequestTimeout bounds one proxied request end to end (default 60s:
+	// longer than the backends' own worker-wait deadline, so the backend
+	// — which knows why it is slow — answers first).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently proxied requests; beyond it the
+	// gateway sheds with 429 + Retry-After (default 256).
+	MaxInFlight int
+	// DisableProbes skips the background probe loops (unit tests drive
+	// the state machine by hand).
+	DisableProbes bool
+	// FlightRecorderSize caps the slow-trace recorder for
+	// /v1/debug/traces (default obs.DefaultFlightRecorderSize).
+	FlightRecorderSize int
+}
+
+// Gateway is the fleet front. It implements http.Handler.
+type Gateway struct {
+	cfg      Config
+	backends []*backend
+	ring     *Ring
+	mux      *http.ServeMux
+	client   *http.Client
+	slots    chan struct{}
+	draining atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// mu guards the routing overlays: forward (backend idx → idx its
+	// shards were migrated to) and migrating (backends whose shard
+	// traffic is briefly held with a retryable 503 while their state is
+	// in flight between nodes).
+	mu        sync.RWMutex
+	forward   map[int]int
+	migrating map[int]bool
+
+	rr atomic.Uint64 // round-robin cursor for stateless endpoints
+
+	requests    atomic.Uint64 // requests hitting the proxied endpoints
+	proxied     atomic.Uint64 // requests that reached some backend
+	failovers   atomic.Uint64 // shard requests served by a non-owner because the owner was down
+	migrations  atomic.Uint64 // completed live migrations
+	shed429     atomic.Uint64 // gateway-originated 429 (MaxInFlight)
+	noBackend   atomic.Uint64 // gateway-originated 503: no routable backend
+	holds       atomic.Uint64 // gateway-originated 503: shard held mid-migration
+	drainRej    atomic.Uint64 // gateway-originated 503: gateway draining
+	badGateway  atomic.Uint64 // gateway-originated 502: backend died mid-request
+	probeRounds atomic.Uint64 // completed probe passes (all backends)
+
+	lat    *obs.LatencyVec     // gateway-edge latency per (endpoint, outcome)
+	flight *obs.FlightRecorder // slowest gateway traces
+}
+
+// New builds the gateway. It does not block on backend availability:
+// backends start optimistically up and the probe loops (unless disabled)
+// converge the state machine from there.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: Config.Backends is required")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 2
+	}
+	if cfg.UpAfter <= 0 {
+		cfg.UpAfter = 2
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		slots:     make(chan struct{}, cfg.MaxInFlight),
+		stop:      make(chan struct{}),
+		forward:   map[int]int{},
+		migrating: map[int]bool{},
+		lat:       obs.NewLatencyVec(),
+		flight:    obs.NewFlightRecorder(cfg.FlightRecorderSize),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: cfg.MaxInFlight,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+	}
+	for i, spec := range cfg.Backends {
+		g.backends = append(g.backends, newBackend(spec, i))
+	}
+	g.ring = NewRing(len(g.backends), cfg.VNodes)
+
+	g.mux.HandleFunc("/v1/notary/sign", g.traced("/v1/notary/sign", g.handleNotarySign))
+	g.mux.HandleFunc("/v1/attest", g.traced("/v1/attest", g.handleStateless))
+	g.mux.HandleFunc("/v1/quotekey", g.traced("/v1/quotekey", g.handleStateless))
+	g.mux.HandleFunc("/v1/checkpoint", g.traced("/v1/checkpoint", g.handleAdminProxy))
+	g.mux.HandleFunc("/v1/restore", g.traced("/v1/restore", g.handleAdminProxy))
+	g.mux.HandleFunc("/v1/healthz", g.traced("/v1/healthz", g.handleHealthz))
+	g.mux.HandleFunc("/v1/stats", g.traced("/v1/stats", g.handleStats))
+	g.mux.HandleFunc("/v1/admin/migrate", g.traced("/v1/admin/migrate", g.handleMigrate))
+	g.mux.HandleFunc("/v1/admin/reinstate", g.traced("/v1/admin/reinstate", g.handleReinstate))
+	g.mux.HandleFunc("/v1/admin/backends", g.traced("/v1/admin/backends", g.handleBackends))
+	g.mux.HandleFunc("/v1/debug/traces", g.handleDebugTraces)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+
+	if !cfg.DisableProbes {
+		for _, b := range g.backends {
+			go g.probeLoop(b)
+		}
+	}
+	return g, nil
+}
+
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// Close stops the probe loops. Idempotent.
+func (g *Gateway) Close() { g.stopOnce.Do(func() { close(g.stop) }) }
+
+// Drain flips the gateway into draining mode: /v1/healthz starts failing
+// and proxied endpoints refuse new work with a retryable 503.
+func (g *Gateway) Drain() { g.draining.Store(true) }
+
+// FlightRecorder exposes the slow-trace recorder (for SIGQUIT dumps).
+func (g *Gateway) FlightRecorder() *obs.FlightRecorder { return g.flight }
+
+// Backend returns the index of the named backend, or -1.
+func (g *Gateway) Backend(name string) int {
+	for i, b := range g.backends {
+		if b.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// traced mirrors the backend servers' tracing pipeline at the gateway
+// edge: adopt or mint the W3C trace, echo the outbound header, record
+// edge latency per (endpoint, outcome) and offer the finished trace to
+// the flight recorder. The same trace id then propagates to the chosen
+// backend, so one distributed timeline spans edge → gateway → backend →
+// monitor cycles.
+func (g *Gateway) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(endpoint, r.Header.Get("traceparent"))
+		w.Header().Set("Traceparent", tr.Traceparent())
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		td := tr.Finish(outcomeFor(sw.status))
+		g.lat.Observe(endpoint, td.Outcome, time.Duration(td.DurNS))
+		g.flight.Record(td)
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func outcomeFor(status int) string {
+	switch {
+	case status == 0 || (status >= 200 && status < 300):
+		return "ok"
+	case status == http.StatusTooManyRequests:
+		return "rejected"
+	case status == http.StatusServiceUnavailable:
+		return "unavailable"
+	case status == http.StatusBadGateway:
+		return "bad_gateway"
+	case status >= 400 && status < 500:
+		return "bad_request"
+	default:
+		return "error"
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (g *Gateway) reply(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// replyErr answers a gateway-originated error. Every retryable rejection
+// the gateway itself mints (429 shed, 503 no-backend/migrating/draining,
+// 502 backend-died) carries Retry-After, mirroring the backends' own
+// backpressure contract, so clients never have to guess whether a
+// gateway rejection is worth retrying.
+func (g *Gateway) replyErr(w http.ResponseWriter, status int, retryAfter string, format string, args ...any) {
+	if retryAfter != "" && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	g.reply(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit takes a gateway in-flight slot, or sheds the request. The
+// returned release func is nil when admission failed (the response has
+// already been written).
+func (g *Gateway) admit(w http.ResponseWriter) func() {
+	if g.draining.Load() {
+		g.drainRej.Add(1)
+		g.replyErr(w, http.StatusServiceUnavailable, "5", "gateway draining")
+		return nil
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }
+	default:
+		g.shed429.Add(1)
+		g.replyErr(w, http.StatusTooManyRequests, "1", "gateway saturated (in-flight limit %d)", g.cfg.MaxInFlight)
+		return nil
+	}
+}
+
+// resolve follows the forwarding overlay from a ring owner to the
+// backend currently holding its shards. Bounded by the backend count, so
+// a (never-constructed) forwarding cycle cannot spin.
+func (g *Gateway) resolve(idx int) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for hops := 0; hops < len(g.backends); hops++ {
+		next, ok := g.forward[idx]
+		if !ok {
+			return idx
+		}
+		idx = next
+	}
+	return idx
+}
+
+// routeShard picks the backend for a shard key: the ring owner (through
+// the migration forwarding overlay) when it is up, else the next up
+// backend in ring order (a failover). The second return reports whether
+// the shard is currently held by an in-flight migration, the third how
+// many down backends were skipped.
+func (g *Gateway) routeShard(key string) (*backend, bool, int) {
+	skipped := 0
+	seen := map[int]bool{}
+	for _, cand := range g.ring.Candidates(key) {
+		idx := g.resolve(cand)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		g.mu.RLock()
+		held := g.migrating[idx]
+		g.mu.RUnlock()
+		if held {
+			return nil, true, skipped
+		}
+		if g.backends[idx].State() == StateUp {
+			return g.backends[idx], false, skipped
+		}
+		skipped++
+	}
+	return nil, false, skipped
+}
+
+// nextUp picks a backend for stateless traffic: round-robin over up
+// backends (skipping forwarded-away and migrating ones).
+func (g *Gateway) nextUp() *backend {
+	n := len(g.backends)
+	start := int(g.rr.Add(1))
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		g.mu.RLock()
+		_, forwarded := g.forward[idx]
+		held := g.migrating[idx]
+		g.mu.RUnlock()
+		if forwarded || held {
+			continue
+		}
+		if g.backends[idx].State() == StateUp {
+			return g.backends[idx]
+		}
+	}
+	return nil
+}
+
+// maxProxyBody bounds a buffered request body: the largest legitimate
+// body is a /v1/restore checkpoint (server.MaxDocBytes documents are far
+// smaller), so reuse the server's own checkpoint bound.
+const maxProxyBody = int64(32 << 20)
+
+// isDialError reports whether err is a transport failure that happened
+// before the request could have reached a handler (connection refused,
+// no route, DNS) — the only failures where retrying a non-idempotent
+// POST on another backend is safe.
+func isDialError(err error) bool {
+	var op *net.OpError
+	if errors.As(err, &op) {
+		return op.Op == "dial"
+	}
+	return false
+}
+
+// forwardTo proxies one buffered request to a backend, streaming the
+// response back. It returns the upstream status (0 with err != nil when
+// the transport failed). Response headers relevant to the client are
+// copied through — Content-Type, and crucially Retry-After, so
+// backend-minted 429/503 backpressure keeps its retry contract through
+// the gateway — and X-Komodo-Backend names the node that really served
+// the request, which is what per-backend client-side attribution keys
+// on.
+func (g *Gateway) forwardTo(w http.ResponseWriter, r *http.Request, b *backend, body []byte) (int, error) {
+	tr := obs.FromContext(r.Context())
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, b.url+r.URL.Path+queryOf(r), rd)
+	if err != nil {
+		return 0, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if tp := tr.Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	sp := tr.StartSpan("proxy")
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.observe(0, time.Since(start), true)
+		sp.EndDetail(fmt.Sprintf("backend=%s error", b.name))
+		return 0, err
+	}
+	defer resp.Body.Close()
+
+	w.Header().Set("X-Komodo-Backend", b.name)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, cpErr := io.Copy(w, resp.Body)
+	b.observe(resp.StatusCode, time.Since(start), false)
+	sp.EndDetail(fmt.Sprintf("backend=%s status=%d", b.name, resp.StatusCode))
+	g.proxied.Add(1)
+	if cpErr != nil {
+		// The client saw a truncated body; nothing more we can do.
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, nil
+}
+
+func queryOf(r *http.Request) string {
+	if r.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + r.URL.RawQuery
+}
+
+// handleNotarySign routes by counter shard: the shard key comes from the
+// ?shard= query parameter (or the X-Komodo-Shard header), the ring maps
+// it to a backend, and down owners fail over along the ring. Requests
+// without a shard key all hash to the same well-known shard, so an
+// unsharded client still sees one consistent counter stream.
+func (g *Gateway) handleNotarySign(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	release := g.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	key := r.URL.Query().Get("shard")
+	if key == "" {
+		key = r.Header.Get("X-Komodo-Shard")
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody+1))
+	if err != nil {
+		g.replyErr(w, http.StatusBadRequest, "", "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > maxProxyBody {
+		g.replyErr(w, http.StatusRequestEntityTooLarge, "", "body larger than %d bytes", maxProxyBody)
+		return
+	}
+
+	// A shard request may need several attempts: the first routable
+	// candidate can die between the probe and the proxy. Retrying is safe
+	// only on dial-level errors (the backend never saw the request).
+	for attempt := 0; attempt <= len(g.backends); attempt++ {
+		b, held, skipped := g.routeShard(key)
+		if held {
+			g.holds.Add(1)
+			g.replyErr(w, http.StatusServiceUnavailable, "1", "shard %q migrating; retry shortly", key)
+			return
+		}
+		if b == nil {
+			g.noBackend.Add(1)
+			g.replyErr(w, http.StatusServiceUnavailable, "2", "no live backend for shard %q", key)
+			return
+		}
+		if skipped > 0 {
+			g.failovers.Add(1)
+		}
+		if _, err := g.forwardTo(w, r, b, body); err != nil {
+			if isDialError(err) {
+				continue // backend demoted by observe(); re-route
+			}
+			g.badGateway.Add(1)
+			g.replyErr(w, http.StatusBadGateway, "1", "backend %s: %v", b.name, err)
+			return
+		}
+		return
+	}
+	g.noBackend.Add(1)
+	g.replyErr(w, http.StatusServiceUnavailable, "2", "no live backend for shard %q", key)
+}
+
+// handleStateless proxies endpoints with no shard affinity (/v1/attest,
+// /v1/quotekey) round-robin across up backends, retrying dial failures
+// on the next backend (both endpoints are idempotent GETs).
+func (g *Gateway) handleStateless(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	release := g.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	for attempt := 0; attempt <= len(g.backends); attempt++ {
+		b := g.nextUp()
+		if b == nil {
+			g.noBackend.Add(1)
+			g.replyErr(w, http.StatusServiceUnavailable, "2", "no live backend")
+			return
+		}
+		if _, err := g.forwardTo(w, r, b, nil); err != nil {
+			if isDialError(err) {
+				continue
+			}
+			g.badGateway.Add(1)
+			g.replyErr(w, http.StatusBadGateway, "1", "backend %s: %v", b.name, err)
+			return
+		}
+		return
+	}
+	g.noBackend.Add(1)
+	g.replyErr(w, http.StatusServiceUnavailable, "2", "no live backend")
+}
+
+// handleAdminProxy proxies the state-management plane (/v1/checkpoint,
+// /v1/restore) to an explicitly named backend (?backend=NAME). These are
+// deliberate single-node operations — the orchestration endpoints for
+// scripted migrations — so there is no implicit routing and no failover:
+// aiming sealed state at the wrong node must be impossible to do by
+// accident.
+func (g *Gateway) handleAdminProxy(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	release := g.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	name := r.URL.Query().Get("backend")
+	if name == "" {
+		g.replyErr(w, http.StatusBadRequest, "", "missing backend parameter (explicit node required for state operations)")
+		return
+	}
+	idx := g.Backend(name)
+	if idx < 0 {
+		g.replyErr(w, http.StatusNotFound, "", "unknown backend %q", name)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody+1))
+	if err != nil {
+		g.replyErr(w, http.StatusBadRequest, "", "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > maxProxyBody {
+		g.replyErr(w, http.StatusRequestEntityTooLarge, "", "body larger than %d bytes", maxProxyBody)
+		return
+	}
+	if _, err := g.forwardTo(w, r, g.backends[idx], body); err != nil {
+		g.badGateway.Add(1)
+		g.replyErr(w, http.StatusBadGateway, "1", "backend %s: %v", name, err)
+	}
+}
+
+// HealthzResponse is the gateway's /v1/healthz body.
+type HealthzResponse struct {
+	Status       string `json:"status"`
+	BackendsUp   int    `json:"backends_up"`
+	BackendsDown int    `json:"backends_down"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	up, down := 0, 0
+	for _, b := range g.backends {
+		if b.State() == StateUp {
+			up++
+		} else {
+			down++
+		}
+	}
+	body := HealthzResponse{Status: "ok", BackendsUp: up, BackendsDown: down}
+	status := http.StatusOK
+	switch {
+	case g.draining.Load():
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case up == 0:
+		body.Status = "no live backends"
+		status = http.StatusServiceUnavailable
+	}
+	if status != http.StatusOK {
+		w.Header().Set("Retry-After", "2")
+	}
+	g.reply(w, status, body)
+}
+
+// GatewayStats is the gateway-local counter block of FleetStats.
+type GatewayStats struct {
+	Requests     uint64 `json:"requests"`
+	Proxied      uint64 `json:"proxied"`
+	Failovers    uint64 `json:"failovers"`
+	Migrations   uint64 `json:"migrations"`
+	Shed429      uint64 `json:"rejected_429"`
+	NoBackend503 uint64 `json:"no_backend_503"`
+	Migrating503 uint64 `json:"migrating_503"`
+	Draining503  uint64 `json:"rejected_draining_503"`
+	BadGateway   uint64 `json:"bad_gateway_502"`
+	BackendsUp   int    `json:"backends_up"`
+	BackendsDown int    `json:"backends_down"`
+	InFlight     int    `json:"in_flight"`
+}
+
+// FleetRejected is the per-backend rejection summary the fleet view
+// surfaces directly (not buried inside each backend's stats blob):
+// where in the fleet backpressure is biting.
+type FleetRejected struct {
+	Backend     string `json:"backend"`
+	Rejected429 uint64 `json:"rejected_429"`
+	Timeouts503 uint64 `json:"timeouts_503"`
+	Draining503 uint64 `json:"rejected_draining_503"`
+	Failures5xx uint64 `json:"failures_5xx"`
+}
+
+// FleetStats is the gateway's /v1/stats body: gateway counters, the
+// per-backend view (probe state, proxy outcomes, per-backend latency
+// quantiles, each backend's own /v1/stats), and the fleet-wide merge —
+// server counters summed and monitor telemetry combined with
+// telemetry.Merge across every reachable backend.
+type FleetStats struct {
+	Gateway  GatewayStats    `json:"gateway"`
+	Backends []BackendStatus `json:"backends"`
+	// Rejected breaks out every backend's rejection counters so shed
+	// load is attributable per node at a glance.
+	Rejected []FleetRejected `json:"rejected_by_backend"`
+	// BackendStats carries each reachable backend's full /v1/stats
+	// (aligned with Backends by name; nil when the fetch failed).
+	BackendStats map[string]*server.StatsResponse `json:"backend_stats"`
+	Fleet        struct {
+		Backends int `json:"backends_reporting"`
+		Server   struct {
+			Requests uint64 `json:"requests"`
+			Served   uint64 `json:"served"`
+			Rejected uint64 `json:"rejected_429"`
+			Timeouts uint64 `json:"timeouts_503"`
+			Draining uint64 `json:"rejected_draining_503"`
+			Failures uint64 `json:"failures_5xx"`
+		} `json:"server"`
+		Sampled   int                `json:"telemetry_workers_sampled"`
+		Telemetry telemetry.Snapshot `json:"telemetry"`
+	} `json:"fleet"`
+}
+
+// Stats assembles the fleet view, fanning /v1/stats out to every backend
+// concurrently (bounded by ProbeTimeout per backend — stats fetches ride
+// the health-check budget, not the request budget).
+func (g *Gateway) Stats() FleetStats {
+	var out FleetStats
+	out.Gateway = GatewayStats{
+		Requests:     g.requests.Load(),
+		Proxied:      g.proxied.Load(),
+		Failovers:    g.failovers.Load(),
+		Migrations:   g.migrations.Load(),
+		Shed429:      g.shed429.Load(),
+		NoBackend503: g.noBackend.Load(),
+		Migrating503: g.holds.Load(),
+		Draining503:  g.drainRej.Load(),
+		BadGateway:   g.badGateway.Load(),
+		InFlight:     len(g.slots),
+	}
+	out.BackendStats = map[string]*server.StatsResponse{}
+
+	type fetched struct {
+		i  int
+		st *server.StatsResponse
+	}
+	ch := make(chan fetched, len(g.backends))
+	for i, b := range g.backends {
+		out.Backends = append(out.Backends, b.status())
+		if b.State() == StateUp {
+			out.Gateway.BackendsUp++
+		} else {
+			out.Gateway.BackendsDown++
+		}
+		g.mu.RLock()
+		if to, ok := g.forward[i]; ok {
+			out.Backends[i].ForwardedTo = g.backends[to].name
+		}
+		g.mu.RUnlock()
+		go func(i int, b *backend) {
+			st, err := g.fetchStats(b)
+			if err != nil {
+				ch <- fetched{i, nil}
+				return
+			}
+			ch <- fetched{i, st}
+		}(i, b)
+	}
+
+	var snaps []telemetry.Snapshot
+	for range g.backends {
+		f := <-ch
+		b := g.backends[f.i]
+		if f.st == nil {
+			out.BackendStats[b.name] = nil
+			continue
+		}
+		out.BackendStats[b.name] = f.st
+		out.Rejected = append(out.Rejected, FleetRejected{
+			Backend:     b.name,
+			Rejected429: f.st.Server.Rejected,
+			Timeouts503: f.st.Server.Timeouts,
+			Draining503: f.st.Server.Draining,
+			Failures5xx: f.st.Server.Failures,
+		})
+		out.Fleet.Backends++
+		out.Fleet.Server.Requests += f.st.Server.Requests
+		out.Fleet.Server.Served += f.st.Server.Served
+		out.Fleet.Server.Rejected += f.st.Server.Rejected
+		out.Fleet.Server.Timeouts += f.st.Server.Timeouts
+		out.Fleet.Server.Draining += f.st.Server.Draining
+		out.Fleet.Server.Failures += f.st.Server.Failures
+		out.Fleet.Sampled += f.st.Sampled
+		snaps = append(snaps, f.st.Telemetry)
+	}
+	sortRejected(out.Rejected)
+	out.Fleet.Telemetry = telemetry.Merge(snaps...)
+	return out
+}
+
+func sortRejected(rs []FleetRejected) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Backend < rs[j-1].Backend; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// fetchStats pulls one backend's /v1/stats. A draining backend answers
+// stats too, so a node mid-migration stays observable.
+func (g *Gateway) fetchStats(b *backend) (*server.StatsResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout*4)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: %d", resp.StatusCode)
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	g.reply(w, http.StatusOK, g.Stats())
+}
+
+// BackendsResponse is the /v1/admin/backends body: probe/ring state at a
+// glance, including how a 1024-key sample spreads over the ring.
+type BackendsResponse struct {
+	Backends []BackendStatus `json:"backends"`
+	Spread   map[string]int  `json:"ring_spread_1024"`
+}
+
+func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
+	var out BackendsResponse
+	for i, b := range g.backends {
+		st := b.status()
+		g.mu.RLock()
+		if to, ok := g.forward[i]; ok {
+			st.ForwardedTo = g.backends[to].name
+		}
+		g.mu.RUnlock()
+		out.Backends = append(out.Backends, st)
+	}
+	out.Spread = map[string]int{}
+	for i, n := range g.ring.Spread(1024) {
+		out.Spread[g.backends[g.resolve(i)].name] += n
+	}
+	g.reply(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		td, ok := g.flight.Find(id)
+		if !ok {
+			g.replyErr(w, http.StatusNotFound, "", "trace %s not retained", id)
+			return
+		}
+		g.reply(w, http.StatusOK, td)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	g.flight.WriteJSON(w)
+}

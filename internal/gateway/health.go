@@ -1,0 +1,79 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// probeLoop health-checks one backend forever (until Close): GET
+// /v1/healthz with ProbeTimeout, counting consecutive results against
+// the UpAfter/DownAfter thresholds. The first probe fires immediately so
+// a gateway started against a dead fleet converges fast; after that,
+// probes ride a jittered interval (±25% around ProbeInterval, seeded per
+// backend) so N backends are never probed in lockstep and a slow
+// healthz handler on one node cannot synchronise the whole probe plane.
+func (g *Gateway) probeLoop(b *backend) {
+	rng := rand.New(rand.NewSource(int64(hashKey(b.name))))
+	consecOK, consecFail := 0, 0
+	timer := time.NewTimer(0) // immediate first probe
+	defer timer.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-timer.C:
+		}
+		ok := g.probeOnce(b)
+		b.probes.Add(1)
+		b.lastProbeNS.Store(time.Now().UnixNano())
+		if ok {
+			consecOK++
+			consecFail = 0
+			if b.State() == StateDown && consecOK >= g.cfg.UpAfter {
+				b.setState(StateUp)
+			}
+		} else {
+			consecFail++
+			consecOK = 0
+			b.probeFails.Add(1)
+			if b.State() == StateUp && consecFail >= g.cfg.DownAfter {
+				b.setState(StateDown)
+			}
+		}
+		g.probeRounds.Add(1)
+		jitter := 0.75 + 0.5*rng.Float64()
+		timer.Reset(time.Duration(float64(g.cfg.ProbeInterval) * jitter))
+	}
+}
+
+// probeOnce runs one health probe. Any 2xx counts as healthy; a draining
+// backend answers healthz with 503, which correctly reads as "stop
+// routing here" — drain and death look the same to the router, which is
+// the point of draining.
+func (g *Gateway) probeOnce(b *backend) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// SetBackendState forces a backend's probe state. Test hook (probes
+// disabled) and break-glass admin control — the probe loops will fight a
+// forced state that disagrees with reality, by design.
+func (g *Gateway) SetBackendState(idx int, s BackendState) {
+	if idx >= 0 && idx < len(g.backends) {
+		g.backends[idx].setState(s)
+	}
+}

@@ -1,0 +1,96 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestProbeStateMachine(t *testing.T) {
+	sb := newStub(t)
+	g, err := New(Config{
+		Backends:      []BackendSpec{{Name: "b0", URL: sb.ts.URL}},
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		DownAfter:     2,
+		UpAfter:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	b := g.backends[0]
+
+	waitFor(t, 2*time.Second, func() bool { return b.probes.Load() >= 2 }, "prober never ran")
+	if b.State() != StateUp {
+		t.Fatal("healthy backend probed down")
+	}
+
+	// One failed probe must NOT demote (DownAfter=2 filters blips), two
+	// consecutive must.
+	sb.mu.Lock()
+	sb.healthy = false
+	sb.mu.Unlock()
+	waitFor(t, 2*time.Second, func() bool { return b.State() == StateDown },
+		"backend not demoted after consecutive probe failures")
+	fails := b.probeFails.Load()
+	if fails < 2 {
+		t.Fatalf("demoted after %d failures, threshold is 2", fails)
+	}
+
+	// Recovery: UpAfter consecutive successes promote it back.
+	sb.mu.Lock()
+	sb.healthy = true
+	sb.mu.Unlock()
+	waitFor(t, 2*time.Second, func() bool { return b.State() == StateUp },
+		"backend not promoted after recovery")
+	if b.transitions.Load() < 2 {
+		t.Fatalf("expected >=2 transitions (down, up), got %d", b.transitions.Load())
+	}
+}
+
+func TestProbeSingleBlipDoesNotDemote(t *testing.T) {
+	sb := newStub(t)
+	g, err := New(Config{
+		Backends:      []BackendSpec{{Name: "b0", URL: sb.ts.URL}},
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		DownAfter:     5,
+		UpAfter:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	b := g.backends[0]
+
+	waitFor(t, 2*time.Second, func() bool { return b.probes.Load() >= 1 }, "prober never ran")
+
+	// Fail exactly one probe, then recover before the threshold trips.
+	sb.mu.Lock()
+	sb.healthy = false
+	sb.mu.Unlock()
+	waitFor(t, 2*time.Second, func() bool { return b.probeFails.Load() >= 1 }, "no probe failed")
+	sb.mu.Lock()
+	sb.healthy = true
+	sb.mu.Unlock()
+
+	// Give the prober a few more rounds: the state must stay up the whole
+	// time (a blip shorter than DownAfter is invisible to routing).
+	probesNow := b.probes.Load()
+	waitFor(t, 2*time.Second, func() bool { return b.probes.Load() >= probesNow+3 }, "prober stalled")
+	if b.State() != StateUp {
+		t.Fatal("single probe blip demoted the backend (DownAfter=5)")
+	}
+}

@@ -1,0 +1,129 @@
+// Package gateway is the multi-node fleet front for the enclave serving
+// layer: an HTTP proxy that consistent-hash-routes notary traffic by
+// counter shard across N komodo-serve backends, health-checks each
+// backend with jittered probes and an up/down state machine, fails over
+// routing when a backend dies, merges fleet-wide stats and telemetry,
+// and live-migrates sealed enclave state between backends for
+// rebalancing and rolling restarts. See docs/GATEWAY.md.
+//
+// The gateway adds nothing to the TCB: it relays opaque quotes and
+// sealed checkpoints it cannot forge or open. Attestations fetched
+// through it still verify offline against the provisioned quote key, and
+// a tampering gateway is exactly the untrusted network the paper's
+// threat model already assumes.
+package gateway
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over backend indices. Each backend owns
+// vnodes points on a 64-bit circle; a shard key routes to the backend
+// owning the first point clockwise of the key's hash. Adding or removing
+// one backend therefore moves only the arcs adjacent to its points
+// (about 1/N of the keyspace) instead of reshuffling every shard — which
+// is what keeps failover and migration incremental.
+//
+// A Ring is immutable after New; membership changes (a backend drained
+// away by a migration) are layered on top by the gateway's forwarding
+// table, so the shard→owner mapping itself never churns.
+type Ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// NewRing builds a ring over n backends with vnodes points each
+// (default 64 when vnodes <= 0).
+func NewRing(n, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{n: n, points: make([]ringPoint, 0, n*vnodes)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("backend-%d#%d", i, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// hashKey is FNV-1a 64 followed by a murmur3-style avalanche finalizer.
+// Both halves are fixed constants — stable across processes and Go
+// versions, so a restarted gateway (or a second gateway in front of the
+// same fleet) computes the same shard placement. The finalizer matters:
+// raw FNV-1a barely mixes the high bits for short keys that differ only
+// near the end ("backend-0#1" vs "backend-0#2"), which would cluster all
+// of a backend's vnodes on one arc and destroy the ring's balance.
+func hashKey(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Owner returns the backend index owning the shard key (-1 on an empty
+// ring).
+func (r *Ring) Owner(key string) int {
+	c := r.Candidates(key)
+	if len(c) == 0 {
+		return -1
+	}
+	return c[0]
+}
+
+// Candidates returns every distinct backend in ring order starting from
+// the key's hash point: the owner first, then the failover order a
+// request for this shard walks when backends are down. The slice is
+// freshly allocated per call.
+func (r *Ring) Candidates(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	out := make([]int, 0, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+// Spread counts how many of n sample shard keys each backend owns — the
+// load-balance view /v1/admin/backends reports.
+func (r *Ring) Spread(nKeys int) []int {
+	counts := make([]int, r.n)
+	for k := 0; k < nKeys; k++ {
+		if o := r.Owner(fmt.Sprintf("s%d", k)); o >= 0 {
+			counts[o]++
+		}
+	}
+	return counts
+}

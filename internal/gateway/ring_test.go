@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a := NewRing(4, 64)
+	b := NewRing(4, 64)
+	for k := 0; k < 500; k++ {
+		key := fmt.Sprintf("shard-%d", k)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owners differ across ring instances (%d vs %d)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingCandidatesCoverAllBackends(t *testing.T) {
+	r := NewRing(5, 16)
+	for k := 0; k < 100; k++ {
+		key := fmt.Sprintf("s%d", k)
+		cands := r.Candidates(key)
+		if len(cands) != 5 {
+			t.Fatalf("key %q: %d candidates, want 5", key, len(cands))
+		}
+		seen := map[int]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("key %q: duplicate candidate %d", key, c)
+			}
+			seen[c] = true
+		}
+		if cands[0] != r.Owner(key) {
+			t.Fatalf("key %q: first candidate %d != owner %d", key, cands[0], r.Owner(key))
+		}
+	}
+}
+
+func TestRingSpreadIsBalanced(t *testing.T) {
+	const n, keys = 4, 4096
+	counts := NewRing(n, 64).Spread(keys)
+	for i, c := range counts {
+		// With 64 vnodes the per-backend share should be within ~2x of
+		// fair; a grossly unbalanced ring means the hash or vnode layout
+		// regressed.
+		fair := keys / n
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("backend %d owns %d of %d keys (fair %d): ring badly unbalanced %v", i, c, keys, fair, counts)
+		}
+	}
+}
+
+func TestRingOwnerStableUnderOtherMembership(t *testing.T) {
+	// Consistent hashing's point: going 3 → 4 backends must not move keys
+	// between the surviving 3 except onto the new one.
+	r3, r4 := NewRing(3, 64), NewRing(4, 64)
+	moved, kept := 0, 0
+	for k := 0; k < 2000; k++ {
+		key := fmt.Sprintf("s%d", k)
+		o3, o4 := r3.Owner(key), r4.Owner(key)
+		if o4 == 3 {
+			moved++ // landed on the new backend: expected churn
+			continue
+		}
+		if o3 != o4 {
+			t.Fatalf("key %q moved %d → %d without involving the new backend", key, o3, o4)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split moved=%d kept=%d", moved, kept)
+	}
+	// Churn should be roughly 1/4 of the keyspace.
+	if moved > 2000/2 {
+		t.Fatalf("adding one backend moved %d of 2000 keys (expected ~500)", moved)
+	}
+}
+
+func TestEmptyShardKeyHasStableOwner(t *testing.T) {
+	r := NewRing(4, 64)
+	if r.Owner("") != r.Owner("") {
+		t.Fatal("empty key must route consistently")
+	}
+}

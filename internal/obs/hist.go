@@ -150,6 +150,26 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Merge folds another snapshot into this one by bucket position — valid
+// because every histogram in every process shares the same fixed bounds
+// table (see bucketBoundsNS). This is how a fleet front combines
+// per-backend latency distributions into one view whose quantiles are
+// computed over the union of samples, not averaged per node (averaging
+// quantiles is wrong whenever the nodes' distributions differ).
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+	if o.MaxNS > s.MaxNS {
+		s.MaxNS = o.MaxNS
+	}
+	if len(s.Buckets) < len(o.Buckets) {
+		s.Buckets = append(s.Buckets, make([]uint64, len(o.Buckets)-len(s.Buckets))...)
+	}
+	for i := range o.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // Quantile estimates the q-quantile from the snapshot (see
 // Histogram.Quantile).
 func (s HistSnapshot) Quantile(q float64) time.Duration {

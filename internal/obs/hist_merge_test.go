@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestHistSnapshotMergeSums(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Observe(100 * time.Microsecond)
+		b.Observe(10 * time.Millisecond)
+	}
+	b.Observe(2 * time.Second)
+
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	if m.Count != 201 {
+		t.Fatalf("merged count %d, want 201", m.Count)
+	}
+	wantSum := a.Snapshot().SumNS + b.Snapshot().SumNS
+	if m.SumNS != wantSum {
+		t.Fatalf("merged sum %d, want %d", m.SumNS, wantSum)
+	}
+	if m.MaxNS != uint64(2*time.Second) {
+		t.Fatalf("merged max %d, want %d", m.MaxNS, uint64(2*time.Second))
+	}
+	var total uint64
+	for _, c := range m.Buckets {
+		total += c
+	}
+	if total != 201 {
+		t.Fatalf("merged buckets hold %d samples, want 201", total)
+	}
+}
+
+// TestHistSnapshotMergeQuantiles is the quantile sanity check: quantiles
+// of a merged snapshot must reflect the union of samples, not either
+// side. With 100 fast and 100 slow samples plus one outlier, the median
+// sits at the fast/slow boundary and p99 lands in the slow mass — and
+// crucially none of these equal what averaging per-node quantiles gives.
+func TestHistSnapshotMergeQuantiles(t *testing.T) {
+	fast, slow := NewHistogram(), NewHistogram()
+	for i := 0; i < 1000; i++ {
+		fast.Observe(100 * time.Microsecond)
+		slow.Observe(10 * time.Millisecond)
+	}
+
+	m := fast.Snapshot()
+	m.Merge(slow.Snapshot())
+
+	// p25 must be in the fast mass, p75 in the slow mass. Log-linear
+	// buckets bound relative error at 25%, so compare against loose
+	// windows rather than exact values.
+	p25, p75 := m.Quantile(0.25), m.Quantile(0.75)
+	if p25 > time.Millisecond {
+		t.Fatalf("merged p25 %v: lost the fast half", p25)
+	}
+	if p75 < 5*time.Millisecond {
+		t.Fatalf("merged p75 %v: lost the slow half", p75)
+	}
+	// Each input's own median must be preserved on its side of the merge.
+	if fm := fast.Snapshot().Quantile(0.5); fm > time.Millisecond {
+		t.Fatalf("fast median %v out of range", fm)
+	}
+	if sm := slow.Snapshot().Quantile(0.5); sm < 5*time.Millisecond {
+		t.Fatalf("slow median %v out of range", sm)
+	}
+}
+
+// TestHistSnapshotMergeAfterJSONRoundTrip is the cross-process shape:
+// fleet stats merge snapshots that traveled as JSON between processes.
+func TestHistSnapshotMergeAfterJSONRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 64; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	data, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire HistSnapshot
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+
+	var m HistSnapshot
+	m.Merge(wire)
+	m.Merge(wire)
+	if m.Count != 128 {
+		t.Fatalf("count %d after merging two wire copies, want 128", m.Count)
+	}
+	// Merging two identical distributions must leave quantiles within the
+	// log-linear bucket error bound (≤25% relative; rank interpolation
+	// inside a bucket shifts slightly as counts double).
+	direct := float64(h.Snapshot().Quantile(0.95))
+	merged := float64(m.Quantile(0.95))
+	if merged < direct*0.75 || merged > direct*1.25 {
+		t.Fatalf("p95 moved across self-merge beyond bucket error: %v vs %v",
+			time.Duration(merged), time.Duration(direct))
+	}
+}
+
+func TestHistSnapshotMergeEmptyAndUneven(t *testing.T) {
+	var empty HistSnapshot // zero value: no bucket slice at all
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	empty.Merge(h.Snapshot())
+	if empty.Count != 1 || len(empty.Buckets) != NumLatencyBuckets {
+		t.Fatalf("merge into zero value: count=%d buckets=%d", empty.Count, len(empty.Buckets))
+	}
+	// Merging an empty snapshot changes nothing.
+	before := empty.Quantile(0.5)
+	empty.Merge(HistSnapshot{})
+	if empty.Count != 1 || empty.Quantile(0.5) != before {
+		t.Fatal("merging empty snapshot changed the distribution")
+	}
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/telemetry"
+)
+
+// TestCrossServerTelemetryMerge drives two independent serving stacks —
+// separate pools, separate boards, different request mixes so the
+// counters diverge — pulls each one's /v1/stats over HTTP (the snapshots
+// JSON-round-trip exactly as they do between real processes), and checks
+// telemetry.Merge produces the fleet view a gateway reports: counter
+// families sum, per-call SMC streams combine, and nothing is lost when
+// one side has activity the other does not.
+func TestCrossServerTelemetryMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real enclave boards")
+	}
+	boot := func() (*pool.Pool, *httptest.Server) {
+		p := newPool(t, pool.Config{Size: 1})
+		ts := httptest.NewServer(New(Config{Pool: p}))
+		t.Cleanup(ts.Close)
+		return p, ts
+	}
+	_, tsA := boot()
+	_, tsB := boot()
+
+	// Different mixes: A attests 4 times, B attests once and signs 3
+	// documents — so A and B share metric families (attest path) but
+	// diverge in volume, and B has notary SVC activity A lacks.
+	for i := 0; i < 4; i++ {
+		if code := getJSON(t, tsA.URL+"/v1/attest?nonce=a"+fmt.Sprint(i), nil); code != 200 {
+			t.Fatalf("attest A: %d", code)
+		}
+	}
+	if code := getJSON(t, tsB.URL+"/v1/attest?nonce=b", nil); code != 200 {
+		t.Fatalf("attest B: %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := httpPost(tsB.URL+"/v1/notary/sign", "doc-"+fmt.Sprint(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp != 200 {
+			t.Fatalf("sign B: %d", resp)
+		}
+	}
+
+	// Pull both stats over the wire, exactly as a gateway does.
+	var stA, stB StatsResponse
+	if code := getJSON(t, tsA.URL+"/v1/stats", &stA); code != 200 {
+		t.Fatalf("stats A: %d", code)
+	}
+	if code := getJSON(t, tsB.URL+"/v1/stats", &stB); code != 200 {
+		t.Fatalf("stats B: %d", code)
+	}
+	if stA.Sampled == 0 || stB.Sampled == 0 {
+		t.Fatalf("telemetry sampling broken: A=%d B=%d workers", stA.Sampled, stB.Sampled)
+	}
+
+	merged := telemetry.Merge(stA.Telemetry, stB.Telemetry)
+
+	if merged.Cycles != stA.Telemetry.Cycles+stB.Telemetry.Cycles {
+		t.Fatalf("merged cycles %d != %d + %d", merged.Cycles, stA.Telemetry.Cycles, stB.Telemetry.Cycles)
+	}
+	if merged.Retired != stA.Telemetry.Retired+stB.Telemetry.Retired {
+		t.Fatal("merged retired-instruction count is not the sum")
+	}
+
+	// Per-call SMC streams: every call present on either side must appear
+	// merged with summed counts and cycles.
+	sumBy := func(s telemetry.Snapshot) map[string]telemetry.CallStats {
+		out := map[string]telemetry.CallStats{}
+		for _, cs := range s.SMC {
+			out[cs.Name] = cs
+		}
+		return out
+	}
+	a, b, m := sumBy(stA.Telemetry), sumBy(stB.Telemetry), sumBy(merged)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("one side reported no SMC activity at all")
+	}
+	for name := range a {
+		want := a[name].Count + b[name].Count
+		if m[name].Count != want {
+			t.Fatalf("SMC %s merged count %d, want %d", name, m[name].Count, want)
+		}
+		wantCyc := a[name].Cycles + b[name].Cycles
+		if m[name].Cycles != wantCyc {
+			t.Fatalf("SMC %s merged cycles %d, want %d", name, m[name].Cycles, wantCyc)
+		}
+	}
+	for name := range b {
+		if _, ok := m[name]; !ok {
+			t.Fatalf("SMC %s present on B lost in merge", name)
+		}
+	}
+
+	// Lifecycle transitions (enclave init/enter/exit events) sum too.
+	for k, v := range stA.Telemetry.Lifecycle {
+		if merged.Lifecycle[k] != v+stB.Telemetry.Lifecycle[k] {
+			t.Fatalf("lifecycle %s merged %d, want %d", k, merged.Lifecycle[k], v+stB.Telemetry.Lifecycle[k])
+		}
+	}
+
+	// TLB counters: fleet view is the sum of both boards.
+	if merged.TLB.Hits != stA.Telemetry.TLB.Hits+stB.Telemetry.TLB.Hits {
+		t.Fatal("merged TLB hits are not the sum")
+	}
+}
+
+func httpPost(url, body string) (int, error) {
+	resp, err := http.Post(url, "application/octet-stream", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// TestDrainKeepsStatePlaneUsable pins the server hardening the gateway's
+// migration protocol depends on: a draining node refuses request traffic
+// (503, retryable) but still answers /v1/checkpoint and /v1/restore —
+// draining exists precisely so state can then be pulled off the node.
+func TestDrainKeepsStatePlaneUsable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real enclave boards")
+	}
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Sign once so the notary has state worth moving.
+	if code, err := httpPost(ts.URL+"/v1/notary/sign", "pre-drain doc"); err != nil || code != 200 {
+		t.Fatalf("sign: %d %v", code, err)
+	}
+
+	// Drain via the remote orchestration endpoint.
+	if code, err := httpPost(ts.URL+"/v1/drain", ""); err != nil || code != 200 {
+		t.Fatalf("drain: %d %v", code, err)
+	}
+	var dr DrainResponse
+	if code := getJSON(t, ts.URL+"/v1/drain", &dr); code != 200 || dr.Status != "draining" {
+		t.Fatalf("drain state: %d %+v", code, dr)
+	}
+
+	// Request plane: refused.
+	if code, _ := httpPost(ts.URL+"/v1/notary/sign", "post-drain doc"); code != 503 {
+		t.Fatalf("sign while draining: %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/attest?nonce=x", nil); code != 503 {
+		t.Fatalf("attest while draining: %d, want 503", code)
+	}
+
+	// State plane: still open. Pull the checkpoint...
+	var ckpt CheckpointResponse
+	cr, err := http.Post(ts.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cr.Body.Close()
+	if cr.StatusCode != 200 {
+		t.Fatalf("checkpoint while draining: %d, want 200", cr.StatusCode)
+	}
+	if err := json.NewDecoder(cr.Body).Decode(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.BlobWords == 0 {
+		t.Fatal("checkpoint while draining sealed nothing")
+	}
+
+	// ...and push it back: restore must also work mid-drain.
+	resp, err := http.Post(ts.URL+"/v1/restore", "application/json", strings.NewReader(ckpt.Checkpoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr RestoreResponse
+	if resp.StatusCode != 200 {
+		t.Fatalf("restore while draining: %d, want 200", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Restores != 1 {
+		t.Fatalf("restore lineage marker %d, want 1", rr.Restores)
+	}
+}

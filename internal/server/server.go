@@ -99,6 +99,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/quotekey", s.traced("/v1/quotekey", s.handleQuoteKey))
 	s.mux.HandleFunc("/v1/checkpoint", s.traced("/v1/checkpoint", s.handleCheckpoint))
 	s.mux.HandleFunc("/v1/restore", s.traced("/v1/restore", s.handleRestore))
+	s.mux.HandleFunc("/v1/drain", s.traced("/v1/drain", s.handleDrain))
 	s.mux.HandleFunc("/v1/debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -222,8 +223,24 @@ func (s *Server) replyDraining(w http.ResponseWriter) {
 // trace as cycle-domain spans.
 func (s *Server) withWorker(w http.ResponseWriter, r *http.Request,
 	fn func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error)) {
+	s.withWorkerOpts(w, r, false, fn)
+}
+
+// withWorkerAdmin is withWorker for the migration/state-management plane
+// (/v1/checkpoint, /v1/restore): it stays usable while the server is
+// draining. Draining exists precisely so an orchestrator can stop the
+// request flow and *then* pull the sealed state off the node — refusing
+// the pull endpoints during a drain would deadlock every rolling-restart
+// and live-migration flow against the thing that enables them.
+func (s *Server) withWorkerAdmin(w http.ResponseWriter, r *http.Request,
+	fn func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error)) {
+	s.withWorkerOpts(w, r, true, fn)
+}
+
+func (s *Server) withWorkerOpts(w http.ResponseWriter, r *http.Request, admin bool,
+	fn func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error)) {
 	s.requests.Add(1)
-	if s.draining.Load() {
+	if s.draining.Load() && !admin {
 		s.replyDraining(w)
 		return
 	}
@@ -358,6 +375,12 @@ type NotaryResponse struct {
 	MAC     string `json:"mac"`    // in-enclave MAC over the digest, hex
 	Worker  int    `json:"worker"`
 	Epoch   int    `json:"epoch"`
+	// Restores counts foreign checkpoints restored onto this worker (via
+	// /v1/restore) since it booted. It extends the stream key: counters
+	// are strictly monotonic within one (worker, epoch, restores) window,
+	// and a live migration that lands new state on the worker opens a new
+	// window instead of silently splicing two lineages together.
+	Restores int `json:"restores,omitempty"`
 }
 
 func (s *Server) handleNotarySign(w http.ResponseWriter, r *http.Request) {
@@ -394,11 +417,12 @@ func (s *Server) handleNotarySign(w http.ResponseWriter, r *http.Request) {
 			return pool.Fail, fmt.Errorf("checkpointing notary: %w", err)
 		}
 		s.reply(w, http.StatusOK, NotaryResponse{
-			Counter: n.Counter,
-			Digest:  EncodeWords(n.Digest),
-			MAC:     EncodeWords(n.MAC),
-			Worker:  wk.ID(),
-			Epoch:   wk.Epoch(),
+			Counter:  n.Counter,
+			Digest:   EncodeWords(n.Digest),
+			MAC:      EncodeWords(n.MAC),
+			Worker:   wk.ID(),
+			Epoch:    wk.Epoch(),
+			Restores: st.Restores,
 		})
 		// The notary counter is live enclave state: keep it.
 		return pool.Keep, nil
@@ -446,7 +470,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusMethodNotAllowed, "POST to checkpoint")
 		return
 	}
-	s.withWorker(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
+	s.withWorkerAdmin(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
 		st, ok := wk.State().(*WorkerState)
 		if !ok {
 			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
@@ -481,7 +505,35 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // RestoreResponse is the /v1/restore body.
 type RestoreResponse struct {
 	Worker    int `json:"worker"`
+	Restores  int `json:"restores"` // foreign checkpoints restored onto this worker since boot
 	BlobWords int `json:"blob_words"`
+}
+
+// DrainResponse is the /v1/drain body.
+type DrainResponse struct {
+	Status   string `json:"status"`
+	InFlight int    `json:"in_flight"`
+}
+
+// handleDrain flips the server into draining mode remotely — the
+// orchestration hook a fleet gateway uses for rolling restarts and live
+// migration: drain the node (health checks start failing, new request
+// traffic is refused), wait for in-flight to reach zero, then pull state
+// via /v1/checkpoint (which, like /v1/restore, deliberately keeps working
+// while draining). Idempotent; GET reports the drain state without
+// changing it.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.Drain()
+	} else if r.Method != http.MethodGet {
+		s.replyErr(w, http.StatusMethodNotAllowed, "POST to drain, GET to inspect")
+		return
+	}
+	status := "serving"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	s.reply(w, http.StatusOK, DrainResponse{Status: status, InFlight: s.cfg.Pool.Stats().InFlight})
 }
 
 // handleRestore instantiates a POSTed checkpoint (MarshalBinary JSON)
@@ -507,7 +559,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		s.replyErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.withWorker(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
+	s.withWorkerAdmin(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
 		st, ok := wk.State().(*WorkerState)
 		if !ok {
 			return pool.Fail, fmt.Errorf("worker state is %T, want *WorkerState", wk.State())
@@ -524,10 +576,15 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 			return pool.Fail, fmt.Errorf("restore rejected: %w", err)
 		}
 		st.Notary = enc
+		// A pushed checkpoint replaces the worker's counter lineage: bump
+		// the marker that notary responses expose so clients keying
+		// counter streams by (worker, epoch) can tell the new lineage from
+		// the one this restore displaced.
+		st.Restores++
 		// Make the restored notary part of the worker's golden state so
 		// stateless (OK-release) requests do not rewind it away.
 		wk.Rebase()
-		s.reply(w, http.StatusOK, RestoreResponse{Worker: wk.ID(), BlobWords: len(ckpt.Blob)})
+		s.reply(w, http.StatusOK, RestoreResponse{Worker: wk.ID(), Restores: st.Restores, BlobWords: len(ckpt.Blob)})
 		return pool.Keep, nil
 	})
 }

@@ -24,6 +24,11 @@ type WorkerState struct {
 	Attester *komodo.Enclave // attests over a caller nonce from shared memory
 	Notary   *komodo.Enclave // §8.2 notary: monotonic counter + MAC
 	QuoteKey [8]uint32
+	// Restores counts foreign checkpoints restored onto this worker via
+	// /v1/restore since boot — the lineage marker notary responses carry
+	// so migrated counter streams stay distinguishable from the streams
+	// they displaced.
+	Restores int
 }
 
 // NotarySharedPages sizes the notary's shared region; documents up to
