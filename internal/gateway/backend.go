@@ -51,6 +51,15 @@ type backend struct {
 	probeFails  atomic.Uint64
 	lastProbeNS atomic.Int64 // unix nanos of the last completed probe
 
+	// consecOK/consecFail are the hysteresis streaks the probe loop
+	// counts against UpAfter/DownAfter. They live on the backend (not in
+	// the loop) because they must reset on transitions the loop didn't
+	// make: a request-path demotion via observe() invalidates any success
+	// streak the prober had built, else one post-demotion probe success
+	// would instantly re-promote a node whose serving path is failing.
+	consecOK   atomic.Int32
+	consecFail atomic.Int32
+
 	inflight atomic.Int64 // proxied requests currently outstanding
 
 	requests  atomic.Uint64 // proxied requests attempted
@@ -79,10 +88,15 @@ func newBackend(spec BackendSpec, i int) *backend {
 func (b *backend) State() BackendState { return BackendState(b.state.Load()) }
 
 // setState flips the state, counting the transition. Returns true if the
-// state actually changed.
+// state actually changed. Any real transition zeroes both hysteresis
+// streaks: after a flip — whoever caused it — the probe loop must earn
+// the next one from scratch (UpAfter fresh successes to promote,
+// DownAfter fresh failures to demote).
 func (b *backend) setState(s BackendState) bool {
 	if b.state.Swap(int32(s)) != int32(s) {
 		b.transitions.Add(1)
+		b.consecOK.Store(0)
+		b.consecFail.Store(0)
 		return true
 	}
 	return false
@@ -98,8 +112,12 @@ func (b *backend) observe(status int, dur time.Duration, netErr bool) {
 		// A transport failure is a stronger down signal than a failed
 		// probe — the node is not answering the serving path right now.
 		// Demote immediately; the prober promotes it back after UpAfter
-		// consecutive healthz successes.
+		// consecutive healthz successes. Clear the success streak even
+		// when already down (no transition): the serving path just
+		// failed, so probe successes recorded before this instant no
+		// longer argue for promotion.
 		b.setState(StateDown)
+		b.consecOK.Store(0)
 		return
 	case status >= 200 && status < 300:
 		b.ok.Add(1)

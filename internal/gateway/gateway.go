@@ -83,7 +83,7 @@ type Gateway struct {
 	holds       atomic.Uint64 // gateway-originated 503: shard held mid-migration
 	drainRej    atomic.Uint64 // gateway-originated 503: gateway draining
 	badGateway  atomic.Uint64 // gateway-originated 502: backend died mid-request
-	probeRounds atomic.Uint64 // completed probe passes (all backends)
+	probesTotal atomic.Uint64 // health probes completed, summed over all backends
 
 	lat    *obs.LatencyVec     // gateway-edge latency per (endpoint, outcome)
 	flight *obs.FlightRecorder // slowest gateway traces
@@ -271,12 +271,10 @@ func (g *Gateway) admit(w http.ResponseWriter) func() {
 	}
 }
 
-// resolve follows the forwarding overlay from a ring owner to the
+// resolveLocked follows the forwarding overlay from a ring owner to the
 // backend currently holding its shards. Bounded by the backend count, so
-// a (never-constructed) forwarding cycle cannot spin.
-func (g *Gateway) resolve(idx int) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+// a (never-constructed) forwarding cycle cannot spin. Caller holds g.mu.
+func (g *Gateway) resolveLocked(idx int) int {
 	for hops := 0; hops < len(g.backends); hops++ {
 		next, ok := g.forward[idx]
 		if !ok {
@@ -287,28 +285,44 @@ func (g *Gateway) resolve(idx int) int {
 	return idx
 }
 
+func (g *Gateway) resolve(idx int) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.resolveLocked(idx)
+}
+
 // routeShard picks the backend for a shard key: the ring owner (through
 // the migration forwarding overlay) when it is up, else the next up
 // backend in ring order (a failover). The second return reports whether
 // the shard is currently held by an in-flight migration, the third how
 // many down backends were skipped.
+//
+// When a backend is returned, its in-flight count has already been
+// incremented inside the same g.mu critical section that observed no
+// migration hold, making route-selection and admission one atomic step
+// with respect to Migrate: the hold is set under the write lock, which
+// cannot be acquired until every reader that saw the old state — and
+// therefore already bumped in-flight — has released. Once Migrate
+// samples the in-flight count, any request it doesn't see is guaranteed
+// to observe the hold and bounce. The caller must balance the count
+// (forwardTo's deferred decrement does).
 func (g *Gateway) routeShard(key string) (*backend, bool, int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	skipped := 0
 	seen := map[int]bool{}
 	for _, cand := range g.ring.Candidates(key) {
-		idx := g.resolve(cand)
+		idx := g.resolveLocked(cand)
 		if seen[idx] {
 			continue
 		}
 		seen[idx] = true
-		g.mu.RLock()
-		held := g.migrating[idx]
-		g.mu.RUnlock()
-		if held {
+		if g.migrating[idx] {
 			return nil, true, skipped
 		}
-		if g.backends[idx].State() == StateUp {
-			return g.backends[idx], false, skipped
+		if b := g.backends[idx]; b.State() == StateUp {
+			b.inflight.Add(1)
+			return b, false, skipped
 		}
 		skipped++
 	}
@@ -316,21 +330,22 @@ func (g *Gateway) routeShard(key string) (*backend, bool, int) {
 }
 
 // nextUp picks a backend for stateless traffic: round-robin over up
-// backends (skipping forwarded-away and migrating ones).
+// backends (skipping forwarded-away and migrating ones). Like
+// routeShard, a returned backend carries an in-flight reservation taken
+// under g.mu, so stateless traffic quiesces correctly too.
 func (g *Gateway) nextUp() *backend {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	n := len(g.backends)
 	start := int(g.rr.Add(1))
 	for i := 0; i < n; i++ {
 		idx := (start + i) % n
-		g.mu.RLock()
-		_, forwarded := g.forward[idx]
-		held := g.migrating[idx]
-		g.mu.RUnlock()
-		if forwarded || held {
+		if _, forwarded := g.forward[idx]; forwarded || g.migrating[idx] {
 			continue
 		}
-		if g.backends[idx].State() == StateUp {
-			return g.backends[idx]
+		if b := g.backends[idx]; b.State() == StateUp {
+			b.inflight.Add(1)
+			return b
 		}
 	}
 	return nil
@@ -355,8 +370,11 @@ func isDialError(err error) bool {
 
 // forwardTo proxies one buffered request to a backend, streaming the
 // response back. It returns the upstream status (0 with err != nil when
-// the transport failed). Response headers relevant to the client are
-// copied through — Content-Type, and crucially Retry-After, so
+// the transport failed). The caller must have taken an in-flight
+// reservation on b (routeShard/nextUp do it inside their routing
+// critical section; handleAdminProxy does it explicitly) — forwardTo
+// owns the matching decrement. Response headers relevant to the client
+// are copied through — Content-Type, and crucially Retry-After, so
 // backend-minted 429/503 backpressure keeps its retry contract through
 // the gateway — and X-Komodo-Backend names the node that really served
 // the request, which is what per-backend client-side attribution keys
@@ -381,7 +399,6 @@ func (g *Gateway) forwardTo(w http.ResponseWriter, r *http.Request, b *backend, 
 		req.Header.Set("traceparent", tp)
 	}
 
-	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 	sp := tr.StartSpan("proxy")
 	start := time.Now()
@@ -461,9 +478,6 @@ func (g *Gateway) handleNotarySign(w http.ResponseWriter, r *http.Request) {
 			g.replyErr(w, http.StatusServiceUnavailable, "2", "no live backend for shard %q", key)
 			return
 		}
-		if skipped > 0 {
-			g.failovers.Add(1)
-		}
 		if _, err := g.forwardTo(w, r, b, body); err != nil {
 			if isDialError(err) {
 				continue // backend demoted by observe(); re-route
@@ -471,6 +485,11 @@ func (g *Gateway) handleNotarySign(w http.ResponseWriter, r *http.Request) {
 			g.badGateway.Add(1)
 			g.replyErr(w, http.StatusBadGateway, "1", "backend %s: %v", b.name, err)
 			return
+		}
+		// Count the failover once per served request, not once per dial
+		// attempt — dead candidates walked on the way don't inflate it.
+		if skipped > 0 {
+			g.failovers.Add(1)
 		}
 		return
 	}
@@ -543,7 +562,9 @@ func (g *Gateway) handleAdminProxy(w http.ResponseWriter, r *http.Request) {
 		g.replyErr(w, http.StatusRequestEntityTooLarge, "", "body larger than %d bytes", maxProxyBody)
 		return
 	}
-	if _, err := g.forwardTo(w, r, g.backends[idx], body); err != nil {
+	b := g.backends[idx]
+	b.inflight.Add(1) // explicit targeting bypasses routing; forwardTo decrements
+	if _, err := g.forwardTo(w, r, b, body); err != nil {
 		g.badGateway.Add(1)
 		g.replyErr(w, http.StatusBadGateway, "1", "backend %s: %v", name, err)
 	}

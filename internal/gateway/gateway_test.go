@@ -21,12 +21,17 @@ import (
 type stubBackend struct {
 	ts *httptest.Server
 
-	mu      sync.Mutex
-	signs   []string // shard keys seen on /v1/notary/sign
-	healthy bool
-	stats   server.StatsResponse
-	delay   time.Duration
-	status  int // forced /v1/notary/sign status (0 = 200)
+	mu          sync.Mutex
+	signs       []string // shard keys seen on /v1/notary/sign
+	healthy     bool
+	stats       server.StatsResponse
+	delay       time.Duration
+	status      int      // forced /v1/notary/sign status (0 = 200)
+	drainEvents []string // "on"/"off" sequence seen on /v1/drain
+	draining    bool
+	ckptOK      bool // /v1/checkpoint succeeds (default: scripted 500)
+	ckptDone    bool // a /v1/checkpoint response has been sent
+	lateSigns   int  // signs that arrived after the checkpoint was sealed
 }
 
 func newStub(t *testing.T) *stubBackend {
@@ -46,6 +51,9 @@ func newStub(t *testing.T) *stubBackend {
 	mux.HandleFunc("/v1/notary/sign", func(w http.ResponseWriter, r *http.Request) {
 		sb.mu.Lock()
 		sb.signs = append(sb.signs, r.URL.Query().Get("shard"))
+		if sb.ckptDone {
+			sb.lateSigns++
+		}
 		delay, status := sb.delay, sb.status
 		sb.mu.Unlock()
 		if delay > 0 {
@@ -65,6 +73,35 @@ func newStub(t *testing.T) *stubBackend {
 	mux.HandleFunc("/v1/attest", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"nonce":%q}`, r.URL.Query().Get("nonce"))
+	})
+	mux.HandleFunc("/v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			on := r.URL.Query().Get("state") != "off"
+			sb.mu.Lock()
+			sb.draining = on
+			if on {
+				sb.drainEvents = append(sb.drainEvents, "on")
+			} else {
+				sb.drainEvents = append(sb.drainEvents, "off")
+			}
+			sb.mu.Unlock()
+		}
+		fmt.Fprint(w, `{"status":"ok","in_flight":0}`)
+	})
+	mux.HandleFunc("/v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		sb.mu.Lock()
+		ok := sb.ckptOK
+		sb.ckptDone = true
+		sb.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"scripted checkpoint failure"}`)
+			return
+		}
+		fmt.Fprint(w, `{"worker":0,"counter":7,"blob_words":4,"checkpoint":"{}"}`)
+	})
+	mux.HandleFunc("/v1/restore", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"worker":0,"restores":1,"blob_words":4}`)
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		sb.mu.Lock()
@@ -95,6 +132,16 @@ func newStubGateway(t *testing.T, cfg Config, stubs ...*stubBackend) *Gateway {
 	}
 	t.Cleanup(g.Close)
 	return g
+}
+
+// shardOwnedBy finds a shard key whose ring owner is backend idx.
+func shardOwnedBy(g *Gateway, idx int) string {
+	for k := 0; ; k++ {
+		s := fmt.Sprintf("s%d", k)
+		if g.ring.Owner(s) == idx {
+			return s
+		}
+	}
 }
 
 func postSign(t *testing.T, url, shard string) *http.Response {

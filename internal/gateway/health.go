@@ -17,7 +17,6 @@ import (
 // healthz handler on one node cannot synchronise the whole probe plane.
 func (g *Gateway) probeLoop(b *backend) {
 	rng := rand.New(rand.NewSource(int64(hashKey(b.name))))
-	consecOK, consecFail := 0, 0
 	timer := time.NewTimer(0) // immediate first probe
 	defer timer.Stop()
 	for {
@@ -29,21 +28,25 @@ func (g *Gateway) probeLoop(b *backend) {
 		ok := g.probeOnce(b)
 		b.probes.Add(1)
 		b.lastProbeNS.Store(time.Now().UnixNano())
+		// The streaks live on the backend, not here: a request-path
+		// demotion (backend.observe) or admin override resets them, so a
+		// success streak built before an external transition can never
+		// satisfy UpAfter on its own.
 		if ok {
-			consecOK++
-			consecFail = 0
-			if b.State() == StateDown && consecOK >= g.cfg.UpAfter {
+			n := b.consecOK.Add(1)
+			b.consecFail.Store(0)
+			if b.State() == StateDown && int(n) >= g.cfg.UpAfter {
 				b.setState(StateUp)
 			}
 		} else {
-			consecFail++
-			consecOK = 0
+			n := b.consecFail.Add(1)
+			b.consecOK.Store(0)
 			b.probeFails.Add(1)
-			if b.State() == StateUp && consecFail >= g.cfg.DownAfter {
+			if b.State() == StateUp && int(n) >= g.cfg.DownAfter {
 				b.setState(StateDown)
 			}
 		}
-		g.probeRounds.Add(1)
+		g.probesTotal.Add(1)
 		jitter := 0.75 + 0.5*rng.Float64()
 		timer.Reset(time.Duration(float64(g.cfg.ProbeInterval) * jitter))
 	}

@@ -60,6 +60,77 @@ func TestProbeStateMachine(t *testing.T) {
 	}
 }
 
+// TestStreakResetOnExternalTransition pins the hysteresis bookkeeping
+// the probe loop relies on: a request-path demotion (observe with a
+// transport error) and any real state flip must zero the streak
+// counters, so successes recorded before the transition can never
+// satisfy UpAfter on their own.
+func TestStreakResetOnExternalTransition(t *testing.T) {
+	b := newBackend(BackendSpec{URL: "http://127.0.0.1:0"}, 0)
+	b.consecOK.Store(5)
+	b.consecFail.Store(2)
+	b.observe(0, 0, true) // serving-path dial failure
+	if b.State() != StateDown {
+		t.Fatal("transport error must demote")
+	}
+	if b.consecOK.Load() != 0 || b.consecFail.Load() != 0 {
+		t.Fatalf("demotion did not reset streaks: ok=%d fail=%d", b.consecOK.Load(), b.consecFail.Load())
+	}
+
+	// Already down, serving path fails again mid-rebuild: the success
+	// streak clears even without a state transition.
+	b.consecOK.Store(1)
+	b.observe(0, 0, true)
+	if b.consecOK.Load() != 0 {
+		t.Fatal("repeat serving-path failure while down did not clear the success streak")
+	}
+
+	// Promotion (probe- or admin-driven) starts the failure streak over.
+	b.consecFail.Store(4)
+	b.setState(StateUp)
+	if b.consecFail.Load() != 0 {
+		t.Fatal("promotion did not reset the failure streak")
+	}
+}
+
+// TestPassiveDemotionRestartsPromotionStreak is the end-to-end flap
+// guard: healthz keeps passing while the serving path dials out, so the
+// prober has a long success streak when observe() demotes the node. Re-
+// promotion must then take UpAfter fresh successes, not happen on the
+// next probe.
+func TestPassiveDemotionRestartsPromotionStreak(t *testing.T) {
+	sb := newStub(t)
+	g, err := New(Config{
+		Backends:      []BackendSpec{{Name: "b0", URL: sb.ts.URL}},
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		DownAfter:     2,
+		UpAfter:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	b := g.backends[0]
+
+	waitFor(t, 2*time.Second, func() bool { return b.consecOK.Load() >= 3 },
+		"prober never built a success streak")
+
+	probesAtDemotion := b.probes.Load()
+	b.observe(0, 0, true)
+	if b.State() != StateDown {
+		t.Fatal("observe(netErr) must demote")
+	}
+	waitFor(t, 2*time.Second, func() bool { return b.State() == StateUp },
+		"node never re-promoted by the prober")
+	// >= UpAfter-1 rather than UpAfter: one probe may straddle the
+	// demotion (counted before, streak-incremented after). Pre-fix the
+	// stale streak re-promoted on the next probe (delta 0 or 1).
+	if got := b.probes.Load() - probesAtDemotion; got < 2 {
+		t.Fatalf("re-promoted after %d probes post-demotion, want >= UpAfter-1 = 2", got)
+	}
+}
+
 func TestProbeSingleBlipDoesNotDemote(t *testing.T) {
 	sb := newStub(t)
 	g, err := New(Config{

@@ -36,9 +36,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("komodo_gateway_migrations_total",
 		"Completed live migrations.",
 		obs.Sample{Value: float64(g.migrations.Load())})
-	p.Counter("komodo_gateway_probe_rounds_total",
-		"Completed health probes across all backends.",
-		obs.Sample{Value: float64(g.probeRounds.Load())})
+	p.Counter("komodo_gateway_probes_total",
+		"Health probes completed, summed over all backends.",
+		obs.Sample{Value: float64(g.probesTotal.Load())})
 	p.Gauge("komodo_gateway_in_flight",
 		"Requests currently holding a gateway slot.",
 		obs.Sample{Value: float64(len(g.slots))})

@@ -48,8 +48,11 @@ type MigrationReport struct {
 //     from racing the seal, the per-shard counter stream stays strictly
 //     monotonic across the move.
 //
-// On any failure before the flip the hold is released and routing is
-// unchanged — the worst case is a few retryable 503s.
+// On any failure before the flip the hold is released, the source is
+// un-drained if step 3 had drained it (POST /v1/drain?state=off), and
+// routing is unchanged — the worst case is a few retryable 503s, never
+// a node stranded out of service by a transient checkpoint or restore
+// error.
 func (g *Gateway) Migrate(ctx context.Context, from, to int, drainSource bool) (MigrationReport, error) {
 	var rep MigrationReport
 	if from < 0 || from >= len(g.backends) || to < 0 || to >= len(g.backends) {
@@ -81,37 +84,52 @@ func (g *Gateway) Migrate(ctx context.Context, from, to int, drainSource bool) (
 		delete(g.migrating, from)
 		g.mu.Unlock()
 	}
+	// fail unwinds an aborted migration: un-drain the source if we had
+	// drained it (on a fresh context — the original may be the reason we
+	// are failing), then drop the hold. Routing is left exactly as it
+	// was; only if the un-drain itself fails does the caller learn the
+	// node needs manual attention.
+	fail := func(err error) (MigrationReport, error) {
+		if rep.Drained {
+			if _, uerr := g.adminPost(context.Background(), src, "/v1/drain?state=off", nil, nil); uerr != nil {
+				err = fmt.Errorf("%w (un-drain of %s also failed, node left draining: %v)", err, src.name, uerr)
+			} else {
+				rep.Drained = false
+			}
+		}
+		release()
+		return rep, err
+	}
 
-	// Quiesce: no new shard traffic is admitted for the source (held
-	// above), so its gateway in-flight count only goes down.
+	// Quiesce: routeShard/nextUp take the in-flight reservation inside
+	// the same g.mu section that checks the hold, and the hold above was
+	// set under the write lock — so every request routed to the source
+	// before the hold is already visible in its in-flight count, and no
+	// new one can be admitted. The count only goes down from here.
 	for src.inflight.Load() > 0 {
 		select {
 		case <-ctx.Done():
-			release()
-			return rep, fmt.Errorf("gateway: quiesce: %w", ctx.Err())
+			return fail(fmt.Errorf("gateway: quiesce: %w", ctx.Err()))
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
 
 	if drainSource {
 		if _, err := g.adminPost(ctx, src, "/v1/drain", nil, nil); err != nil {
-			release()
-			return rep, fmt.Errorf("gateway: drain %s: %w", src.name, err)
+			return fail(fmt.Errorf("gateway: drain %s: %w", src.name, err))
 		}
 		rep.Drained = true
 	}
 
 	var ckpt server.CheckpointResponse
 	if _, err := g.adminPost(ctx, src, "/v1/checkpoint", nil, &ckpt); err != nil {
-		release()
-		return rep, fmt.Errorf("gateway: checkpoint %s: %w", src.name, err)
+		return fail(fmt.Errorf("gateway: checkpoint %s: %w", src.name, err))
 	}
 	rep.Worker, rep.Counter, rep.BlobWords = ckpt.Worker, ckpt.Counter, ckpt.BlobWords
 
 	var restored server.RestoreResponse
 	if _, err := g.adminPost(ctx, dst, "/v1/restore", []byte(ckpt.Checkpoint), &restored); err != nil {
-		release()
-		return rep, fmt.Errorf("gateway: restore onto %s: %w", dst.name, err)
+		return fail(fmt.Errorf("gateway: restore onto %s: %w", dst.name, err))
 	}
 	rep.Restores = restored.Restores
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -151,6 +152,112 @@ func TestLiveMigrationKeepsCountersMonotonic(t *testing.T) {
 	}
 	if g.resolve(0) != 0 {
 		t.Fatal("reinstate did not clear the forwarding entry")
+	}
+}
+
+// TestFailedMigrationUndrainsSource pins the failure path's promise: a
+// migration that drained the source and then died (here: the checkpoint
+// step 500s) must un-drain it, release the hold and leave routing
+// untouched — a transient restore/checkpoint error may cost a few
+// retryable 503s, never a node stranded out of service.
+func TestFailedMigrationUndrainsSource(t *testing.T) {
+	a, b := newStub(t), newStub(t)
+	g := newStubGateway(t, Config{}, a, b)
+
+	rep, err := g.Migrate(context.Background(), 0, 1, true)
+	if err == nil {
+		t.Fatal("migrate with a failing checkpoint must error")
+	}
+	if !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("error should name the failing step: %v", err)
+	}
+	if rep.Drained {
+		t.Fatal("report still claims the source is drained after the un-drain")
+	}
+
+	a.mu.Lock()
+	events, draining := a.drainEvents, a.draining
+	a.mu.Unlock()
+	if len(events) != 2 || events[0] != "on" || events[1] != "off" {
+		t.Fatalf("drain sequence %v, want [on off]", events)
+	}
+	if draining {
+		t.Fatal("failed migration left the source draining")
+	}
+
+	g.mu.RLock()
+	held := g.migrating[0]
+	g.mu.RUnlock()
+	if held {
+		t.Fatal("failed migration left the migration hold in place")
+	}
+	if g.resolve(0) != 0 {
+		t.Fatal("failed migration flipped the ring")
+	}
+	if g.migrations.Load() != 0 {
+		t.Fatal("failed migration counted as completed")
+	}
+}
+
+// TestMigrationQuiesceBarrier stresses the hold/quiesce barrier the
+// monotonicity proof rests on: signers race a migration from many
+// goroutines, and once the source has sealed its checkpoint not one
+// more sign may land on it — a sign that slipped between routing and
+// admission would advance a counter the sealed blob doesn't capture,
+// and the target would re-issue it after the flip. Run with -race.
+func TestMigrationQuiesceBarrier(t *testing.T) {
+	src, dst := newStub(t), newStub(t)
+	src.mu.Lock()
+	src.ckptOK = true
+	src.mu.Unlock()
+	g := newStubGateway(t, Config{}, src, dst)
+	ts := httptest.NewServer(g)
+	defer ts.Close()
+
+	shard := shardOwnedBy(g, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/notary/sign?shard="+shard,
+					"application/octet-stream", strings.NewReader("doc"))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the signers reach steady state
+
+	rep, err := g.Migrate(context.Background(), 0, 1, false)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("migrate under load: %v", err)
+	}
+	if rep.From != "b0" || rep.To != "b1" {
+		t.Fatalf("migration report: %+v", rep)
+	}
+
+	src.mu.Lock()
+	late := src.lateSigns
+	src.mu.Unlock()
+	if late != 0 {
+		t.Fatalf("%d signs landed on the source after its checkpoint was sealed", late)
+	}
+	// Post-flip traffic must land on the target.
+	resp := postSign(t, ts.URL, shard)
+	if got := resp.Header.Get("X-Komodo-Backend"); got != "b1" {
+		t.Fatalf("post-migration sign served by %q, want b1", got)
 	}
 }
 

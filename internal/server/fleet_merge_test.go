@@ -193,4 +193,16 @@ func TestDrainKeepsStatePlaneUsable(t *testing.T) {
 	if rr.Restores != 1 {
 		t.Fatalf("restore lineage marker %d, want 1", rr.Restores)
 	}
+
+	// Un-drain (?state=off): the node re-enters service — the escape
+	// hatch a failed migration uses instead of stranding the source.
+	if code, err := httpPost(ts.URL+"/v1/drain?state=off", ""); err != nil || code != 200 {
+		t.Fatalf("undrain: %d %v", code, err)
+	}
+	if code := getJSON(t, ts.URL+"/v1/drain", &dr); code != 200 || dr.Status != "serving" {
+		t.Fatalf("undrain state: %d %+v", code, dr)
+	}
+	if code, err := httpPost(ts.URL+"/v1/notary/sign", "post-undrain doc"); err != nil || code != 200 {
+		t.Fatalf("sign after undrain: %d %v", code, err)
+	}
 }

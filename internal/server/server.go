@@ -170,6 +170,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // listener down and closes the pool.
 func (s *Server) Drain() { s.draining.Store(true) }
 
+// Undrain reverses Drain, putting the server back in service: healthz
+// recovers and new work is admitted again. The un-do for an aborted
+// drain — a live migration that drained the source and then failed
+// before the flip must hand the node back instead of leaving it
+// refusing traffic until a process restart.
+func (s *Server) Undrain() { s.draining.Store(false) }
+
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
@@ -520,11 +527,21 @@ type DrainResponse struct {
 // migration: drain the node (health checks start failing, new request
 // traffic is refused), wait for in-flight to reach zero, then pull state
 // via /v1/checkpoint (which, like /v1/restore, deliberately keeps working
-// while draining). Idempotent; GET reports the drain state without
-// changing it.
+// while draining). POST with ?state=off reverses an earlier drain — the
+// escape hatch a failed migration uses to hand the node back instead of
+// stranding it out of service. Idempotent either way; GET reports the
+// drain state without changing it.
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost {
-		s.Drain()
+		switch state := r.URL.Query().Get("state"); state {
+		case "", "on", "1", "true":
+			s.Drain()
+		case "off", "0", "false":
+			s.Undrain()
+		default:
+			s.replyErr(w, http.StatusBadRequest, "state must be on or off, got %q", state)
+			return
+		}
 	} else if r.Method != http.MethodGet {
 		s.replyErr(w, http.StatusMethodNotAllowed, "POST to drain, GET to inspect")
 		return
