@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline bench-fleet examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke gateway-smoke load-compare
+.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline bench-fleet bench-batch examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke gateway-smoke batch-smoke load-compare
 
 all: build vet test
 
@@ -82,6 +82,18 @@ obs-smoke:
 # live-migrate sealed notary state and require strict monotonicity.
 gateway-smoke:
 	sh scripts/gateway_smoke.sh
+
+# Batched signing + tenant admission (docs/BATCHING.md): race-built
+# server, mixed-tenant load, offline receipt verification, classified
+# rejections with Retry-After, queue-pressure shedding, zero duplicated
+# counter ticks.
+batch-smoke:
+	sh scripts/batch_smoke.sh
+
+# Regenerate the committed batching baseline (BENCH_8.json): crossings
+# per signed request and latency, unbatched vs K = 8/16/32.
+bench-batch:
+	$(GO) run ./cmd/komodo-bench -batch -json > BENCH_8.json
 
 load-compare:
 	$(GO) run ./cmd/komodo-load -compare -workers 4 -clients 8 -duration 5s

@@ -23,6 +23,7 @@ type output struct {
 	Table2      []eval.LocRow      `json:"table2,omitempty"`
 	PaperTable2 []eval.PaperRow    `json:"paper_table2,omitempty"`
 	Perf        *eval.PerfReport   `json:"perf,omitempty"`
+	Batch       []eval.BatchRow    `json:"batch,omitempty"`
 }
 
 func main() {
@@ -33,10 +34,13 @@ func main() {
 	abl := flag.Bool("ablation", false, "print only the crossing-optimisation ablation")
 	perf := flag.Bool("perf", false, "print only the host hot-path performance section (docs/PERFORMANCE.md)")
 	perfReqs := flag.Int("perf-requests", 200, "notary requests the -perf section serves")
+	batchAB := flag.Bool("batch", false, "print only the batched-signing A/B (docs/BATCHING.md)")
+	batchReqs := flag.Int("batch-requests", 2000, "signs per configuration in the -batch section")
+	batchClients := flag.Int("batch-clients", 16, "closed-loop clients in the -batch section")
 	asJSON := flag.Bool("json", false, "emit the selected sections as JSON")
 	root := flag.String("root", ".", "module root for the line-count breakdown")
 	flag.Parse()
-	all := !*t3 && !*sgxOnly && !*f5 && !*t2 && !*abl && !*perf
+	all := !*t3 && !*sgxOnly && !*f5 && !*t2 && !*abl && !*perf && !*batchAB
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "komodo-bench:", err)
@@ -86,6 +90,13 @@ func main() {
 			fail(err)
 		}
 		out.Perf = r
+	}
+	if all || *batchAB {
+		rows, err := eval.BatchAB(*batchReqs, *batchClients, []int{8, 16, 32})
+		if err != nil {
+			fail(err)
+		}
+		out.Batch = rows
 	}
 
 	if *asJSON {
@@ -142,6 +153,21 @@ func main() {
 			p.RestoreWordsPerRequest, p.RestoreWordsFullCopy, p.RestoreReduction)
 		fmt.Printf("  serve:       p50 %.0f µs, p95 %.0f µs over %d notary requests (%d-word docs)\n",
 			p.ServeP50Micros, p.ServeP95Micros, p.Requests, p.DocWords)
+		fmt.Println()
+	}
+	if out.Batch != nil {
+		fmt.Println("Batched signing A/B (crossings per signed request; docs/BATCHING.md)")
+		fmt.Printf("  %-14s %8s %10s %10s %10s %10s %8s\n",
+			"config", "signed", "crossings", "xings/ok", "req/s", "p50 µs", "meanK")
+		base := out.Batch[0]
+		for _, r := range out.Batch {
+			fmt.Printf("  %-14s %8d %10d %10.3f %10.1f %10.0f %8.1f",
+				r.Config, r.Requests, r.Crossings, r.CrossingsPerOK, r.Throughput, r.P50Micros, r.MeanBatch)
+			if r.BatchSize > 0 && r.CrossingsPerOK > 0 {
+				fmt.Printf("  (%.1fx fewer crossings)", base.CrossingsPerOK/r.CrossingsPerOK)
+			}
+			fmt.Println()
+		}
 		fmt.Println()
 	}
 	if out.Table2 != nil {

@@ -45,6 +45,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/tenant"
 )
 
 type options struct {
@@ -68,6 +70,12 @@ type options struct {
 	reuse   int
 	compare bool
 	sweep   string
+
+	batch       int
+	batchWindow time.Duration
+	tiers       string
+	tenants     string
+	tenantMix   string
 }
 
 // Result is one load run's summary (also the -json schema).
@@ -103,6 +111,35 @@ type Result struct {
 	// the top-level fields come from summing these histograms).
 	Backends   int             `json:"backends,omitempty"`
 	PerBackend []BackendResult `json:"per_backend,omitempty"`
+	// RejectClasses breaks every 429/503 down by the X-Komodo-Reject
+	// header: rate_limit/quota/shed are admission control, queue_full is
+	// batch-queue saturation, timeout/drain are the 503 classes, and
+	// "unclassified" is a rejection without the header.
+	RejectClasses map[string]int `json:"reject_classes,omitempty"`
+	// RetryAfterMissing counts 429/503 responses that arrived without a
+	// Retry-After header (the contract says every rejection carries one).
+	RetryAfterMissing int `json:"retry_after_missing"`
+	// ReceiptsVerified counts batch receipts proven offline with
+	// server.VerifyBatchReceipt (-verify on a batched notary workload).
+	ReceiptsVerified int `json:"receipts_verified,omitempty"`
+	// Crossings is the enclave SMC-enter delta across the run summed over
+	// all targets' /v1/stats telemetry, and CrossingsPerOK that divided
+	// by OK — the number batching exists to shrink.
+	Crossings      uint64  `json:"enclave_crossings,omitempty"`
+	CrossingsPerOK float64 `json:"crossings_per_ok,omitempty"`
+	// PerTier is the per-tier latency/outcome view built from the
+	// X-Komodo-Tier response header (populated with -tenant-mix).
+	PerTier []TierResult `json:"per_tier,omitempty"`
+}
+
+// TierResult is one admission tier's slice of a run.
+type TierResult struct {
+	Tier     string  `json:"tier"`
+	OK       int     `json:"ok"`
+	Rejected int     `json:"rejected"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
 }
 
 // BackendResult is one backend's slice of a fleet run.
@@ -135,6 +172,11 @@ func main() {
 	flag.StringVar(&o.targets, "targets", "", "fleet targets: one gateway URL, or comma-separated backend URLs")
 	flag.IntVar(&o.shards, "shards", 0, "notary shard keys to spread across (client c uses shard s<c mod N>; 0 = unsharded)")
 	flag.StringVar(&o.sweepBackends, "sweep-backends", "", "comma-separated fleet sizes: boot N in-process backends behind a gateway per entry")
+	flag.IntVar(&o.batch, "batch", 0, "in-process: batched notary signing with this batch size (0 = unbatched)")
+	flag.DurationVar(&o.batchWindow, "batch-window", 2*time.Millisecond, "in-process: partial-batch close window (with -batch)")
+	flag.StringVar(&o.tiers, "tiers", "", "in-process: tenant tiers name:rate:burst:quota[:shedat];...")
+	flag.StringVar(&o.tenants, "tenants", "", "in-process: tenant tokens token=tier,... (with -tiers)")
+	flag.StringVar(&o.tenantMix, "tenant-mix", "", "weighted X-Komodo-Tenant tokens per request: token:weight,token:weight (token '-' sends none)")
 	flag.Parse()
 
 	var results []Result
@@ -220,10 +262,35 @@ func main() {
 		if r.CounterDups > 0 {
 			fmt.Printf("  DUPS=%d", r.CounterDups)
 		}
+		if r.CrossingsPerOK > 0 {
+			fmt.Printf("  xings/ok=%.2f", r.CrossingsPerOK)
+		}
+		if r.ReceiptsVerified > 0 {
+			fmt.Printf("  receipts=%d", r.ReceiptsVerified)
+		}
 		fmt.Println()
 		for _, pb := range r.PerBackend {
 			fmt.Printf("  %-14s %9s %7d %7s %6s %8.2f %8.2f %8.2f %8.2f\n",
 				"· "+pb.Backend, "", pb.OK, "", "", pb.P50ms, pb.P95ms, pb.P99ms, pb.MaxMs)
+		}
+		for _, pt := range r.PerTier {
+			fmt.Printf("  %-14s %9s %7d %7d %6s %8.2f %8.2f %8.2f\n",
+				"· tier/"+pt.Tier, "", pt.OK, pt.Rejected, "", pt.P50ms, pt.P95ms, pt.P99ms)
+		}
+		if len(r.RejectClasses) > 0 {
+			classes := make([]string, 0, len(r.RejectClasses))
+			for c := range r.RejectClasses {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			fmt.Printf("  rejects:")
+			for _, c := range classes {
+				fmt.Printf(" %s=%d", c, r.RejectClasses[c])
+			}
+			if r.RetryAfterMissing > 0 {
+				fmt.Printf("  RETRY-AFTER-MISSING=%d", r.RetryAfterMissing)
+			}
+			fmt.Println()
 		}
 	}
 	if len(results) == 2 && results[0].Mode == "boot-each" && results[1].Mode == "snapshot" &&
@@ -236,6 +303,30 @@ func main() {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "komodo-load:", err)
 	os.Exit(1)
+}
+
+// applyServing applies the in-process batching/admission flags to one
+// backend's server config (each backend gets its own registry — tier
+// buckets are per-node state).
+func applyServing(o options, cfg *server.Config) error {
+	if o.tiers != "" {
+		specs, err := tenant.ParseTiers(o.tiers)
+		if err != nil {
+			return fmt.Errorf("-tiers: %w", err)
+		}
+		tokens, err := tenant.ParseTenants(o.tenants)
+		if err != nil {
+			return fmt.Errorf("-tenants: %w", err)
+		}
+		reg, err := tenant.NewRegistry(specs, tokens, "")
+		if err != nil {
+			return err
+		}
+		cfg.Admission = reg
+	}
+	cfg.BatchMaxSize = o.batch
+	cfg.BatchWindow = o.batchWindow
+	return nil
 }
 
 // runInProcess boots a pool + server on a loopback listener and drives it.
@@ -253,7 +344,11 @@ func runInProcess(o options, label string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	srv := server.New(server.Config{Pool: p, QueueDepth: o.queue, RequestTimeout: 30 * time.Second})
+	scfg := server.Config{Pool: p, QueueDepth: o.queue, RequestTimeout: 30 * time.Second}
+	if err := applyServing(o, &scfg); err != nil {
+		return Result{}, err
+	}
+	srv := server.New(scfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return Result{}, err
@@ -264,6 +359,7 @@ func runInProcess(o options, label string) (Result, error) {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		srv.Drain()
+		srv.Close()
 		hs.Shutdown(ctx)
 		p.Close(ctx)
 	}()
@@ -298,7 +394,11 @@ func runFleet(o options, n int) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("backend %d pool: %w", i, err)
 		}
-		srv := server.New(server.Config{Pool: p, QueueDepth: o.queue, RequestTimeout: 30 * time.Second})
+		scfg := server.Config{Pool: p, QueueDepth: o.queue, RequestTimeout: 30 * time.Second}
+		if err := applyServing(o, &scfg); err != nil {
+			return Result{}, err
+		}
+		srv := server.New(scfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return Result{}, err
@@ -307,6 +407,7 @@ func runFleet(o options, n int) (Result, error) {
 		go hs.Serve(ln)
 		cleanup = append(cleanup, func() {
 			srv.Drain()
+			srv.Close()
 			hs.Shutdown(ctx)
 			p.Close(ctx)
 		})
@@ -351,20 +452,130 @@ func runFleet(o options, n int) (Result, error) {
 // monotonicity), so it is exactly the invariant a fleet must keep
 // through failover and migration.
 type streamBook struct {
-	mu   sync.Mutex
-	seen map[string]struct{}
-	dups int
+	mu    sync.Mutex
+	seen  map[string]struct{}
+	roots map[string]string
+	dups  int
 }
 
 func (sb *streamBook) record(backend string, nr *server.NotaryResponse) {
-	key := fmt.Sprintf("%s/%d/%d/%d#%d", backend, nr.Worker, nr.Epoch, nr.Restores, nr.Counter)
+	stream := fmt.Sprintf("%s/%d/%d/%d", backend, nr.Worker, nr.Epoch, nr.Restores)
 	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if nr.Batch != nil {
+		// One counter tick covers a whole batch, so K receipts sharing a
+		// counter are expected — but they must all share ONE Merkle root
+		// (a second root on the same counter is a double-spent tick), and
+		// within (stream, counter, root) each leaf index appears once.
+		ck := fmt.Sprintf("%s#%d", stream, nr.Counter)
+		if root, ok := sb.roots[ck]; ok && root != nr.Batch.Root {
+			sb.dups++
+			return
+		}
+		sb.roots[ck] = nr.Batch.Root
+		lk := fmt.Sprintf("%s@%d", ck, nr.Batch.LeafIndex)
+		if _, dup := sb.seen[lk]; dup {
+			sb.dups++
+		} else {
+			sb.seen[lk] = struct{}{}
+		}
+		return
+	}
+	key := fmt.Sprintf("%s#%d", stream, nr.Counter)
 	if _, dup := sb.seen[key]; dup {
 		sb.dups++
 	} else {
 		sb.seen[key] = struct{}{}
 	}
-	sb.mu.Unlock()
+}
+
+// tokenMix is the parsed -tenant-mix: a weighted set of admission tokens
+// sampled per request. The token "-" means "send no tenant header".
+type tokenMix struct {
+	tokens []string
+	cumsum []int
+	total  int
+}
+
+func parseMix(s string) (*tokenMix, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := &tokenMix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tok, weight := part, 1
+		if i := strings.LastIndex(part, ":"); i >= 0 {
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad -tenant-mix weight in %q", part)
+			}
+			tok, weight = part[:i], w
+		}
+		m.total += weight
+		m.tokens = append(m.tokens, tok)
+		m.cumsum = append(m.cumsum, m.total)
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("empty -tenant-mix %q", s)
+	}
+	return m, nil
+}
+
+func (m *tokenMix) pick(rng *rand.Rand) string {
+	n := rng.Intn(m.total)
+	for i, c := range m.cumsum {
+		if n < c {
+			if m.tokens[i] == "-" {
+				return ""
+			}
+			return m.tokens[i]
+		}
+	}
+	return ""
+}
+
+// sumCrossings sums the SMC "enter" count over each distinct target's
+// /v1/stats telemetry (fleet-merged telemetry when the target is a
+// gateway). Returns ok=false when any target doesn't expose it.
+func sumCrossings(bases []string) (uint64, bool) {
+	seen := map[string]bool{}
+	var total uint64
+	for _, base := range bases {
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		var sp struct {
+			Telemetry telemetry.Snapshot `json:"telemetry"`
+			Fleet     *struct {
+				Telemetry telemetry.Snapshot `json:"telemetry"`
+			} `json:"fleet"`
+		}
+		if err := getJSON(base+"/v1/stats", &sp); err != nil {
+			return 0, false
+		}
+		tel := sp.Telemetry
+		if sp.Fleet != nil {
+			tel = sp.Fleet.Telemetry
+		}
+		found := false
+		for _, cs := range tel.SMC {
+			// Every monitor entry that hands the CPU to enclave code is a
+			// world crossing — both fresh entries and interrupt resumes.
+			if cs.Name == "KOM_SMC_ENTER" || cs.Name == "KOM_SMC_RESUME" {
+				total += cs.Count
+				found = true
+			}
+		}
+		if !found {
+			return 0, false
+		}
+	}
+	return total, true
 }
 
 // drive runs the closed-loop clients against the targets and aggregates.
@@ -388,28 +599,43 @@ func drive(o options, bases []string, label string) (Result, error) {
 		quoteKey = k
 	}
 
+	mix, err := parseMix(o.tenantMix)
+	if err != nil {
+		return Result{}, err
+	}
+
 	type tally struct {
-		ok, rejected, unavail, errs, verified int
-		counterMin, counterMax                uint32
-		err                                   error
+		ok, rejected, unavail, errs, verified, receipts int
+		counterMin, counterMax                          uint32
+		err                                             error
 	}
 	tallies := make([]tally, o.clients)
-	book := &streamBook{seen: map[string]struct{}{}}
+	book := &streamBook{seen: map[string]struct{}{}, roots: map[string]string{}}
+
+	// Rejection-class and per-tier ledgers shared by all clients.
+	var classMu sync.Mutex
+	rejectClasses := map[string]int{}
+	retryMissing := 0
+	tierRejected := map[string]int{}
 	// Lock-free histograms shared by every client goroutine, one per
 	// backend plus on-demand; quantiles come from their log-linear
 	// buckets rather than a sorted sample slice.
 	var histMu sync.Mutex
 	hists := map[string]*obs.Histogram{}
-	histFor := func(backend string) *obs.Histogram {
+	tierHists := map[string]*obs.Histogram{}
+	histIn := func(m map[string]*obs.Histogram, key string) *obs.Histogram {
 		histMu.Lock()
 		defer histMu.Unlock()
-		h := hists[backend]
+		h := m[key]
 		if h == nil {
 			h = obs.NewHistogram()
-			hists[backend] = h
+			m[key] = h
 		}
 		return h
 	}
+	histFor := func(backend string) *obs.Histogram { return histIn(hists, backend) }
+
+	crossBefore, crossOK := sumCrossings(bases)
 
 	deadline := time.Now().Add(o.duration)
 	var budget chan struct{}
@@ -450,45 +676,78 @@ func drive(o options, bases []string, label string) (Result, error) {
 						ep = "notary"
 					}
 				}
+				token := ""
+				if mix != nil {
+					token = mix.pick(rng)
+				}
 				reqStart := time.Now()
-				status, body, servedBy, err := doRequest(client, base, ep, c, seq, rng, o.traceparent, shard)
+				out, err := doRequest(client, base, ep, c, seq, rng, o.traceparent, shard, token)
 				if err != nil {
 					t.errs++
 					continue
 				}
-				if servedBy == "" {
-					servedBy = base
+				if out.servedBy == "" {
+					out.servedBy = base
 				}
-				switch status {
+				switch out.status {
 				case http.StatusOK:
 					t.ok++
-					histFor(servedBy).Observe(time.Since(reqStart))
+					elapsed := time.Since(reqStart)
+					histFor(out.servedBy).Observe(elapsed)
+					if out.tier != "" {
+						histIn(tierHists, out.tier).Observe(elapsed)
+					}
 					if ep == "notary" {
 						var nr server.NotaryResponse
-						if json.Unmarshal(body, &nr) == nil && nr.Counter > 0 {
-							book.record(servedBy, &nr)
+						if json.Unmarshal(out.body, &nr) == nil && nr.Counter > 0 {
+							book.record(out.servedBy, &nr)
 							if t.counterMin == 0 || nr.Counter < t.counterMin {
 								t.counterMin = nr.Counter
 							}
 							if nr.Counter > t.counterMax {
 								t.counterMax = nr.Counter
 							}
+							if o.verify && nr.Batch != nil {
+								if err := server.VerifyBatchReceipt(nr, out.doc); err != nil {
+									t.err = fmt.Errorf("batch receipt verification failed: %v", err)
+									return
+								}
+								t.receipts++
+							}
 						}
 					}
 					if o.verify && ep == "attest" {
-						ok, verr := verifyAttest(body, quoteKey, fmt.Sprintf("nonce-%d-%d", c, seq))
+						ok, verr := verifyAttest(out.body, quoteKey, fmt.Sprintf("nonce-%d-%d", c, seq))
 						if verr != nil || !ok {
 							t.err = fmt.Errorf("quote verification failed: %v", verr)
 							return
 						}
 						t.verified++
 					}
-				case http.StatusTooManyRequests:
-					t.rejected++
-					time.Sleep(500 * time.Microsecond) // brief backoff on saturation
-				case http.StatusServiceUnavailable:
-					t.unavail++
-					time.Sleep(time.Millisecond)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					if out.status == http.StatusTooManyRequests {
+						t.rejected++
+					} else {
+						t.unavail++
+					}
+					class := out.reject
+					if class == "" {
+						class = "unclassified"
+					}
+					classMu.Lock()
+					rejectClasses[class]++
+					if !out.retryAfter {
+						retryMissing++
+					}
+					if out.tier != "" {
+						tierRejected[out.tier]++
+					}
+					classMu.Unlock()
+					if out.status == http.StatusTooManyRequests {
+						time.Sleep(500 * time.Microsecond) // brief backoff on saturation
+					} else {
+						time.Sleep(time.Millisecond)
+					}
 				default:
 					t.errs++
 				}
@@ -512,6 +771,7 @@ func drive(o options, bases []string, label string) (Result, error) {
 		r.Unavail += t.unavail
 		r.Errors += t.errs
 		r.Verified += t.verified
+		r.ReceiptsVerified += t.receipts
 		if t.counterMax > 0 {
 			if r.CounterMin == 0 || t.counterMin < r.CounterMin {
 				r.CounterMin = t.counterMin
@@ -553,13 +813,62 @@ func drive(o options, bases []string, label string) (Result, error) {
 	}
 	r.P50ms, r.P95ms, r.P99ms = ms(merged.Quantile(0.50)), ms(merged.Quantile(0.95)), ms(merged.Quantile(0.99))
 	r.MaxMs = ms(time.Duration(merged.MaxNS))
+
+	if len(rejectClasses) > 0 {
+		r.RejectClasses = rejectClasses
+	}
+	r.RetryAfterMissing = retryMissing
+	tiers := make([]string, 0, len(tierHists))
+	for tier := range tierHists {
+		tiers = append(tiers, tier)
+	}
+	for tier := range tierRejected {
+		if tierHists[tier] == nil {
+			tiers = append(tiers, tier)
+		}
+	}
+	sort.Strings(tiers)
+	for _, tier := range tiers {
+		tr := TierResult{Tier: tier, Rejected: tierRejected[tier]}
+		if h := tierHists[tier]; h != nil {
+			snap := h.Snapshot()
+			tr.OK = int(snap.Count)
+			tr.P50ms, tr.P95ms, tr.P99ms = ms(snap.Quantile(0.50)), ms(snap.Quantile(0.95)), ms(snap.Quantile(0.99))
+		}
+		r.PerTier = append(r.PerTier, tr)
+	}
+
+	// Crossings are a before/after delta over the targets' telemetry, so
+	// they include batch amortisation: with K-sized batches the figure
+	// approaches 1/K crossings per signed request.
+	if crossOK {
+		if crossAfter, ok := sumCrossings(bases); ok && crossAfter >= crossBefore {
+			r.Crossings = crossAfter - crossBefore
+			r.CrossingsPerOK = float64(r.Crossings) / float64(r.OK)
+		}
+	}
 	return r, nil
 }
 
-// doRequest issues one request. The fourth return is the backend that
-// served it (the gateway's X-Komodo-Backend attribution header, "" when
-// talking to a backend directly).
-func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand, traceparent, shard string) (int, []byte, string, error) {
+// reqOut is one request's observed outcome: status and body, plus the
+// response-header signals the tallies classify on (serving backend, tier,
+// rejection class, Retry-After presence) and the document that was signed
+// (for offline batch-receipt verification).
+type reqOut struct {
+	status     int
+	body       []byte
+	servedBy   string
+	tier       string
+	reject     string
+	retryAfter bool
+	doc        []byte
+}
+
+// doRequest issues one request. servedBy is the backend that served it
+// (the gateway's X-Komodo-Backend attribution header, "" when talking to
+// a backend directly).
+func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand, traceparent, shard, token string) (reqOut, error) {
+	var out reqOut
 	var req *http.Request
 	var err error
 	switch ep {
@@ -567,35 +876,43 @@ func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand,
 		req, err = http.NewRequest(http.MethodGet,
 			fmt.Sprintf("%s/v1/attest?nonce=nonce-%d-%d", base, c, seq), nil)
 	case "notary":
-		doc := make([]byte, 64+rng.Intn(448))
-		rng.Read(doc)
+		out.doc = make([]byte, 64+rng.Intn(448))
+		rng.Read(out.doc)
 		url := base + "/v1/notary/sign"
 		if shard != "" {
 			url += "?shard=" + shard
 		}
-		req, err = http.NewRequest(http.MethodPost, url, bytes.NewReader(doc))
+		req, err = http.NewRequest(http.MethodPost, url, bytes.NewReader(out.doc))
 		if err == nil {
 			req.Header.Set("Content-Type", "application/octet-stream")
 		}
 	default:
-		return 0, nil, "", fmt.Errorf("unknown endpoint %q", ep)
+		return out, fmt.Errorf("unknown endpoint %q", ep)
 	}
 	if err != nil {
-		return 0, nil, "", err
+		return out, err
 	}
 	if traceparent != "" {
 		req.Header.Set("traceparent", traceparent)
 	}
+	if token != "" {
+		req.Header.Set(server.TenantHeader, token)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, "", err
+		return out, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	out.body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, "", err
+		return out, err
 	}
-	return resp.StatusCode, body, resp.Header.Get("X-Komodo-Backend"), nil
+	out.status = resp.StatusCode
+	out.servedBy = resp.Header.Get("X-Komodo-Backend")
+	out.tier = resp.Header.Get(server.TierHeader)
+	out.reject = resp.Header.Get(server.RejectHeader)
+	out.retryAfter = resp.Header.Get("Retry-After") != ""
+	return out, nil
 }
 
 // verifyAttest checks an attest response end to end: the nonce echo, the

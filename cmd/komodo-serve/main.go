@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/pool"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -51,6 +52,13 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint the notary after every Nth sign (with -state-dir)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty: disabled)")
 	flightSize := flag.Int("flight-traces", 0, "slow-request traces retained for /v1/debug/traces (0 = default)")
+	batchSize := flag.Int("batch", 0, "batched notary signing: close a batch at this many signs (0 = unbatched)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "close a partial batch after this window (with -batch)")
+	batchQueue := flag.Int("batch-queue", 0, "pending batch-sign waiters before 429 queue_full (0 = 4x batch size)")
+	tiers := flag.String("tiers", "", "tenant tiers: name:rate:burst:quota[:shedat];... (empty: no admission control)")
+	tenants := flag.String("tenants", "", "tenant tokens: token=tier,token=tier,... (with -tiers)")
+	defaultTier := flag.String("default-tier", "", "tier for unknown/absent tokens (default: first in -tiers)")
+	quotaWindow := flag.Duration("quota-window", 24*time.Hour, "daily-quota reset window (with -tiers)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -95,6 +103,26 @@ func main() {
 	}
 	fmt.Printf("booted %d worker(s) in %v (%s mode)\n", *workers, time.Since(bootStart).Round(time.Millisecond), pcfg.Mode)
 
+	var admission *tenant.Registry
+	if *tiers != "" {
+		specs, err := tenant.ParseTiers(*tiers)
+		if err != nil {
+			fail(fmt.Errorf("-tiers: %w", err))
+		}
+		tokens, err := tenant.ParseTenants(*tenants)
+		if err != nil {
+			fail(fmt.Errorf("-tenants: %w", err))
+		}
+		admission, err = tenant.NewRegistry(specs, tokens, *defaultTier, tenant.WithQuotaWindow(*quotaWindow))
+		if err != nil {
+			fail(fmt.Errorf("admission: %w", err))
+		}
+		fmt.Printf("admission: %d tier(s), %d token(s), default %q\n", len(specs), len(tokens), admission.DefaultTier())
+	}
+	if *batchSize > 0 {
+		fmt.Printf("batched signing: K=%d window=%v\n", *batchSize, *batchWindow)
+	}
+
 	srv := server.New(server.Config{
 		Pool:               p,
 		QueueDepth:         *queue,
@@ -102,7 +130,12 @@ func main() {
 		Checkpoints:        ckpts,
 		CheckpointEvery:    *ckptEvery,
 		FlightRecorderSize: *flightSize,
+		Admission:          admission,
+		BatchMaxSize:       *batchSize,
+		BatchWindow:        *batchWindow,
+		BatchQueue:         *batchQueue,
 	})
+	defer srv.Close()
 
 	if *pprofAddr != "" {
 		// pprof gets its own mux and listener so profiling is never

@@ -2,16 +2,24 @@
 // like a proof run: PageDB invariant preservation over random SMC traces
 // (the paper's §5.2 obligations), refinement of the concrete monitor
 // against the functional specification (the paper's implementation proof),
-// and the noninterference bisimulations (Theorem 6.1, confidentiality and
-// integrity).
+// the noninterference bisimulations (Theorem 6.1, confidentiality and
+// integrity), and the batched-signing Merkle inclusion proofs
+// (docs/BATCHING.md).
+//
+// With -receipt it instead verifies one saved batch receipt offline:
+//
+//	curl -s -d @doc.bin $URL/v1/notary/sign > receipt.json
+//	komodo-verify -receipt receipt.json -doc doc.bin
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
+	"repro/internal/batch"
 	"repro/internal/board"
 	"repro/internal/kapi"
 	"repro/internal/kasm"
@@ -20,6 +28,8 @@ import (
 	"repro/internal/nwos"
 	"repro/internal/pagedb"
 	"repro/internal/refine"
+	"repro/internal/server"
+	"repro/internal/sha2"
 	"repro/internal/spec"
 )
 
@@ -27,7 +37,17 @@ func main() {
 	trials := flag.Int("trials", 25, "random trace trials per suite")
 	steps := flag.Int("steps", 150, "SMCs per random trace")
 	seed := flag.Int64("seed", 42, "PRNG seed for trace generation")
+	receipt := flag.String("receipt", "", "verify one saved /v1/notary/sign batch receipt (JSON file) and exit")
+	docFile := flag.String("doc", "", "with -receipt: the signed document, to also check the leaf binding")
 	flag.Parse()
+
+	if *receipt != "" {
+		if err := verifyReceiptFile(*receipt, *docFile); err != nil {
+			fmt.Fprintln(os.Stderr, "komodo-verify:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	total, failed := 0, 0
 	report := func(name string, err error) {
@@ -52,10 +72,94 @@ func main() {
 	report("confidentiality bisimulation (≈adv)", confidentiality())
 	report("integrity bisimulation (≈enc)", integrity())
 
+	fmt.Println("== Batch inclusion proofs (docs/BATCHING.md) ==")
+	report("every leaf include-proves, tampering fails closed", inclusionProofs(*trials, *seed))
+
 	fmt.Printf("\n%d checks, %d failures\n", total, failed)
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// verifyReceiptFile checks a saved batch receipt offline: the inclusion
+// proof against the enclave-signed root and the digest binding of (root,
+// counter); with a document file, the leaf recomputation too.
+func verifyReceiptFile(path, docPath string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var nr server.NotaryResponse
+	if err := json.Unmarshal(raw, &nr); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var doc []byte
+	if docPath != "" {
+		if doc, err = os.ReadFile(docPath); err != nil {
+			return err
+		}
+	}
+	if err := server.VerifyBatchReceipt(nr, doc); err != nil {
+		return fmt.Errorf("receipt %s: %w", path, err)
+	}
+	bound := "root+counter binding"
+	if doc != nil {
+		bound = "leaf, root+counter binding"
+	}
+	fmt.Printf("receipt ok: counter %d, leaf %d of %d, %s verified\n",
+		nr.Counter, nr.Batch.LeafIndex, nr.Batch.BatchSize, bound)
+	return nil
+}
+
+// inclusionProofs exercises the Merkle machinery the way an auditor
+// would: random trees of every small size, every leaf's audit path must
+// verify against the root, and any single tampering — leaf bit, path
+// bit, wrong index, wrong root — must fail closed.
+func inclusionProofs(trials int, seed int64) error {
+	rnd := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rnd.Intn(64)
+		leaves := make([][8]uint32, n)
+		for i := range leaves {
+			h := sha2.New()
+			h.Write([]byte(fmt.Sprintf("trial %d leaf %d", trial, i)))
+			var nonce [batch.NonceSize]byte
+			rnd.Read(nonce[:])
+			leaves[i] = batch.LeafHash(h.SumWords(), fmt.Sprintf("tenant-%d", i%3), nonce[:])
+		}
+		root := batch.Root(leaves)
+		for i := range leaves {
+			path := batch.Path(leaves, i)
+			if !batch.VerifyInclusion(leaves[i], i, n, path, root) {
+				return fmt.Errorf("trial %d: leaf %d/%d does not include-prove", trial, i, n)
+			}
+			// Tampering must fail closed.
+			bad := leaves[i]
+			bad[rnd.Intn(8)] ^= 1 << uint(rnd.Intn(32))
+			if batch.VerifyInclusion(bad, i, n, path, root) {
+				return fmt.Errorf("trial %d: tampered leaf %d verified", trial, i)
+			}
+			badRoot := root
+			badRoot[rnd.Intn(8)] ^= 1 << uint(rnd.Intn(32))
+			if batch.VerifyInclusion(leaves[i], i, n, path, badRoot) {
+				return fmt.Errorf("trial %d: leaf %d verified against tampered root", trial, i)
+			}
+			if len(path) > 0 {
+				badPath := append([][8]uint32(nil), path...)
+				j := rnd.Intn(len(badPath))
+				badPath[j][rnd.Intn(8)] ^= 1 << uint(rnd.Intn(32))
+				if batch.VerifyInclusion(leaves[i], i, n, badPath, root) {
+					return fmt.Errorf("trial %d: leaf %d verified with tampered path", trial, i)
+				}
+			}
+			if wrong := (i + 1) % n; wrong != i {
+				if batch.VerifyInclusion(leaves[i], wrong, n, path, root) {
+					return fmt.Errorf("trial %d: leaf %d verified at wrong index %d", trial, i, wrong)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 func invariantTraces(trials, steps int, seed int64) error {

@@ -1,0 +1,375 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrClosed: the aggregator has been drained and accepts no new work.
+	ErrClosed = errors.New("batch: aggregator closed")
+	// ErrSaturated: too many requests are already queued or in flight;
+	// the caller should shed (429 + Retry-After).
+	ErrSaturated = errors.New("batch: queue saturated")
+)
+
+// Request is one queued sign request: the client's document digest plus
+// the identity material bound into the leaf.
+type Request struct {
+	DocDigest [8]uint32 // SHA-256 of the raw document bytes
+	Tenant    string
+	Nonce     [NonceSize]byte
+}
+
+// SignedRoot is the enclave's signature over one sealed batch: the guest
+// advanced the counter once and attested RootDigest(Root, Counter).
+type SignedRoot struct {
+	Root     [8]uint32
+	Counter  uint32
+	Digest   [8]uint32 // RootDigest(Root, Counter), recomputed Go-side
+	MAC      [8]uint32
+	Worker   int
+	Epoch    int
+	Restores int
+}
+
+// Receipt is what one client gets back: the shared batch signature plus
+// this request's position proof.
+type Receipt struct {
+	SignedRoot
+	Leaf      [8]uint32
+	LeafIndex int
+	BatchSize int
+	Path      [][8]uint32
+}
+
+// SignFunc performs the single enclave entry for a sealed batch. It is
+// called outside the aggregator lock, at most cfg.MaxConcurrent at a time
+// implicitly (one per sealed batch; pool capacity bounds real concurrency).
+type SignFunc func(ctx context.Context, root [8]uint32) (SignedRoot, error)
+
+// Config parameterises an Aggregator.
+type Config struct {
+	// MaxBatch is K: a batch seals as soon as it holds K requests.
+	MaxBatch int
+	// Window is T: a non-empty batch seals at most this long after its
+	// first request arrived, even if it is short of K.
+	Window time.Duration
+	// MaxQueue bounds requests admitted but not yet signed (across the
+	// open batch and all in-flight seals). Submit returns ErrSaturated
+	// beyond it. Defaults to 4*MaxBatch.
+	MaxQueue int
+	// SignTimeout bounds one enclave sign call (default 5s). Sealing uses
+	// its own context so one client's cancellation cannot abort a batch
+	// that other clients are waiting on.
+	SignTimeout time.Duration
+	// Sign performs the enclave entry.
+	Sign SignFunc
+}
+
+// Close reasons for sealed batches.
+const (
+	CloseFull   = "full"
+	CloseWindow = "window"
+	CloseDrain  = "drain"
+)
+
+type waiter struct {
+	req Request
+	ch  chan result // buffered 1; exactly one send per waiter
+}
+
+type result struct {
+	receipt Receipt
+	err     error
+}
+
+// Aggregator collects sign requests into batches, seals each batch into a
+// Merkle tree, obtains one enclave signature per batch, and distributes
+// per-request receipts. Safe for concurrent use.
+type Aggregator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	pending []*waiter   // current open batch
+	opened  time.Time   // when pending[0] arrived
+	timer   *time.Timer // window timer for the open batch
+	gen     uint64      // open-batch generation, guards stale timers
+	queued  int         // admitted but not yet signed (open + sealing)
+	closed  bool
+
+	stats statsInner
+	fill  *obs.Histogram // first-enqueue → seal latency
+}
+
+type statsInner struct {
+	batchesFull   uint64
+	batchesWindow uint64
+	batchesDrain  uint64
+	signed        uint64 // receipts delivered across all batches
+	signFailures  uint64
+	saturated     uint64
+	sizeSum       uint64
+	maxSize       int
+	lastSize      int
+}
+
+// Stats is the JSON-facing snapshot, mergeable across a fleet.
+type Stats struct {
+	Batches        uint64  `json:"batches"`
+	BatchesFull    uint64  `json:"batches_full"`
+	BatchesWindow  uint64  `json:"batches_window"`
+	BatchesDrain   uint64  `json:"batches_drain"`
+	Signed         uint64  `json:"signed_requests"`
+	SignFailures   uint64  `json:"sign_failures"`
+	Saturated      uint64  `json:"saturated"`
+	CrossingsSaved uint64  `json:"crossings_saved"`
+	SizeSum        uint64  `json:"size_sum"`
+	MeanSize       float64 `json:"mean_size"`
+	MaxSize        int     `json:"max_size"`
+	LastSize       int     `json:"last_size"`
+	Pending        int     `json:"pending"`
+	FillP50us      float64 `json:"fill_p50_us"`
+	FillP95us      float64 `json:"fill_p95_us"`
+}
+
+// Merge folds another snapshot into s (fleet-wide aggregation). Fill
+// quantiles are not mergeable without the raw histograms; the max is kept.
+func (s *Stats) Merge(o Stats) {
+	s.Batches += o.Batches
+	s.BatchesFull += o.BatchesFull
+	s.BatchesWindow += o.BatchesWindow
+	s.BatchesDrain += o.BatchesDrain
+	s.Signed += o.Signed
+	s.SignFailures += o.SignFailures
+	s.Saturated += o.Saturated
+	s.CrossingsSaved += o.CrossingsSaved
+	s.SizeSum += o.SizeSum
+	if s.Batches > 0 {
+		s.MeanSize = float64(s.SizeSum) / float64(s.Batches)
+	}
+	if o.MaxSize > s.MaxSize {
+		s.MaxSize = o.MaxSize
+	}
+	s.LastSize = o.LastSize
+	s.Pending += o.Pending
+	if o.FillP50us > s.FillP50us {
+		s.FillP50us = o.FillP50us
+	}
+	if o.FillP95us > s.FillP95us {
+		s.FillP95us = o.FillP95us
+	}
+}
+
+// New builds an Aggregator. cfg.Sign is required; MaxBatch defaults to 16,
+// Window to 2ms, MaxQueue to 4*MaxBatch, SignTimeout to 5s.
+func New(cfg Config) *Aggregator {
+	if cfg.Sign == nil {
+		panic("batch: Config.Sign is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 2 * time.Millisecond
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxBatch
+	}
+	if cfg.SignTimeout <= 0 {
+		cfg.SignTimeout = 5 * time.Second
+	}
+	return &Aggregator{cfg: cfg, fill: obs.NewHistogram()}
+}
+
+// Submit queues one request and blocks until its receipt is ready, the
+// context is cancelled, or the aggregator reports saturation/closure.
+// A context cancellation abandons only this caller's receipt; the batch
+// (and the counter advance) proceeds for everyone else.
+func (a *Aggregator) Submit(ctx context.Context, req Request) (Receipt, error) {
+	w := &waiter{req: req, ch: make(chan result, 1)}
+
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return Receipt{}, ErrClosed
+	}
+	if a.queued >= a.cfg.MaxQueue {
+		a.stats.saturated++
+		a.mu.Unlock()
+		return Receipt{}, ErrSaturated
+	}
+	a.queued++
+	if len(a.pending) == 0 {
+		a.opened = time.Now()
+		gen := a.gen
+		a.timer = time.AfterFunc(a.cfg.Window, func() { a.sealOnTimer(gen) })
+	}
+	a.pending = append(a.pending, w)
+	if len(a.pending) >= a.cfg.MaxBatch {
+		batch, opened := a.takeLocked()
+		a.mu.Unlock()
+		go a.seal(batch, opened, CloseFull)
+	} else {
+		a.mu.Unlock()
+	}
+
+	select {
+	case r := <-w.ch:
+		return r.receipt, r.err
+	case <-ctx.Done():
+		return Receipt{}, ctx.Err()
+	}
+}
+
+// takeLocked detaches the open batch (caller holds a.mu) and stops its
+// window timer.
+func (a *Aggregator) takeLocked() ([]*waiter, time.Time) {
+	batch := a.pending
+	opened := a.opened
+	a.pending = nil
+	a.gen++
+	if a.timer != nil {
+		a.timer.Stop()
+		a.timer = nil
+	}
+	return batch, opened
+}
+
+// sealOnTimer seals the open batch when its window expires. gen guards
+// against the race where the batch already sealed (full) and a new batch
+// opened before the timer fired.
+func (a *Aggregator) sealOnTimer(gen uint64) {
+	a.mu.Lock()
+	if a.gen != gen || len(a.pending) == 0 {
+		a.mu.Unlock()
+		return
+	}
+	batch, opened := a.takeLocked()
+	a.mu.Unlock()
+	a.seal(batch, opened, CloseWindow)
+}
+
+// seal builds the Merkle tree over one detached batch, performs the single
+// enclave sign, and distributes receipts.
+func (a *Aggregator) seal(batch []*waiter, opened time.Time, reason string) {
+	a.fill.Observe(time.Since(opened))
+
+	leaves := make([][8]uint32, len(batch))
+	for i, w := range batch {
+		leaves[i] = LeafHash(w.req.DocDigest, w.req.Tenant, w.req.Nonce[:])
+	}
+	root := Root(leaves)
+
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.SignTimeout)
+	signed, err := a.cfg.Sign(ctx, root)
+	cancel()
+
+	a.mu.Lock()
+	a.queued -= len(batch)
+	switch reason {
+	case CloseFull:
+		a.stats.batchesFull++
+	case CloseWindow:
+		a.stats.batchesWindow++
+	default:
+		a.stats.batchesDrain++
+	}
+	if err != nil {
+		a.stats.signFailures++
+	} else {
+		a.stats.signed += uint64(len(batch))
+		a.stats.sizeSum += uint64(len(batch))
+		a.stats.lastSize = len(batch)
+		if len(batch) > a.stats.maxSize {
+			a.stats.maxSize = len(batch)
+		}
+	}
+	a.mu.Unlock()
+
+	if err != nil {
+		for _, w := range batch {
+			w.ch <- result{err: err}
+		}
+		return
+	}
+	for i, w := range batch {
+		w.ch <- result{receipt: Receipt{
+			SignedRoot: signed,
+			Leaf:       leaves[i],
+			LeafIndex:  i,
+			BatchSize:  len(batch),
+			Path:       Path(leaves, i),
+		}}
+	}
+}
+
+// Close drains the aggregator: the open batch (if any) seals immediately
+// with reason "drain", and all later Submits fail with ErrClosed. It does
+// not wait for in-flight seals.
+func (a *Aggregator) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	if len(a.pending) == 0 {
+		a.mu.Unlock()
+		return
+	}
+	batch, opened := a.takeLocked()
+	a.mu.Unlock()
+	a.seal(batch, opened, CloseDrain)
+}
+
+// Pending reports requests admitted but not yet signed.
+func (a *Aggregator) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// MaxQueue reports the saturation limit Submit rejects beyond — the
+// denominator for queue-pressure load shedding.
+func (a *Aggregator) MaxQueue() int { return a.cfg.MaxQueue }
+
+// Stats snapshots the aggregator's counters.
+func (a *Aggregator) Stats() Stats {
+	a.mu.Lock()
+	st := a.stats
+	pending := a.queued
+	a.mu.Unlock()
+	batches := st.batchesFull + st.batchesWindow + st.batchesDrain
+	out := Stats{
+		Batches:       batches,
+		BatchesFull:   st.batchesFull,
+		BatchesWindow: st.batchesWindow,
+		BatchesDrain:  st.batchesDrain,
+		Signed:        st.signed,
+		SignFailures:  st.signFailures,
+		Saturated:     st.saturated,
+		SizeSum:       st.sizeSum,
+		MaxSize:       st.maxSize,
+		LastSize:      st.lastSize,
+		Pending:       pending,
+	}
+	if signedBatches := batches - st.signFailures; st.signed > signedBatches {
+		out.CrossingsSaved = st.signed - signedBatches
+	}
+	if batches > 0 {
+		out.MeanSize = float64(st.sizeSum) / float64(batches)
+	}
+	snap := a.fill.Snapshot()
+	out.FillP50us = float64(snap.Quantile(0.50)) / 1e3
+	out.FillP95us = float64(snap.Quantile(0.95)) / 1e3
+	return out
+}
+
+// FillHist exposes the fill-latency histogram for /metrics export.
+func (a *Aggregator) FillHist() *obs.Histogram { return a.fill }

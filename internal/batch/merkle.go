@@ -1,0 +1,153 @@
+// Package batch implements the batched notary signing subsystem
+// (docs/BATCHING.md): a Merkle tree over queued sign requests and an
+// aggregator that amortises one enclave crossing across a whole batch.
+//
+// The tree follows the RFC 6962 history-tree construction: leaf hashes are
+// domain-separated from interior nodes (0x00 vs 0x01 prefix), a tree over n
+// leaves splits at the largest power of two strictly less than n, and
+// inclusion proofs are the standard audit paths. Any batch size works, not
+// just powers of two.
+//
+// The trust model is deliberately asymmetric: the aggregator (and the whole
+// HTTP server around it) is untrusted. Only the enclave-signed
+// (root, counter) pair carries authority; a malicious batcher can delay or
+// drop requests but cannot forge a receipt, because forging requires either
+// a MAC over a root the enclave never signed or a second preimage in the
+// tree. See docs/BATCHING.md §TCB.
+package batch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kapi"
+	"repro/internal/sha2"
+)
+
+// Domain-separation prefixes, per RFC 6962 §2.1.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// NonceSize is the per-request nonce length in bytes. The nonce makes every
+// leaf unique even when two tenants submit identical documents in one
+// batch, so an inclusion proof commits to one specific submission.
+const NonceSize = 16
+
+// LeafHash computes the Merkle leaf for one sign request:
+//
+//	H(0x00 ‖ docDigest ‖ len(tenant) ‖ tenant ‖ nonce)
+//
+// docDigest is SHA-256 of the submitted document bytes (recomputable by the
+// client), tenant is the admission token's tenant label, and nonce is the
+// server-minted per-request nonce echoed in the receipt. The tenant length
+// prefix keeps (tenant, nonce) framing unambiguous.
+func LeafHash(docDigest [8]uint32, tenant string, nonce []byte) [8]uint32 {
+	h := sha2.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(sha2.WordsToBytes(docDigest[:]))
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(tenant)))
+	h.Write(n[:])
+	h.Write([]byte(tenant))
+	h.Write(nonce)
+	return h.SumWords()
+}
+
+// nodeHash combines two subtree roots: H(0x01 ‖ left ‖ right).
+func nodeHash(left, right [8]uint32) [8]uint32 {
+	h := sha2.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(sha2.WordsToBytes(left[:]))
+	h.Write(sha2.WordsToBytes(right[:]))
+	return h.SumWords()
+}
+
+// splitPoint returns the largest power of two strictly less than n (n ≥ 2).
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// Root computes the Merkle tree hash over the given leaf hashes. A
+// single-leaf tree's root is the leaf hash itself; an empty tree has no
+// root (batches are never empty).
+func Root(leaves [][8]uint32) [8]uint32 {
+	switch len(leaves) {
+	case 0:
+		panic("batch: Root of empty leaf set")
+	case 1:
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(Root(leaves[:k]), Root(leaves[k:]))
+}
+
+// Path computes the inclusion proof (audit path) for leaves[index]:
+// sibling subtree roots ordered leaf-to-root, per RFC 6962 §2.1.1.
+func Path(leaves [][8]uint32, index int) [][8]uint32 {
+	if index < 0 || index >= len(leaves) {
+		panic(fmt.Sprintf("batch: Path index %d out of range [0,%d)", index, len(leaves)))
+	}
+	if len(leaves) == 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if index < k {
+		return append(Path(leaves[:k], index), Root(leaves[k:]))
+	}
+	return append(Path(leaves[k:], index-k), Root(leaves[:k]))
+}
+
+// rootFromPath recomputes the root committed to by (leaf, index, size,
+// path). ok is false if the path has the wrong length for the claimed
+// (index, size) position.
+func rootFromPath(leaf [8]uint32, index, size int, path [][8]uint32) (root [8]uint32, ok bool) {
+	if size == 1 {
+		return leaf, len(path) == 0
+	}
+	if len(path) == 0 {
+		return leaf, false
+	}
+	sib := path[len(path)-1]
+	rest := path[:len(path)-1]
+	k := splitPoint(size)
+	if index < k {
+		sub, ok := rootFromPath(leaf, index, k, rest)
+		return nodeHash(sub, sib), ok
+	}
+	sub, ok := rootFromPath(leaf, index-k, size-k, rest)
+	return nodeHash(sib, sub), ok
+}
+
+// VerifyInclusion reports whether leaf really is leaves[index] of a
+// size-leaf Merkle tree with the given root. It fails closed: wrong index,
+// wrong size, truncated or padded paths, and any tampered hash all return
+// false.
+func VerifyInclusion(leaf [8]uint32, index, size int, path [][8]uint32, root [8]uint32) bool {
+	if index < 0 || size < 1 || index >= size {
+		return false
+	}
+	got, ok := rootFromPath(leaf, index, size, path)
+	return ok && got == root
+}
+
+// RootDigest is the Go reference for what the batch-notary guest signs:
+//
+//	SHA-256(kapi.BatchSigTag ‖ root[0..7] ‖ counter)
+//
+// a 10-word message with standard SHA-256 padding. The enclave computes
+// this in KARM assembly (internal/kasm BatchNotaryProgram) and attests it;
+// offline verification recomputes it here and checks the MAC against the
+// notary's measured identity.
+func RootDigest(root [8]uint32, counter uint32) [8]uint32 {
+	h := sha2.New()
+	h.WriteWords([]uint32{kapi.BatchSigTag})
+	h.WriteWords(root[:])
+	h.WriteWords([]uint32{counter})
+	return h.SumWords()
+}

@@ -1,0 +1,174 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sha2"
+)
+
+// randLeaves builds n deterministic pseudo-random leaf hashes.
+func randLeaves(rng *rand.Rand, n int) [][8]uint32 {
+	leaves := make([][8]uint32, n)
+	for i := range leaves {
+		var b [40]byte
+		rng.Read(b[:])
+		h := sha2.New()
+		h.Write([]byte{leafPrefix})
+		h.Write(b[:])
+		leaves[i] = h.SumWords()
+	}
+	return leaves
+}
+
+// TestInclusionAllSizes verifies every leaf of every tree size 1..64 against
+// the tree root, and checks the single-leaf degenerate case.
+func TestInclusionAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 64; n++ {
+		leaves := randLeaves(rng, n)
+		root := Root(leaves)
+		for i := 0; i < n; i++ {
+			path := Path(leaves, i)
+			if !VerifyInclusion(leaves[i], i, n, path, root) {
+				t.Fatalf("size %d: leaf %d failed inclusion", n, i)
+			}
+			// Wrong index with the right path must fail.
+			if n > 1 && VerifyInclusion(leaves[i], (i+1)%n, n, path, root) {
+				t.Fatalf("size %d: leaf %d verified at wrong index", n, i)
+			}
+		}
+	}
+}
+
+// TestKnownStructure pins the RFC 6962 shape: for 3 leaves a,b,c the root
+// is H(0x01 ‖ H(0x01‖a‖b) ‖ c).
+func TestKnownStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := randLeaves(rng, 3)
+	want := nodeHash(nodeHash(l[0], l[1]), l[2])
+	if got := Root(l); got != want {
+		t.Fatalf("3-leaf root mismatch: got %x want %x", got, want)
+	}
+	// Leaf 2's path is the single sibling H(0x01‖a‖b).
+	p := Path(l, 2)
+	if len(p) != 1 || p[0] != nodeHash(l[0], l[1]) {
+		t.Fatalf("3-leaf path(2) wrong: %x", p)
+	}
+}
+
+// TestLeafDomainSeparation: a leaf hash can never equal the node hash of
+// the same bytes, and two requests differing only in tenant or nonce get
+// different leaves.
+func TestLeafDomainSeparation(t *testing.T) {
+	doc := sha2.New().SumWords()
+	n1 := make([]byte, NonceSize)
+	n2 := make([]byte, NonceSize)
+	n2[0] = 1
+	a := LeafHash(doc, "alice", n1)
+	if b := LeafHash(doc, "bob", n1); a == b {
+		t.Fatal("tenant not bound into leaf")
+	}
+	if b := LeafHash(doc, "alice", n2); a == b {
+		t.Fatal("nonce not bound into leaf")
+	}
+}
+
+// TestRootDigestPadding: RootDigest must equal a straight SHA-256 over the
+// 10-word message, which is what the guest computes with manual padding
+// (bitlen = 320).
+func TestRootDigestPadding(t *testing.T) {
+	var root [8]uint32
+	for i := range root {
+		root[i] = uint32(0x1000 + i)
+	}
+	got := RootDigest(root, 7)
+	h := sha2.New()
+	h.WriteWords(append(append([]uint32{0x4b424154}, root[:]...), 7))
+	if want := h.SumWords(); got != want {
+		t.Fatalf("RootDigest mismatch: got %x want %x", got, want)
+	}
+}
+
+// FuzzInclusionProof is the satellite fail-closed check: starting from a
+// valid (leaf, index, size, path, root) tuple, any single tampering —
+// flipped leaf bit, flipped path bit, dropped or duplicated path element,
+// wrong index, wrong size, flipped root bit — must make VerifyInclusion
+// return false.
+func FuzzInclusionProof(f *testing.F) {
+	f.Add(int64(1), 8, 3)
+	f.Add(int64(2), 1, 0)
+	f.Add(int64(3), 33, 32)
+	f.Add(int64(4), 64, 63)
+	f.Fuzz(func(t *testing.T, seed int64, size, index int) {
+		if size < 1 || size > 256 {
+			size = 1 + (abs(size) % 256)
+		}
+		if index < 0 || index >= size {
+			index = abs(index) % size
+		}
+		rng := rand.New(rand.NewSource(seed))
+		leaves := randLeaves(rng, size)
+		root := Root(leaves)
+		path := Path(leaves, index)
+		leaf := leaves[index]
+		if !VerifyInclusion(leaf, index, size, path, root) {
+			t.Fatalf("valid proof rejected (size=%d index=%d)", size, index)
+		}
+
+		// Tampered leaf.
+		badLeaf := leaf
+		badLeaf[rng.Intn(8)] ^= 1 << uint(rng.Intn(32))
+		if VerifyInclusion(badLeaf, index, size, path, root) {
+			t.Fatal("tampered leaf accepted")
+		}
+		// Tampered root.
+		badRoot := root
+		badRoot[rng.Intn(8)] ^= 1 << uint(rng.Intn(32))
+		if VerifyInclusion(leaf, index, size, path, badRoot) {
+			t.Fatal("tampered root accepted")
+		}
+		// Tampered path element.
+		if len(path) > 0 {
+			bad := make([][8]uint32, len(path))
+			copy(bad, path)
+			j := rng.Intn(len(bad))
+			bad[j][rng.Intn(8)] ^= 1 << uint(rng.Intn(32))
+			if VerifyInclusion(leaf, index, size, bad, root) {
+				t.Fatal("tampered path accepted")
+			}
+			// Truncated path.
+			if VerifyInclusion(leaf, index, size, path[:len(path)-1], root) {
+				t.Fatal("truncated path accepted")
+			}
+		}
+		// Padded path.
+		padded := append(append([][8]uint32{}, path...), leaf)
+		if VerifyInclusion(leaf, index, size, padded, root) {
+			t.Fatal("padded path accepted")
+		}
+		// Wrong index (proof replay at another position).
+		if size > 1 {
+			wrong := (index + 1 + rng.Intn(size-1)) % size
+			if VerifyInclusion(leaf, wrong, size, path, root) {
+				t.Fatal("proof accepted at wrong index")
+			}
+		}
+		// Out-of-range index/size fail closed rather than panic.
+		if VerifyInclusion(leaf, size, size, path, root) ||
+			VerifyInclusion(leaf, -1, size, path, root) ||
+			VerifyInclusion(leaf, 0, 0, path, root) {
+			t.Fatal("out-of-range position accepted")
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // math.MinInt
+			return 1
+		}
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kapi"
+	"repro/internal/pool"
+	"repro/internal/server"
+)
+
+// BatchRow is one configuration of the batched-signing A/B: the same
+// closed-loop notary load against the same one-worker pool, unbatched
+// versus aggregated into K-sized Merkle batches (docs/BATCHING.md). The
+// headline column is CrossingsPerOK — enclave world crossings per signed
+// request — which batching amortises towards 1/K.
+type BatchRow struct {
+	Config         string  `json:"config"`
+	BatchSize      int     `json:"batch_size"`
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	Crossings      uint64  `json:"enclave_crossings"`
+	CrossingsPerOK float64 `json:"crossings_per_signed_request"`
+	Throughput     float64 `json:"requests_per_sec"`
+	P50Micros      float64 `json:"p50_us"`
+	P95Micros      float64 `json:"p95_us"`
+	MeanBatch      float64 `json:"mean_batch_size"`
+}
+
+// crossings sums enclave entries (ENTER + RESUME) over the pool's
+// telemetry. The pool samples idle workers only, so callers must quiesce
+// the load first.
+func crossings(p *pool.Pool) uint64 {
+	var total uint64
+	for _, snap := range p.Telemetry() {
+		for _, cs := range snap.SMC {
+			if cs.Call == kapi.SMCEnter || cs.Call == kapi.SMCResume {
+				total += cs.Count
+			}
+		}
+	}
+	return total
+}
+
+func batchRun(reqs, clients, k int) (BatchRow, error) {
+	row := BatchRow{BatchSize: k, Clients: clients, Requests: reqs, Config: "unbatched"}
+	if k > 0 {
+		row.Config = fmt.Sprintf("batch K=%d", k)
+	}
+	p, err := pool.New(pool.Config{Size: 1, Boot: server.Blueprint(42)})
+	if err != nil {
+		return row, err
+	}
+	srv := server.New(server.Config{
+		Pool:           p,
+		QueueDepth:     4 * clients,
+		RequestTimeout: 30 * time.Second,
+		BatchMaxSize:   k,
+		BatchWindow:    2 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	before := crossings(p)
+	var budget atomic.Int64
+	budget.Store(int64(reqs))
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			client := &http.Client{Timeout: 60 * time.Second}
+			for budget.Add(-1) >= 0 {
+				doc := make([]byte, 64+rng.Intn(192))
+				rng.Read(doc)
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/notary/sign", "application/octet-stream", bytes.NewReader(doc))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("sign: status %d", resp.StatusCode)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+	// Quiesce so the telemetry sample sees the (single) worker idle.
+	var after uint64
+	for i := 0; i < 100; i++ {
+		if after = crossings(p); after > before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(f float64) float64 {
+		return float64(all[int(f*float64(len(all)-1))].Nanoseconds()) / 1e3
+	}
+	row.Requests = len(all)
+	row.Crossings = after - before
+	row.CrossingsPerOK = float64(row.Crossings) / float64(len(all))
+	row.Throughput = float64(len(all)) / elapsed.Seconds()
+	row.P50Micros, row.P95Micros = q(0.50), q(0.95)
+	if st := srv.Stats().Batch; st != nil {
+		row.MeanBatch = st.MeanSize
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Drain()
+	if err := p.Close(ctx); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// BatchAB runs the batched-signing comparison: one unbatched baseline
+// plus one row per requested batch size, same request budget and client
+// count throughout (the EXPERIMENTS.md batching section and the
+// BENCH_8.json baseline).
+func BatchAB(reqs, clients int, sizes []int) ([]BatchRow, error) {
+	if reqs < 8*clients {
+		reqs = 8 * clients
+	}
+	rows := make([]BatchRow, 0, len(sizes)+1)
+	for _, k := range append([]int{0}, sizes...) {
+		row, err := batchRun(reqs, clients, k)
+		if err != nil {
+			return nil, fmt.Errorf("batch A/B (K=%d): %w", k, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -13,9 +13,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 )
 
 // Config configures New.
@@ -368,6 +370,14 @@ func isDialError(err error) bool {
 	return false
 }
 
+// forwardedRequestHeaders are copied client → backend verbatim;
+// forwardedResponseHeaders are copied backend → client verbatim. Both
+// lists are the batching/admission plane of internal/server (batch.go).
+var (
+	forwardedRequestHeaders  = []string{server.TenantHeader, server.NonceHeader}
+	forwardedResponseHeaders = []string{server.RejectHeader, server.TierHeader, server.BatchHeader}
+)
+
 // forwardTo proxies one buffered request to a backend, streaming the
 // response back. It returns the upstream status (0 with err != nil when
 // the transport failed). The caller must have taken an in-flight
@@ -398,6 +408,15 @@ func (g *Gateway) forwardTo(w http.ResponseWriter, r *http.Request, b *backend, 
 	if tp := tr.Traceparent(); tp != "" {
 		req.Header.Set("traceparent", tp)
 	}
+	// Tenant admission headers travel to the backend unmodified — through
+	// shard routing AND failover — so tenant accounting and leaf binding
+	// work fleet-wide no matter which node serves the request
+	// (docs/BATCHING.md).
+	for _, h := range forwardedRequestHeaders {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
 
 	defer b.inflight.Add(-1)
 	sp := tr.StartSpan("proxy")
@@ -416,6 +435,14 @@ func (g *Gateway) forwardTo(w http.ResponseWriter, r *http.Request, b *backend, 
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
+	}
+	// Batch receipt and rejection-classification headers come back
+	// unmodified: clients (and komodo-load's class tallies) must see the
+	// backend's X-Komodo-Reject/Tier/Batch exactly as minted.
+	for _, h := range forwardedResponseHeaders {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, cpErr := io.Copy(w, resp.Body)
@@ -646,13 +673,19 @@ type FleetStats struct {
 	Fleet        struct {
 		Backends int `json:"backends_reporting"`
 		Server   struct {
-			Requests uint64 `json:"requests"`
-			Served   uint64 `json:"served"`
-			Rejected uint64 `json:"rejected_429"`
-			Timeouts uint64 `json:"timeouts_503"`
-			Draining uint64 `json:"rejected_draining_503"`
-			Failures uint64 `json:"failures_5xx"`
+			Requests       uint64 `json:"requests"`
+			Served         uint64 `json:"served"`
+			Rejected       uint64 `json:"rejected_429"`
+			TenantRejected uint64 `json:"tenant_rejected_429"`
+			Timeouts       uint64 `json:"timeouts_503"`
+			Draining       uint64 `json:"rejected_draining_503"`
+			Failures       uint64 `json:"failures_5xx"`
 		} `json:"server"`
+		// Batch sums every reporting backend's batched-signing counters;
+		// Tenants merges per-tier admission ledgers by tier name. Both
+		// are nil/empty when no backend has the feature enabled.
+		Batch     *batch.Stats       `json:"batch,omitempty"`
+		Tenants   []tenant.TierStats `json:"tenants,omitempty"`
 		Sampled   int                `json:"telemetry_workers_sampled"`
 		Telemetry telemetry.Snapshot `json:"telemetry"`
 	} `json:"fleet"`
@@ -724,9 +757,17 @@ func (g *Gateway) Stats() FleetStats {
 		out.Fleet.Server.Requests += f.st.Server.Requests
 		out.Fleet.Server.Served += f.st.Server.Served
 		out.Fleet.Server.Rejected += f.st.Server.Rejected
+		out.Fleet.Server.TenantRejected += f.st.Server.TenantRejected
 		out.Fleet.Server.Timeouts += f.st.Server.Timeouts
 		out.Fleet.Server.Draining += f.st.Server.Draining
 		out.Fleet.Server.Failures += f.st.Server.Failures
+		if f.st.Batch != nil {
+			if out.Fleet.Batch == nil {
+				out.Fleet.Batch = &batch.Stats{}
+			}
+			out.Fleet.Batch.Merge(*f.st.Batch)
+		}
+		out.Fleet.Tenants = tenant.MergeStats(out.Fleet.Tenants, f.st.Tenants)
 		out.Fleet.Sampled += f.st.Sampled
 		snaps = append(snaps, f.st.Telemetry)
 	}

@@ -1,0 +1,184 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/server"
+	"repro/internal/tenant"
+)
+
+// tenantBackend boots a real komodo-serve stack with batching and tenant
+// admission enabled: gold is unlimited, free has a burst of 2 and a
+// near-zero refill rate so the third sign in a test is deterministically
+// rate-limited.
+func tenantBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg, err := tenant.NewRegistry([]tenant.TierSpec{
+		{Name: "gold"},
+		{Name: "free", Rate: 0.0001, Burst: 2},
+	}, map[string]string{"tok-g": "gold", "tok-f": "free"}, "free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pool.New(pool.Config{Size: 1, Boot: server.Blueprint(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		p.Close(ctx)
+	})
+	srv := server.New(server.Config{
+		Pool:         p,
+		Admission:    reg,
+		BatchMaxSize: 4,
+		BatchWindow:  5 * time.Millisecond,
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func signWithTenant(t *testing.T, gwURL, shard, token string, doc []byte) (*http.Response, server.NotaryResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, gwURL+"/v1/notary/sign?shard="+shard, bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set(server.TenantHeader, token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var nr server.NotaryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&nr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, nr
+}
+
+// TestTenantAndBatchHeaderPassthrough is the satellite passthrough test:
+// X-Komodo-Tenant travels through shard routing to the backend (the tier
+// is accounted and the token is bound into the Merkle leaf), and the
+// backend's X-Komodo-Tier / X-Komodo-Batch / X-Komodo-Reject response
+// headers come back through the proxy — including across a failover —
+// and the fleet stats merge the per-backend batch/tenant ledgers.
+func TestTenantAndBatchHeaderPassthrough(t *testing.T) {
+	b0, b1 := tenantBackend(t), tenantBackend(t)
+	g, err := New(Config{
+		Backends: []BackendSpec{
+			{Name: "b0", URL: b0.URL},
+			{Name: "b1", URL: b1.URL},
+		},
+		DisableProbes: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g)
+	defer gw.Close()
+
+	shard := shardOwnedBy(g, 0)
+	doc := []byte("passthrough doc")
+
+	// Two free signs pass through to the shard owner: the tenant header
+	// must reach the backend (leaf binds the token, tier is accounted)
+	// and the batch receipt headers must come back through the proxy.
+	for i := 0; i < 2; i++ {
+		resp, nr := signWithTenant(t, gw.URL, shard, "tok-f", doc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("free sign %d via gateway: status %d", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get(server.TierHeader); got != "free" {
+			t.Fatalf("tier header through proxy: %q, want free", got)
+		}
+		if resp.Header.Get(server.BatchHeader) == "" {
+			t.Fatal("batch header lost in proxy")
+		}
+		if nr.Batch == nil || nr.Batch.Tenant != "tok-f" {
+			t.Fatalf("tenant token did not reach the backend leaf: %+v", nr.Batch)
+		}
+		if err := server.VerifyBatchReceipt(nr, doc); err != nil {
+			t.Fatalf("receipt via gateway: %v", err)
+		}
+	}
+
+	// Third free sign: the backend's 429 + rejection class + Retry-After
+	// all pass back through.
+	resp, _ := signWithTenant(t, gw.URL, shard, "tok-f", doc)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited sign via gateway: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(server.RejectHeader); got != tenant.ReasonRateLimit {
+		t.Fatalf("reject class through proxy: %q, want %q", got, tenant.ReasonRateLimit)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("Retry-After lost in proxy")
+	}
+
+	// Failover: owner down, same shard fails over to b1 — the tenant
+	// header and receipt headers survive the rerouted hop too.
+	g.SetBackendState(0, StateDown)
+	resp, nr := signWithTenant(t, gw.URL, shard, "tok-g", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover sign: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Komodo-Backend"); got != "b1" {
+		t.Fatalf("failover served by %q, want b1", got)
+	}
+	if got := resp.Header.Get(server.TierHeader); got != "gold" {
+		t.Fatalf("failover tier header: %q, want gold", got)
+	}
+	if nr.Batch == nil || nr.Batch.Tenant != "tok-g" {
+		t.Fatalf("failover lost the tenant binding: %+v", nr.Batch)
+	}
+	if err := server.VerifyBatchReceipt(nr, doc); err != nil {
+		t.Fatalf("failover receipt: %v", err)
+	}
+	g.SetBackendState(0, StateUp)
+
+	// Fleet stats merge the batch and tenant ledgers across backends.
+	sresp, err := http.Get(gw.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var fs FleetStats
+	if err := json.NewDecoder(sresp.Body).Decode(&fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Fleet.Batch == nil || fs.Fleet.Batch.Signed < 3 {
+		t.Fatalf("fleet batch stats not merged: %+v", fs.Fleet.Batch)
+	}
+	if fs.Fleet.Server.TenantRejected != 1 {
+		t.Fatalf("fleet tenant_rejected_429 = %d, want 1", fs.Fleet.Server.TenantRejected)
+	}
+	byTier := map[string]tenant.TierStats{}
+	for _, tst := range fs.Fleet.Tenants {
+		byTier[tst.Tier] = tst
+	}
+	if byTier["free"].Admitted != 2 || byTier["free"].RejectedRate != 1 {
+		t.Fatalf("fleet free tier merge: %+v", byTier["free"])
+	}
+	if byTier["gold"].Admitted != 1 {
+		t.Fatalf("fleet gold tier merge: %+v", byTier["gold"])
+	}
+}

@@ -233,6 +233,19 @@ func (m Mapping) String() string {
 	return fmt.Sprintf("va=%#x perms=%s", m.VA(), perms)
 }
 
+// BatchSigTag is the domain-separation tag for batched notary signatures
+// (docs/BATCHING.md). The batch-notary guest signs
+//
+//	digest = SHA-256(BatchSigTag ‖ root[0..7] ‖ counter)
+//
+// over a Merkle root instead of a raw document, and the tag guarantees a
+// batch digest can never collide with a single-document notary digest
+// (which starts with document words, never this constant) nor with a
+// quote (different measurement binds the attestation anyway). ASCII
+// "KBAT". Offline verifiers (cmd/komodo-verify, internal/batch) must use
+// the same constant.
+const BatchSigTag uint32 = 0x4b424154
+
 // ExitTypes returned in R1 alongside ErrInterrupted/ErrFault: the *only*
 // information about enclave execution released to the OS (§6.2
 // declassification: "the type of exception or interrupt that ends enclave

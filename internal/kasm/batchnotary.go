@@ -1,0 +1,115 @@
+package kasm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kapi"
+)
+
+// The batch notary (docs/BATCHING.md): the same enclave — same counter,
+// same measured identity lineage per deployment — extended with a second
+// entry mode that signs a Merkle root over a whole batch of documents in
+// one crossing, instead of one document per crossing.
+//
+// Entry ABI:
+//
+//	R0 = document word count, R1 = 0 (default): single-document mode,
+//	     byte-for-byte the classic notary protocol (NotaryProgram).
+//	R1 = 1: batch mode. Shared words 0..7 hold the Merkle root. The
+//	     guest bumps the counter, computes
+//	         digest = SHA-256(kapi.BatchSigTag ‖ root[0..7] ‖ counter)
+//	     (a single manually padded block: 10 message words, bitlen 320),
+//	     attests the digest through the monitor, writes the 8-word MAC
+//	     to shared words 0..7, and exits with the counter in R1.
+//
+// Both modes share one monotonic counter at counterOff, so a deployment
+// may interleave single and batched signs and still hand out a single
+// strictly-increasing timestamp stream: one batch of K documents advances
+// the stream by exactly one tick that all K receipts share, with leaf
+// indices ordering documents within the tick.
+//
+// Crucially the Go-side aggregator (internal/batch) stays untrusted: the
+// enclave never sees the leaves, but any receipt's inclusion path
+// recomputes the root the enclave DID see and sign, so the batcher can
+// delay or drop requests yet cannot forge or reorder a signed receipt.
+
+// BatchNotaryProgram generates the two-mode notary for the enclave layout.
+// Mode select is on R1 so that existing single-document callers — which
+// enter with only R0 set and get zeroed high registers from the monitor's
+// entry contract — land in classic mode unchanged.
+func BatchNotaryProgram(l NotaryLayout) *asm.Program {
+	p := asm.New()
+	p.CmpI(arm.R1, 1)
+	p.Beq("batch_mode")
+
+	// --- single-document mode (classic notary, shared subroutine) ---
+	emitNotaryDriver(p, l, false)
+
+	// --- batch mode ---
+	p.Label("batch_mode")
+	// Bump the shared monotonic counter: one tick per batch.
+	p.MovImm32(arm.R12, l.Data+counterOff)
+	p.Ldr(arm.R8, arm.R12, 0)
+	p.AddI(arm.R8, arm.R8, 1)
+	p.Str(arm.R8, arm.R12, 0)
+
+	// Stage the one-block message at padBlkOff:
+	//   [tag, root0..root7, counter, 0x80000000, 0, 0, 0, 0, 320]
+	p.MovImm32(arm.R10, l.Data+padBlkOff)
+	p.MovImm32(arm.R8, kapi.BatchSigTag)
+	p.Str(arm.R8, arm.R10, 0)
+	p.MovImm32(arm.R11, l.Doc) // root in shared words 0..7
+	for i := 0; i < 8; i++ {
+		p.Ldr(arm.R8, arm.R11, uint32(i*4))
+		p.Str(arm.R8, arm.R10, uint32((1+i)*4))
+	}
+	p.MovImm32(arm.R12, l.Data+counterOff)
+	p.Ldr(arm.R8, arm.R12, 0)
+	p.Str(arm.R8, arm.R10, 36)
+	p.MovImm32(arm.R8, 0x8000_0000)
+	p.Str(arm.R8, arm.R10, 40)
+	p.Movw(arm.R8, 0)
+	for j := 11; j < 15; j++ {
+		p.Str(arm.R8, arm.R10, uint32(j*4))
+	}
+	p.Movw(arm.R8, 10*32) // bit length of the 10-word message
+	p.Str(arm.R8, arm.R10, 60)
+
+	// digest := H(block).
+	EmitSHA256Init(p, l.Data)
+	p.Mov(arm.R1, arm.R10)
+	p.Movw(arm.R2, 1)
+	p.Bl("sha_blocks")
+
+	// Attest the digest: the MAC binds (root, counter) to the notary's
+	// measured identity, exactly like the single-document signature.
+	p.MovImm32(arm.R12, l.Data+shaStateOff)
+	for i := 0; i < 8; i++ {
+		p.Ldr(arm.Reg(1+i), arm.R12, uint32(i*4))
+	}
+	p.Movw(arm.R0, kapi.SVCAttest)
+	p.Svc()
+	// Publish the MAC over the root's shared words and exit with the
+	// counter.
+	p.MovImm32(arm.R12, l.Out)
+	for i := 0; i < 8; i++ {
+		p.Str(arm.Reg(1+i), arm.R12, uint32(i*4))
+	}
+	p.MovImm32(arm.R12, l.Data+counterOff)
+	p.Ldr(arm.R1, arm.R12, 0)
+	emitExit(p)
+
+	// --- subroutines (shared by both modes) ---
+	EmitSHA256Blocks(p, "sha_blocks", l.Data)
+	return p
+}
+
+// BatchNotaryGuest builds the enclave batch notary with enough shared
+// pages for the largest document plus the root/MAC words.
+func BatchNotaryGuest(sharedPages int) Guest {
+	return Guest{
+		Prog:        BatchNotaryProgram(EnclaveNotaryLayout()),
+		WithShared:  true,
+		SharedPages: sharedPages,
+	}
+}

@@ -1,0 +1,139 @@
+package kasm_test
+
+import (
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/kapi"
+	"repro/internal/kasm"
+	"repro/internal/sha2"
+)
+
+// TestBatchNotaryBatchMode: batch mode signs exactly
+// H(BatchSigTag ‖ root ‖ counter) — the guest's manual one-block padding
+// must match the Go reference (batch.RootDigest) — and the MAC must be a
+// genuine attestation by the enclave's measurement.
+func TestBatchNotaryBatchMode(t *testing.T) {
+	w := newWorld(t)
+	img, err := kasm.BatchNotaryGuest(1).Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var root [8]uint32
+	for i := range root {
+		root[i] = uint32(i)*0x9e3779b9 + 0x1234
+	}
+	if err := w.os.WriteInsecure(enc.SharedPA[0], root[:]); err != nil {
+		t.Fatal(err)
+	}
+	e, counter, err := w.os.Enter(enc, 0, 1) // R0 unused, R1=1: batch mode
+	if err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	if counter != 1 {
+		t.Fatalf("first batch counter = %d, want 1", counter)
+	}
+	mac, err := w.os.ReadInsecure(enc.SharedPA[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	digest := batch.RootDigest(root, counter)
+	db, err := w.plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := db.Addrspace(enc.AS).Measured
+	key := w.plat.Monitor.AttestKey()
+	msg := append(append([]uint32{}, measured[:]...), digest[:]...)
+	want := sha2.BytesToWords(func() []byte {
+		m := sha2.HMAC(key[:], sha2.WordsToBytes(msg))
+		return m[:]
+	}())
+	for i := 0; i < 8; i++ {
+		if mac[i] != want[i] {
+			t.Fatalf("MAC word %d = %#x, want %#x (attestation over RootDigest)", i, mac[i], want[i])
+		}
+	}
+}
+
+// TestBatchNotarySharedCounter: single-document and batch signs advance
+// the SAME counter, and the single-document mode stays bit-identical to
+// the classic NotaryGuest protocol.
+func TestBatchNotarySharedCounter(t *testing.T) {
+	w := newWorld(t)
+	img, err := kasm.BatchNotaryGuest(1).Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := w.os.BuildEnclave(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Classic single-document sign: counter 1, classic digest.
+	doc := docWords(32)
+	if err := w.os.WriteInsecure(enc.SharedPA[0], doc); err != nil {
+		t.Fatal(err)
+	}
+	e, counter, err := w.os.Enter(enc, uint32(len(doc)))
+	if err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	if counter != 1 {
+		t.Fatalf("doc counter = %d, want 1", counter)
+	}
+	mac, err := w.os.ReadInsecure(enc.SharedPA[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha2.New()
+	h.WriteWords(doc)
+	h.WriteWords([]uint32{counter})
+	digest := h.SumWords()
+	db, err := w.plat.Monitor.DecodePageDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := db.Addrspace(enc.AS).Measured
+	key := w.plat.Monitor.AttestKey()
+	msg := append(append([]uint32{}, measured[:]...), digest[:]...)
+	hm := sha2.HMAC(key[:], sha2.WordsToBytes(msg))
+	want := sha2.BytesToWords(hm[:])
+	for i := 0; i < 8; i++ {
+		if mac[i] != want[i] {
+			t.Fatalf("classic-mode MAC word %d = %#x, want %#x", i, mac[i], want[i])
+		}
+	}
+
+	// 2. Batch sign: the same counter stream ticks to 2.
+	var root [8]uint32
+	root[0] = 0xfeedface
+	if err := w.os.WriteInsecure(enc.SharedPA[0], root[:]); err != nil {
+		t.Fatal(err)
+	}
+	e, counter, err = w.os.Enter(enc, 0, 1)
+	if err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	if counter != 2 {
+		t.Fatalf("batch counter = %d, want 2 (shared stream)", counter)
+	}
+
+	// 3. And back to a document sign: counter 3.
+	if err := w.os.WriteInsecure(enc.SharedPA[0], doc); err != nil {
+		t.Fatal(err)
+	}
+	e, counter, err = w.os.Enter(enc, uint32(len(doc)))
+	if err != nil || e != kapi.ErrSuccess {
+		t.Fatal(err, e)
+	}
+	if counter != 3 {
+		t.Fatalf("post-batch doc counter = %d, want 3", counter)
+	}
+}

@@ -46,7 +46,16 @@ const docWordsOff = 0x38 // spilled document word count
 // with the SVC.
 func NotaryProgram(l NotaryLayout, native bool) *asm.Program {
 	p := asm.New()
+	emitNotaryDriver(p, l, native)
+	// --- subroutines ---
+	EmitSHA256Blocks(p, "sha_blocks", l.Data)
+	return p
+}
 
+// emitNotaryDriver emits the single-document notary body (everything but
+// the sha_blocks subroutine, which the caller emits once so that
+// BatchNotaryProgram can share it between its two modes).
+func emitNotaryDriver(p *asm.Program, l NotaryLayout, native bool) {
 	// --- driver ---
 	// Spill the document word count (R0 on entry).
 	p.MovImm32(arm.R12, l.Data+docWordsOff)
@@ -119,10 +128,6 @@ func NotaryProgram(l NotaryLayout, native bool) *asm.Program {
 		p.Ldr(arm.R1, arm.R12, 0)
 		emitExit(p)
 	}
-
-	// --- subroutines ---
-	EmitSHA256Blocks(p, "sha_blocks", l.Data)
-	return p
 }
 
 // emitNativeMAC computes mac = H(key ‖ H(key ‖ digest)) over the digest

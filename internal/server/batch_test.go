@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/tenant"
+)
+
+func postDoc(t *testing.T, client *http.Client, url string, doc []byte, hdr map[string]string) (*http.Response, NotaryResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/notary/sign", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var nr NotaryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&nr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, nr
+}
+
+// TestBatchDifferential is the satellite duplicate-counter differential
+// test: one batch of K concurrent signs advances the enclave counter
+// exactly once (all K receipts share one counter with K distinct leaf
+// indices), every receipt verifies offline, and a subsequent single batch
+// gets the NEXT counter — no duplicates, no gaps, versus the unbatched
+// server where K signs advance the counter K times.
+func TestBatchDifferential(t *testing.T) {
+	const K = 8
+
+	// Batched server: one pool worker so all signs share a counter stream.
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p, BatchMaxSize: K, BatchWindow: 50 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	docs := make([][]byte, K)
+	for i := range docs {
+		docs[i] = []byte(fmt.Sprintf("batch doc %02d", i))
+	}
+	var wg sync.WaitGroup
+	responses := make([]NotaryResponse, K)
+	codes := make([]int, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, nr := postDoc(t, http.DefaultClient, ts.URL, docs[i], nil)
+			codes[i], responses[i] = resp.StatusCode, nr
+		}(i)
+	}
+	wg.Wait()
+
+	indices := map[int]bool{}
+	for i := 0; i < K; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("sign %d: status %d", i, codes[i])
+		}
+		nr := responses[i]
+		if nr.Counter != 1 {
+			t.Fatalf("sign %d: counter %d, want 1 (one batch = one tick)", i, nr.Counter)
+		}
+		if nr.Batch == nil || nr.Batch.BatchSize != K {
+			t.Fatalf("sign %d: batch proof missing or wrong size: %+v", i, nr.Batch)
+		}
+		if indices[nr.Batch.LeafIndex] {
+			t.Fatalf("leaf index %d issued twice", nr.Batch.LeafIndex)
+		}
+		indices[nr.Batch.LeafIndex] = true
+		// Full offline verification, leaf recomputed from the document.
+		if err := VerifyBatchReceipt(nr, docs[i]); err != nil {
+			t.Fatalf("sign %d: receipt verification: %v", i, err)
+		}
+		// The receipt must NOT verify against a different document.
+		if err := VerifyBatchReceipt(nr, []byte("some other doc")); err == nil {
+			t.Fatalf("sign %d: receipt verified for a foreign document", i)
+		}
+	}
+
+	// Next sign: counter 2 — strictly monotonic across batches.
+	resp, nr := postDoc(t, http.DefaultClient, ts.URL, []byte("late doc"), nil)
+	if resp.StatusCode != http.StatusOK || nr.Counter != 2 {
+		t.Fatalf("post-batch sign: status %d counter %d, want 200/2", resp.StatusCode, nr.Counter)
+	}
+
+	// Differential leg: the unbatched server spends K counter ticks (and
+	// K enclave crossings) on the same K documents.
+	p2 := newPool(t, pool.Config{Size: 1})
+	srv2 := New(Config{Pool: p2})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	maxCounter := uint32(0)
+	for i := 0; i < K; i++ {
+		resp, nr := postDoc(t, http.DefaultClient, ts2.URL, docs[i], nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("unbatched sign %d: status %d", i, resp.StatusCode)
+		}
+		if nr.Batch != nil {
+			t.Fatalf("unbatched response carries a batch proof")
+		}
+		if nr.Counter != maxCounter+1 {
+			t.Fatalf("unbatched counter %d after %d", nr.Counter, maxCounter)
+		}
+		maxCounter = nr.Counter
+	}
+	if maxCounter != K {
+		t.Fatalf("unbatched server used %d ticks for %d signs", maxCounter, K)
+	}
+
+	// And the batch stats agree: one full batch + one window batch,
+	// K+1 signed, K-1 crossings saved.
+	st := srv.Stats()
+	if st.Batch == nil {
+		t.Fatal("batched server reports no batch stats")
+	}
+	if st.Batch.BatchesFull != 1 || st.Batch.BatchesWindow != 1 ||
+		st.Batch.Signed != K+1 || st.Batch.CrossingsSaved != K-1 {
+		t.Fatalf("batch stats: %+v", st.Batch)
+	}
+}
+
+// TestBatchNonceHeader: a pinned X-Komodo-Nonce lands in the leaf and the
+// receipt still verifies; a malformed one is a 400.
+func TestBatchNonceHeader(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p, BatchMaxSize: 4, BatchWindow: 5 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	doc := []byte("pinned-nonce doc")
+	nonce := "000102030405060708090a0b0c0d0e0f"
+	resp, nr := postDoc(t, http.DefaultClient, ts.URL, doc, map[string]string{NonceHeader: nonce})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if nr.Batch.Nonce != nonce {
+		t.Fatalf("nonce not echoed: %q", nr.Batch.Nonce)
+	}
+	if err := VerifyBatchReceipt(nr, doc); err != nil {
+		t.Fatal(err)
+	}
+	badResp, _ := postDoc(t, http.DefaultClient, ts.URL, doc, map[string]string{NonceHeader: "zz"})
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed nonce: status %d, want 400", badResp.StatusCode)
+	}
+}
+
+// TestTenantAdmissionOverHTTP: tenant tokens map to tiers; an exhausted
+// rate bucket yields 429 + Retry-After + X-Komodo-Reject: rate_limit, and
+// the tier lands in X-Komodo-Tier and the leaf's tenant label.
+func TestTenantAdmissionOverHTTP(t *testing.T) {
+	reg, err := tenant.NewRegistry([]tenant.TierSpec{
+		{Name: "gold"},
+		{Name: "free", Rate: 0.001, Burst: 2},
+	}, map[string]string{"tok-g": "gold", "tok-f": "free"}, "free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p, Admission: reg, BatchMaxSize: 4, BatchWindow: 5 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	doc := []byte("tenant doc")
+	// Two free signs pass (burst 2), binding the token as tenant label.
+	for i := 0; i < 2; i++ {
+		resp, nr := postDoc(t, http.DefaultClient, ts.URL, doc, map[string]string{TenantHeader: "tok-f"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("free sign %d: status %d", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get(TierHeader); got != "free" {
+			t.Fatalf("tier header %q", got)
+		}
+		if nr.Batch.Tenant != "tok-f" {
+			t.Fatalf("leaf tenant %q", nr.Batch.Tenant)
+		}
+		if err := VerifyBatchReceipt(nr, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third free sign: 429 rate_limit with Retry-After.
+	resp, _ := postDoc(t, http.DefaultClient, ts.URL, doc, map[string]string{TenantHeader: "tok-f"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited sign: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RejectHeader); got != tenant.ReasonRateLimit {
+		t.Fatalf("reject class %q, want %q", got, tenant.ReasonRateLimit)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Gold still sails through.
+	if resp, _ := postDoc(t, http.DefaultClient, ts.URL, doc, map[string]string{TenantHeader: "tok-g"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("gold sign: status %d", resp.StatusCode)
+	}
+	// Stats carry the per-tier ledger.
+	st := srv.Stats()
+	if len(st.Tenants) != 2 {
+		t.Fatalf("tenants: %+v", st.Tenants)
+	}
+	var free, gold tenant.TierStats
+	for _, ts := range st.Tenants {
+		switch ts.Tier {
+		case "free":
+			free = ts
+		case "gold":
+			gold = ts
+		}
+	}
+	if free.Admitted != 2 || free.RejectedRate != 1 || gold.Admitted != 1 {
+		t.Fatalf("tier stats: free=%+v gold=%+v", free, gold)
+	}
+	if st.Server.TenantRejected != 1 {
+		t.Fatalf("tenant_rejected_429 = %d", st.Server.TenantRejected)
+	}
+}
+
+// TestBatchDrainReceipts: draining closes the aggregator batch with
+// receipts intact, and post-drain signs are 503 drain.
+func TestBatchDrain(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p, BatchMaxSize: 64, BatchWindow: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, nr := postDoc(t, http.DefaultClient, ts.URL, []byte("pre-drain"), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain sign: %d", resp.StatusCode)
+	}
+	if err := VerifyBatchReceipt(nr, []byte("pre-drain")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Drain()
+	srv.Close()
+	resp, _ = postDoc(t, http.DefaultClient, ts.URL, []byte("post-drain"), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain sign: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RejectHeader); got != RejectDrain {
+		t.Fatalf("reject class %q, want %q", got, RejectDrain)
+	}
+}

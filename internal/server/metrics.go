@@ -68,6 +68,63 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Golden-snapshot restores served by the dirty-page delta path.",
 		obs.Sample{Value: float64(ps.DeltaRestores)})
 
+	// Batched signing (docs/BATCHING.md), present when batching is on.
+	if s.agg != nil {
+		bs := s.agg.Stats()
+		p.Counter("komodo_batch_batches_total",
+			"Sealed batches by close reason.",
+			obs.Sample{Labels: obs.L("close", "full"), Value: float64(bs.BatchesFull)},
+			obs.Sample{Labels: obs.L("close", "window"), Value: float64(bs.BatchesWindow)},
+			obs.Sample{Labels: obs.L("close", "drain"), Value: float64(bs.BatchesDrain)})
+		p.Counter("komodo_batch_signed_total",
+			"Sign requests answered from a sealed batch.",
+			obs.Sample{Value: float64(bs.Signed)})
+		p.Counter("komodo_batch_crossings_saved_total",
+			"Enclave crossings avoided: signed requests minus batch signatures.",
+			obs.Sample{Value: float64(bs.CrossingsSaved)})
+		p.Counter("komodo_batch_sign_failures_total",
+			"Batches whose single enclave entry failed (every waiter got a 5xx).",
+			obs.Sample{Value: float64(bs.SignFailures)})
+		p.Counter("komodo_batch_saturated_total",
+			"Sign requests rejected because the batch queue was full.",
+			obs.Sample{Value: float64(bs.Saturated)})
+		p.Gauge("komodo_batch_pending",
+			"Requests admitted to the batcher but not yet signed.",
+			obs.Sample{Value: float64(bs.Pending)})
+		p.Gauge("komodo_batch_size_max",
+			"Largest batch sealed so far.",
+			obs.Sample{Value: float64(bs.MaxSize)})
+		p.Gauge("komodo_batch_size_mean",
+			"Mean sealed-batch size.",
+			obs.Sample{Value: bs.MeanSize})
+		p.Histogram("komodo_batch_fill_duration_seconds",
+			"Batch fill latency: first enqueue to seal.",
+			obs.HistSeries{Snap: s.agg.FillHist().Snapshot()})
+	}
+
+	// Tenant admission (internal/tenant), present when admission is on.
+	if s.cfg.Admission != nil {
+		var admit []obs.Sample
+		for _, ts := range s.cfg.Admission.Stats() {
+			admit = append(admit,
+				obs.Sample{Labels: obs.L("tier", ts.Tier, "result", "admitted"), Value: float64(ts.Admitted)},
+				obs.Sample{Labels: obs.L("tier", ts.Tier, "result", "rate_limit"), Value: float64(ts.RejectedRate)},
+				obs.Sample{Labels: obs.L("tier", ts.Tier, "result", "quota"), Value: float64(ts.RejectedQuota)},
+				obs.Sample{Labels: obs.L("tier", ts.Tier, "result", "shed"), Value: float64(ts.RejectedShed)})
+		}
+		p.Counter("komodo_tenant_requests_total",
+			"Admission decisions by tier and result.", admit...)
+		var tiers []obs.HistSeries
+		s.tierLat.Each(func(tier, outcome string, h *obs.Histogram) {
+			tiers = append(tiers, obs.HistSeries{
+				Labels: obs.L("tier", tier, "outcome", outcome),
+				Snap:   h.Snapshot(),
+			})
+		})
+		p.Histogram("komodo_tenant_request_duration_seconds",
+			"Wall-clock latency of admitted requests by tier and outcome.", tiers...)
+	}
+
 	var series []obs.HistSeries
 	s.lat.Each(func(endpoint, outcome string, h *obs.Histogram) {
 		series = append(series, obs.HistSeries{

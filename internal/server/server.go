@@ -9,9 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/komodo"
 )
 
@@ -49,6 +51,19 @@ type Config struct {
 	// recorder retains for /v1/debug/traces (default
 	// obs.DefaultFlightRecorderSize).
 	FlightRecorderSize int
+	// Admission, if set, runs tenant admission control (token → tier,
+	// rate limits, quotas, queue-depth shedding) in front of the attest
+	// and sign paths. See internal/tenant and docs/BATCHING.md.
+	Admission *tenant.Registry
+	// BatchMaxSize enables batched signing when > 0: /v1/notary/sign
+	// requests are collected into Merkle batches of up to this many
+	// leaves, each signed with ONE enclave crossing (docs/BATCHING.md).
+	BatchMaxSize int
+	// BatchWindow bounds how long a short batch waits for company
+	// (default 2ms); BatchQueue bounds admitted-but-unsigned requests
+	// (default 4*BatchMaxSize, then 429 queue_full).
+	BatchWindow time.Duration
+	BatchQueue  int
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -58,17 +73,20 @@ type Server struct {
 	slots    chan struct{}
 	draining atomic.Bool
 
-	requests     atomic.Uint64 // all requests to /v1/attest and /v1/notary/sign
-	served       atomic.Uint64 // 200s
-	rejected     atomic.Uint64 // 429s (queue saturated)
-	timeouts     atomic.Uint64 // 503s (worker-wait deadline)
-	drainRejects atomic.Uint64 // 503s (refused while draining)
-	failures     atomic.Uint64 // 5xx enclave/worker errors
+	requests      atomic.Uint64 // all requests to /v1/attest and /v1/notary/sign
+	served        atomic.Uint64 // 200s
+	rejected      atomic.Uint64 // 429s (queue saturated)
+	timeouts      atomic.Uint64 // 503s (worker-wait deadline)
+	drainRejects  atomic.Uint64 // 503s (refused while draining)
+	failures      atomic.Uint64 // 5xx enclave/worker errors
+	tenantRejects atomic.Uint64 // 429s from admission (rate/quota/shed)
 
 	quoteKey atomic.Pointer[[8]uint32]
 
-	lat    *obs.LatencyVec     // wall-clock latency per (endpoint, outcome)
-	flight *obs.FlightRecorder // N slowest finished traces
+	agg     *batch.Aggregator // batched sign path (nil unless BatchMaxSize > 0)
+	lat     *obs.LatencyVec   // wall-clock latency per (endpoint, outcome)
+	tierLat *obs.LatencyVec   // wall-clock latency per (tier, outcome)
+	flight  *obs.FlightRecorder
 }
 
 // New builds the server around a pool.
@@ -86,14 +104,24 @@ func New(cfg Config) *Server {
 		cfg.CheckpointEvery = 1
 	}
 	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		slots:  make(chan struct{}, cfg.QueueDepth),
-		lat:    obs.NewLatencyVec(),
-		flight: obs.NewFlightRecorder(cfg.FlightRecorderSize),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		slots:   make(chan struct{}, cfg.QueueDepth),
+		lat:     obs.NewLatencyVec(),
+		tierLat: obs.NewLatencyVec(),
+		flight:  obs.NewFlightRecorder(cfg.FlightRecorderSize),
 	}
-	s.mux.HandleFunc("/v1/attest", s.traced("/v1/attest", s.handleAttest))
-	s.mux.HandleFunc("/v1/notary/sign", s.traced("/v1/notary/sign", s.handleNotarySign))
+	if cfg.BatchMaxSize > 0 {
+		s.agg = batch.New(batch.Config{
+			MaxBatch:    cfg.BatchMaxSize,
+			Window:      cfg.BatchWindow,
+			MaxQueue:    cfg.BatchQueue,
+			SignTimeout: cfg.RequestTimeout,
+			Sign:        s.signBatchRoot,
+		})
+	}
+	s.mux.HandleFunc("/v1/attest", s.traced("/v1/attest", s.withTenant(s.handleAttest)))
+	s.mux.HandleFunc("/v1/notary/sign", s.traced("/v1/notary/sign", s.withTenant(s.handleNotarySign)))
 	s.mux.HandleFunc("/v1/healthz", s.traced("/v1/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/stats", s.traced("/v1/stats", s.handleStats))
 	s.mux.HandleFunc("/v1/quotekey", s.traced("/v1/quotekey", s.handleQuoteKey))
@@ -164,6 +192,15 @@ func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Close releases server-owned background machinery: the batch aggregator
+// (if batching is enabled) seals its open batch with reason "drain" and
+// rejects new submissions. Call after Drain, before closing the pool.
+func (s *Server) Close() {
+	if s.agg != nil {
+		s.agg.Close()
+	}
+}
+
 // Drain flips the server into draining mode: /v1/healthz starts failing
 // (so load balancers stop routing here) and new work is refused with 503.
 // In-flight requests finish normally; the caller then shuts the HTTP
@@ -212,6 +249,7 @@ func (s *Server) replyErr(w http.ResponseWriter, status int, format string, args
 func (s *Server) replyDraining(w http.ResponseWriter) {
 	s.drainRejects.Add(1)
 	w.Header().Set("Retry-After", "5")
+	w.Header().Set(RejectHeader, RejectDrain)
 	s.reply(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
 }
 
@@ -259,6 +297,7 @@ func (s *Server) withWorkerOpts(w http.ResponseWriter, r *http.Request, admin bo
 	default:
 		qsp.EndDetail("full")
 		s.rejected.Add(1)
+		w.Header().Set(RejectHeader, RejectQueueFull)
 		s.replyErr(w, http.StatusTooManyRequests, "queue full (depth %d)", s.cfg.QueueDepth)
 		return
 	}
@@ -273,6 +312,7 @@ func (s *Server) withWorkerOpts(w http.ResponseWriter, r *http.Request, admin bo
 			return
 		}
 		s.timeouts.Add(1)
+		w.Header().Set(RejectHeader, RejectTimeout)
 		s.replyErr(w, http.StatusServiceUnavailable, "no worker within deadline: %v", err)
 		return
 	}
@@ -388,6 +428,11 @@ type NotaryResponse struct {
 	// and a live migration that lands new state on the worker opens a new
 	// window instead of silently splicing two lineages together.
 	Restores int `json:"restores,omitempty"`
+	// Batch carries the Merkle inclusion proof when the sign was served
+	// from a sealed batch (docs/BATCHING.md): Counter/Digest/MAC then
+	// describe the whole batch's enclave signature, shared by every
+	// receipt in it, and Digest = H(BatchSigTag ‖ root ‖ counter).
+	Batch *BatchProof `json:"batch,omitempty"`
 }
 
 func (s *Server) handleNotarySign(w http.ResponseWriter, r *http.Request) {
@@ -406,6 +451,10 @@ func (s *Server) handleNotarySign(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(doc) > MaxDocBytes {
 		s.replyErr(w, http.StatusRequestEntityTooLarge, "document larger than %d bytes", MaxDocBytes)
+		return
+	}
+	if s.agg != nil {
+		s.handleBatchSign(w, r, doc)
 		return
 	}
 	s.withWorker(w, r, func(ctx context.Context, wk *pool.Worker) (pool.Outcome, error) {
@@ -633,14 +682,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // and one telemetry snapshot merged across the currently idle boards.
 type StatsResponse struct {
 	Server struct {
-		Requests uint64 `json:"requests"`
-		Served   uint64 `json:"served"`
-		Rejected uint64 `json:"rejected_429"`
-		Timeouts uint64 `json:"timeouts_503"`
-		Draining uint64 `json:"rejected_draining_503"`
-		Failures uint64 `json:"failures_5xx"`
-		Queue    int    `json:"queue_depth"`
+		Requests       uint64 `json:"requests"`
+		Served         uint64 `json:"served"`
+		Rejected       uint64 `json:"rejected_429"`
+		TenantRejected uint64 `json:"tenant_rejected_429"`
+		Timeouts       uint64 `json:"timeouts_503"`
+		Draining       uint64 `json:"rejected_draining_503"`
+		Failures       uint64 `json:"failures_5xx"`
+		Queue          int    `json:"queue_depth"`
 	} `json:"server"`
+	// Batch reports the batched-signing aggregator (nil when batching is
+	// off); Tenants reports per-tier admission accounting (nil when
+	// admission is off). Both merge fleet-wide through the gateway.
+	Batch     *batch.Stats       `json:"batch,omitempty"`
+	Tenants   []tenant.TierStats `json:"tenants,omitempty"`
 	Pool      pool.Stats         `json:"pool"`
 	Sampled   int                `json:"telemetry_workers_sampled"`
 	Telemetry telemetry.Snapshot `json:"telemetry"`
@@ -652,10 +707,18 @@ func (s *Server) Stats() StatsResponse {
 	out.Server.Requests = s.requests.Load()
 	out.Server.Served = s.served.Load()
 	out.Server.Rejected = s.rejected.Load()
+	out.Server.TenantRejected = s.tenantRejects.Load()
 	out.Server.Timeouts = s.timeouts.Load()
 	out.Server.Draining = s.drainRejects.Load()
 	out.Server.Failures = s.failures.Load()
 	out.Server.Queue = s.cfg.QueueDepth
+	if s.agg != nil {
+		bs := s.agg.Stats()
+		out.Batch = &bs
+	}
+	if s.cfg.Admission != nil {
+		out.Tenants = s.cfg.Admission.Stats()
+	}
 	out.Pool = s.cfg.Pool.Stats()
 	snaps := s.cfg.Pool.Telemetry()
 	out.Sampled = len(snaps)

@@ -9,6 +9,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/kasm"
 	"repro/internal/pool"
 	"repro/internal/sha2"
@@ -78,7 +79,9 @@ func Blueprint(seed uint64, opts ...komodo.Option) pool.BootFunc {
 		if st.Attester, err = load(sys, kasm.AttestShared()); err != nil {
 			return nil, nil, fmt.Errorf("attester: %w", err)
 		}
-		if st.Notary, err = load(sys, kasm.NotaryGuest(NotarySharedPages)); err != nil {
+		// The two-mode batch notary: classic single-document signs and
+		// Merkle-root batch signs share one counter stream (docs/BATCHING.md).
+		if st.Notary, err = load(sys, kasm.BatchNotaryGuest(NotarySharedPages)); err != nil {
 			return nil, nil, fmt.Errorf("notary: %w", err)
 		}
 		return sys, st, nil
@@ -212,6 +215,29 @@ func NotarySign(ctx context.Context, st *WorkerState, doc []byte) (Notarisation,
 	h.WriteWords(words)
 	h.WriteWords([]uint32{out.Counter})
 	out.Digest = h.SumWords()
+	return out, nil
+}
+
+// BatchSign submits a sealed batch's Merkle root to the worker's notary in
+// batch mode (R1=1): one enclave crossing advances the shared counter once
+// and attests batch.RootDigest(root, counter). Like NotarySign, the
+// counter is live enclave state — release the worker with pool.Keep.
+func BatchSign(ctx context.Context, st *WorkerState, root [8]uint32) (Notarisation, error) {
+	var out Notarisation
+	if err := st.Notary.WriteShared(0, 0, root[:]); err != nil {
+		return out, err
+	}
+	res, err := st.Notary.RunCtx(ctx, 0, 1)
+	if err != nil {
+		return out, err
+	}
+	out.Counter = res.Value
+	mac, err := st.Notary.ReadShared(0, 0, 8)
+	if err != nil {
+		return out, err
+	}
+	copy(out.MAC[:], mac)
+	out.Digest = batch.RootDigest(root, out.Counter)
 	return out, nil
 }
 
