@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline bench-fleet bench-batch examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke gateway-smoke batch-smoke load-compare
+.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline bench-fleet bench-batch examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke gateway-smoke batch-smoke replay-smoke load-compare
 
 all: build vet test
 
@@ -89,6 +89,13 @@ gateway-smoke:
 # counter ticks.
 batch-smoke:
 	sh scripts/batch_smoke.sh
+
+# Deterministic record/replay + machine monitor (docs/REPLAY.md): serve
+# under -race with recording on, replay the slowest request offline
+# bit-identically, navigate it with komodo-mon, freeze-the-world a live
+# worker mid-enclave, and check the komodo_replay_* metric flow.
+replay-smoke:
+	sh scripts/replay_smoke.sh
 
 # Regenerate the committed batching baseline (BENCH_8.json): crossings
 # per signed request and latency, unbatched vs K = 8/16/32.

@@ -1,0 +1,167 @@
+// komodo-mon is the machine monitor for simulated Komodo boards: an
+// interactive freeze-the-world debugger that works offline over a recorded
+// replay trace (docs/REPLAY.md) or live against a komodo-serve pool worker.
+//
+// Offline, over a trace recorded with komodo-serve -record-dir:
+//
+//	komodo-mon -f trace.krec              # REPL over the replayed run
+//	komodo-mon -f trace.krec -check       # replay, verify, exit 1 on divergence
+//	komodo-mon -f trace.krec -cmd "regs; dis; step 5; finish"
+//
+// Live, against a serving process:
+//
+//	komodo-mon -connect http://127.0.0.1:8787 -worker 0
+//
+// In live mode each command line is sent to /v1/debug/mon?worker=N; the
+// command language is identical (type "help"). Offline mode starts with
+// the machine frozen at the first replayed instruction; "finish" runs the
+// remaining trace and reports whether the replay matched the recording.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/replay"
+)
+
+func main() {
+	tracePath := flag.String("f", "", "replay trace file (.krec) for offline mode")
+	check := flag.Bool("check", false, "replay the trace non-interactively; exit 1 on divergence")
+	cmds := flag.String("cmd", "", "run these ';'-separated commands instead of a REPL")
+	connect := flag.String("connect", "", "komodo-serve base URL for live mode (e.g. http://127.0.0.1:8787)")
+	worker := flag.Int("worker", 0, "worker id for live mode")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "komodo-mon:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *connect != "":
+		if err := liveMode(*connect, *worker, *cmds); err != nil {
+			fail(err)
+		}
+	case *tracePath != "":
+		if err := offlineMode(*tracePath, *check, *cmds); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("need -f <trace.krec> (offline) or -connect <url> (live)"))
+	}
+}
+
+// offlineMode replays a trace under the monitor.
+func offlineMode(path string, check bool, cmds string) error {
+	t, err := replay.Load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %s on %q, %d ops, seed %d\n",
+		path, t.Header.TraceID, t.Header.Endpoint, len(t.Ops), t.Header.Boot.Seed)
+
+	if check {
+		res, err := replay.Replay(t)
+		if err != nil {
+			return err
+		}
+		fmt.Print(replay.RenderResult(res))
+		if !res.OK() {
+			os.Exit(1)
+		}
+		return nil
+	}
+
+	nav, err := replay.StartNavigator(t)
+	if err != nil {
+		return err
+	}
+	sess := nav.Session()
+	runner := func(line string) (string, bool) {
+		return sess.Exec(line), false
+	}
+	if err := driveCommands(cmds, runner); err != nil {
+		return err
+	}
+	// Whatever the user did, let the replay run out and report, so a
+	// monitor session always ends with a verdict.
+	if sess.Fz.Frozen() {
+		fmt.Println(sess.Exec("finish"))
+	} else if res, ok := nav.Wait(30 * time.Second); ok {
+		fmt.Print(replay.RenderResult(res))
+		if !res.OK() {
+			os.Exit(1)
+		}
+	}
+	return nil
+}
+
+// liveMode proxies each command line to a serving process.
+func liveMode(base string, worker int, cmds string) error {
+	endpoint := strings.TrimSuffix(base, "/") + "/v1/debug/mon?worker=" + fmt.Sprint(worker)
+	runner := func(line string) (string, bool) {
+		resp, err := http.Post(endpoint, "text/plain", strings.NewReader(line))
+		if err != nil {
+			return "error: " + err.Error(), false
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return strings.TrimRight(string(body), "\n"), false
+	}
+	// Probe the connection (and print where we are) before the REPL.
+	out, _ := runner("status")
+	fmt.Println(out)
+	return driveCommands(cmds, runner)
+}
+
+// driveCommands feeds either the -cmd script or interactive stdin lines to
+// runner. runner's second return requests exit.
+func driveCommands(cmds string, runner func(string) (string, bool)) error {
+	if cmds != "" {
+		for _, c := range strings.Split(cmds, ";") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				continue
+			}
+			fmt.Printf("(mon) %s\n", c)
+			out, quit := runner(c)
+			if out != "" {
+				fmt.Println(out)
+			}
+			if quit {
+				break
+			}
+		}
+		return nil
+	}
+	fmt.Println(`machine monitor — "help" for commands, "quit" to exit`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(mon) ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" || line == "q" {
+			return nil
+		}
+		if line == "" {
+			continue
+		}
+		out, quit := runner(line)
+		if out != "" {
+			fmt.Println(out)
+		}
+		if quit {
+			return nil
+		}
+	}
+}

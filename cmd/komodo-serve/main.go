@@ -33,8 +33,10 @@ import (
 	"time"
 
 	"repro/internal/pool"
+	"repro/internal/replay"
 	"repro/internal/server"
 	"repro/internal/tenant"
+	"repro/komodo"
 )
 
 func main() {
@@ -55,6 +57,7 @@ func main() {
 	batchSize := flag.Int("batch", 0, "batched notary signing: close a batch at this many signs (0 = unbatched)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "close a partial batch after this window (with -batch)")
 	batchQueue := flag.Int("batch-queue", 0, "pending batch-sign waiters before 429 queue_full (0 = 4x batch size)")
+	recordDir := flag.String("record-dir", "", "persist replayable traces of flight-retained requests here (empty: off; docs/REPLAY.md)")
 	tiers := flag.String("tiers", "", "tenant tiers: name:rate:burst:quota[:shedat];... (empty: no admission control)")
 	tenants := flag.String("tenants", "", "tenant tokens: token=tier,token=tier,... (with -tiers)")
 	defaultTier := flag.String("default-tier", "", "tier for unknown/absent tokens (default: first in -tiers)")
@@ -78,11 +81,30 @@ func main() {
 		}
 	}
 
+	if *recordDir != "" {
+		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
+			fail(fmt.Errorf("record dir: %w", err))
+		}
+	}
+
+	// The debug fleet tracks a freeze-the-world monitor attachment per
+	// worker (SIGUSR1, /v1/debug/freeze, /v1/debug/mon). Installed from
+	// the provision hook so a rebooted worker re-attaches automatically.
+	fleet := replay.NewFleet()
+	restore := server.RestoreProvision(ckpts)
+	provision := func(id int, sys *komodo.System, state any) error {
+		if err := restore(id, sys, state); err != nil {
+			return err
+		}
+		fleet.Install(id, sys)
+		return nil
+	}
+
 	pcfg := pool.Config{
 		Size:      *workers,
 		Boot:      server.Blueprint(*seed),
 		MaxReuse:  *reuse,
-		Provision: server.RestoreProvision(ckpts),
+		Provision: provision,
 	}
 	switch *mode {
 	case "snapshot":
@@ -134,6 +156,8 @@ func main() {
 		BatchMaxSize:       *batchSize,
 		BatchWindow:        *batchWindow,
 		BatchQueue:         *batchQueue,
+		RecordDir:          *recordDir,
+		Fleet:              fleet,
 	})
 	defer srv.Close()
 
@@ -178,6 +202,34 @@ func main() {
 		for range quit {
 			fmt.Fprintln(os.Stderr, "SIGQUIT: dumping slow-request traces")
 			srv.FlightRecorder().WriteJSON(os.Stderr)
+		}
+	}()
+
+	// SIGUSR1 freezes the world on each worker it can catch mid-enclave,
+	// dumps registers and disassembly around PC to stderr, and resumes —
+	// the no-client "what is this board executing right now" lever. An
+	// idle worker (no enclave instruction stream to park) is reported and
+	// skipped; served results are not perturbed.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			fmt.Fprintln(os.Stderr, "SIGUSR1: freeze-the-world worker dump")
+			for _, id := range fleet.IDs() {
+				e, err := fleet.Get(id)
+				if err != nil {
+					continue
+				}
+				if err := e.Fz.Freeze(200 * time.Millisecond); err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d: %v\n", id, err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "worker %d frozen:\n%s\n%s\n",
+					id, e.Sess.Exec("regs"), e.Sess.Exec("dis"))
+				if err := e.Fz.Resume(); err != nil {
+					fmt.Fprintf(os.Stderr, "worker %d resume: %v\n", id, err)
+				}
+			}
 		}
 	}()
 

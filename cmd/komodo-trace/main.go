@@ -11,6 +11,11 @@
 // docs/OBSERVABILITY.md): wall-clock spans show their duration, monitor
 // spans show the simulated cycle count the telemetry recorder observed at
 // the SMC boundary.
+//
+// With -replay <file.krec> (a trace recorded by komodo-serve -record-dir,
+// docs/REPLAY.md) each smc: span is correlated with its boundary op in the
+// replay trace and annotated with the replay cycle offset — the cycle to
+// hand komodo-mon's "until cycle N" to land exactly there.
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/kapi"
 	"repro/internal/obs"
+	"repro/internal/replay"
 )
 
 func main() {
@@ -32,7 +39,16 @@ func main() {
 	id := flag.String("id", "", "render only the trace with this 32-hex trace-id")
 	file := flag.String("f", "", "read trace JSON from this file (default: stdin when -url is empty)")
 	n := flag.Int("n", 0, "render at most the N slowest traces (0 = all)")
+	replayPath := flag.String("replay", "", "replay trace (.krec): annotate smc: spans with replay cycle offsets")
 	flag.Parse()
+
+	var rt *replay.Trace
+	if *replayPath != "" {
+		var err error
+		if rt, err = replay.Load(*replayPath); err != nil {
+			fail(err)
+		}
+	}
 
 	data, err := readInput(*url, *id, *file)
 	if err != nil {
@@ -64,7 +80,7 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		render(os.Stdout, td)
+		render(os.Stdout, td, rt)
 	}
 }
 
@@ -117,25 +133,47 @@ func parseTraces(data []byte) ([]obs.TraceData, uint64, error) {
 	return nil, 0, fmt.Errorf("input is neither a trace dump nor a single trace")
 }
 
-func render(w io.Writer, td obs.TraceData) {
+func render(w io.Writer, td obs.TraceData, rt *replay.Trace) {
 	fmt.Fprintf(w, "trace %s  endpoint=%s outcome=%s dur=%s",
 		td.TraceID, td.Endpoint, td.Outcome, fmtDur(time.Duration(td.DurNS)))
 	if td.ParentID != "" {
 		fmt.Fprintf(w, " parent=%s", td.ParentID)
 	}
 	fmt.Fprintf(w, "\n      start %s  span %s\n", td.Start.Format(time.RFC3339Nano), td.SpanID)
+	if td.Replay != "" {
+		fmt.Fprintf(w, "      replay trace persisted at %s\n", td.Replay)
+	}
+	if rt != nil {
+		match := ""
+		if rt.Header.TraceID != td.TraceID {
+			match = fmt.Sprintf(" (recorded for trace %s, correlation is positional)", rt.Header.TraceID)
+		}
+		fmt.Fprintf(w, "      replay: %d ops, %d end cycles%s\n", len(rt.Ops), rt.End.Cycles, match)
+	}
 
 	spans := append([]obs.Span(nil), td.Spans...)
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartNS < spans[j].StartNS })
 
 	nameW, costW := len("SPAN"), len("DURATION")
 	rows := make([][3]string, len(spans))
+	cursor := 0
 	for i, sp := range spans {
 		cost := fmtDur(time.Duration(sp.DurNS))
 		if sp.Cycles > 0 {
 			cost = fmt.Sprintf("%d cyc", sp.Cycles)
 		}
-		rows[i] = [3]string{sp.Name, cost, sp.Detail}
+		detail := sp.Detail
+		if rt != nil && strings.HasPrefix(sp.Name, "smc:") {
+			if op, idx := nextSMCOp(rt, &cursor, strings.TrimPrefix(sp.Name, "smc:")); op != nil {
+				ann := fmt.Sprintf("replay@cycle=%d op=%d", op.EndCycles, idx)
+				if detail != "" {
+					detail += "  " + ann
+				} else {
+					detail = ann
+				}
+			}
+		}
+		rows[i] = [3]string{sp.Name, cost, detail}
 		if len(sp.Name) > nameW {
 			nameW = len(sp.Name)
 		}
@@ -148,6 +186,20 @@ func render(w io.Writer, td obs.TraceData) {
 		fmt.Fprintf(w, "  %12s  %-*s  %*s  %s\n",
 			"+"+fmtDur(time.Duration(sp.StartNS)), nameW, rows[i][0], costW, rows[i][1], rows[i][2])
 	}
+}
+
+// nextSMCOp finds the next SMC boundary op named call at or after *cursor,
+// advancing the cursor past it. Timeline smc: spans and replay OpSMC ops
+// are both in execution order, so this ordered scan pairs them up.
+func nextSMCOp(rt *replay.Trace, cursor *int, call string) (*replay.Op, int) {
+	for i := *cursor; i < len(rt.Ops); i++ {
+		op := &rt.Ops[i]
+		if op.Kind == replay.OpSMC && kapi.SMCName(op.Call) == call {
+			*cursor = i + 1
+			return op, i
+		}
+	}
+	return nil, 0
 }
 
 // fmtDur renders a duration in fixed ms with µs precision, so every

@@ -260,7 +260,7 @@ func (m *Machine) Run(budget int64) Trap {
 		// per-instruction checks above are provably no-ops for the whole
 		// block) and tracing is off. One dispatch stands in for `started`
 		// iterations of this loop.
-		if !m.bc.disabled && m.TraceFn == nil &&
+		if !m.bc.disabled && m.TraceFn == nil && !m.probeActive() &&
 			m.irqCountdown < 0 && !m.irqPending && !m.fiqPending {
 			var remaining int64
 			if budget > 0 {
@@ -288,6 +288,12 @@ func (m *Machine) Run(budget int64) Trap {
 		}
 		if m.TraceFn != nil {
 			m.TraceFn(m.pc, insn)
+		}
+		if m.probeActive() {
+			// May park this goroutine until a debugger releases it; the
+			// instruction executes after release, so the frozen PC is the
+			// not-yet-executed instruction.
+			m.probeFn(m.pc, &insn)
 		}
 		if badReg(insn) {
 			err := fmt.Errorf("arm: invalid register encoding at pc=%#x", m.pc)

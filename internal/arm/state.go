@@ -2,6 +2,7 @@ package arm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cycles"
 	"repro/internal/mem"
@@ -68,6 +69,15 @@ type Machine struct {
 	// execute (after fetch+decode). Used by komodo-sim's -trace mode and
 	// debugging; nil in normal operation.
 	TraceFn func(pc uint32, i Instr)
+
+	// probeFn/probeArmed are the debugger hook (SetProbe, export.go):
+	// like TraceFn but installable once and toggled by an atomic flag, so
+	// a freeze-the-world monitor can attach to a serving machine from
+	// another goroutine without a data race and without costing the block
+	// fast path anything while disarmed. Not part of Snapshot state: a
+	// probe survives restores and is re-installed on reboot.
+	probeFn    func(pc uint32, i *Instr)
+	probeArmed *atomic.Bool
 
 	// dc is the predecoded-instruction cache (decodecache.go) — pure
 	// simulator acceleration, semantically invisible. Lazily allocated

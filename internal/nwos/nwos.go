@@ -30,6 +30,18 @@ type Driver interface {
 	SMC(call uint32, args ...uint32) (kapi.Err, uint32, error)
 }
 
+// Tap observes every non-deterministic input crossing the OS boundary: SMC
+// results, insecure-memory traffic the Go-side harness performs, and
+// interrupt scheduling. The record/replay layer (internal/replay) installs
+// one to capture a request; nil means no observation. Taps run after the
+// operation completes, on the same goroutine.
+type Tap interface {
+	TapSMC(call uint32, args []uint32, errc kapi.Err, val uint32, err error)
+	TapWriteInsecure(pa uint32, words []uint32, err error)
+	TapReadInsecure(pa uint32, n int, words []uint32, err error)
+	TapScheduleIRQ(n int64)
+}
+
 // OS is the normal-world OS model.
 type OS struct {
 	mach *arm.Machine
@@ -46,6 +58,9 @@ type OS struct {
 
 	// tel records enclave lifecycle events (nil-receiver safe).
 	tel *telemetry.Recorder
+
+	// tap, when set, observes boundary operations for record/replay.
+	tap Tap
 }
 
 // New builds an OS over a booted machine and SMC driver. npages is the
@@ -73,11 +88,34 @@ func New(mach *arm.Machine, drv Driver, npages int) *OS {
 // events and lifecycle events interleave in one trace ring.
 func (o *OS) SetTelemetry(t *telemetry.Recorder) { o.tel = t }
 
+// SetTap installs (or, with nil, removes) the record/replay tap.
+func (o *OS) SetTap(t Tap) { o.tap = t }
+
 // Machine exposes the underlying machine.
 func (o *OS) Machine() *arm.Machine { return o.mach }
 
 // Driver exposes the SMC driver.
 func (o *OS) Driver() Driver { return o.drv }
+
+// SMC issues a call through the driver with tap observation. Every SMC the
+// OS model makes funnels through here, so a tap sees the complete ordered
+// boundary trace of a request.
+func (o *OS) SMC(call uint32, args ...uint32) (kapi.Err, uint32, error) {
+	errc, val, err := o.drv.SMC(call, args...)
+	if o.tap != nil {
+		o.tap.TapSMC(call, args, errc, val, err)
+	}
+	return errc, val, err
+}
+
+// ScheduleInterrupt arranges an IRQ n instructions into the next enclave
+// run (the OS's interrupt controller in the model), with tap observation.
+func (o *OS) ScheduleInterrupt(n int64) {
+	o.mach.ScheduleIRQ(n)
+	if o.tap != nil {
+		o.tap.TapScheduleIRQ(n)
+	}
+}
 
 // AllocPage reserves a secure page number the OS believes is free.
 func (o *OS) AllocPage() (pagedb.PageNr, error) {
@@ -111,8 +149,14 @@ func (o *OS) AllocInsecurePage() (uint32, error) {
 func (o *OS) WriteInsecure(pa uint32, words []uint32) error {
 	for i, w := range words {
 		if err := o.mach.Phys.Write(pa+uint32(i*4), w, mem.Normal); err != nil {
+			if o.tap != nil {
+				o.tap.TapWriteInsecure(pa, words, err)
+			}
 			return err
 		}
+	}
+	if o.tap != nil {
+		o.tap.TapWriteInsecure(pa, words, nil)
 	}
 	return nil
 }
@@ -123,9 +167,15 @@ func (o *OS) ReadInsecure(pa uint32, n int) ([]uint32, error) {
 	for i := range out {
 		v, err := o.mach.Phys.Read(pa+uint32(i*4), mem.Normal)
 		if err != nil {
+			if o.tap != nil {
+				o.tap.TapReadInsecure(pa, n, nil, err)
+			}
 			return nil, err
 		}
 		out[i] = v
+	}
+	if o.tap != nil {
+		o.tap.TapReadInsecure(pa, n, out, nil)
 	}
 	return out, nil
 }
@@ -179,7 +229,7 @@ type Enclave struct {
 
 // smc issues a call and converts monitor errors into Go errors.
 func (o *OS) smc(what string, call uint32, args ...uint32) (uint32, error) {
-	e, v, err := o.drv.SMC(call, args...)
+	e, v, err := o.SMC(call, args...)
 	if err != nil {
 		return v, fmt.Errorf("nwos: %s: %w", what, err)
 	}
@@ -363,14 +413,14 @@ func (o *OS) Enter(e *Enclave, args ...uint32) (kapi.Err, uint32, error) {
 	for i := 0; i < len(args) && i < 3; i++ {
 		a[1+i] = args[i]
 	}
-	errc, val, err := o.drv.SMC(kapi.SMCEnter, a...)
+	errc, val, err := o.SMC(kapi.SMCEnter, a...)
 	o.observeRun(false, e.Thread, errc, err)
 	return errc, val, err
 }
 
 // Resume resumes a suspended thread.
 func (o *OS) Resume(e *Enclave) (kapi.Err, uint32, error) {
-	errc, val, err := o.drv.SMC(kapi.SMCResume, uint32(e.Thread))
+	errc, val, err := o.SMC(kapi.SMCResume, uint32(e.Thread))
 	o.observeRun(true, e.Thread, errc, err)
 	return errc, val, err
 }
@@ -382,14 +432,14 @@ func (o *OS) EnterThread(e *Enclave, idx int, args ...uint32) (kapi.Err, uint32,
 	for i := 0; i < len(args) && i < 3; i++ {
 		a[1+i] = args[i]
 	}
-	errc, val, err := o.drv.SMC(kapi.SMCEnter, a...)
+	errc, val, err := o.SMC(kapi.SMCEnter, a...)
 	o.observeRun(false, e.Threads[idx], errc, err)
 	return errc, val, err
 }
 
 // ResumeThread resumes a specific suspended thread.
 func (o *OS) ResumeThread(e *Enclave, idx int) (kapi.Err, uint32, error) {
-	errc, val, err := o.drv.SMC(kapi.SMCResume, uint32(e.Threads[idx]))
+	errc, val, err := o.SMC(kapi.SMCResume, uint32(e.Threads[idx]))
 	o.observeRun(true, e.Threads[idx], errc, err)
 	return errc, val, err
 }

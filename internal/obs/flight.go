@@ -51,6 +51,26 @@ func (f *FlightRecorder) Record(td TraceData) {
 	}
 }
 
+// WouldRetain reports whether a trace of the given duration would be kept
+// if offered now — the record-persistence gate asks this before paying for
+// a trace file write.
+func (f *FlightRecorder) WouldRetain(durNS int64) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.traces) < f.max || durNS > f.traces[len(f.traces)-1].DurNS
+}
+
+// Cap returns the recorder's capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return f.max
+}
+
 // Slowest returns the retained traces, slowest first.
 func (f *FlightRecorder) Slowest() []TraceData {
 	if f == nil {

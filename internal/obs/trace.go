@@ -122,6 +122,7 @@ type TraceData struct {
 	Outcome  string    `json:"outcome,omitempty"`
 	Start    time.Time `json:"start"`
 	DurNS    int64     `json:"dur_ns"`
+	Replay   string    `json:"replay,omitempty"` // path of the persisted replay trace, if recorded
 	Spans    []Span    `json:"spans"`
 }
 

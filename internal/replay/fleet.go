@@ -1,0 +1,64 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/komodo"
+)
+
+// Fleet tracks the freezers and monitor sessions of a pool of live
+// workers, keyed by worker id. komodo-serve installs one via the pool's
+// Provision hook; the /v1/debug/freeze and /v1/debug/mon endpoints and the
+// SIGUSR1 handler drive it.
+type Fleet struct {
+	mu      sync.Mutex
+	workers map[int]*FleetEntry
+}
+
+// FleetEntry is one worker's debug attachment.
+type FleetEntry struct {
+	Fz   *Freezer
+	Sess *Session
+}
+
+// NewFleet builds an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{workers: make(map[int]*FleetEntry)}
+}
+
+// Install attaches (or re-attaches, after a worker reboot) a freezer and
+// session to worker id's system. Safe to call from pool provision hooks.
+func (f *Fleet) Install(id int, sys *komodo.System) {
+	fz := Install(sys.Machine())
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.workers[id] = &FleetEntry{Fz: fz, Sess: NewSession(fz, sys)}
+}
+
+// Get returns worker id's entry, or an error naming the known ids.
+func (f *Fleet) Get(id int) (*FleetEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.workers[id]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("replay: no worker %d (have %v)", id, f.idsLocked())
+}
+
+// IDs lists installed worker ids, ascending.
+func (f *Fleet) IDs() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.idsLocked()
+}
+
+func (f *Fleet) idsLocked() []int {
+	ids := make([]int, 0, len(f.workers))
+	for id := range f.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

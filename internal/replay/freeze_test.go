@@ -1,0 +1,186 @@
+package replay_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arm"
+	"repro/internal/asm"
+	"repro/internal/kasm"
+	"repro/internal/replay"
+	"repro/komodo"
+)
+
+// storeLoop is a guest that stores an incrementing counter to its data
+// page forever — a watchpoint magnet.
+func storeLoop() kasm.Guest {
+	p := asm.New()
+	p.MovImm32(arm.R6, kasm.DataVA).
+		Movw(arm.R5, 0).
+		Label("loop").
+		AddI(arm.R5, arm.R5, 1).
+		Str(arm.R5, arm.R6, 0).
+		B("loop")
+	return kasm.Guest{Prog: p}
+}
+
+func TestFreezeStepWatchResume(t *testing.T) {
+	sys, err := komodo.New(komodo.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz := replay.Install(sys.Machine())
+	enc := load(t, sys, storeLoop())
+
+	type outcome struct {
+		res komodo.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := enc.Enter()
+		ch <- outcome{res, err}
+	}()
+
+	// Freeze the spinning enclave.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := fz.Freeze(200 * time.Millisecond); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("could not freeze a running enclave")
+		}
+	}
+	pc, insn, why, err := fz.Where()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if why == "" || insn.Disasm() == "" {
+		t.Fatalf("empty stop report at pc=%#x", pc)
+	}
+
+	// Registers are inspectable; R5 is the loop counter. Step past the
+	// 3-insn prologue first (the freeze may have parked inside it), then
+	// a full 3-insn loop iteration advances R5 by exactly one.
+	if err := fz.Step(6, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var r5a, r5b uint32
+	if err := fz.Do(func(m *arm.Machine) { r5a = m.Reg(arm.R5) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.Step(3, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.Do(func(m *arm.Machine) { r5b = m.Reg(arm.R5) }); err != nil {
+		t.Fatal(err)
+	}
+	if r5b != r5a+1 {
+		t.Fatalf("after one loop iteration r5 went %d -> %d", r5a, r5b)
+	}
+
+	// A write watchpoint on the data page fires on the next store.
+	if err := fz.AddWatch(replay.Watch{Kind: replay.WatchWrite, Addr: kasm.DataVA, Len: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.Continue(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.Freeze(2 * time.Second); err != nil {
+		// Continue keeps watchpoints live; the park should have happened
+		// on its own, making this Freeze a no-op.
+		t.Fatal(err)
+	}
+	_, insn, why, err = fz.Where()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insn.Op != arm.OpSTR {
+		t.Fatalf("watchpoint stopped at %v (%s), want the store", insn.Op, why)
+	}
+
+	// Run to the next store address via until-PC.
+	var strPC uint32
+	if err := fz.Do(func(m *arm.Machine) { strPC = m.PC() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.DeleteWatch(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.RunToAddr(strPC, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject an IRQ from the frozen context and resume: the enclave
+	// suspends and Enter returns Interrupted — served results intact.
+	if err := fz.Do(func(m *arm.Machine) { m.ScheduleIRQ(10) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := fz.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-ch:
+		if out.err != nil || !out.res.Interrupted {
+			t.Fatalf("enter after freeze: %v %+v", out.err, out.res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("enclave did not suspend after resume")
+	}
+
+	// The worker still serves correctly after the debug episode.
+	adder := load(t, sys, kasm.AddArgs())
+	if res, err := adder.Run(2, 3); err != nil || res.Value != 5 {
+		t.Fatalf("post-freeze serving broken: %v %+v", err, res)
+	}
+}
+
+func TestFreezeNotRunning(t *testing.T) {
+	sys, err := komodo.New(komodo.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz := replay.Install(sys.Machine())
+	if err := fz.Freeze(50 * time.Millisecond); err == nil {
+		t.Fatal("froze an idle machine")
+	}
+	// The armed-but-unparked probe must not break normal execution.
+	adder := load(t, sys, kasm.AddArgs())
+	if res, err := adder.Run(4, 5); err != nil || res.Value != 9 {
+		t.Fatalf("run under pending freeze request: %v %+v", err, res)
+	}
+}
+
+func TestSessionCommands(t *testing.T) {
+	trace := record(t, 42)
+	nav, err := replay.StartNavigator(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := nav.Session()
+
+	if out := sess.Exec("status"); out == "" {
+		t.Fatal("empty status")
+	}
+	for _, cmd := range []string{"regs", "dis", "step 5", "until smc", "pagedb", "pt", "watches"} {
+		out := sess.Exec(cmd)
+		if out == "" || len(out) > 1<<20 {
+			t.Fatalf("%s: unusable output %q", cmd, out)
+		}
+		if cmd != "watches" && len(out) > 6 && out[:6] == "error:" {
+			t.Fatalf("%s: %s", cmd, out)
+		}
+	}
+	out := sess.Exec("finish")
+	if out == "" || out[0:6] == "error:" {
+		t.Fatalf("finish: %s", out)
+	}
+	res, ok := nav.Wait(time.Second)
+	if !ok {
+		t.Fatal("replay did not finish")
+	}
+	if !res.OK() {
+		t.Fatalf("navigated replay diverged:\n%s", replay.RenderResult(res))
+	}
+}

@@ -1,0 +1,215 @@
+package replay
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/kapi"
+	"repro/internal/mem"
+	"repro/komodo"
+)
+
+// Package-level counters for the observability plane: how many traces this
+// process recorded, replayed, and found divergent. Exposed through
+// telemetry → /v1/stats → /metrics as komodo_replay_*.
+var stats struct {
+	recorded atomic.Uint64
+	replayed atomic.Uint64
+	diverged atomic.Uint64
+}
+
+// GlobalStats reports the process-wide record/replay counters.
+func GlobalStats() (recorded, replayed, diverged uint64) {
+	return stats.recorded.Load(), stats.replayed.Load(), stats.diverged.Load()
+}
+
+// Baseline caches one full memory export so that back-to-back recordings
+// on the same worker can start from a dirty-page delta instead of scanning
+// all of RAM — the "golden snapshot + delta" fast path. It is only a cache:
+// traces are always self-contained.
+type Baseline struct {
+	gen      uint64
+	restores mem.RestoreStats
+	pages    []mem.PageImage
+	index    map[[2]uint32]int // {secure, page} → index in pages
+}
+
+func baselineKey(secure bool, page uint32) [2]uint32 {
+	s := uint32(0)
+	if secure {
+		s = 1
+	}
+	return [2]uint32{s, page}
+}
+
+// valid reports whether the cached export still describes phys: nothing may
+// have re-baselined or restored the memory since capture (writes are fine —
+// they stay visible in the dirty bits we overlay).
+func (b *Baseline) valid(phys *mem.Physical) bool {
+	return b != nil && b.pages != nil &&
+		b.gen == phys.Generation() && b.restores == phys.RestoreStats()
+}
+
+// Recorder captures one span of execution on a live system. It implements
+// nwos.Tap; between Start and Stop every boundary operation is appended to
+// the growing trace.
+type Recorder struct {
+	sys   *komodo.System
+	trace *Trace
+	base  *Baseline
+	done  bool
+}
+
+// StartRecording begins capturing on sys. The machine's TLB is flushed
+// first so the recorded span is self-contained (a replayed board starts
+// with an empty TLB; flushing makes the recorded run start from the same
+// point — semantically invisible, it can only add a few table walks).
+// baseline may be nil; when provided it is consulted and refreshed, making
+// repeated recordings on the same worker start from a dirty-page delta.
+//
+// Only one recorder may be active on a system at a time; Stop detaches it.
+func StartRecording(sys *komodo.System, traceID, endpoint string, baseline *Baseline) (*Recorder, error) {
+	m := sys.Machine()
+	m.TLB.Flush()
+
+	var pages []mem.PageImage
+	if baseline.valid(m.Phys) {
+		// Overlay every page written since the baseline's capture onto a
+		// copy of the cached export. Dirty bits are relative to the last
+		// memory re-baselining event, which (by validity) predates the
+		// cache too, so the dirty set covers everything that can differ.
+		byKey := make(map[[2]uint32]int, len(baseline.index))
+		pages = make([]mem.PageImage, len(baseline.pages))
+		copy(pages, baseline.pages)
+		for k, i := range baseline.index {
+			byKey[k] = i
+		}
+		ins, sec := m.Phys.DirtyPageList()
+		overlay := func(secure bool, list []uint32) error {
+			for _, pg := range list {
+				img, err := m.Phys.ExportPage(secure, pg)
+				if err != nil {
+					return err
+				}
+				if i, ok := byKey[baselineKey(secure, pg)]; ok {
+					pages[i] = img
+				} else {
+					byKey[baselineKey(secure, pg)] = len(pages)
+					pages = append(pages, img)
+				}
+			}
+			return nil
+		}
+		if err := overlay(false, ins); err != nil {
+			return nil, err
+		}
+		if err := overlay(true, sec); err != nil {
+			return nil, err
+		}
+	} else {
+		pages = m.Phys.ExportPages()
+		if baseline != nil {
+			baseline.gen = m.Phys.Generation()
+			baseline.restores = m.Phys.RestoreStats()
+			baseline.pages = make([]mem.PageImage, len(pages))
+			copy(baseline.pages, pages)
+			baseline.index = make(map[[2]uint32]int, len(pages))
+			for i, pg := range pages {
+				baseline.index[baselineKey(pg.Secure, pg.Page)] = i
+			}
+		}
+	}
+
+	r := &Recorder{
+		sys: sys,
+		trace: &Trace{
+			Header: Header{
+				Boot:     sys.BootConfig(),
+				TraceID:  traceID,
+				Endpoint: endpoint,
+			},
+			Start:      m.ExportState(),
+			StartPages: pages,
+		},
+		base: baseline,
+	}
+	sys.OS().SetTap(r)
+	return r, nil
+}
+
+// Stop detaches the recorder and finalises the trace.
+func (r *Recorder) Stop() *Trace {
+	if r.done {
+		return r.trace
+	}
+	r.done = true
+	r.sys.OS().SetTap(nil)
+	m := r.sys.Machine()
+	r.trace.End = m.ExportState()
+	r.trace.EndDigest = m.Phys.Digest()
+	stats.recorded.Add(1)
+	return r.trace
+}
+
+func errMsg(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func (r *Recorder) counters() (uint64, uint64) {
+	m := r.sys.Machine()
+	return m.Cyc.Total(), m.Retired()
+}
+
+// TapSMC implements nwos.Tap.
+func (r *Recorder) TapSMC(call uint32, args []uint32, errc kapi.Err, val uint32, err error) {
+	cyc, ret := r.counters()
+	r.trace.Ops = append(r.trace.Ops, Op{
+		Kind: OpSMC, Call: call, Args: append([]uint32(nil), args...),
+		Errc: errc, Val: val, ErrMsg: errMsg(err),
+		EndCycles: cyc, EndRetired: ret,
+	})
+}
+
+// TapWriteInsecure implements nwos.Tap.
+func (r *Recorder) TapWriteInsecure(pa uint32, words []uint32, err error) {
+	cyc, ret := r.counters()
+	r.trace.Ops = append(r.trace.Ops, Op{
+		Kind: OpWrite, PA: pa, Words: append([]uint32(nil), words...),
+		ErrMsg: errMsg(err), EndCycles: cyc, EndRetired: ret,
+	})
+}
+
+// TapReadInsecure implements nwos.Tap.
+func (r *Recorder) TapReadInsecure(pa uint32, n int, words []uint32, err error) {
+	cyc, ret := r.counters()
+	r.trace.Ops = append(r.trace.Ops, Op{
+		Kind: OpRead, PA: pa, N: uint32(n), Words: append([]uint32(nil), words...),
+		ErrMsg: errMsg(err), EndCycles: cyc, EndRetired: ret,
+	})
+}
+
+// TapScheduleIRQ implements nwos.Tap.
+func (r *Recorder) TapScheduleIRQ(n int64) {
+	cyc, ret := r.counters()
+	r.trace.Ops = append(r.trace.Ops, Op{
+		Kind: OpIRQ, After: n, EndCycles: cyc, EndRetired: ret,
+	})
+}
+
+// RecordFunc records fn's boundary operations on sys and returns the trace
+// (convenience for tests and tools).
+func RecordFunc(sys *komodo.System, traceID, endpoint string, fn func() error) (*Trace, error) {
+	rec, err := StartRecording(sys, traceID, endpoint, nil)
+	if err != nil {
+		return nil, err
+	}
+	fnErr := fn()
+	t := rec.Stop()
+	if fnErr != nil {
+		return t, fmt.Errorf("replay: recorded function failed: %w", fnErr)
+	}
+	return t, nil
+}

@@ -1,0 +1,181 @@
+package replay
+
+import (
+	"fmt"
+
+	"repro/komodo"
+)
+
+// Divergence describes one way a replayed run departed from its recording.
+type Divergence struct {
+	// OpIndex is the op at which divergence was detected (-1 = final
+	// state check).
+	OpIndex int
+	Op      string
+	Detail  string
+}
+
+func (d Divergence) String() string {
+	if d.OpIndex < 0 {
+		return "final state: " + d.Detail
+	}
+	return fmt.Sprintf("op %d (%s): %s", d.OpIndex, d.Op, d.Detail)
+}
+
+// Result reports one replay run.
+type Result struct {
+	Ops        int
+	Cycles     uint64 // final cycle counter
+	Divergence []Divergence
+}
+
+// OK reports a clean replay.
+func (r *Result) OK() bool { return len(r.Divergence) == 0 }
+
+// Err returns nil for a clean replay, or an error summarising divergence.
+func (r *Result) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("replay: %d divergence(s), first: %s", len(r.Divergence), r.Divergence[0])
+}
+
+// maxDivergences bounds how much a hopeless replay reports before bailing.
+const maxDivergences = 32
+
+// Replay re-executes a trace on a freshly booted board and verifies every
+// recorded expectation: per-op results and counters, then the final
+// architectural state and memory digest. mods may adjust the boot
+// configuration before boot — the lockstep differential tests use this to
+// replay a recording made without the block cache on a cached board (and
+// vice versa), turning replay into a standing determinism check on the
+// simulator's acceleration layers.
+//
+// The returned Result lists divergences instead of erroring so callers can
+// render them; hard failures (unreadable trace, boot failure) are errors.
+func Replay(t *Trace, mods ...func(*komodo.BootConfig)) (*Result, error) {
+	sys, res, err := ReplaySystem(t, mods...)
+	_ = sys
+	return res, err
+}
+
+// ReplaySystem is Replay but also hands back the replayed system, frozen at
+// its final state — komodo-mon uses it for post-mortem inspection.
+func ReplaySystem(t *Trace, mods ...func(*komodo.BootConfig)) (*komodo.System, *Result, error) {
+	bc := t.Header.Boot
+	for _, mod := range mods {
+		mod(&bc)
+	}
+	sys, err := komodo.New(bc.Options()...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("replay: boot: %w", err)
+	}
+	if err := Seat(sys, t); err != nil {
+		return nil, nil, err
+	}
+
+	res := &Result{Ops: len(t.Ops)}
+	for i := range t.Ops {
+		applyOp(sys, t, i, res)
+		if len(res.Divergence) >= maxDivergences {
+			break
+		}
+	}
+	if len(res.Divergence) < maxDivergences {
+		finalCheck(sys, t, res)
+	}
+	res.Cycles = sys.Cycles()
+
+	stats.replayed.Add(1)
+	if !res.OK() {
+		stats.diverged.Add(1)
+	}
+	return sys, res, nil
+}
+
+// Seat imposes a trace's starting state on a freshly booted system (memory
+// image first, then architectural state — ImportState's cache resets must
+// come after memory is in place).
+func Seat(sys *komodo.System, t *Trace) error {
+	m := sys.Machine()
+	if err := m.Phys.ImportPages(t.StartPages); err != nil {
+		return fmt.Errorf("replay: seat memory: %w", err)
+	}
+	if err := m.ImportState(t.Start); err != nil {
+		return fmt.Errorf("replay: seat machine: %w", err)
+	}
+	return nil
+}
+
+func applyOp(sys *komodo.System, t *Trace, i int, res *Result) {
+	op := t.Ops[i]
+	diverge := func(f string, a ...any) {
+		res.Divergence = append(res.Divergence, Divergence{
+			OpIndex: i, Op: op.Name(), Detail: fmt.Sprintf(f, a...),
+		})
+	}
+
+	switch op.Kind {
+	case OpSMC:
+		errc, val, err := sys.OS().SMC(op.Call, op.Args...)
+		if errc != op.Errc {
+			diverge("errc %v != recorded %v", errc, op.Errc)
+		}
+		if val != op.Val {
+			diverge("val %#x != recorded %#x", val, op.Val)
+		}
+		if got := errMsg(err); got != op.ErrMsg {
+			diverge("error %q != recorded %q", got, op.ErrMsg)
+		}
+	case OpWrite:
+		err := sys.OS().WriteInsecure(op.PA, op.Words)
+		if got := errMsg(err); got != op.ErrMsg {
+			diverge("error %q != recorded %q", got, op.ErrMsg)
+		}
+	case OpRead:
+		words, err := sys.OS().ReadInsecure(op.PA, int(op.N))
+		if got := errMsg(err); got != op.ErrMsg {
+			diverge("error %q != recorded %q", got, op.ErrMsg)
+		}
+		if err == nil {
+			if len(words) != len(op.Words) {
+				diverge("read %d words, recorded %d", len(words), len(op.Words))
+			} else {
+				for j := range words {
+					if words[j] != op.Words[j] {
+						diverge("word %d: %#x != recorded %#x", j, words[j], op.Words[j])
+						break
+					}
+				}
+			}
+		}
+	case OpIRQ:
+		sys.OS().ScheduleInterrupt(op.After)
+	default:
+		diverge("unknown op kind %d", uint8(op.Kind))
+		return
+	}
+
+	m := sys.Machine()
+	if cyc := m.Cyc.Total(); cyc != op.EndCycles {
+		diverge("cycles %d != recorded %d", cyc, op.EndCycles)
+	}
+	if ret := m.Retired(); ret != op.EndRetired {
+		diverge("retired %d != recorded %d", ret, op.EndRetired)
+	}
+}
+
+func finalCheck(sys *komodo.System, t *Trace, res *Result) {
+	m := sys.Machine()
+	for _, d := range m.ExportState().Diff(t.End) {
+		res.Divergence = append(res.Divergence, Divergence{OpIndex: -1, Detail: d})
+		if len(res.Divergence) >= maxDivergences {
+			return
+		}
+	}
+	if dg := m.Phys.Digest(); dg != t.EndDigest {
+		res.Divergence = append(res.Divergence, Divergence{
+			OpIndex: -1, Detail: fmt.Sprintf("memory digest %#x != recorded %#x", dg, t.EndDigest),
+		})
+	}
+}

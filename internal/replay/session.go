@@ -1,0 +1,534 @@
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/arm"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pagedb"
+	"repro/komodo"
+)
+
+// Session is the text command interpreter of the machine monitor: one
+// freezer plus rendering. The same interpreter serves komodo-mon's REPL
+// (offline, over a replayed trace) and komodo-serve's /v1/debug/mon
+// endpoint (live, against a pool worker), so the two surfaces cannot
+// drift apart.
+type Session struct {
+	Fz  *Freezer
+	Sys *komodo.System
+	Nav *Navigator // non-nil for offline replay sessions
+
+	// StepTimeout bounds how long step/until commands wait for the
+	// machine to park again (default 3s).
+	StepTimeout time.Duration
+}
+
+// NewSession builds a session over a freezer and its system.
+func NewSession(fz *Freezer, sys *komodo.System) *Session {
+	return &Session{Fz: fz, Sys: sys, StepTimeout: 3 * time.Second}
+}
+
+const helpText = `commands:
+  status                  machine state summary (works while running)
+  freeze                  stop the world at the next instruction
+  resume                  detach and run at full speed
+  cont                    run with watchpoints live
+  step [n]                execute n instructions (default 1)
+  over                    step across the pending instruction (SVC/SMC:
+                          the whole monitor call)
+  until <addr>            run to PC == addr
+  until cycle <n>         run until cycle counter >= n
+  until smc               run to the next SVC/SMC instruction
+  regs                    registers, PSRs, counters
+  dis [addr [n]]          disassemble n insns (default 9 around PC)
+  mem <addr> [n]          dump n words at virtual addr (default 8)
+  memp <addr> [n]         dump n words at physical addr
+  pt                      active secure page table (L1/L2 walk)
+  pagedb                  decoded PageDB summary
+  watch r|w|rw <addr> [len]   set a watchpoint
+  watches                 list watchpoints
+  unwatch <i>             delete watchpoint i
+  finish                  (replay) run the remaining trace, report result
+  help                    this text`
+
+// Exec runs one command line and returns its output (never panics; parse
+// and state errors come back as text).
+func (s *Session) Exec(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return ""
+	}
+	cmd, args := fields[0], fields[1:]
+	out, err := s.run(cmd, args)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return out
+}
+
+func (s *Session) timeout() time.Duration {
+	if s.StepTimeout > 0 {
+		return s.StepTimeout
+	}
+	return 3 * time.Second
+}
+
+func parseNum(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 64)
+}
+
+func (s *Session) run(cmd string, args []string) (string, error) {
+	switch cmd {
+	case "help", "?":
+		return helpText, nil
+	case "status":
+		return s.status(), nil
+	case "freeze", "f":
+		if err := s.Fz.Freeze(s.timeout()); err != nil {
+			return "", err
+		}
+		return s.where()
+	case "resume", "r":
+		if err := s.Fz.Resume(); err != nil {
+			return "", err
+		}
+		return "resumed (detached)", nil
+	case "cont", "c":
+		if err := s.Fz.Continue(); err != nil {
+			return "", err
+		}
+		return "continuing (watchpoints live)", nil
+	case "step", "s":
+		n := uint64(1)
+		if len(args) > 0 {
+			v, err := parseNum(args[0])
+			if err != nil {
+				return "", err
+			}
+			n = v
+		}
+		if err := s.Fz.Step(n, s.timeout()); err != nil {
+			return "", err
+		}
+		return s.where()
+	case "over", "n":
+		if err := s.Fz.StepOver(s.timeout()); err != nil {
+			return "", err
+		}
+		return s.where()
+	case "until", "u":
+		return s.until(args)
+	case "regs":
+		return s.regs()
+	case "dis", "d":
+		return s.dis(args)
+	case "mem", "x":
+		return s.memdump(args, false)
+	case "memp":
+		return s.memdump(args, true)
+	case "pt":
+		return s.pageTable()
+	case "pagedb":
+		return s.pageDB()
+	case "watch", "w":
+		return s.watch(args)
+	case "watches":
+		ws, err := s.Fz.Watches()
+		if err != nil {
+			return "", err
+		}
+		if len(ws) == 0 {
+			return "no watchpoints", nil
+		}
+		var b strings.Builder
+		for i, w := range ws {
+			fmt.Fprintf(&b, "%d: %s\n", i, w)
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	case "unwatch":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: unwatch <i>")
+		}
+		i, err := strconv.Atoi(args[0])
+		if err != nil {
+			return "", err
+		}
+		if err := s.Fz.DeleteWatch(i); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("deleted watchpoint %d", i), nil
+	case "finish":
+		return s.finish()
+	}
+	return "", fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+func (s *Session) until(args []string) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("usage: until <addr> | until cycle <n> | until smc")
+	}
+	switch args[0] {
+	case "cycle":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: until cycle <n>")
+		}
+		n, err := parseNum(args[1])
+		if err != nil {
+			return "", err
+		}
+		if err := s.Fz.RunToCycle(n, s.timeout()); err != nil {
+			return "", err
+		}
+	case "smc":
+		if err := s.Fz.RunToSMC(s.timeout()); err != nil {
+			return "", err
+		}
+	default:
+		addr, err := parseNum(args[0])
+		if err != nil {
+			return "", err
+		}
+		if err := s.Fz.RunToAddr(uint32(addr), s.timeout()); err != nil {
+			return "", err
+		}
+	}
+	return s.where()
+}
+
+func (s *Session) watch(args []string) (string, error) {
+	if len(args) < 2 {
+		return "", fmt.Errorf("usage: watch r|w|rw <addr> [len]")
+	}
+	var kind WatchKind
+	switch args[0] {
+	case "r":
+		kind = WatchRead
+	case "w":
+		kind = WatchWrite
+	case "rw":
+		kind = WatchRead | WatchWrite
+	default:
+		return "", fmt.Errorf("watch kind %q (want r, w or rw)", args[0])
+	}
+	addr, err := parseNum(args[1])
+	if err != nil {
+		return "", err
+	}
+	w := Watch{Kind: kind, Addr: uint32(addr)}
+	if len(args) > 2 {
+		l, err := parseNum(args[2])
+		if err != nil {
+			return "", err
+		}
+		w.Len = uint32(l)
+	}
+	if err := s.Fz.AddWatch(w); err != nil {
+		return "", err
+	}
+	return "watchpoint set: " + w.String(), nil
+}
+
+// status works frozen or running: it never blocks on the freezer.
+func (s *Session) status() string {
+	var b strings.Builder
+	if s.Fz.Frozen() {
+		b.WriteString("state: frozen\n")
+	} else {
+		b.WriteString("state: running (freeze to inspect)\n")
+	}
+	if s.Nav != nil {
+		fmt.Fprintf(&b, "replay: op %d/%d\n", s.Nav.OpIndex(), len(s.Nav.Trace().Ops))
+	}
+	if s.Fz.Frozen() {
+		if w, err := s.where(); err == nil {
+			b.WriteString(w)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (s *Session) where() (string, error) {
+	pc, insn, why, err := s.Fz.Where()
+	if err != nil {
+		return "", err
+	}
+	var cyc, ret uint64
+	if err := s.Fz.Do(func(m *arm.Machine) {
+		cyc, ret = m.Cyc.Total(), m.Retired()
+	}); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("stopped (%s)\npc=%#010x  %-28s cycles=%d retired=%d",
+		why, pc, insn.Disasm(), cyc, ret), nil
+}
+
+func (s *Session) regs() (string, error) {
+	var b strings.Builder
+	err := s.Fz.Do(func(m *arm.Machine) {
+		st := m.ExportState()
+		for i := 0; i < 13; i++ {
+			fmt.Fprintf(&b, "r%-2d = %#010x", i, st.R[i])
+			if i%4 == 3 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteString("   ")
+			}
+		}
+		b.WriteByte('\n')
+		mode := st.CPSR.Mode
+		fmt.Fprintf(&b, "sp  = %#010x   lr  = %#010x   pc  = %#010x\n",
+			st.SP[mode], st.LR[mode], st.PC)
+		fmt.Fprintf(&b, "cpsr= %v   spsr= %v\n", st.CPSR, st.SPSR[mode])
+		fmt.Fprintf(&b, "ttbr0(s)=%#x ttbr0(ns)=%#x vbar=%#x mvbar=%#x scr.ns=%v\n",
+			st.TTBR0[mem.Secure], st.TTBR0[mem.Normal], st.VBAR, st.MVBAR, st.SCRNS)
+		fmt.Fprintf(&b, "cycles=%d retired=%d rng=%x", st.Cycles, st.Retired, st.RNG)
+	})
+	if err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func (s *Session) dis(args []string) (string, error) {
+	count := uint64(9)
+	var addr uint64
+	haveAddr := false
+	if len(args) > 0 {
+		v, err := parseNum(args[0])
+		if err != nil {
+			return "", err
+		}
+		addr, haveAddr = v, true
+	}
+	if len(args) > 1 {
+		v, err := parseNum(args[1])
+		if err != nil {
+			return "", err
+		}
+		count = v
+	}
+	if count > 256 {
+		count = 256
+	}
+	var b strings.Builder
+	err := s.Fz.Do(func(m *arm.Machine) {
+		pc := uint64(m.PC())
+		start := addr
+		if !haveAddr {
+			// Centre the window on the PC.
+			back := uint64(count / 2 * 4)
+			if pc >= back {
+				start = pc - back
+			}
+		}
+		start &^= 3
+		for i := uint64(0); i < count; i++ {
+			va := uint32(start + i*4)
+			marker := "   "
+			if uint64(va) == pc {
+				marker = "=> "
+			}
+			w, err := m.DebugRead(va)
+			if err != nil {
+				fmt.Fprintf(&b, "%s%#010x: <%v>\n", marker, va, err)
+				continue
+			}
+			insn, derr := arm.Decode(w)
+			if derr != nil {
+				fmt.Fprintf(&b, "%s%#010x: %08x  .word\n", marker, va, w)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%#010x: %08x  %s\n", marker, va, w, insn.Disasm())
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func (s *Session) memdump(args []string, phys bool) (string, error) {
+	if len(args) == 0 {
+		return "", fmt.Errorf("usage: mem <addr> [nwords]")
+	}
+	addr, err := parseNum(args[0])
+	if err != nil {
+		return "", err
+	}
+	n := uint64(8)
+	if len(args) > 1 {
+		if n, err = parseNum(args[1]); err != nil {
+			return "", err
+		}
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	var b strings.Builder
+	derr := s.Fz.Do(func(m *arm.Machine) {
+		for i := uint64(0); i < n; i += 4 {
+			fmt.Fprintf(&b, "%#010x:", uint32(addr+i*4))
+			for j := i; j < i+4 && j < n; j++ {
+				va := uint32(addr + j*4)
+				var w uint32
+				var rerr error
+				if phys {
+					w, rerr = m.DebugReadPhys(va)
+				} else {
+					w, rerr = m.DebugRead(va)
+				}
+				if rerr != nil {
+					b.WriteString(" ????????")
+				} else {
+					fmt.Fprintf(&b, " %08x", w)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	})
+	if derr != nil {
+		return "", derr
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func (s *Session) pageTable() (string, error) {
+	var b strings.Builder
+	err := s.Fz.Do(func(m *arm.Machine) {
+		ttbr := m.TTBR0(mem.Secure)
+		if ttbr == 0 {
+			b.WriteString("no secure page table active (ttbr0 = 0)")
+			return
+		}
+		fmt.Fprintf(&b, "secure ttbr0 = %#x\n", ttbr)
+		for i := 0; i < mmu.L1Entries; i++ {
+			l1e, err := m.DebugReadPhys(ttbr + uint32(i*4))
+			if err != nil {
+				continue
+			}
+			l2base, _, ok := mmu.DecodePTE(l1e)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  L1[%3d] va=%#010x -> L2 @%#x\n", i, uint32(i)<<22, l2base)
+			for j := 0; j < mmu.L2Entries; j++ {
+				l2e, err := m.DebugReadPhys(l2base + uint32(j*4))
+				if err != nil {
+					continue
+				}
+				pa, perms, ok := mmu.DecodePTE(l2e)
+				if !ok {
+					continue
+				}
+				va := uint32(i)<<22 | uint32(j)<<12
+				fmt.Fprintf(&b, "    L2[%3d] va=%#010x -> pa=%#010x %s\n", j, va, pa, permString(perms))
+			}
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func permString(p mmu.Perms) string {
+	out := "r"
+	if p.Write {
+		out += "w"
+	} else {
+		out += "-"
+	}
+	if p.Exec {
+		out += "x"
+	} else {
+		out += "-"
+	}
+	return out
+}
+
+func (s *Session) pageDB() (string, error) {
+	if s.Sys == nil {
+		return "", fmt.Errorf("no system attached")
+	}
+	var b strings.Builder
+	var decErr error
+	err := s.Fz.Do(func(m *arm.Machine) {
+		// The decode reads secure memory through charged accessors;
+		// rewind so inspection never perturbs the simulated timeline.
+		before := m.Cyc.Total()
+		db, err := s.Sys.Monitor().DecodePageDB()
+		m.Cyc.Reset()
+		m.Cyc.Charge(before)
+		if err != nil {
+			decErr = err
+			return
+		}
+		census := db.Census()
+		keys := make([]string, 0, len(census))
+		for k := range census {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%-10s %d\n", k, census[k])
+		}
+		for i := 0; i < db.NPages; i++ {
+			e := db.Get(pagedb.PageNr(i))
+			if e.Type == pagedb.TypeFree {
+				continue
+			}
+			fmt.Fprintf(&b, "page %3d: %-10s owner=%d", i, e.Type, e.Owner)
+			if e.AS != nil {
+				fmt.Fprintf(&b, " state=%v refs=%d measured=%x…", e.AS.State, e.AS.RefCount, e.AS.Measured[0])
+			}
+			if e.Thread != nil {
+				fmt.Fprintf(&b, " entry=%#x entered=%v", e.Thread.EntryPoint, e.Thread.Entered)
+			}
+			b.WriteByte('\n')
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	if decErr != nil {
+		return "", decErr
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func (s *Session) finish() (string, error) {
+	if s.Nav == nil {
+		return "", fmt.Errorf("finish only applies to replay sessions")
+	}
+	if s.Fz.Frozen() {
+		if err := s.Fz.Resume(); err != nil {
+			return "", err
+		}
+	}
+	res, ok := s.Nav.Wait(30 * time.Second)
+	if !ok {
+		return "", fmt.Errorf("replay did not finish within 30s")
+	}
+	return RenderResult(res), nil
+}
+
+// RenderResult formats a replay result for humans.
+func RenderResult(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replayed %d ops, final cycles=%d\n", res.Ops, res.Cycles)
+	if res.OK() {
+		b.WriteString("replay OK: zero divergence")
+	} else {
+		fmt.Fprintf(&b, "REPLAY DIVERGED (%d):\n", len(res.Divergence))
+		for _, d := range res.Divergence {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

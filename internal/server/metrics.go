@@ -2,8 +2,10 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 )
 
@@ -142,6 +144,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Slow traces currently retained for /v1/debug/traces.",
 		obs.Sample{Value: float64(s.flight.Len())})
 
+	// Observability-plane self-metrics: flight-recorder occupancy and
+	// telemetry-sink drops (is the debugging plane itself healthy?).
+	p.Gauge("komodo_obs_flight_occupancy",
+		"Flight recorder slots by state.",
+		obs.Sample{Labels: obs.L("state", "used"), Value: float64(s.flight.Len())},
+		obs.Sample{Labels: obs.L("state", "capacity"), Value: float64(s.flight.Cap())})
+	var sinkDropped uint64
+	if s.cfg.SinkDropped != nil {
+		sinkDropped = s.cfg.SinkDropped()
+	}
+	p.Counter("komodo_obs_sink_dropped_total",
+		"Telemetry events the process event sink failed to write durably.",
+		obs.Sample{Value: float64(sinkDropped)})
+
+	// Deterministic record/replay (docs/REPLAY.md).
+	rrec, rrep, rdiv := replay.GlobalStats()
+	p.Counter("komodo_replay_traces_total",
+		"Record/replay activity: traces recorded, replayed, and found divergent.",
+		obs.Sample{Labels: obs.L("event", "recorded"), Value: float64(rrec)},
+		obs.Sample{Labels: obs.L("event", "replayed"), Value: float64(rrep)},
+		obs.Sample{Labels: obs.L("event", "diverged"), Value: float64(rdiv)})
+
 	// Monitor-level telemetry, merged across the currently idle workers
 	// (workers busy serving are skipped, same sampling as /v1/stats).
 	snaps := s.cfg.Pool.Telemetry()
@@ -201,7 +225,9 @@ func b2f(b bool) float64 {
 // handleDebugTraces serves the flight recorder: the retained slowest
 // traces as an indented JSON obs.Dump, slowest first. With ?id=<32-hex
 // trace id> it returns just that trace (404 if it was never retained or
-// has been evicted).
+// has been evicted). With ?min_ms=<float> only traces at least that slow
+// are listed (the dump's "seen" and "retained" fields still describe the
+// whole recorder, so the filter is visible, not silent).
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	if id := r.URL.Query().Get("id"); id != "" {
 		td, ok := s.flight.Find(id)
@@ -210,6 +236,26 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.reply(w, http.StatusOK, td)
+		return
+	}
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		minMS, err := strconv.ParseFloat(v, 64)
+		if err != nil || minMS < 0 {
+			s.replyErr(w, http.StatusBadRequest, "min_ms must be a non-negative number, got %q", v)
+			return
+		}
+		cut := int64(minMS * 1e6)
+		kept := []obs.TraceData{}
+		for _, td := range s.flight.Slowest() {
+			if td.DurNS >= cut {
+				kept = append(kept, td)
+			}
+		}
+		s.reply(w, http.StatusOK, obs.Dump{
+			Seen:     s.flight.Seen(),
+			Retained: s.flight.Len(),
+			Traces:   kept,
+		})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/tenant"
 	"repro/komodo"
@@ -64,6 +67,22 @@ type Config struct {
 	// (default 4*BatchMaxSize, then 429 queue_full).
 	BatchWindow time.Duration
 	BatchQueue  int
+	// RecordDir, if set, turns on deterministic record/replay
+	// (docs/REPLAY.md): every worker-path request is recorded — start
+	// state, memory image, and all boundary operations — and when the
+	// finished request is slow enough for the flight recorder to retain,
+	// the trace is persisted as RecordDir/<trace-id>.krec and linked from
+	// the retained trace's "replay" field. /v1/debug/replay re-executes a
+	// persisted trace in-process and reports divergences.
+	RecordDir string
+	// Fleet, if set, enables the freeze-the-world debug plane
+	// (/v1/debug/freeze, /v1/debug/mon) over the pool's workers. Install
+	// workers into it from the pool's Provision hook.
+	Fleet *replay.Fleet
+	// SinkDropped, if set, reports how many telemetry events the
+	// process's event sink has dropped (telemetry.JSONLSink.Dropped) for
+	// the komodo_obs_sink_dropped_total metric.
+	SinkDropped func() uint64
 }
 
 // Server is the HTTP front end. It implements http.Handler.
@@ -87,6 +106,12 @@ type Server struct {
 	lat     *obs.LatencyVec   // wall-clock latency per (endpoint, outcome)
 	tierLat *obs.LatencyVec   // wall-clock latency per (tier, outcome)
 	flight  *obs.FlightRecorder
+
+	// Record/replay state (RecordDir mode): finished-but-unpersisted
+	// traces keyed by trace id, and one memory-export baseline per worker
+	// so back-to-back recordings start from a dirty-page delta.
+	recordings sync.Map // trace id → *replay.Trace
+	baselines  sync.Map // worker id → *replay.Baseline
 }
 
 // New builds the server around a pool.
@@ -129,6 +154,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/restore", s.traced("/v1/restore", s.handleRestore))
 	s.mux.HandleFunc("/v1/drain", s.traced("/v1/drain", s.handleDrain))
 	s.mux.HandleFunc("/v1/debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("/v1/debug/freeze", s.handleDebugFreeze)
+	s.mux.HandleFunc("/v1/debug/mon", s.handleDebugMon)
+	s.mux.HandleFunc("/v1/debug/replay", s.handleDebugReplay)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
@@ -185,6 +213,7 @@ func (s *Server) traced(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		td := tr.Finish(outcomeFor(sw.status))
+		s.persistRecording(&td)
 		s.lat.Observe(endpoint, td.Outcome, time.Duration(td.DurNS))
 		s.flight.Record(td)
 	}
@@ -317,6 +346,7 @@ func (s *Server) withWorkerOpts(w http.ResponseWriter, r *http.Request, admin bo
 		return
 	}
 
+	recorder := s.startRecording(tr, wk, r.URL.Path)
 	rec := wk.System().Telemetry()
 	mark := rec.Ring().Total()
 	rec.SetSpanTag(tr.SpanTag())
@@ -324,6 +354,9 @@ func (s *Server) withWorkerOpts(w http.ResponseWriter, r *http.Request, admin bo
 	outcome, err := fn(ctx, wk)
 	rec.SetSpanTag(0)
 	harvestCycleSpans(tr, rec, mark)
+	if recorder != nil {
+		s.recordings.Store(tr.ID().String(), recorder.Stop())
+	}
 	if err != nil {
 		exec.EndDetail("error")
 		s.cfg.Pool.Release(r.Context(), wk, pool.Fail)
@@ -334,6 +367,44 @@ func (s *Server) withWorkerOpts(w http.ResponseWriter, r *http.Request, admin bo
 	exec.End()
 	s.cfg.Pool.Release(r.Context(), wk, outcome)
 	s.served.Add(1)
+}
+
+// startRecording begins a replay recording for the request when RecordDir
+// mode is on. A recording failure downgrades to "not recorded" (noted on
+// the trace) rather than failing the request.
+func (s *Server) startRecording(tr *obs.Trace, wk *pool.Worker, endpoint string) *replay.Recorder {
+	if s.cfg.RecordDir == "" || tr == nil {
+		return nil
+	}
+	bi, _ := s.baselines.LoadOrStore(wk.ID(), &replay.Baseline{})
+	sp := tr.StartSpan("record")
+	rec, err := replay.StartRecording(wk.System(), tr.ID().String(), endpoint, bi.(*replay.Baseline))
+	if err != nil {
+		sp.EndDetail("error: " + err.Error())
+		return nil
+	}
+	sp.End()
+	return rec
+}
+
+// persistRecording runs after a request finishes: if it was recorded and
+// is slow enough for the flight recorder to retain, the replay trace is
+// written to RecordDir and linked from the retained trace's Replay field.
+// Everything else recorded is discarded here — the record knob keeps the
+// N-slowest policy of the flight recorder.
+func (s *Server) persistRecording(td *obs.TraceData) {
+	v, ok := s.recordings.LoadAndDelete(td.TraceID)
+	if !ok {
+		return
+	}
+	if !s.flight.WouldRetain(td.DurNS) {
+		return
+	}
+	path := filepath.Join(s.cfg.RecordDir, td.TraceID+".krec")
+	if err := replay.Save(path, v.(*replay.Trace)); err != nil {
+		return
+	}
+	td.Replay = path
 }
 
 // harvestCycleSpans converts the monitor boundary events recorded for
@@ -723,6 +794,8 @@ func (s *Server) Stats() StatsResponse {
 	snaps := s.cfg.Pool.Telemetry()
 	out.Sampled = len(snaps)
 	out.Telemetry = telemetry.Merge(snaps...)
+	rec, rep, div := replay.GlobalStats()
+	out.Telemetry.Replay = telemetry.ReplayStats{Recorded: rec, Replayed: rep, Diverged: div}
 	return out
 }
 

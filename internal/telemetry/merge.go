@@ -68,6 +68,9 @@ func Merge(snaps ...Snapshot) Snapshot {
 		out.Trace.Recorded += s.Trace.Recorded
 		out.Trace.Dropped += s.Trace.Dropped
 		out.Trace.Capacity += s.Trace.Capacity
+		out.Replay.Recorded += s.Replay.Recorded
+		out.Replay.Replayed += s.Replay.Replayed
+		out.Replay.Diverged += s.Replay.Diverged
 	}
 	out.SMC = flattenSeries(smc)
 	out.SVC = flattenSeries(svc)

@@ -103,6 +103,14 @@ type TraceStats struct {
 	Capacity int    `json:"capacity"`
 }
 
+// ReplayStats counts deterministic record/replay activity (internal/replay),
+// filled in by the serving layer from the replay package's global counters.
+type ReplayStats struct {
+	Recorded uint64 `json:"recorded"`
+	Replayed uint64 `json:"replayed"`
+	Diverged uint64 `json:"diverged"`
+}
+
 // Snapshot is a point-in-time JSON view of everything the stack has
 // observed. The recorder fills its own series (SMC, SVC, lifecycle, page
 // flow, trace); the platform layers in machine-owned gauges (cycles,
@@ -134,7 +142,8 @@ type Snapshot struct {
 	// the platform from the decoded PageDB).
 	PageCensus map[string]int `json:"page_census"`
 
-	Trace TraceStats `json:"trace"`
+	Trace  TraceStats  `json:"trace"`
+	Replay ReplayStats `json:"replay"`
 }
 
 // exportSeries copies the non-empty series out of a callSeries array.

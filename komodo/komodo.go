@@ -129,6 +129,67 @@ func WithTelemetrySink(s telemetry.Sink) Option {
 type System struct {
 	plat *board.Platform
 	os   *nwos.OS
+	cfg  config
+}
+
+// BootConfig is the reproducible subset of a System's boot configuration:
+// everything a fresh process needs to boot a behaviourally identical
+// platform. The record/replay layer (internal/replay) embeds one in every
+// trace header. Telemetry attachment is deliberately absent — recorders
+// are observation, not machine state.
+type BootConfig struct {
+	Seed          uint64
+	Protection    Protection
+	Static        bool
+	Checked       bool
+	Optimised     bool
+	Budget        int64
+	SecureSize    uint32
+	NoDecodeCache bool
+	NoBlockCache  bool
+}
+
+// BootConfig reports the configuration this system was booted with.
+func (s *System) BootConfig() BootConfig {
+	return BootConfig{
+		Seed:          s.cfg.seed,
+		Protection:    s.cfg.protection,
+		Static:        s.cfg.static,
+		Checked:       s.cfg.checked,
+		Optimised:     s.cfg.optimised,
+		Budget:        s.cfg.budget,
+		SecureSize:    s.cfg.secureSize,
+		NoDecodeCache: s.cfg.noDecodeCache,
+		NoBlockCache:  s.cfg.noBlockCache,
+	}
+}
+
+// Options reconstructs the option list that reproduces this configuration
+// on a fresh New call (telemetry options excluded).
+func (bc BootConfig) Options() []Option {
+	opts := []Option{WithSeed(bc.Seed), WithProtection(bc.Protection)}
+	if bc.Static {
+		opts = append(opts, WithStaticProfile())
+	}
+	if bc.Checked {
+		opts = append(opts, WithRefinementChecking())
+	}
+	if bc.Optimised {
+		opts = append(opts, WithOptimisedCrossings())
+	}
+	if bc.Budget != 0 {
+		opts = append(opts, WithExecBudget(bc.Budget))
+	}
+	if bc.SecureSize != 0 {
+		opts = append(opts, WithSecureMemory(bc.SecureSize))
+	}
+	if bc.NoDecodeCache {
+		opts = append(opts, WithoutDecodeCache())
+	}
+	if bc.NoBlockCache {
+		opts = append(opts, WithoutBlockCache())
+	}
+	return opts
 }
 
 // New boots a platform.
@@ -167,7 +228,7 @@ func New(opts ...Option) (*System, error) {
 	}
 	osm := nwos.New(plat.Machine, drv, plat.Monitor.NPages())
 	osm.SetTelemetry(plat.Telemetry)
-	return &System{plat: plat, os: osm}, nil
+	return &System{plat: plat, os: osm, cfg: c}, nil
 }
 
 // Telemetry returns the recorder attached by WithTelemetry, or nil. The
@@ -183,7 +244,7 @@ func (s *System) TelemetrySnapshot() telemetry.Snapshot { return s.plat.StatsSna
 // PhysPages returns the number of allocatable secure pages, as reported by
 // the GetPhysPages monitor call.
 func (s *System) PhysPages() (int, error) {
-	e, v, err := s.os.Driver().SMC(kapi.SMCGetPhysPages)
+	e, v, err := s.os.SMC(kapi.SMCGetPhysPages)
 	if err != nil {
 		return 0, err
 	}
@@ -415,8 +476,15 @@ func (e *Enclave) RunCtx(ctx context.Context, args ...uint32) (Result, error) {
 }
 
 // Measurement returns the enclave's attestation measurement (public).
+// Like a stats snapshot, this is an out-of-band observation: the cycle
+// counter is rewound around the PageDB decode so reading a measurement
+// never perturbs the simulated timeline (record/replay depends on this).
 func (e *Enclave) Measurement() ([8]uint32, error) {
+	m := e.sys.plat.Machine
+	before := m.Cyc.Total()
 	db, err := e.sys.plat.Monitor.DecodePageDB()
+	m.Cyc.Reset()
+	m.Cyc.Charge(before)
 	if err != nil {
 		return [8]uint32{}, err
 	}
@@ -460,7 +528,7 @@ func (e *Enclave) Destroy() error { return e.sys.os.Destroy(e.enc) }
 // ScheduleInterrupt injects an IRQ after n simulated instructions — the
 // knob tests and demos use to exercise suspend/resume.
 func (s *System) ScheduleInterrupt(afterInstructions int64) {
-	s.plat.Machine.ScheduleIRQ(afterInstructions)
+	s.os.ScheduleInterrupt(afterInstructions)
 }
 
 // Snapshot captures the entire platform state (registers, memory, devices,
