@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline bench-fleet bench-batch examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke gateway-smoke batch-smoke replay-smoke load-compare
+.PHONY: all build test race verify bench bench-quick bench-json bench-smoke bench-baseline bench-baseline-check bench-fleet bench-batch bench-writepath examples loc fmt vet clean serve serve-smoke ckpt-smoke obs-smoke gateway-smoke batch-smoke replay-smoke writepath-smoke load-compare
 
 all: build vet test
 
@@ -101,6 +101,26 @@ replay-smoke:
 # per signed request and latency, unbatched vs K = 8/16/32.
 bench-batch:
 	$(GO) run ./cmd/komodo-bench -batch -json > BENCH_8.json
+
+# Adaptive write path (docs/BATCHING.md §Adaptive write path): race-built
+# serve with dynamic K + dedup + group commit under Zipf-skewed load;
+# receipts verify offline, K moves off its floor, dedup coalesces, the
+# fsync rate amortises, and counters stay monotonic across SIGTERM +
+# restart.
+writepath-smoke:
+	sh scripts/writepath_smoke.sh
+
+# Regenerate the committed write-path baseline (BENCH_10.json):
+# crossings/sign, fsyncs/sign, and latency across load levels and skew —
+# unbatched vs fixed K vs adaptive+dedup+group-commit, durable counters
+# checkpointed after every sign.
+bench-writepath:
+	$(GO) run ./cmd/komodo-bench -writepath -json > BENCH_10.json
+
+# Docs/baseline drift guard: every BENCH_*.json referenced from
+# docs/PERFORMANCE.md or EXPERIMENTS.md must exist in the tree.
+bench-baseline-check:
+	sh scripts/bench_baseline_check.sh
 
 load-compare:
 	$(GO) run ./cmd/komodo-load -compare -workers 4 -clients 8 -duration 5s

@@ -16,14 +16,15 @@ import (
 
 // output is the -json schema: each requested section, keyed by name.
 type output struct {
-	Table3      []eval.Table3Row   `json:"table3,omitempty"`
-	Ablation    []eval.AblationRow `json:"ablation,omitempty"`
-	SGX         []eval.SGXRow      `json:"sgx,omitempty"`
-	Figure5     []eval.Fig5Point   `json:"figure5,omitempty"`
-	Table2      []eval.LocRow      `json:"table2,omitempty"`
-	PaperTable2 []eval.PaperRow    `json:"paper_table2,omitempty"`
-	Perf        *eval.PerfReport   `json:"perf,omitempty"`
-	Batch       []eval.BatchRow    `json:"batch,omitempty"`
+	Table3      []eval.Table3Row    `json:"table3,omitempty"`
+	Ablation    []eval.AblationRow  `json:"ablation,omitempty"`
+	SGX         []eval.SGXRow       `json:"sgx,omitempty"`
+	Figure5     []eval.Fig5Point    `json:"figure5,omitempty"`
+	Table2      []eval.LocRow       `json:"table2,omitempty"`
+	PaperTable2 []eval.PaperRow     `json:"paper_table2,omitempty"`
+	Perf        *eval.PerfReport    `json:"perf,omitempty"`
+	Batch       []eval.BatchRow     `json:"batch,omitempty"`
+	WritePath   []eval.WritePathRow `json:"writepath,omitempty"`
 }
 
 func main() {
@@ -37,10 +38,12 @@ func main() {
 	batchAB := flag.Bool("batch", false, "print only the batched-signing A/B (docs/BATCHING.md)")
 	batchReqs := flag.Int("batch-requests", 2000, "signs per configuration in the -batch section")
 	batchClients := flag.Int("batch-clients", 16, "closed-loop clients in the -batch section")
+	wp := flag.Bool("writepath", false, "print only the adaptive write-path sweep (docs/BATCHING.md §Adaptive write path)")
+	wpReqs := flag.Int("writepath-requests", 1536, "signs per cell in the -writepath sweep")
 	asJSON := flag.Bool("json", false, "emit the selected sections as JSON")
 	root := flag.String("root", ".", "module root for the line-count breakdown")
 	flag.Parse()
-	all := !*t3 && !*sgxOnly && !*f5 && !*t2 && !*abl && !*perf && !*batchAB
+	all := !*t3 && !*sgxOnly && !*f5 && !*t2 && !*abl && !*perf && !*batchAB && !*wp
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "komodo-bench:", err)
@@ -97,6 +100,13 @@ func main() {
 			fail(err)
 		}
 		out.Batch = rows
+	}
+	if all || *wp {
+		rows, err := eval.WritePathSweep(*wpReqs)
+		if err != nil {
+			fail(err)
+		}
+		out.WritePath = rows
 	}
 
 	if *asJSON {
@@ -167,6 +177,17 @@ func main() {
 				fmt.Printf("  (%.1fx fewer crossings)", base.CrossingsPerOK/r.CrossingsPerOK)
 			}
 			fmt.Println()
+		}
+		fmt.Println()
+	}
+	if out.WritePath != nil {
+		fmt.Println("Adaptive write path (durable counters, checkpoint every sign; docs/PERFORMANCE.md)")
+		fmt.Printf("  %-22s %8s %-8s %8s %10s %10s %8s %6s %8s %10s\n",
+			"config", "clients", "skew", "signed", "xings/ok", "fsyncs/ok", "dedup", "K", "meanGrp", "p50 µs")
+		for _, r := range out.WritePath {
+			fmt.Printf("  %-22s %8d %-8s %8d %10.3f %10.3f %8d %6d %8.1f %10.0f\n",
+				r.Config, r.Clients, r.Skew, r.Requests, r.CrossingsPerOK, r.FsyncsPerOK,
+				r.Dedup, r.KFinal, r.MeanGroup, r.P50Micros)
 		}
 		fmt.Println()
 	}

@@ -76,6 +76,10 @@ type options struct {
 	tiers       string
 	tenants     string
 	tenantMix   string
+
+	zipf         float64
+	zipfDocs     int
+	respectRetry bool
 }
 
 // Result is one load run's summary (also the -json schema).
@@ -119,6 +123,14 @@ type Result struct {
 	// RetryAfterMissing counts 429/503 responses that arrived without a
 	// Retry-After header (the contract says every rejection carries one).
 	RetryAfterMissing int `json:"retry_after_missing"`
+	// RetryAfterSlept counts the rejections whose Retry-After the client
+	// actually honored (-respect-retry-after), and RetryAfterSleptMs the
+	// total wall time spent in those sleeps.
+	RetryAfterSlept   int     `json:"retry_after_slept,omitempty"`
+	RetryAfterSleptMs float64 `json:"retry_after_slept_ms,omitempty"`
+	// CoalescedReceipts counts batch receipts whose leaf was shared with
+	// other requests by cross-request dedup (proof's coalesced > 1).
+	CoalescedReceipts int `json:"coalesced_receipts,omitempty"`
 	// ReceiptsVerified counts batch receipts proven offline with
 	// server.VerifyBatchReceipt (-verify on a batched notary workload).
 	ReceiptsVerified int `json:"receipts_verified,omitempty"`
@@ -177,7 +189,16 @@ func main() {
 	flag.StringVar(&o.tiers, "tiers", "", "in-process: tenant tiers name:rate:burst:quota[:shedat];...")
 	flag.StringVar(&o.tenants, "tenants", "", "in-process: tenant tokens token=tier,... (with -tiers)")
 	flag.StringVar(&o.tenantMix, "tenant-mix", "", "weighted X-Komodo-Tenant tokens per request: token:weight,token:weight (token '-' sends none)")
+	flag.Float64Var(&o.zipf, "zipf", 0, "notary docs drawn Zipf-skewed from a shared corpus with this exponent (> 1; 0 = unique random docs)")
+	flag.IntVar(&o.zipfDocs, "zipf-docs", 1024, "distinct documents in the Zipf corpus (with -zipf)")
+	flag.BoolVar(&o.respectRetry, "respect-retry-after", false, "honor Retry-After on 429/503 (sleep it, capped at 2s) instead of the fixed backoff")
 	flag.Parse()
+	if o.zipf != 0 && o.zipf <= 1 {
+		fail(fmt.Errorf("-zipf exponent must be > 1, got %v", o.zipf))
+	}
+	if o.zipfDocs < 1 {
+		fail(fmt.Errorf("-zipf-docs must be >= 1, got %d", o.zipfDocs))
+	}
 
 	var results []Result
 	switch {
@@ -267,6 +288,12 @@ func main() {
 		}
 		if r.ReceiptsVerified > 0 {
 			fmt.Printf("  receipts=%d", r.ReceiptsVerified)
+		}
+		if r.CoalescedReceipts > 0 {
+			fmt.Printf("  coalesced=%d", r.CoalescedReceipts)
+		}
+		if r.RetryAfterSlept > 0 {
+			fmt.Printf("  retry-slept=%d(%.0fms)", r.RetryAfterSlept, r.RetryAfterSleptMs)
 		}
 		fmt.Println()
 		for _, pb := range r.PerBackend {
@@ -452,10 +479,11 @@ func runFleet(o options, n int) (Result, error) {
 // monotonicity), so it is exactly the invariant a fleet must keep
 // through failover and migration.
 type streamBook struct {
-	mu    sync.Mutex
-	seen  map[string]struct{}
-	roots map[string]string
-	dups  int
+	mu     sync.Mutex
+	seen   map[string]struct{}
+	roots  map[string]string
+	leaves map[string]string
+	dups   int
 }
 
 func (sb *streamBook) record(backend string, nr *server.NotaryResponse) {
@@ -473,11 +501,18 @@ func (sb *streamBook) record(backend string, nr *server.NotaryResponse) {
 			return
 		}
 		sb.roots[ck] = nr.Batch.Root
+		// Each leaf index maps to exactly one leaf hash. With dedup,
+		// several receipts legitimately share an index — but only when
+		// they agree on the leaf AND the proof says it was coalesced; a
+		// repeated index with a different leaf (or on a sole-owner leaf)
+		// is still a double-spend.
 		lk := fmt.Sprintf("%s@%d", ck, nr.Batch.LeafIndex)
-		if _, dup := sb.seen[lk]; dup {
-			sb.dups++
+		if leaf, ok := sb.leaves[lk]; ok {
+			if leaf != nr.Batch.Leaf || nr.Batch.Coalesced <= 1 {
+				sb.dups++
+			}
 		} else {
-			sb.seen[lk] = struct{}{}
+			sb.leaves[lk] = nr.Batch.Leaf
 		}
 		return
 	}
@@ -606,17 +641,34 @@ func drive(o options, bases []string, label string) (Result, error) {
 
 	type tally struct {
 		ok, rejected, unavail, errs, verified, receipts int
+		coalesced                                       int
 		counterMin, counterMax                          uint32
 		err                                             error
 	}
 	tallies := make([]tally, o.clients)
-	book := &streamBook{seen: map[string]struct{}{}, roots: map[string]string{}}
+	book := &streamBook{seen: map[string]struct{}{}, roots: map[string]string{}, leaves: map[string]string{}}
 
 	// Rejection-class and per-tier ledgers shared by all clients.
 	var classMu sync.Mutex
 	rejectClasses := map[string]int{}
 	retryMissing := 0
+	retrySlept := 0
+	var retrySleptFor time.Duration
 	tierRejected := map[string]int{}
+
+	// Zipf skew: all clients draw documents from one deterministic shared
+	// corpus, so the hot ranks collide across clients — exactly the
+	// workload cross-request dedup coalesces.
+	var corpus [][]byte
+	if o.zipf > 0 {
+		corpus = make([][]byte, o.zipfDocs)
+		for i := range corpus {
+			drng := rand.New(rand.NewSource(int64(i) + 7919))
+			d := make([]byte, 64+drng.Intn(448))
+			drng.Read(d)
+			corpus[i] = d
+		}
+	}
 	// Lock-free histograms shared by every client goroutine, one per
 	// backend plus on-demand; quantiles come from their log-linear
 	// buckets rather than a sorted sample slice.
@@ -656,6 +708,10 @@ func drive(o options, bases []string, label string) (Result, error) {
 			defer wg.Done()
 			t := &tallies[c]
 			rng := rand.New(rand.NewSource(int64(c) + 1))
+			var zs *rand.Zipf
+			if corpus != nil {
+				zs = rand.NewZipf(rng, o.zipf, 1, uint64(len(corpus)-1))
+			}
 			client := &http.Client{Timeout: 60 * time.Second}
 			base := bases[c%len(bases)]
 			shard := ""
@@ -680,8 +736,12 @@ func drive(o options, bases []string, label string) (Result, error) {
 				if mix != nil {
 					token = mix.pick(rng)
 				}
+				var doc []byte
+				if zs != nil && ep == "notary" {
+					doc = corpus[zs.Uint64()]
+				}
 				reqStart := time.Now()
-				out, err := doRequest(client, base, ep, c, seq, rng, o.traceparent, shard, token)
+				out, err := doRequest(client, base, ep, c, seq, rng, o.traceparent, shard, token, doc)
 				if err != nil {
 					t.errs++
 					continue
@@ -706,6 +766,9 @@ func drive(o options, bases []string, label string) (Result, error) {
 							}
 							if nr.Counter > t.counterMax {
 								t.counterMax = nr.Counter
+							}
+							if nr.Batch != nil && nr.Batch.Coalesced > 1 {
+								t.coalesced++
 							}
 							if o.verify && nr.Batch != nil {
 								if err := server.VerifyBatchReceipt(nr, out.doc); err != nil {
@@ -743,7 +806,19 @@ func drive(o options, bases []string, label string) (Result, error) {
 						tierRejected[out.tier]++
 					}
 					classMu.Unlock()
-					if out.status == http.StatusTooManyRequests {
+					if o.respectRetry && out.retrySecs > 0 {
+						// Honor the server's hint, capped so a pathological
+						// Retry-After can't stall the whole run.
+						nap := time.Duration(out.retrySecs) * time.Second
+						if nap > 2*time.Second {
+							nap = 2 * time.Second
+						}
+						time.Sleep(nap)
+						classMu.Lock()
+						retrySlept++
+						retrySleptFor += nap
+						classMu.Unlock()
+					} else if out.status == http.StatusTooManyRequests {
 						time.Sleep(500 * time.Microsecond) // brief backoff on saturation
 					} else {
 						time.Sleep(time.Millisecond)
@@ -772,6 +847,7 @@ func drive(o options, bases []string, label string) (Result, error) {
 		r.Errors += t.errs
 		r.Verified += t.verified
 		r.ReceiptsVerified += t.receipts
+		r.CoalescedReceipts += t.coalesced
 		if t.counterMax > 0 {
 			if r.CounterMin == 0 || t.counterMin < r.CounterMin {
 				r.CounterMin = t.counterMin
@@ -818,6 +894,8 @@ func drive(o options, bases []string, label string) (Result, error) {
 		r.RejectClasses = rejectClasses
 	}
 	r.RetryAfterMissing = retryMissing
+	r.RetryAfterSlept = retrySlept
+	r.RetryAfterSleptMs = float64(retrySleptFor.Microseconds()) / 1000
 	tiers := make([]string, 0, len(tierHists))
 	for tier := range tierHists {
 		tiers = append(tiers, tier)
@@ -861,13 +939,15 @@ type reqOut struct {
 	tier       string
 	reject     string
 	retryAfter bool
+	retrySecs  int
 	doc        []byte
 }
 
 // doRequest issues one request. servedBy is the backend that served it
 // (the gateway's X-Komodo-Backend attribution header, "" when talking to
-// a backend directly).
-func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand, traceparent, shard, token string) (reqOut, error) {
+// a backend directly). A non-nil doc pins the notary document (Zipf
+// corpus); nil draws a fresh random one.
+func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand, traceparent, shard, token string, doc []byte) (reqOut, error) {
 	var out reqOut
 	var req *http.Request
 	var err error
@@ -876,8 +956,11 @@ func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand,
 		req, err = http.NewRequest(http.MethodGet,
 			fmt.Sprintf("%s/v1/attest?nonce=nonce-%d-%d", base, c, seq), nil)
 	case "notary":
-		out.doc = make([]byte, 64+rng.Intn(448))
-		rng.Read(out.doc)
+		out.doc = doc
+		if out.doc == nil {
+			out.doc = make([]byte, 64+rng.Intn(448))
+			rng.Read(out.doc)
+		}
 		url := base + "/v1/notary/sign"
 		if shard != "" {
 			url += "?shard=" + shard
@@ -911,7 +994,12 @@ func doRequest(client *http.Client, base, ep string, c, seq int, rng *rand.Rand,
 	out.servedBy = resp.Header.Get("X-Komodo-Backend")
 	out.tier = resp.Header.Get(server.TierHeader)
 	out.reject = resp.Header.Get(server.RejectHeader)
-	out.retryAfter = resp.Header.Get("Retry-After") != ""
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		out.retryAfter = true
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			out.retrySecs = secs
+		}
+	}
 	return out, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/replay"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/tenant"
 	"repro/komodo"
 )
@@ -55,8 +56,11 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty: disabled)")
 	flightSize := flag.Int("flight-traces", 0, "slow-request traces retained for /v1/debug/traces (0 = default)")
 	batchSize := flag.Int("batch", 0, "batched notary signing: close a batch at this many signs (0 = unbatched)")
+	batchMin := flag.Int("batch-min", 0, "adaptive K: floor of the close threshold; K retunes between this and -batch (0 = fixed K)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "close a partial batch after this window (with -batch)")
 	batchQueue := flag.Int("batch-queue", 0, "pending batch-sign waiters before 429 queue_full (0 = 4x batch size)")
+	batchDedup := flag.Bool("batch-dedup", false, "coalesce identical (doc, tenant) signs within a batch onto one leaf")
+	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent checkpoint appends into one WAL write+fsync group (with -state-dir)")
 	recordDir := flag.String("record-dir", "", "persist replayable traces of flight-retained requests here (empty: off; docs/REPLAY.md)")
 	tiers := flag.String("tiers", "", "tenant tiers: name:rate:burst:quota[:shedat];... (empty: no admission control)")
 	tenants := flag.String("tenants", "", "tenant tokens: token=tier,token=tier,... (with -tiers)")
@@ -71,8 +75,12 @@ func main() {
 
 	var ckpts *server.CheckpointStore
 	if *stateDir != "" {
+		var sopts []store.Option
+		if *groupCommit {
+			sopts = append(sopts, store.WithGroupCommit())
+		}
 		var err error
-		if ckpts, err = server.OpenCheckpointStore(*stateDir); err != nil {
+		if ckpts, err = server.OpenCheckpointStore(*stateDir, sopts...); err != nil {
 			fail(err)
 		}
 		defer ckpts.Close()
@@ -142,7 +150,12 @@ func main() {
 		fmt.Printf("admission: %d tier(s), %d token(s), default %q\n", len(specs), len(tokens), admission.DefaultTier())
 	}
 	if *batchSize > 0 {
-		fmt.Printf("batched signing: K=%d window=%v\n", *batchSize, *batchWindow)
+		switch {
+		case *batchMin > 0:
+			fmt.Printf("batched signing: adaptive K in [%d,%d] window=%v dedup=%v\n", *batchMin, *batchSize, *batchWindow, *batchDedup)
+		default:
+			fmt.Printf("batched signing: K=%d window=%v dedup=%v\n", *batchSize, *batchWindow, *batchDedup)
+		}
 	}
 
 	srv := server.New(server.Config{
@@ -154,8 +167,10 @@ func main() {
 		FlightRecorderSize: *flightSize,
 		Admission:          admission,
 		BatchMaxSize:       *batchSize,
+		BatchMinSize:       *batchMin,
 		BatchWindow:        *batchWindow,
 		BatchQueue:         *batchQueue,
+		BatchDedup:         *batchDedup,
 		RecordDir:          *recordDir,
 		Fleet:              fleet,
 	})

@@ -74,6 +74,7 @@ func main() {
 
 	fmt.Println("== Batch inclusion proofs (docs/BATCHING.md) ==")
 	report("every leaf include-proves, tampering fails closed", inclusionProofs(*trials, *seed))
+	report("coalesced receipts verify, nonce tamper fails closed", coalescedReceipts(*trials, *seed))
 
 	fmt.Printf("\n%d checks, %d failures\n", total, failed)
 	if failed > 0 {
@@ -106,8 +107,79 @@ func verifyReceiptFile(path, docPath string) error {
 	if doc != nil {
 		bound = "leaf, root+counter binding"
 	}
-	fmt.Printf("receipt ok: counter %d, leaf %d of %d, %s verified\n",
-		nr.Counter, nr.Batch.LeafIndex, nr.Batch.BatchSize, bound)
+	shared := ""
+	if nr.Batch.Coalesced > 1 {
+		shared = fmt.Sprintf(" (leaf shared by %d requests)", nr.Batch.Coalesced)
+	}
+	fmt.Printf("receipt ok: counter %d, leaf %d of %d%s, %s verified\n",
+		nr.Counter, nr.Batch.LeafIndex, nr.Batch.BatchSize, shared, bound)
+	return nil
+}
+
+// coalescedReceipts exercises the cross-request dedup receipt shape: a
+// batch where several requests share one leaf (identical doc and tenant,
+// the leaf owner's nonce folded into every waiter's receipt) must hand
+// each waiter an offline-verifiable proof, and a receipt whose nonce is
+// tampered — or swapped for another leaf's — must fail closed.
+func coalescedReceipts(trials int, seed int64) error {
+	rnd := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rnd.Intn(16)
+		docs := make([][]byte, n)
+		nonces := make([][batch.NonceSize]byte, n)
+		waiters := make([]int, n)
+		leaves := make([][8]uint32, n)
+		for i := range leaves {
+			docs[i] = []byte(fmt.Sprintf("trial %d doc %d", trial, i))
+			rnd.Read(nonces[i][:])
+			waiters[i] = 1 + rnd.Intn(4)
+			h := sha2.New()
+			h.Write(docs[i])
+			leaves[i] = batch.LeafHash(h.SumWords(), "tenant", nonces[i][:])
+		}
+		root := batch.Root(leaves)
+		counter := uint32(1 + trial)
+		for i := range leaves {
+			path := batch.Path(leaves, i)
+			hexPath := make([]string, len(path))
+			for j, p := range path {
+				hexPath[j] = server.EncodeWords(p)
+			}
+			// Every waiter on the leaf gets the same proof with the
+			// leaf's nonce — exactly what the server hands coalesced
+			// requests.
+			for w := 0; w < waiters[i]; w++ {
+				nr := server.NotaryResponse{
+					Counter: counter,
+					Digest:  server.EncodeWords(batch.RootDigest(root, counter)),
+					Batch: &server.BatchProof{
+						Root:      server.EncodeWords(root),
+						Leaf:      server.EncodeWords(leaves[i]),
+						LeafIndex: i,
+						BatchSize: n,
+						Path:      hexPath,
+						Tenant:    "tenant",
+						Nonce:     fmt.Sprintf("%x", nonces[i][:]),
+						Coalesced: waiters[i],
+					},
+				}
+				if err := server.VerifyBatchReceipt(nr, docs[i]); err != nil {
+					return fmt.Errorf("trial %d: waiter %d of leaf %d: %v", trial, w, i, err)
+				}
+				var bad [batch.NonceSize]byte
+				copy(bad[:], nonces[i][:])
+				bad[rnd.Intn(batch.NonceSize)] ^= 1 << uint(rnd.Intn(8))
+				nr.Batch.Nonce = fmt.Sprintf("%x", bad[:])
+				if server.VerifyBatchReceipt(nr, docs[i]) == nil {
+					return fmt.Errorf("trial %d: leaf %d verified with tampered nonce", trial, i)
+				}
+				nr.Batch.Nonce = fmt.Sprintf("%x", nonces[(i+1)%n][:])
+				if server.VerifyBatchReceipt(nr, docs[i]) == nil {
+					return fmt.Errorf("trial %d: leaf %d verified with leaf %d's nonce", trial, i, (i+1)%n)
+				}
+			}
+		}
+	}
 	return nil
 }
 

@@ -24,6 +24,11 @@ type Request struct {
 	DocDigest [8]uint32 // SHA-256 of the raw document bytes
 	Tenant    string
 	Nonce     [NonceSize]byte
+	// Coalescable marks a request whose nonce the server minted (not
+	// client-pinned): with Config.Dedup it may fold onto an already-open
+	// leaf for the same (DocDigest, Tenant), adopting that leaf's nonce.
+	// Any request — pinned or not — can open a leaf others coalesce onto.
+	Coalescable bool
 }
 
 // SignedRoot is the enclave's signature over one sealed batch: the guest
@@ -39,13 +44,19 @@ type SignedRoot struct {
 }
 
 // Receipt is what one client gets back: the shared batch signature plus
-// this request's position proof.
+// this request's position proof. Nonce is the nonce actually bound into
+// the leaf — the caller's own unless the request coalesced onto an
+// earlier identical one, in which case it is that leaf's nonce (fold it
+// into the proof so the receipt verifies offline). Coalesced counts the
+// requests sharing the leaf (1 = not deduplicated).
 type Receipt struct {
 	SignedRoot
 	Leaf      [8]uint32
 	LeafIndex int
 	BatchSize int
 	Path      [][8]uint32
+	Nonce     [NonceSize]byte
+	Coalesced int
 }
 
 // SignFunc performs the single enclave entry for a sealed batch. It is
@@ -55,8 +66,22 @@ type SignFunc func(ctx context.Context, root [8]uint32) (SignedRoot, error)
 
 // Config parameterises an Aggregator.
 type Config struct {
-	// MaxBatch is K: a batch seals as soon as it holds K requests.
+	// MaxBatch is K: a batch seals as soon as it holds K leaves.
 	MaxBatch int
+	// MinBatch, when in (0, MaxBatch), turns on adaptive sizing: the
+	// close threshold starts at MinBatch and is retuned between MinBatch
+	// and MaxBatch after every sealed batch from EWMAs of the observed
+	// fill times and per-batch arrival counts, so light load seals small
+	// batches fast (latency) and heavy load grows K toward the
+	// crossing-cost optimum (throughput). 0 keeps K fixed at MaxBatch.
+	MinBatch int
+	// Dedup coalesces requests with identical (DocDigest, Tenant) inside
+	// one open batch onto a single Merkle leaf: every coalesced caller
+	// still gets its own offline-verifiable receipt (sharing the leaf's
+	// nonce), but the tree — and the enclave crossing it costs — stops
+	// growing with hot-document skew. Only Coalescable requests fold onto
+	// an existing leaf; client-pinned nonces always get their own.
+	Dedup bool
 	// Window is T: a non-empty batch seals at most this long after its
 	// first request arrived, even if it is short of K.
 	Window time.Duration
@@ -89,19 +114,40 @@ type result struct {
 	err     error
 }
 
+// leafGroup is one Merkle leaf of the open batch and the waiters it
+// answers — usually one, more when identical requests coalesced.
+type leafGroup struct {
+	req     Request
+	waiters []*waiter
+}
+
+// leafKey is the dedup identity: H(doc) and tenant, NOT the nonce —
+// coalescing is exactly "same document under the same tenant label".
+type leafKey struct {
+	doc    [8]uint32
+	tenant string
+}
+
 // Aggregator collects sign requests into batches, seals each batch into a
 // Merkle tree, obtains one enclave signature per batch, and distributes
 // per-request receipts. Safe for concurrent use.
 type Aggregator struct {
-	cfg Config
+	cfg      Config
+	adaptive bool
 
-	mu      sync.Mutex
-	pending []*waiter   // current open batch
-	opened  time.Time   // when pending[0] arrived
-	timer   *time.Timer // window timer for the open batch
-	gen     uint64      // open-batch generation, guards stale timers
-	queued  int         // admitted but not yet signed (open + sealing)
-	closed  bool
+	mu        sync.Mutex
+	pending   []*leafGroup    // current open batch, one entry per leaf
+	index     map[leafKey]int // dedup: leaf identity → pending index
+	opened    time.Time       // when pending[0] arrived
+	timer     *time.Timer     // window timer for the open batch
+	gen       uint64          // open-batch generation, guards stale timers
+	queued    int             // admitted but not yet signed (open + sealing)
+	closed    bool
+	k         int     // current close threshold (leaves per batch)
+	sealing   int     // batches handed to Sign and not yet returned
+	ewmaFill  float64 // EWMA of batch fill time, seconds
+	ewmaCount float64 // EWMA of per-batch arrival count
+	windowRun int     // consecutive window-closed seals (shrink evidence)
 
 	stats statsInner
 	fill  *obs.Histogram // first-enqueue → seal latency
@@ -114,6 +160,7 @@ type statsInner struct {
 	signed        uint64 // receipts delivered across all batches
 	signFailures  uint64
 	saturated     uint64
+	dedup         uint64 // requests coalesced onto an existing leaf
 	sizeSum       uint64
 	maxSize       int
 	lastSize      int
@@ -136,6 +183,14 @@ type Stats struct {
 	Pending        int     `json:"pending"`
 	FillP50us      float64 `json:"fill_p50_us"`
 	FillP95us      float64 `json:"fill_p95_us"`
+	// KCurrent is the live close threshold (equals MaxBatch when sizing
+	// is fixed); KMin/KMax are the adaptive bounds (0 when fixed). Dedup
+	// counts sign requests coalesced onto an already-pending identical
+	// leaf instead of widening the tree.
+	KCurrent int    `json:"k_current"`
+	KMin     int    `json:"k_min,omitempty"`
+	KMax     int    `json:"k_max,omitempty"`
+	Dedup    uint64 `json:"dedup_total"`
 }
 
 // Merge folds another snapshot into s (fleet-wide aggregation). Fill
@@ -164,6 +219,17 @@ func (s *Stats) Merge(o Stats) {
 	if o.FillP95us > s.FillP95us {
 		s.FillP95us = o.FillP95us
 	}
+	// K is a per-node gauge; a fleet merge keeps the widest view.
+	if o.KCurrent > s.KCurrent {
+		s.KCurrent = o.KCurrent
+	}
+	if s.KMin == 0 || (o.KMin > 0 && o.KMin < s.KMin) {
+		s.KMin = o.KMin
+	}
+	if o.KMax > s.KMax {
+		s.KMax = o.KMax
+	}
+	s.Dedup += o.Dedup
 }
 
 // New builds an Aggregator. cfg.Sign is required; MaxBatch defaults to 16,
@@ -184,7 +250,14 @@ func New(cfg Config) *Aggregator {
 	if cfg.SignTimeout <= 0 {
 		cfg.SignTimeout = 5 * time.Second
 	}
-	return &Aggregator{cfg: cfg, fill: obs.NewHistogram()}
+	a := &Aggregator{cfg: cfg, fill: obs.NewHistogram()}
+	a.adaptive = cfg.MinBatch > 0 && cfg.MinBatch < cfg.MaxBatch
+	if a.adaptive {
+		a.k = cfg.MinBatch // start small; load grows it
+	} else {
+		a.k = cfg.MaxBatch
+	}
+	return a
 }
 
 // Submit queues one request and blocks until its receipt is ready, the
@@ -210,15 +283,35 @@ func (a *Aggregator) Submit(ctx context.Context, req Request) (Receipt, error) {
 		gen := a.gen
 		a.timer = time.AfterFunc(a.cfg.Window, func() { a.sealOnTimer(gen) })
 	}
-	a.pending = append(a.pending, w)
-	if len(a.pending) >= a.cfg.MaxBatch {
+	if a.cfg.Dedup && req.Coalescable {
+		if i, ok := a.index[leafKey{req.DocDigest, req.Tenant}]; ok {
+			// Identical leaf already pending: ride it instead of widening
+			// the tree. The leaf count is unchanged, so no close check.
+			a.pending[i].waiters = append(a.pending[i].waiters, w)
+			a.stats.dedup++
+			a.mu.Unlock()
+			return a.wait(ctx, w)
+		}
+	}
+	a.pending = append(a.pending, &leafGroup{req: req, waiters: []*waiter{w}})
+	if a.cfg.Dedup {
+		if a.index == nil {
+			a.index = make(map[leafKey]int)
+		}
+		a.index[leafKey{req.DocDigest, req.Tenant}] = len(a.pending) - 1
+	}
+	if len(a.pending) >= a.k {
 		batch, opened := a.takeLocked()
+		a.sealing++
 		a.mu.Unlock()
 		go a.seal(batch, opened, CloseFull)
 	} else {
 		a.mu.Unlock()
 	}
+	return a.wait(ctx, w)
+}
 
+func (a *Aggregator) wait(ctx context.Context, w *waiter) (Receipt, error) {
 	select {
 	case r := <-w.ch:
 		return r.receipt, r.err
@@ -229,10 +322,11 @@ func (a *Aggregator) Submit(ctx context.Context, req Request) (Receipt, error) {
 
 // takeLocked detaches the open batch (caller holds a.mu) and stops its
 // window timer.
-func (a *Aggregator) takeLocked() ([]*waiter, time.Time) {
+func (a *Aggregator) takeLocked() ([]*leafGroup, time.Time) {
 	batch := a.pending
 	opened := a.opened
 	a.pending = nil
+	a.index = nil
 	a.gen++
 	if a.timer != nil {
 		a.timer.Stop()
@@ -250,19 +344,34 @@ func (a *Aggregator) sealOnTimer(gen uint64) {
 		a.mu.Unlock()
 		return
 	}
+	// Sign-side group commit: a below-K batch whose window expired while
+	// a sign is still in flight would only queue behind it at the pool —
+	// keep it open instead, so late arrivals (and dedup riders) coalesce
+	// into it, and seal it the moment the signer frees up. The re-armed
+	// timer is the fallback if no seal completes.
+	if a.sealing > 0 && len(a.pending) < a.k {
+		a.timer = time.AfterFunc(a.cfg.Window, func() { a.sealOnTimer(gen) })
+		a.mu.Unlock()
+		return
+	}
 	batch, opened := a.takeLocked()
+	a.sealing++
 	a.mu.Unlock()
 	a.seal(batch, opened, CloseWindow)
 }
 
 // seal builds the Merkle tree over one detached batch, performs the single
-// enclave sign, and distributes receipts.
-func (a *Aggregator) seal(batch []*waiter, opened time.Time, reason string) {
-	a.fill.Observe(time.Since(opened))
+// enclave sign, and distributes receipts — every waiter of a coalesced
+// leaf gets its own, sharing the leaf's index, path and nonce.
+func (a *Aggregator) seal(batch []*leafGroup, opened time.Time, reason string) {
+	fillDur := time.Since(opened)
+	a.fill.Observe(fillDur)
 
 	leaves := make([][8]uint32, len(batch))
-	for i, w := range batch {
-		leaves[i] = LeafHash(w.req.DocDigest, w.req.Tenant, w.req.Nonce[:])
+	arrivals := 0
+	for i, g := range batch {
+		leaves[i] = LeafHash(g.req.DocDigest, g.req.Tenant, g.req.Nonce[:])
+		arrivals += len(g.waiters)
 	}
 	root := Root(leaves)
 
@@ -271,7 +380,7 @@ func (a *Aggregator) seal(batch []*waiter, opened time.Time, reason string) {
 	cancel()
 
 	a.mu.Lock()
-	a.queued -= len(batch)
+	a.queued -= arrivals
 	switch reason {
 	case CloseFull:
 		a.stats.batchesFull++
@@ -280,33 +389,122 @@ func (a *Aggregator) seal(batch []*waiter, opened time.Time, reason string) {
 	default:
 		a.stats.batchesDrain++
 	}
+	// Backlog means K was the binding constraint: the batch closed on
+	// count and more work was already waiting behind it.
+	backlog := reason == CloseFull && a.queued > 0
+	a.retuneLocked(arrivals, fillDur, reason, backlog)
 	if err != nil {
 		a.stats.signFailures++
 	} else {
-		a.stats.signed += uint64(len(batch))
+		a.stats.signed += uint64(arrivals)
 		a.stats.sizeSum += uint64(len(batch))
 		a.stats.lastSize = len(batch)
 		if len(batch) > a.stats.maxSize {
 			a.stats.maxSize = len(batch)
 		}
 	}
+	// Hand off a window-expired batch that was held open while this sign
+	// was in flight (see sealOnTimer): the signer is free now.
+	a.sealing--
+	var deferred []*leafGroup
+	var deferredOpened time.Time
+	if a.sealing == 0 && !a.closed && len(a.pending) > 0 &&
+		len(a.pending) < a.k && time.Since(a.opened) >= a.cfg.Window {
+		deferred, deferredOpened = a.takeLocked()
+		a.sealing++
+	}
 	a.mu.Unlock()
+	if deferred != nil {
+		go a.seal(deferred, deferredOpened, CloseWindow)
+	}
 
 	if err != nil {
-		for _, w := range batch {
-			w.ch <- result{err: err}
+		for _, g := range batch {
+			for _, w := range g.waiters {
+				w.ch <- result{err: err}
+			}
 		}
 		return
 	}
-	for i, w := range batch {
-		w.ch <- result{receipt: Receipt{
-			SignedRoot: signed,
-			Leaf:       leaves[i],
-			LeafIndex:  i,
-			BatchSize:  len(batch),
-			Path:       Path(leaves, i),
-		}}
+	for i, g := range batch {
+		path := Path(leaves, i)
+		for _, w := range g.waiters {
+			w.ch <- result{receipt: Receipt{
+				SignedRoot: signed,
+				Leaf:       leaves[i],
+				LeafIndex:  i,
+				BatchSize:  len(batch),
+				Path:       path,
+				Nonce:      g.req.Nonce,
+				Coalesced:  len(g.waiters),
+			}}
+		}
 	}
+}
+
+// retuneLocked is the dynamic-K controller (caller holds a.mu). The EWMA
+// of batch fill time and per-batch arrival count estimates the arrivals
+// one window would collect at the smoothed rate; K then moves
+// asymmetrically on that evidence, clamped to [MinBatch, MaxBatch]:
+//
+//   - A batch that closed on count with more work already queued behind
+//     it grows K multiplicatively — the backlog proves K, not the
+//     offered load, was the binding constraint (the rate estimate alone
+//     equilibrates early under closed-loop load, where each seal wakes
+//     exactly K clients and fill time tracks the window as K grows).
+//   - Shrinking needs sustained evidence: one step down per three
+//     consecutive window-closed seals that each caught under half of K.
+//     Bursty arrivals leave occasional gap-straddling window closes
+//     between full batches — near-full ones are healthy, and reacting
+//     to every one would collapse K during every gap.
+//   - Anything else (a full close that drained the queue, a drain close)
+//     holds K.
+func (a *Aggregator) retuneLocked(arrivals int, fillDur time.Duration, reason string, backlog bool) {
+	if !a.adaptive {
+		return
+	}
+	sec := fillDur.Seconds()
+	if sec < 50e-6 {
+		sec = 50e-6 // floor: a burst that fills instantly is not an infinite rate
+	}
+	const alpha = 0.3
+	if a.ewmaFill == 0 {
+		a.ewmaFill, a.ewmaCount = sec, float64(arrivals)
+	} else {
+		a.ewmaFill = alpha*sec + (1-alpha)*a.ewmaFill
+		a.ewmaCount = alpha*float64(arrivals) + (1-alpha)*a.ewmaCount
+	}
+	rate := a.ewmaCount / a.ewmaFill // smoothed arrivals per second
+	k := int(rate*a.cfg.Window.Seconds() + 0.5)
+	switch {
+	case backlog:
+		a.windowRun = 0
+		if grown := a.k + 1 + a.k/2; k < grown {
+			k = grown
+		}
+	case reason == CloseWindow && arrivals*2 < a.k:
+		a.windowRun++
+		if a.windowRun >= 3 {
+			a.windowRun = 0
+			if floor := a.k - 1 - a.k/4; k < floor {
+				k = floor
+			}
+		} else if k < a.k {
+			k = a.k
+		}
+	default:
+		a.windowRun = 0
+		if k < a.k {
+			k = a.k
+		}
+	}
+	if k < a.cfg.MinBatch {
+		k = a.cfg.MinBatch
+	}
+	if k > a.cfg.MaxBatch {
+		k = a.cfg.MaxBatch
+	}
+	a.k = k
 }
 
 // Close drains the aggregator: the open batch (if any) seals immediately
@@ -324,6 +522,7 @@ func (a *Aggregator) Close() {
 		return
 	}
 	batch, opened := a.takeLocked()
+	a.sealing++
 	a.mu.Unlock()
 	a.seal(batch, opened, CloseDrain)
 }
@@ -339,11 +538,29 @@ func (a *Aggregator) Pending() int {
 // denominator for queue-pressure load shedding.
 func (a *Aggregator) MaxQueue() int { return a.cfg.MaxQueue }
 
+// Pressure reports the batcher's queue fullness for load shedding. With
+// fixed sizing this is exactly (Pending, MaxQueue); with adaptive sizing
+// the denominator tracks the live threshold (4×K, capped at MaxQueue),
+// so admission control sheds relative to what the batcher is currently
+// willing to buffer, not the static worst case.
+func (a *Aggregator) Pressure() (int, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	capacity := a.cfg.MaxQueue
+	if a.adaptive {
+		if c := 4 * a.k; c < capacity {
+			capacity = c
+		}
+	}
+	return a.queued, capacity
+}
+
 // Stats snapshots the aggregator's counters.
 func (a *Aggregator) Stats() Stats {
 	a.mu.Lock()
 	st := a.stats
 	pending := a.queued
+	k := a.k
 	a.mu.Unlock()
 	batches := st.batchesFull + st.batchesWindow + st.batchesDrain
 	out := Stats{
@@ -358,6 +575,11 @@ func (a *Aggregator) Stats() Stats {
 		MaxSize:       st.maxSize,
 		LastSize:      st.lastSize,
 		Pending:       pending,
+		KCurrent:      k,
+		Dedup:         st.dedup,
+	}
+	if a.adaptive {
+		out.KMin, out.KMax = a.cfg.MinBatch, a.cfg.MaxBatch
 	}
 	if signedBatches := batches - st.signFailures; st.signed > signedBatches {
 		out.CrossingsSaved = st.signed - signedBatches

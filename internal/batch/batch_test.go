@@ -232,6 +232,166 @@ func TestSignFailurePropagates(t *testing.T) {
 	}
 }
 
+// TestDedupCoalesces: with Dedup on, two coalescable submits of the same
+// (doc, tenant) share one leaf — same index, leaf hash, and nonce — each
+// with an inclusion proof that verifies, while a distinct doc and a
+// pinned-nonce duplicate keep their own leaves.
+func TestDedupCoalesces(t *testing.T) {
+	fs := &fakeSigner{}
+	a := New(Config{MaxBatch: 64, Window: 25 * time.Millisecond, Dedup: true, Sign: fs.sign})
+	defer a.Close()
+
+	same := req(1, "t")
+	same.Coalescable = true
+	dup := same // identical doc+tenant, different caller nonce
+	dup.Nonce[5] = 0xaa
+	other := req(2, "t")
+	other.Coalescable = true
+	pinned := req(1, "t") // same doc+tenant but a pinned nonce: own leaf
+	pinned.Nonce[5] = 0xbb
+
+	reqs := []Request{same, dup, other, pinned}
+	receipts := make([]Receipt, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r Request) {
+			defer wg.Done()
+			receipts[i], errs[i] = a.Submit(context.Background(), r)
+		}(i, r)
+		// Order the arrivals so "same" owns the leaf "dup" folds onto.
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if receipts[0].BatchSize != 3 {
+		t.Fatalf("batch has %d leaves, want 3 (one shared)", receipts[0].BatchSize)
+	}
+	if receipts[0].LeafIndex != receipts[1].LeafIndex ||
+		receipts[0].Leaf != receipts[1].Leaf || receipts[0].Nonce != receipts[1].Nonce {
+		t.Fatalf("coalesced receipts diverge: %+v vs %+v", receipts[0], receipts[1])
+	}
+	if receipts[0].Coalesced != 2 || receipts[1].Coalesced != 2 {
+		t.Fatalf("coalesced counts %d/%d, want 2/2", receipts[0].Coalesced, receipts[1].Coalesced)
+	}
+	if receipts[2].LeafIndex == receipts[0].LeafIndex {
+		t.Fatal("distinct doc landed on the shared leaf")
+	}
+	if receipts[3].LeafIndex == receipts[0].LeafIndex {
+		t.Fatal("non-coalescable request folded onto another leaf")
+	}
+	if receipts[3].Nonce != pinned.Nonce {
+		t.Fatal("pinned nonce not preserved in its receipt")
+	}
+	for i, r := range receipts {
+		if !VerifyInclusion(r.Leaf, r.LeafIndex, r.BatchSize, r.Path, r.Root) {
+			t.Fatalf("receipt %d failed inclusion", i)
+		}
+	}
+	st := a.Stats()
+	if st.Dedup != 1 || st.Signed != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestAdaptiveKMoves: the controller grows K after a fast concurrent
+// burst (high arrival rate) and shrinks it back toward the floor under
+// slow one-at-a-time traffic.
+func TestAdaptiveKMoves(t *testing.T) {
+	const minK, maxK = 2, 32
+	fs := &fakeSigner{}
+	a := New(Config{MaxBatch: maxK, MinBatch: minK, Window: 2 * time.Millisecond, Sign: fs.sign})
+	defer a.Close()
+
+	if st := a.Stats(); st.KCurrent != minK || st.KMin != minK || st.KMax != maxK {
+		t.Fatalf("initial stats: %+v", st)
+	}
+	// Burst: fill batches at the floor as fast as submits can race in.
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < minK; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := a.Submit(context.Background(), req(round*10+i, "t")); err != nil {
+					t.Errorf("burst submit: %v", err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	grown := a.Stats().KCurrent
+	if grown <= minK || grown > maxK {
+		t.Fatalf("after burst K=%d, want in (%d,%d]", grown, minK, maxK)
+	}
+	// Slow singles: each seals by window timeout with one arrival.
+	for i := 0; i < 10; i++ {
+		if _, err := a.Submit(context.Background(), req(100+i, "t")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shrunk := a.Stats().KCurrent
+	if shrunk >= grown || shrunk < minK {
+		t.Fatalf("after slow traffic K=%d (was %d), want shrunk toward %d", shrunk, grown, minK)
+	}
+}
+
+// TestFixedModeUnchanged pins the off-switch differential at the
+// aggregator level: with MinBatch 0 and Dedup off, receipts carry the
+// caller's own nonce, no coalescing, a constant K, and exactly the leaf
+// set a pre-adaptive aggregator would build.
+func TestFixedModeUnchanged(t *testing.T) {
+	const K = 4
+	fs := &fakeSigner{}
+	a := New(Config{MaxBatch: K, Window: time.Hour, Sign: fs.sign})
+	defer a.Close()
+
+	reqs := make([]Request, K)
+	for i := range reqs {
+		reqs[i] = req(1, "t") // identical docs: still one leaf each
+		reqs[i].Nonce[3] = byte(i)
+		reqs[i].Coalescable = true // dedup is off, so this must be inert
+	}
+	receipts := make([]Receipt, K)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			if receipts[i], err = a.Submit(context.Background(), reqs[i]); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for i, r := range receipts {
+		if r.BatchSize != K || r.Coalesced != 1 {
+			t.Fatalf("receipt %d: size=%d coalesced=%d, want %d/1", i, r.BatchSize, r.Coalesced, K)
+		}
+		if r.Nonce != reqs[i].Nonce {
+			t.Fatalf("receipt %d nonce differs from the caller's", i)
+		}
+		if want := LeafHash(reqs[i].DocDigest, reqs[i].Tenant, reqs[i].Nonce[:]); r.Leaf != want {
+			t.Fatalf("receipt %d leaf is not LeafHash(doc, tenant, nonce)", i)
+		}
+		if seen[r.LeafIndex] {
+			t.Fatalf("leaf index %d handed out twice with dedup off", r.LeafIndex)
+		}
+		seen[r.LeafIndex] = true
+	}
+	st := a.Stats()
+	if st.Dedup != 0 || st.KCurrent != K || st.KMin != 0 || st.KMax != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
 // TestAbandonedWaiterDoesNotBlockBatch: a caller whose context dies before
 // the seal completes abandons only its own receipt.
 func TestAbandonedWaiterDoesNotBlockBatch(t *testing.T) {

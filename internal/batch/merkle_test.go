@@ -109,11 +109,33 @@ func FuzzInclusionProof(f *testing.F) {
 		}
 		rng := rand.New(rand.NewSource(seed))
 		leaves := randLeaves(rng, size)
+		// The probed leaf is a real request leaf — LeafHash over (doc,
+		// tenant, nonce) — so nonce tampering can be checked the way a
+		// coalesced receipt's verifier would: recompute and compare.
+		doc := sha2.New().SumWords()
+		doc[0] = uint32(seed)
+		var nonce [NonceSize]byte
+		rng.Read(nonce[:])
+		leaves[index] = LeafHash(doc, "tenant", nonce[:])
 		root := Root(leaves)
 		path := Path(leaves, index)
 		leaf := leaves[index]
 		if !VerifyInclusion(leaf, index, size, path, root) {
 			t.Fatalf("valid proof rejected (size=%d index=%d)", size, index)
+		}
+
+		// A coalesced receipt carries the shared leaf's nonce; a tampered
+		// nonce recomputes to a different leaf, which must not prove. The
+		// same holds for a swapped tenant.
+		badNonce := nonce
+		badNonce[rng.Intn(NonceSize)] ^= 1 << uint(rng.Intn(8))
+		if got := LeafHash(doc, "tenant", badNonce[:]); got == leaf {
+			t.Fatal("nonce tamper did not change the leaf")
+		} else if VerifyInclusion(got, index, size, path, root) {
+			t.Fatal("leaf recomputed from tampered nonce accepted")
+		}
+		if got := LeafHash(doc, "tenant2", nonce[:]); VerifyInclusion(got, index, size, path, root) {
+			t.Fatal("leaf recomputed from tampered tenant accepted")
 		}
 
 		// Tampered leaf.

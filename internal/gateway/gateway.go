@@ -16,6 +16,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/tenant"
 )
@@ -682,9 +683,11 @@ type FleetStats struct {
 			Failures       uint64 `json:"failures_5xx"`
 		} `json:"server"`
 		// Batch sums every reporting backend's batched-signing counters;
-		// Tenants merges per-tier admission ledgers by tier name. Both
-		// are nil/empty when no backend has the feature enabled.
+		// Store sums their WAL write-path counters; Tenants merges
+		// per-tier admission ledgers by tier name. All are nil/empty
+		// when no backend has the feature enabled.
 		Batch     *batch.Stats       `json:"batch,omitempty"`
+		Store     *store.Stats       `json:"store,omitempty"`
 		Tenants   []tenant.TierStats `json:"tenants,omitempty"`
 		Sampled   int                `json:"telemetry_workers_sampled"`
 		Telemetry telemetry.Snapshot `json:"telemetry"`
@@ -766,6 +769,12 @@ func (g *Gateway) Stats() FleetStats {
 				out.Fleet.Batch = &batch.Stats{}
 			}
 			out.Fleet.Batch.Merge(*f.st.Batch)
+		}
+		if f.st.Store != nil {
+			if out.Fleet.Store == nil {
+				out.Fleet.Store = &store.Stats{}
+			}
+			out.Fleet.Store.Merge(*f.st.Store)
 		}
 		out.Fleet.Tenants = tenant.MergeStats(out.Fleet.Tenants, f.st.Tenants)
 		out.Fleet.Sampled += f.st.Sampled

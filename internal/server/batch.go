@@ -74,7 +74,10 @@ func (s *Server) withTenant(h http.HandlerFunc) http.HandlerFunc {
 		// bypass the slot queue entirely).
 		qLen, qCap := len(s.slots), s.cfg.QueueDepth
 		if s.agg != nil && qCap > 0 {
-			if bLen, bCap := s.agg.Pending(), s.agg.MaxQueue(); bLen*qCap > qLen*bCap {
+			// Pressure reports the adaptive capacity (scaled to the
+			// current K) rather than the static MaxQueue, so shedding
+			// tracks what the aggregator can actually drain right now.
+			if bLen, bCap := s.agg.Pressure(); bLen*qCap > qLen*bCap {
 				qLen, qCap = bLen, bCap
 			}
 		}
@@ -169,6 +172,11 @@ type BatchProof struct {
 	Path      []string `json:"path"`       // audit path, leaf-to-root, hex
 	Tenant    string   `json:"tenant"`     // tenant label bound into the leaf
 	Nonce     string   `json:"nonce"`      // per-request nonce bound into the leaf, hex
+	// Coalesced reports how many requests share this leaf when batch
+	// dedup folded identical (doc, tenant) submissions together; omitted
+	// (and implicitly 1) on sole-owner leaves, so responses are
+	// byte-identical to the non-dedup path unless coalescing happened.
+	Coalesced int `json:"coalesced,omitempty"`
 }
 
 // handleBatchSign is the batched /v1/notary/sign path: enqueue the request
@@ -188,7 +196,15 @@ func (s *Server) handleBatchSign(w http.ResponseWriter, r *http.Request, doc []b
 	}
 	h := sha2.New()
 	h.Write(doc)
-	req := batch.Request{DocDigest: h.SumWords(), Tenant: tenantLabel(r), Nonce: nonce}
+	req := batch.Request{
+		DocDigest: h.SumWords(),
+		Tenant:    tenantLabel(r),
+		Nonce:     nonce,
+		// Only server-minted nonces may fold onto another request's
+		// leaf: a pinned NonceHeader is a client contract that exactly
+		// that nonce appears in the leaf, so it always gets its own.
+		Coalescable: r.Header.Get(NonceHeader) == "",
+	}
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
@@ -228,6 +244,10 @@ func (s *Server) handleBatchSign(w http.ResponseWriter, r *http.Request, doc []b
 	}
 	w.Header().Set(BatchHeader, strconv.Itoa(rec.BatchSize))
 	s.served.Add(1)
+	coalesced := 0
+	if rec.Coalesced > 1 {
+		coalesced = rec.Coalesced
+	}
 	s.reply(w, http.StatusOK, NotaryResponse{
 		Counter:  rec.Counter,
 		Digest:   EncodeWords(rec.Digest),
@@ -242,7 +262,11 @@ func (s *Server) handleBatchSign(w http.ResponseWriter, r *http.Request, doc []b
 			BatchSize: rec.BatchSize,
 			Path:      path,
 			Tenant:    req.Tenant,
-			Nonce:     hex.EncodeToString(nonce[:]),
+			// The leaf's nonce, not necessarily the minted one: a
+			// coalesced waiter inherits the leaf owner's nonce so the
+			// receipt verifies against the leaf it actually landed in.
+			Nonce:     hex.EncodeToString(rec.Nonce[:]),
+			Coalesced: coalesced,
 		},
 	})
 }

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -233,6 +236,213 @@ func TestTenantAdmissionOverHTTP(t *testing.T) {
 	}
 	if st.Server.TenantRejected != 1 {
 		t.Fatalf("tenant_rejected_429 = %d", st.Server.TenantRejected)
+	}
+}
+
+// postRaw posts a sign and returns the status plus the raw response body
+// bytes — for differential tests that pin byte-identical responses.
+func postRaw(t *testing.T, url string, doc []byte, hdr map[string]string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/notary/sign", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestDedupReceiptsProperty is the satellite dedup property test: N
+// concurrent signs of the SAME document — some under the same tenant
+// (they coalesce onto one leaf), some under distinct tenants (tenant is
+// bound into the leaf, so they must not) — each yield a receipt that
+// verifies offline, and tampering a coalesced receipt's nonce or index
+// fails closed.
+func TestDedupReceiptsProperty(t *testing.T) {
+	p := newPool(t, pool.Config{Size: 1})
+	srv := New(Config{Pool: p, BatchMaxSize: 64, BatchWindow: 60 * time.Millisecond, BatchDedup: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	doc := []byte("the one hot document")
+	const anon = 4
+	headers := make([]map[string]string, 0, anon+2)
+	for i := 0; i < anon; i++ {
+		headers = append(headers, nil) // tenant "anon": all coalesce
+	}
+	headers = append(headers,
+		map[string]string{TenantHeader: "tenant-a"},
+		map[string]string{TenantHeader: "tenant-b"})
+
+	responses := make([]NotaryResponse, len(headers))
+	var wg sync.WaitGroup
+	for i, hdr := range headers {
+		wg.Add(1)
+		go func(i int, hdr map[string]string) {
+			defer wg.Done()
+			resp, nr := postDoc(t, http.DefaultClient, ts.URL, doc, hdr)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("sign %d: status %d", i, resp.StatusCode)
+				return
+			}
+			responses[i] = nr
+		}(i, hdr)
+		time.Sleep(2 * time.Millisecond) // keep all six inside one window
+	}
+	wg.Wait()
+
+	for i, nr := range responses {
+		if nr.Batch == nil {
+			t.Fatalf("sign %d: no batch proof", i)
+		}
+		if err := VerifyBatchReceipt(nr, doc); err != nil {
+			t.Fatalf("sign %d: receipt verification: %v", i, err)
+		}
+		if nr.Batch.BatchSize != 3 {
+			t.Fatalf("sign %d: %d leaves, want 3 (anon shared + 2 tenants)", i, nr.Batch.BatchSize)
+		}
+	}
+	// The anon receipts share one leaf: same index, leaf, nonce, and a
+	// coalesced count naming every sharer.
+	first := responses[0].Batch
+	for i := 1; i < anon; i++ {
+		b := responses[i].Batch
+		if b.LeafIndex != first.LeafIndex || b.Leaf != first.Leaf || b.Nonce != first.Nonce {
+			t.Fatalf("anon receipt %d not coalesced with receipt 0: %+v vs %+v", i, b, first)
+		}
+		if b.Coalesced != anon {
+			t.Fatalf("anon receipt %d coalesced=%d, want %d", i, b.Coalesced, anon)
+		}
+	}
+	// The tenant receipts own their leaves (tenant is inside the hash).
+	for i := anon; i < len(responses); i++ {
+		b := responses[i].Batch
+		if b.LeafIndex == first.LeafIndex {
+			t.Fatalf("tenant receipt %d landed on the anon leaf", i)
+		}
+		if b.Coalesced != 0 {
+			t.Fatalf("tenant receipt %d reports coalesced=%d", i, b.Coalesced)
+		}
+	}
+	// Tampering fails closed: a flipped nonce byte, a foreign nonce, a
+	// moved index.
+	tampered := responses[0]
+	badNonce := []byte(tampered.Batch.Nonce)
+	if badNonce[0] == 'f' {
+		badNonce[0] = '0'
+	} else {
+		badNonce[0] = 'f'
+	}
+	tampered.Batch.Nonce = string(badNonce)
+	if VerifyBatchReceipt(tampered, doc) == nil {
+		t.Fatal("coalesced receipt verified with tampered nonce")
+	}
+	tampered = responses[0]
+	tampered.Batch.Nonce = responses[anon].Batch.Nonce
+	if VerifyBatchReceipt(tampered, doc) == nil {
+		t.Fatal("coalesced receipt verified with another leaf's nonce")
+	}
+	tampered = responses[0]
+	tampered.Batch.LeafIndex = (tampered.Batch.LeafIndex + 1) % tampered.Batch.BatchSize
+	if VerifyBatchReceipt(tampered, doc) == nil {
+		t.Fatal("coalesced receipt verified at the wrong index")
+	}
+
+	st := srv.Stats()
+	if st.Batch == nil || st.Batch.Dedup != anon-1 {
+		t.Fatalf("batch stats: %+v", st.Batch)
+	}
+}
+
+// TestAdaptiveOffDifferential pins the off-switch contract: a server
+// with the adaptive/dedup/group-commit knobs present but switched off
+// produces byte-identical responses, an identical counter lineage, and
+// an identical checkpoint WAL to the plain fixed-K server — including on
+// a workload full of duplicate documents that dedup WOULD coalesce.
+func TestAdaptiveOffDifferential(t *testing.T) {
+	type stack struct {
+		dir string
+		cs  *CheckpointStore
+		p   *pool.Pool
+		srv *Server
+		ts  *httptest.Server
+	}
+	boot := func(cfg Config) *stack {
+		s := &stack{dir: t.TempDir()}
+		var err error
+		if s.cs, err = OpenCheckpointStore(s.dir); err != nil {
+			t.Fatal(err)
+		}
+		s.p = newPool(t, pool.Config{Size: 1, Provision: RestoreProvision(s.cs)})
+		cfg.Pool = s.p
+		cfg.Checkpoints = s.cs
+		s.srv = New(cfg)
+		s.ts = httptest.NewServer(s.srv)
+		return s
+	}
+	// Legacy shape vs. explicitly-disabled adaptive write path.
+	legacy := boot(Config{BatchMaxSize: 4, BatchWindow: 5 * time.Millisecond})
+	disabled := boot(Config{BatchMaxSize: 4, BatchWindow: 5 * time.Millisecond,
+		BatchMinSize: 0, BatchDedup: false})
+
+	// Serial workload with pinned nonces (deterministic leaves) and a
+	// repeated document — the dedup bait.
+	docs := [][]byte{
+		[]byte("doc A"), []byte("doc A"), []byte("doc B"), []byte("doc A"), []byte("doc C"),
+	}
+	for i, doc := range docs {
+		hdr := map[string]string{NonceHeader: fmt.Sprintf("%032x", i+1)}
+		codeL, bodyL := postRaw(t, legacy.ts.URL, doc, hdr)
+		codeD, bodyD := postRaw(t, disabled.ts.URL, doc, hdr)
+		if codeL != http.StatusOK || codeD != http.StatusOK {
+			t.Fatalf("sign %d: status %d vs %d", i, codeL, codeD)
+		}
+		if !bytes.Equal(bodyL, bodyD) {
+			t.Fatalf("sign %d: response bodies differ:\n legacy: %s\n disabled: %s", i, bodyL, bodyD)
+		}
+		var nr NotaryResponse
+		if err := json.Unmarshal(bodyD, &nr); err != nil {
+			t.Fatal(err)
+		}
+		if nr.Counter != uint32(i+1) {
+			t.Fatalf("sign %d: counter %d, want %d", i, nr.Counter, i+1)
+		}
+		if nr.Batch.Coalesced != 0 {
+			t.Fatalf("sign %d: coalesced leaked into a dedup-off response", i)
+		}
+		if err := VerifyBatchReceipt(nr, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same counter lineage ⇒ same durable record stream: the WALs match
+	// byte for byte.
+	for _, s := range []*stack{legacy, disabled} {
+		s.ts.Close()
+		if err := s.cs.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walL, err := os.ReadFile(filepath.Join(legacy.dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	walD, err := os.ReadFile(filepath.Join(disabled.dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(walL, walD) {
+		t.Fatal("checkpoint WALs differ between legacy and disabled-adaptive servers")
 	}
 }
 

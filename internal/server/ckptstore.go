@@ -44,12 +44,21 @@ type SavedCheckpoint struct {
 }
 
 // CheckpointStore persists per-worker notary checkpoints. Safe for
-// concurrent use.
+// concurrent use: Saves append to the WAL without holding a common
+// mutex across the write, so with store.WithGroupCommit concurrent
+// checkpoints coalesce into shared fsync groups.
 type CheckpointStore struct {
-	mu     sync.Mutex
-	st     *store.Store
-	latest map[int]SavedCheckpoint
-	dirty  int // records appended since the last compaction
+	// cmu orders saves against compaction: every Save holds it shared
+	// for append + map update, Compact takes it exclusively, so the
+	// snapshot that replaces the WAL always folds every acknowledged
+	// record.
+	cmu sync.RWMutex
+	// mu guards the in-memory map state only (never held across I/O).
+	mu        sync.Mutex
+	st        *store.Store
+	latest    map[int]SavedCheckpoint
+	latestSeq map[int]uint64 // WAL seq backing latest, so stale group members lose
+	dirty     int            // records appended since the last compaction
 }
 
 // OpenCheckpointStore opens (or creates) the checkpoint store in dir,
@@ -59,7 +68,7 @@ func OpenCheckpointStore(dir string, opts ...store.Option) (*CheckpointStore, er
 	if err != nil {
 		return nil, err
 	}
-	c := &CheckpointStore{st: st, latest: make(map[int]SavedCheckpoint)}
+	c := &CheckpointStore{st: st, latest: make(map[int]SavedCheckpoint), latestSeq: make(map[int]uint64)}
 	// Snapshot first (the folded base), then replay the WAL over it —
 	// later records win.
 	if data, ok, err := st.ReadSnapshot(ckptSnapshotName); err != nil {
@@ -87,11 +96,14 @@ func OpenCheckpointStore(dir string, opts ...store.Option) (*CheckpointStore, er
 			return nil, fmt.Errorf("server: checkpoint record %d corrupt: %w", rec.Seq, err)
 		}
 		c.latest[s.Worker] = s
+		c.latestSeq[s.Worker] = rec.Seq
 	}
 	return c, nil
 }
 
 // Save durably records worker's notary checkpoint at the given counter.
+// The WAL append runs outside any map mutex, so concurrent Saves from
+// different sealed batches can share one fsync group.
 func (c *CheckpointStore) Save(worker int, counter uint32, ckpt *komodo.Checkpoint) error {
 	blob, err := ckpt.MarshalBinary()
 	if err != nil {
@@ -102,40 +114,67 @@ func (c *CheckpointStore) Save(worker int, counter uint32, ckpt *komodo.Checkpoi
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := c.st.Append(recCheckpoint, payload); err != nil {
+	c.cmu.RLock()
+	seq, err := c.st.Append(recCheckpoint, payload)
+	if err != nil {
+		c.cmu.RUnlock()
 		return err
 	}
-	c.latest[worker] = s
+	c.mu.Lock()
+	// Group commits can complete two Saves for one worker in either
+	// map-update order; the one the WAL ordered later wins, matching
+	// what recovery would replay.
+	if seq >= c.latestSeq[worker] {
+		c.latest[worker] = s
+		c.latestSeq[worker] = seq
+	}
 	c.dirty++
-	if c.dirty >= ckptCompactEvery {
-		// Best effort: a failed compaction leaves the WAL intact, so
-		// nothing durable is lost — only log growth.
-		if err := c.compactLocked(); err == nil {
-			c.dirty = 0
-		}
+	compactNow := c.dirty >= ckptCompactEvery
+	c.mu.Unlock()
+	c.cmu.RUnlock()
+	if compactNow {
+		c.compact()
 	}
 	return nil
 }
 
-// compactLocked folds latest into a snapshot and truncates the WAL.
-// The snapshot rename is atomic and happens before the truncate, so a
-// crash between the two replays redundant (not missing) records.
-func (c *CheckpointStore) compactLocked() error {
+// compact folds latest into a snapshot and truncates the WAL, with all
+// Saves excluded so every acknowledged record is folded before the log
+// is dropped. The snapshot rename is atomic and happens before the
+// truncate, so a crash between the two replays redundant (not missing)
+// records. Best effort: a failed compaction leaves the WAL intact, so
+// nothing durable is lost — only log growth.
+func (c *CheckpointStore) compact() {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	c.mu.Lock()
+	if c.dirty < ckptCompactEvery { // another Save already compacted
+		c.mu.Unlock()
+		return
+	}
 	snap := make([]SavedCheckpoint, 0, len(c.latest))
 	for _, s := range c.latest {
 		snap = append(snap, s)
 	}
+	c.mu.Unlock()
 	data, err := json.Marshal(snap)
 	if err != nil {
-		return err
+		return
 	}
 	if err := c.st.WriteSnapshot(ckptSnapshotName, data); err != nil {
-		return err
+		return
 	}
-	return c.st.Compact()
+	if err := c.st.Compact(); err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.dirty = 0
+	c.mu.Unlock()
 }
+
+// StoreStats reports the underlying WAL's write-path counters (appends,
+// fsyncs, commit-group sizes) for /v1/stats and /metrics.
+func (c *CheckpointStore) StoreStats() store.Stats { return c.st.Stats() }
 
 // Latest returns worker's most recent checkpoint, if any.
 func (c *CheckpointStore) Latest(worker int) (SavedCheckpoint, bool) {

@@ -8,11 +8,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/nwos"
 	"repro/internal/pool"
+	"repro/internal/store"
 	"repro/komodo"
 )
 
@@ -350,5 +352,59 @@ func TestRetryAfterClasses(t *testing.T) {
 	st := srv.Stats()
 	if st.Server.Timeouts != 1 || st.Server.Rejected != 1 || st.Server.Draining != 1 {
 		t.Fatalf("rejection classes misattributed: %+v", st.Server)
+	}
+}
+
+// TestCheckpointStoreConcurrentGroupSaves hammers Save from many
+// goroutines through a group-commit store (run with -race): every
+// worker's latest checkpoint must be its last save — in this handle and
+// after recovery — even though group completions can finish the map
+// updates out of order, and compaction runs concurrently with saves.
+func TestCheckpointStoreConcurrentGroupSaves(t *testing.T) {
+	dir := t.TempDir()
+	cs, err := OpenCheckpointStore(dir, store.WithGroupCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, saves = 8, 40 // 320 records: several compactions
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= saves; i++ {
+				ckpt := &komodo.Checkpoint{Blob: []uint32{uint32(w), uint32(i)}}
+				if err := cs.Save(w, uint32(i), ckpt); err != nil {
+					t.Errorf("save(%d,%d): %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		s, ok := cs.Latest(w)
+		if !ok || s.Counter != saves {
+			t.Fatalf("worker %d latest counter %d (ok=%v), want %d", w, s.Counter, ok, saves)
+		}
+	}
+	ss := cs.StoreStats()
+	if ss.Appends != workers*saves {
+		t.Fatalf("store stats %+v: want %d appends", ss, workers*saves)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery (snapshot + WAL tail) lands on the same latest set.
+	cs2, err := OpenCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs2.Close()
+	for w := 0; w < workers; w++ {
+		s, ok := cs2.Latest(w)
+		if !ok || s.Counter != saves {
+			t.Fatalf("recovered worker %d counter %d (ok=%v), want %d", w, s.Counter, ok, saves)
+		}
 	}
 }

@@ -99,9 +99,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Gauge("komodo_batch_size_mean",
 			"Mean sealed-batch size.",
 			obs.Sample{Value: bs.MeanSize})
+		p.Gauge("komodo_batch_k_current",
+			"Current close threshold K (fixed MaxBatch, or the adaptive controller's pick).",
+			obs.Sample{Value: float64(bs.KCurrent)})
+		p.Counter("komodo_batch_dedup_total",
+			"Sign requests coalesced onto another request's leaf (identical doc and tenant).",
+			obs.Sample{Value: float64(bs.Dedup)})
 		p.Histogram("komodo_batch_fill_duration_seconds",
 			"Batch fill latency: first enqueue to seal.",
 			obs.HistSeries{Snap: s.agg.FillHist().Snapshot()})
+	}
+
+	// Durable write path (internal/store), present when checkpoints are on.
+	if s.cfg.Checkpoints != nil {
+		ss := s.cfg.Checkpoints.StoreStats()
+		p.Counter("komodo_store_appends_total",
+			"WAL records appended (checkpoint saves).",
+			obs.Sample{Value: float64(ss.Appends)})
+		p.Counter("komodo_store_fsyncs_total",
+			"WAL fsyncs issued; with group commit, one per commit group.",
+			obs.Sample{Value: float64(ss.Fsyncs)})
+		p.Counter("komodo_store_group_commits_total",
+			"Commit groups flushed (equals appends without group commit).",
+			obs.Sample{Value: float64(ss.Groups)})
+		p.Gauge("komodo_store_group_size",
+			"Commit-group size: last flushed, largest, and mean.",
+			obs.Sample{Labels: obs.L("stat", "last"), Value: float64(ss.GroupLast)},
+			obs.Sample{Labels: obs.L("stat", "max"), Value: float64(ss.GroupSizeMax)},
+			obs.Sample{Labels: obs.L("stat", "mean"), Value: ss.MeanGroup()})
+		p.Counter("komodo_store_sync_failures_total",
+			"WAL fsync failures (each failed every member of its group).",
+			obs.Sample{Value: float64(ss.SyncFailures)})
 	}
 
 	// Tenant admission (internal/tenant), present when admission is on.

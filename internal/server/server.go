@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/replay"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/tenant"
 	"repro/komodo"
@@ -67,6 +68,16 @@ type Config struct {
 	// (default 4*BatchMaxSize, then 429 queue_full).
 	BatchWindow time.Duration
 	BatchQueue  int
+	// BatchMinSize, when in (0, BatchMaxSize), turns on adaptive batch
+	// sizing: the close threshold K floats between BatchMinSize and
+	// BatchMaxSize, retuned each sealed batch from observed fill times
+	// and arrival rate. 0 keeps K fixed at BatchMaxSize.
+	BatchMinSize int
+	// BatchDedup coalesces concurrent sign requests for the same
+	// (document, tenant) onto one Merkle leaf within a batch; every
+	// caller still gets its own offline-verifiable receipt carrying the
+	// leaf's nonce (docs/BATCHING.md §Adaptive write path).
+	BatchDedup bool
 	// RecordDir, if set, turns on deterministic record/replay
 	// (docs/REPLAY.md): every worker-path request is recorded — start
 	// state, memory image, and all boundary operations — and when the
@@ -139,6 +150,8 @@ func New(cfg Config) *Server {
 	if cfg.BatchMaxSize > 0 {
 		s.agg = batch.New(batch.Config{
 			MaxBatch:    cfg.BatchMaxSize,
+			MinBatch:    cfg.BatchMinSize,
+			Dedup:       cfg.BatchDedup,
 			Window:      cfg.BatchWindow,
 			MaxQueue:    cfg.BatchQueue,
 			SignTimeout: cfg.RequestTimeout,
@@ -763,9 +776,11 @@ type StatsResponse struct {
 		Queue          int    `json:"queue_depth"`
 	} `json:"server"`
 	// Batch reports the batched-signing aggregator (nil when batching is
-	// off); Tenants reports per-tier admission accounting (nil when
-	// admission is off). Both merge fleet-wide through the gateway.
+	// off); Store the checkpoint WAL's write path (nil when counters are
+	// volatile); Tenants per-tier admission accounting (nil when
+	// admission is off). All merge fleet-wide through the gateway.
 	Batch     *batch.Stats       `json:"batch,omitempty"`
+	Store     *store.Stats       `json:"store,omitempty"`
 	Tenants   []tenant.TierStats `json:"tenants,omitempty"`
 	Pool      pool.Stats         `json:"pool"`
 	Sampled   int                `json:"telemetry_workers_sampled"`
@@ -786,6 +801,10 @@ func (s *Server) Stats() StatsResponse {
 	if s.agg != nil {
 		bs := s.agg.Stats()
 		out.Batch = &bs
+	}
+	if s.cfg.Checkpoints != nil {
+		ss := s.cfg.Checkpoints.StoreStats()
+		out.Store = &ss
 	}
 	if s.cfg.Admission != nil {
 		out.Tenants = s.cfg.Admission.Stats()

@@ -13,6 +13,13 @@
 //   - Append fsyncs before reporting success; if the fsync fails the
 //     record is rolled back (truncated) and the error surfaced, so "it
 //     returned nil" always means "it is on disk".
+//   - With WithGroupCommit, concurrent Appends coalesce into commit
+//     groups: one contiguous write and ONE fsync per group, each member
+//     acknowledged only after the group's fsync. A failed group fsync
+//     rolls the whole group back and fails every member, so the
+//     fail-closed contract is per-record even when the fsync is shared.
+//     Records keep their individual CRC frames, so torn-tail recovery is
+//     unchanged: a crash mid-group keeps the longest intact prefix.
 //   - Snapshots are written to a temp file, fsynced, then renamed into
 //     place (and the directory fsynced), so a reader never observes a
 //     half-written snapshot. Leftover *.tmp files from a crash are
@@ -30,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 const (
@@ -46,6 +54,9 @@ const (
 // ErrTooLarge reports an Append payload over MaxPayloadBytes.
 var ErrTooLarge = errors.New("store: payload too large")
 
+// ErrClosed reports an Append after Close.
+var ErrClosed = errors.New("store: closed")
+
 // Record is one WAL entry.
 type Record struct {
 	Seq     uint64
@@ -59,15 +70,74 @@ type RecoveryInfo struct {
 	TruncatedBytes int64 // torn/corrupt tail bytes discarded
 }
 
-// Store is a single-writer WAL + snapshot directory.
+// Stats counts the store's write-path work. Without group commit every
+// append is its own group of one, so Fsyncs == Appends and the
+// group-size figures are all 1; with group commit Fsyncs counts the
+// shared syncs the appends were amortised over.
+type Stats struct {
+	Appends      uint64 `json:"appends"`
+	Fsyncs       uint64 `json:"fsyncs"`
+	Groups       uint64 `json:"group_commits"`
+	GroupSizeSum uint64 `json:"group_size_sum"`
+	GroupSizeMax int    `json:"group_size_max"`
+	GroupLast    int    `json:"group_size_last"`
+	SyncFailures uint64 `json:"sync_failures"`
+}
+
+// MeanGroup is the mean commit-group size (0 before the first group).
+func (st Stats) MeanGroup() float64 {
+	if st.Groups == 0 {
+		return 0
+	}
+	return float64(st.GroupSizeSum) / float64(st.Groups)
+}
+
+// Merge folds another snapshot into st (fleet-wide aggregation).
+func (st *Stats) Merge(o Stats) {
+	st.Appends += o.Appends
+	st.Fsyncs += o.Fsyncs
+	st.Groups += o.Groups
+	st.GroupSizeSum += o.GroupSizeSum
+	if o.GroupSizeMax > st.GroupSizeMax {
+		st.GroupSizeMax = o.GroupSizeMax
+	}
+	st.GroupLast = o.GroupLast
+	st.SyncFailures += o.SyncFailures
+}
+
+// Store is a WAL + snapshot directory. Appends, Compact and the read
+// accessors are safe for concurrent use; with WithGroupCommit concurrent
+// Appends additionally share fsyncs.
 type Store struct {
 	dir  string
 	wal  *os.File
-	off  int64 // committed WAL size
-	seq  uint64
-	recs []Record
-	rec  RecoveryInfo
 	sync func(*os.File) error
+
+	mu    sync.Mutex // guards off, seq, recs, rec, stats
+	off   int64      // committed WAL size
+	seq   uint64
+	recs  []Record
+	rec   RecoveryInfo
+	stats Stats
+
+	// Group-commit coordinator (WithGroupCommit): appenders enqueue under
+	// gmu and wait on their done channel; a dedicated committer goroutine
+	// drains the queue a group at a time, so everything that arrives while
+	// one fsync is in flight shares the next one.
+	group   bool
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	gq      []*groupAppend
+	gclosed bool
+	gdone   chan struct{} // closed when the committer exits
+}
+
+type groupAppend struct {
+	kind    uint32
+	payload []byte
+	seq     uint64
+	err     error
+	done    chan struct{}
 }
 
 // Option configures Open.
@@ -77,6 +147,14 @@ type Option func(*Store)
 // the hook the crash-safety tests use to inject sync failures.
 func WithSync(fn func(*os.File) error) Option {
 	return func(s *Store) { s.sync = fn }
+}
+
+// WithGroupCommit turns on the group-commit coordinator: concurrent
+// Appends are written and fsynced as one group, acknowledged after the
+// group's single fsync. Serial appends behave exactly as without it
+// (groups of one, identical WAL bytes).
+func WithGroupCommit() Option {
+	return func(s *Store) { s.group = true }
 }
 
 // Open opens (creating if needed) the store in dir and recovers the
@@ -105,6 +183,11 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if s.group {
+		s.gcond = sync.NewCond(&s.gmu)
+		s.gdone = make(chan struct{})
+		go s.committer()
 	}
 	return s, nil
 }
@@ -173,14 +256,8 @@ func readFrame(f *os.File, off, size int64, head []byte) (bool, Record, int64) {
 	return true, rec, off + headBytes + n + crcBytes
 }
 
-// Append durably adds a record and returns its sequence number. On any
-// write or sync failure the partial record is rolled back so the log
-// never holds an unacknowledged tail.
-func (s *Store) Append(kind uint32, payload []byte) (uint64, error) {
-	if len(payload) > MaxPayloadBytes {
-		return 0, ErrTooLarge
-	}
-	seq := s.seq + 1
+// frameRecord builds one CRC-framed WAL record.
+func frameRecord(seq uint64, kind uint32, payload []byte) []byte {
 	frame := make([]byte, headBytes+len(payload)+crcBytes)
 	binary.BigEndian.PutUint32(frame[0:4], recMagic)
 	binary.BigEndian.PutUint64(frame[4:12], seq)
@@ -190,22 +267,129 @@ func (s *Store) Append(kind uint32, payload []byte) (uint64, error) {
 	crc := crc32.NewIEEE()
 	crc.Write(frame[4 : headBytes+len(payload)])
 	binary.BigEndian.PutUint32(frame[headBytes+len(payload):], crc.Sum32())
+	return frame
+}
 
+// Append durably adds a record and returns its sequence number. On any
+// write or sync failure the partial record is rolled back so the log
+// never holds an unacknowledged tail. With WithGroupCommit, concurrent
+// callers share one write+fsync; each still returns only after its
+// record is on disk (or after the whole group was rolled back).
+func (s *Store) Append(kind uint32, payload []byte) (uint64, error) {
+	if len(payload) > MaxPayloadBytes {
+		return 0, ErrTooLarge
+	}
+	if s.group {
+		p := &groupAppend{kind: kind, payload: payload, done: make(chan struct{})}
+		s.gmu.Lock()
+		if s.gclosed {
+			s.gmu.Unlock()
+			return 0, ErrClosed
+		}
+		s.gq = append(s.gq, p)
+		s.gcond.Signal()
+		s.gmu.Unlock()
+		<-p.done
+		return p.seq, p.err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.seq + 1
+	frame := frameRecord(seq, kind, payload)
 	if _, err := s.wal.WriteAt(frame, s.off); err != nil {
 		s.rollback()
 		return 0, err
 	}
 	if err := s.sync(s.wal); err != nil {
+		s.stats.SyncFailures++
 		s.rollback()
 		return 0, fmt.Errorf("store: wal sync: %w", err)
 	}
 	s.off += int64(len(frame))
 	s.seq = seq
-	rec := Record{Seq: seq, Kind: kind, Payload: append([]byte(nil), payload...)}
-	s.recs = append(s.recs, rec)
+	s.recs = append(s.recs, Record{Seq: seq, Kind: kind, Payload: append([]byte(nil), payload...)})
+	s.stats.Appends++
+	s.stats.Fsyncs++
+	s.stats.Groups++
+	s.stats.GroupSizeSum++
+	s.stats.GroupLast = 1
+	if s.stats.GroupSizeMax < 1 {
+		s.stats.GroupSizeMax = 1
+	}
 	return seq, nil
 }
 
+// committer drains the group-commit queue: everything queued while the
+// previous group's fsync was in flight forms the next group.
+func (s *Store) committer() {
+	for {
+		s.gmu.Lock()
+		for len(s.gq) == 0 && !s.gclosed {
+			s.gcond.Wait()
+		}
+		grp := s.gq
+		s.gq = nil
+		closed := s.gclosed
+		s.gmu.Unlock()
+		if len(grp) > 0 {
+			s.commitGroup(grp)
+			continue
+		}
+		if closed {
+			close(s.gdone)
+			return
+		}
+	}
+}
+
+// commitGroup writes one contiguous run of frames and fsyncs once. A
+// write or sync failure truncates the whole group away and fails every
+// member — no member is ever acknowledged off a failed fsync.
+func (s *Store) commitGroup(grp []*groupAppend) {
+	s.mu.Lock()
+	var buf []byte
+	for i, p := range grp {
+		buf = append(buf, frameRecord(s.seq+1+uint64(i), p.kind, p.payload)...)
+	}
+	fail := func(err error) {
+		s.rollback()
+		s.mu.Unlock()
+		for _, p := range grp {
+			p.err = err
+			close(p.done)
+		}
+	}
+	if _, err := s.wal.WriteAt(buf, s.off); err != nil {
+		fail(err)
+		return
+	}
+	if err := s.sync(s.wal); err != nil {
+		s.stats.SyncFailures++
+		fail(fmt.Errorf("store: wal sync: %w", err))
+		return
+	}
+	for _, p := range grp {
+		s.seq++
+		p.seq = s.seq
+		s.recs = append(s.recs, Record{Seq: p.seq, Kind: p.kind, Payload: append([]byte(nil), p.payload...)})
+	}
+	s.off += int64(len(buf))
+	s.stats.Appends += uint64(len(grp))
+	s.stats.Fsyncs++
+	s.stats.Groups++
+	s.stats.GroupSizeSum += uint64(len(grp))
+	s.stats.GroupLast = len(grp)
+	if len(grp) > s.stats.GroupSizeMax {
+		s.stats.GroupSizeMax = len(grp)
+	}
+	s.mu.Unlock()
+	for _, p := range grp {
+		close(p.done)
+	}
+}
+
+// rollback truncates an unacknowledged tail; caller holds s.mu.
 func (s *Store) rollback() {
 	s.wal.Truncate(s.off)
 	s.wal.Seek(s.off, io.SeekStart)
@@ -213,14 +397,34 @@ func (s *Store) rollback() {
 
 // Records returns the live log: recovered records plus successful
 // appends, in order. The slice is shared — callers must not mutate it.
-func (s *Store) Records() []Record { return s.recs }
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recs
+}
 
 // Recovery reports what the opening scan found.
-func (s *Store) Recovery() RecoveryInfo { return s.rec }
+func (s *Store) Recovery() RecoveryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+// Stats snapshots the write-path counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // Compact truncates the WAL. Callers write a snapshot of the folded
-// state first; compacting without one loses the log's records.
+// state first; compacting without one loses the log's records. The
+// caller must also quiesce its own appenders: a record appended
+// concurrently with Compact may land before the truncate and be lost
+// with it.
 func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.wal.Truncate(0); err != nil {
 		return err
 	}
@@ -285,5 +489,17 @@ func validName(name string) bool {
 		!strings.HasSuffix(name, ".tmp") && name != walName
 }
 
-// Close closes the WAL. The store is unusable afterwards.
-func (s *Store) Close() error { return s.wal.Close() }
+// Close stops the group-commit committer (flushing anything queued) and
+// closes the WAL. The store is unusable afterwards.
+func (s *Store) Close() error {
+	if s.group {
+		s.gmu.Lock()
+		if !s.gclosed {
+			s.gclosed = true
+			s.gcond.Broadcast()
+		}
+		s.gmu.Unlock()
+		<-s.gdone
+	}
+	return s.wal.Close()
+}

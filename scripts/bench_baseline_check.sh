@@ -1,0 +1,21 @@
+#!/bin/sh
+# Baseline drift guard: every BENCH_*.json a reader is pointed at from
+# docs/PERFORMANCE.md or EXPERIMENTS.md must actually exist in the tree.
+# (PR 9 referenced a baseline it never shipped; this keeps docs and
+# committed baselines from drifting apart again.)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+missing=0
+refs=$(grep -ho 'BENCH_[0-9]*\.json' docs/PERFORMANCE.md EXPERIMENTS.md 2>/dev/null | sort -u)
+[ -n "$refs" ] || { echo "bench-baseline-check: no BENCH_*.json references found" >&2; exit 1; }
+for f in $refs; do
+    if [ -f "$f" ]; then
+        echo "bench-baseline-check: $f referenced and present"
+    else
+        echo "bench-baseline-check: FAIL: $f is referenced from the docs but missing from the tree" >&2
+        missing=1
+    fi
+done
+exit "$missing"
